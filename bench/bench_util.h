@@ -1,0 +1,38 @@
+#ifndef OASIS_BENCH_BENCH_UTIL_H_
+#define OASIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace oasis {
+namespace bench {
+
+/// Integer environment override with default (e.g. OASIS_REPEATS).
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+/// Repeats per experiment configuration. The paper uses 1000; the default
+/// here (50) keeps the full harness suite quick while leaving the expected-
+/// error curves stable. Override with OASIS_REPEATS=1000 for paper fidelity.
+inline int Repeats(int fallback = 50) { return EnvInt("OASIS_REPEATS", fallback); }
+
+/// Deterministic base seed for the whole harness; override with OASIS_SEED.
+inline uint64_t Seed() { return static_cast<uint64_t>(EnvInt("OASIS_SEED", 20170626)); }
+
+/// Prints the standard harness banner.
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("repeats=%d seed=%llu (override via OASIS_REPEATS / OASIS_SEED)\n",
+              Repeats(), static_cast<unsigned long long>(Seed()));
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace oasis
+
+#endif  // OASIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,145 @@
+// google-benchmark micro-benches for the sampling hot paths: alias-table vs
+// linear-scan discrete draws (the Table 3 cost asymmetry at its core), the
+// per-iteration cost of each sampler as a function of K and N, and CSF
+// stratification construction cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/alias_table.h"
+#include "common/random.h"
+#include "core/oasis.h"
+#include "oracle/ground_truth_oracle.h"
+#include "sampling/importance.h"
+#include "sampling/passive.h"
+#include "strata/csf.h"
+
+namespace oasis {
+namespace {
+
+/// Synthetic imbalanced pool of size n for sampler benches.
+struct BenchPool {
+  ScoredPool scored;
+  std::vector<uint8_t> truth;
+};
+
+BenchPool MakePool(int64_t n) {
+  Rng rng(99);
+  BenchPool pool;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool match = rng.NextBernoulli(0.01);
+    const double margin = (match ? 1.0 : -1.0) + 0.6 * rng.NextGaussian();
+    pool.truth.push_back(match ? 1 : 0);
+    pool.scored.scores.push_back(margin);
+    pool.scored.predictions.push_back(margin >= 0.0 ? 1 : 0);
+  }
+  return pool;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.NextDouble() + 1e-6;
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_LinearScanSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.NextDouble() + 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDiscreteLinear(weights));
+  }
+}
+BENCHMARK(BM_LinearScanSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.NextDouble() + 1e-6;
+  for (auto _ : state) {
+    auto table = AliasTable::Build(weights);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_OasisStep(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  auto sampler = OasisSampler::CreateWithCsf(&pool->scored, &labels, k,
+                                             OasisOptions{}, Rng(4))
+                     .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+  state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()));
+}
+BENCHMARK(BM_OasisStep)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_PassiveStep(benchmark::State& state) {
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool->scored, &labels, 0.5, Rng(5)).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+}
+BENCHMARK(BM_PassiveStep);
+
+void BM_ImportanceStepAlias(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BenchPool pool = MakePool(n);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler = ImportanceSampler::Create(&pool.scored, &labels,
+                                           ImportanceOptions{}, Rng(6))
+                     .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+}
+BENCHMARK(BM_ImportanceStepAlias)->Arg(10000)->Arg(100000)->Arg(300000);
+
+void BM_ImportanceStepLinear(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BenchPool pool = MakePool(n);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  ImportanceOptions options;
+  options.backend = SamplingBackend::kLinearScan;
+  auto sampler =
+      ImportanceSampler::Create(&pool.scored, &labels, options, Rng(7))
+          .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+}
+BENCHMARK(BM_ImportanceStepLinear)->Arg(10000)->Arg(100000)->Arg(300000);
+
+void BM_CsfStratify(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BenchPool pool = MakePool(n);
+  for (auto _ : state) {
+    auto strata = StratifyCsf(pool.scored.scores, 30, pool.scored.scores_are_probabilities);
+    benchmark::DoNotOptimize(strata);
+  }
+}
+BENCHMARK(BM_CsfStratify)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace oasis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Crowdsourced (noisy) oracle evaluation.
+//
+// The paper's theory covers randomised oracles with arbitrary p(1|z) —
+// annotators who answer stochastically. This example compares OASIS under a
+// deterministic expert oracle vs a noisy crowd oracle (5% symmetric flip
+// rate), illustrating (a) that estimation still converges, to the noisy
+// population value, and (b) the budget accounting difference: every crowd
+// query costs budget, while expert labels are cached after the first query.
+//
+// Build & run:  ./build/examples/noisy_crowdsourcing
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/oasis.h"
+#include "common/logging.h"
+#include "eval/confusion.h"
+#include "eval/measures.h"
+#include "oracle/ground_truth_oracle.h"
+#include "oracle/noisy_oracle.h"
+
+using namespace oasis;
+
+namespace {
+
+/// Expected asymptotic F under a symmetric flip-rate oracle: each pair's
+/// label contribution is averaged over the noise, i.e. counts become
+/// expectations with p(1|z).
+double NoisyPopulationF(const std::vector<uint8_t>& truth,
+                        const std::vector<uint8_t>& predictions,
+                        double flip_rate, double alpha) {
+  double tp = 0.0, pred = 0.0, pos = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double p1 = truth[i] ? 1.0 - flip_rate : flip_rate;
+    if (predictions[i]) {
+      tp += p1;
+      pred += 1.0;
+    }
+    pos += p1;
+  }
+  return tp / (alpha * pred + (1.0 - alpha) * pos);
+}
+
+}  // namespace
+
+int main() {
+  // Synthetic pool: 2% matches out of 30k pairs.
+  const int64_t pool_size = 30000;
+  const double flip_rate = 0.05;
+  Rng data_rng(11);
+  ScoredPool pool;
+  std::vector<uint8_t> truth;
+  for (int64_t i = 0; i < pool_size; ++i) {
+    const bool match = data_rng.NextBernoulli(0.02);
+    const double margin = (match ? 1.0 : -1.0) + 0.6 * data_rng.NextGaussian();
+    truth.push_back(match ? 1 : 0);
+    pool.scores.push_back(margin);
+    pool.predictions.push_back(margin >= 0.0 ? 1 : 0);
+  }
+  pool.threshold = 0.0;
+
+  const ConfusionCounts counts =
+      CountConfusion(truth, pool.predictions).ValueOrDie();
+  const Measures exact = ComputeMeasures(counts, 0.5);
+  const double noisy_f = NoisyPopulationF(truth, pool.predictions, flip_rate, 0.5);
+  std::printf("clean-population F = %.4f; noisy-population F = %.4f\n\n",
+              exact.f_alpha, noisy_f);
+
+  // --- Expert oracle: deterministic, labels cached after first query. -----
+  {
+    GroundTruthOracle oracle(truth);
+    LabelCache labels(&oracle);
+    auto sampler = OasisSampler::CreateWithCsf(&pool, &labels, 25, OasisOptions{},
+                                               Rng(5))
+                       .ValueOrDie();
+    while (labels.labels_consumed() < 3000) OASIS_CHECK_OK(sampler->Step());
+    std::printf(
+        "expert oracle : F-hat = %.4f after %lld labels "
+        "(%lld total queries, repeats were free)\n",
+        sampler->Estimate().f_alpha,
+        static_cast<long long>(labels.labels_consumed()),
+        static_cast<long long>(labels.total_queries()));
+  }
+
+  // --- Crowd oracle: every query is a fresh draw and costs budget. --------
+  {
+    auto oracle_result = NoisyOracle::FromTruthWithFlipNoise(truth, flip_rate);
+    OASIS_CHECK_OK(oracle_result.status());
+    NoisyOracle oracle = std::move(oracle_result).ValueOrDie();
+    LabelCache labels(&oracle);
+    auto sampler = OasisSampler::CreateWithCsf(&pool, &labels, 25, OasisOptions{},
+                                               Rng(5))
+                       .ValueOrDie();
+    while (labels.labels_consumed() < 12000) OASIS_CHECK_OK(sampler->Step());
+    std::printf(
+        "crowd oracle  : F-hat = %.4f after %lld paid queries "
+        "(%lld distinct pairs; target is the noisy-population F)\n",
+        sampler->Estimate().f_alpha,
+        static_cast<long long>(labels.labels_consumed()),
+        static_cast<long long>(labels.distinct_items_labelled()));
+  }
+
+  std::printf(
+      "\nUnder label noise the estimator converges to the noisy-population\n"
+      "value — repeated labelling (more budget) narrows the gap, it does not\n"
+      "remove the noise bias. Use majority-vote aggregation upstream if the\n"
+      "clean value is required.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "classify/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace classify {
+
+namespace {
+double StumpPredict(double value, double threshold, double polarity) {
+  return (value >= threshold ? 1.0 : -1.0) * polarity;
+}
+}  // namespace
+
+AdaBoost::AdaBoost(AdaBoostOptions options) : options_(options) {}
+
+Status AdaBoost::Fit(const Dataset& data, Rng& rng) {
+  (void)rng;  // Threshold grid is deterministic; RNG kept for interface parity.
+  if (data.empty()) return Status::InvalidArgument("AdaBoost: empty dataset");
+  if (data.num_positives() == 0 || data.num_negatives() == 0) {
+    return Status::InvalidArgument("AdaBoost: needs both classes to train");
+  }
+  if (options_.rounds == 0) {
+    return Status::InvalidArgument("AdaBoost: rounds must be positive");
+  }
+
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  stumps_.clear();
+  alpha_total_ = 0.0;
+
+  // Candidate thresholds per feature: equally spaced quantile-ish cuts from
+  // the sorted unique feature values.
+  std::vector<std::vector<double>> candidates(d);
+  for (size_t f = 0; f < d; ++f) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) values[i] = data.row(i)[f];
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    const size_t m = std::min(options_.candidate_thresholds, values.size());
+    for (size_t c = 0; c < m; ++c) {
+      const size_t idx = (c * values.size()) / m;
+      candidates[f].push_back(values[idx]);
+    }
+  }
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  for (size_t round = 0; round < options_.rounds; ++round) {
+    Stump best;
+    double best_error = std::numeric_limits<double>::infinity();
+    for (size_t f = 0; f < d; ++f) {
+      for (double threshold : candidates[f]) {
+        // Weighted error of the +1-polarity stump; the -1 polarity has error
+        // 1 - e, so one pass covers both.
+        double error = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double y = data.label(i) ? 1.0 : -1.0;
+          if (StumpPredict(data.row(i)[f], threshold, 1.0) != y) {
+            error += weights[i];
+          }
+        }
+        double polarity = 1.0;
+        if (error > 0.5) {
+          error = 1.0 - error;
+          polarity = -1.0;
+        }
+        if (error < best_error) {
+          best_error = error;
+          best.feature = f;
+          best.threshold = threshold;
+          best.polarity = polarity;
+        }
+      }
+    }
+
+    best_error = std::clamp(best_error, 1e-10, 0.5);
+    best.alpha = 0.5 * std::log((1.0 - best_error) / best_error);
+    stumps_.push_back(best);
+    alpha_total_ += best.alpha;
+
+    // Reweight: mistakes up, hits down; renormalise.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double y = data.label(i) ? 1.0 : -1.0;
+      const double h =
+          StumpPredict(data.row(i)[best.feature], best.threshold, best.polarity);
+      weights[i] *= std::exp(-best.alpha * y * h);
+      total += weights[i];
+    }
+    OASIS_CHECK_GT(total, 0.0);
+    for (double& w : weights) w /= total;
+
+    if (best_error <= 1e-10) break;  // Perfect stump: boosting is done.
+  }
+  return Status::OK();
+}
+
+double AdaBoost::Score(std::span<const double> features) const {
+  OASIS_DCHECK(!stumps_.empty());
+  double margin = 0.0;
+  for (const Stump& stump : stumps_) {
+    margin += stump.alpha *
+              StumpPredict(features[stump.feature], stump.threshold, stump.polarity);
+  }
+  return alpha_total_ > 0.0 ? margin / alpha_total_ : 0.0;
+}
+
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,50 @@
+#ifndef OASIS_CLASSIFY_ADABOOST_H_
+#define OASIS_CLASSIFY_ADABOOST_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace oasis {
+namespace classify {
+
+/// Options for AdaBoost over decision stumps.
+struct AdaBoostOptions {
+  /// Number of boosting rounds (weak learners).
+  size_t rounds = 50;
+  /// Candidate split thresholds examined per feature and round.
+  size_t candidate_thresholds = 32;
+};
+
+/// Discrete AdaBoost with axis-aligned decision stumps — the paper's "AB"
+/// classifier. Scores are the aggregated stump margin sum_t alpha_t h_t(x),
+/// normalised by sum_t alpha_t to [-1, 1]; uncalibrated by construction.
+class AdaBoost : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions options = {});
+
+  Status Fit(const Dataset& data, Rng& rng) override;
+  double Score(std::span<const double> features) const override;
+  bool probabilistic() const override { return false; }
+  std::string name() const override { return "AB"; }
+
+  size_t num_stumps() const { return stumps_.size(); }
+
+ private:
+  /// h(x) = polarity * sign(x[feature] - threshold), with sign(0) := +1.
+  struct Stump {
+    size_t feature = 0;
+    double threshold = 0.0;
+    double polarity = 1.0;
+    double alpha = 0.0;
+  };
+
+  AdaBoostOptions options_;
+  std::vector<Stump> stumps_;
+  double alpha_total_ = 0.0;
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_ADABOOST_H_

@@ -1,0 +1,51 @@
+#ifndef OASIS_CLASSIFY_CLASSIFIER_H_
+#define OASIS_CLASSIFY_CLASSIFIER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "classify/dataset.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace oasis {
+namespace classify {
+
+/// Binary classifier producing similarity scores (Definition 2 of the paper:
+/// any confidence-valued output is a legitimate similarity score).
+///
+/// Score() returns a raw confidence: a signed margin for margin-based models
+/// (threshold 0) or a probability for probabilistic models (threshold 0.5) —
+/// probabilistic() and threshold() tell callers which regime applies, which
+/// is exactly the calibrated/uncalibrated distinction of the paper's Sec. 6.3.2.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset. The RNG drives any stochastic optimisation so
+  /// training is reproducible.
+  virtual Status Fit(const Dataset& data, Rng& rng) = 0;
+
+  /// Confidence score for one feature vector; Fit must have succeeded.
+  virtual double Score(std::span<const double> features) const = 0;
+
+  /// Whether Score() is a probability in [0, 1].
+  virtual bool probabilistic() const = 0;
+
+  /// Decision threshold on the Score() scale (0 for margins, 0.5 for
+  /// probabilities, unless a subclass shifts it).
+  virtual double threshold() const { return probabilistic() ? 0.5 : 0.0; }
+
+  /// Predicted label: Score >= threshold.
+  bool Predict(std::span<const double> features) const {
+    return Score(features) >= threshold();
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_CLASSIFIER_H_

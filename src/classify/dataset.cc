@@ -1,0 +1,42 @@
+#include "classify/dataset.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace oasis {
+namespace classify {
+
+Status Dataset::Add(std::span<const double> features, bool label) {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument("Dataset: feature arity mismatch");
+  }
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label ? 1 : 0);
+  if (label) ++num_positives_;
+  return Status::OK();
+}
+
+std::vector<std::vector<size_t>> Dataset::FoldIndices(size_t folds,
+                                                      uint64_t seed) const {
+  OASIS_CHECK_GT(folds, 0u);
+  std::vector<size_t> order(size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(order);
+  std::vector<std::vector<size_t>> out(folds);
+  for (size_t i = 0; i < order.size(); ++i) {
+    out[i % folds].push_back(order[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::Subset(std::span<const size_t> indices) const {
+  Dataset out(num_features_);
+  for (size_t i : indices) {
+    OASIS_CHECK_OK(out.Add(row(i), label(i)));
+  }
+  return out;
+}
+
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,53 @@
+#ifndef OASIS_CLASSIFY_DATASET_H_
+#define OASIS_CLASSIFY_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oasis {
+namespace classify {
+
+/// Dense row-major labelled feature matrix used to train classifiers.
+class Dataset {
+ public:
+  explicit Dataset(size_t num_features) : num_features_(num_features) {}
+
+  /// Appends one (features, label) example; arity must match.
+  Status Add(std::span<const double> features, bool label);
+
+  size_t size() const { return labels_.size(); }
+  size_t num_features() const { return num_features_; }
+  bool empty() const { return labels_.empty(); }
+
+  std::span<const double> row(size_t i) const {
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  bool label(size_t i) const { return labels_[i] != 0; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+
+  int64_t num_positives() const { return num_positives_; }
+  int64_t num_negatives() const {
+    return static_cast<int64_t>(size()) - num_positives_;
+  }
+
+  /// Splits example indices into `folds` contiguous chunks after a seeded
+  /// shuffle — the cross-validation device behind Platt calibration.
+  std::vector<std::vector<size_t>> FoldIndices(size_t folds, uint64_t seed) const;
+
+  /// Subset restricted to the given row indices.
+  Dataset Subset(std::span<const size_t> indices) const;
+
+ private:
+  size_t num_features_;
+  std::vector<double> data_;
+  std::vector<uint8_t> labels_;
+  int64_t num_positives_ = 0;
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_DATASET_H_

@@ -1,0 +1,73 @@
+#include "classify/linear_svm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace classify {
+
+LinearSvm::LinearSvm(LinearSvmOptions options) : options_(options) {}
+
+Status LinearSvm::Fit(const Dataset& data, Rng& rng) {
+  if (data.empty()) return Status::InvalidArgument("LinearSvm: empty dataset");
+  if (data.num_positives() == 0 || data.num_negatives() == 0) {
+    return Status::InvalidArgument("LinearSvm: needs both classes to train");
+  }
+  if (!(options_.lambda > 0.0)) {
+    return Status::InvalidArgument("LinearSvm: lambda must be positive");
+  }
+
+  const size_t d = data.num_features();
+  const size_t n = data.size();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  // Pegasos: at step t pick a random example, step size 1/(lambda t);
+  // sub-gradient of the hinge loss plus L2 shrinkage, then projection onto
+  // the 1/sqrt(lambda) ball. The bias is treated as the weight of an
+  // implicit constant feature and takes part in shrinkage and projection:
+  // leaving it unregularised lets the 1/(lambda t) early steps (1/lambda at
+  // t=1) fling it arbitrarily far, making independently trained models
+  // score-incomparable — which breaks cross-validated calibration.
+  size_t t = 0;
+  const size_t total_steps = options_.epochs * n;
+  for (size_t step = 0; step < total_steps; ++step) {
+    ++t;
+    const size_t i = static_cast<size_t>(rng.NextBounded(n));
+    const double y = data.label(i) ? 1.0 : -1.0;
+    std::span<const double> x = data.row(i);
+
+    double margin = bias_;
+    for (size_t f = 0; f < d; ++f) margin += weights_[f] * x[f];
+    const double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+
+    const double shrink = 1.0 - eta * options_.lambda;
+    for (size_t f = 0; f < d; ++f) weights_[f] *= shrink;
+    bias_ *= shrink;
+    if (y * margin < 1.0) {
+      for (size_t f = 0; f < d; ++f) weights_[f] += eta * y * x[f];
+      bias_ += eta * y;
+    }
+
+    double norm_sq = bias_ * bias_;
+    for (double w : weights_) norm_sq += w * w;
+    const double radius = 1.0 / std::sqrt(options_.lambda);
+    if (norm_sq > radius * radius) {
+      const double scale = radius / std::sqrt(norm_sq);
+      for (double& w : weights_) w *= scale;
+      bias_ *= scale;
+    }
+  }
+  return Status::OK();
+}
+
+double LinearSvm::Score(std::span<const double> features) const {
+  OASIS_DCHECK(features.size() == weights_.size());
+  double margin = bias_;
+  for (size_t f = 0; f < weights_.size(); ++f) margin += weights_[f] * features[f];
+  return margin;
+}
+
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,54 @@
+#include "classify/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/transforms.h"
+
+namespace oasis {
+namespace classify {
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+Status LogisticRegression::Fit(const Dataset& data, Rng& rng) {
+  if (data.empty()) {
+    return Status::InvalidArgument("LogisticRegression: empty dataset");
+  }
+  if (data.num_positives() == 0 || data.num_negatives() == 0) {
+    return Status::InvalidArgument("LogisticRegression: needs both classes");
+  }
+  const size_t d = data.num_features();
+  const size_t n = data.size();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // 1/sqrt decay keeps late epochs refining rather than oscillating.
+    const double lr =
+        options_.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (size_t step = 0; step < n; ++step) {
+      const size_t i = static_cast<size_t>(rng.NextBounded(n));
+      const double y = data.label(i) ? 1.0 : 0.0;
+      std::span<const double> x = data.row(i);
+      double z = bias_;
+      for (size_t f = 0; f < d; ++f) z += weights_[f] * x[f];
+      const double error = Expit(z) - y;
+      for (size_t f = 0; f < d; ++f) {
+        weights_[f] -= lr * (error * x[f] + options_.l2 * weights_[f]);
+      }
+      bias_ -= lr * error;
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::Score(std::span<const double> features) const {
+  OASIS_DCHECK(features.size() == weights_.size());
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size(); ++f) z += weights_[f] * features[f];
+  return Expit(z);
+}
+
+}  // namespace classify
+}  // namespace oasis

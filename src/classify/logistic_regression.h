@@ -1,0 +1,42 @@
+#ifndef OASIS_CLASSIFY_LOGISTIC_REGRESSION_H_
+#define OASIS_CLASSIFY_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace oasis {
+namespace classify {
+
+/// Options for SGD logistic regression.
+struct LogisticRegressionOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  size_t epochs = 60;
+};
+
+/// Logistic regression trained with mini-batchless SGD. Scores are
+/// probabilities (inherently calibrated up to model fit), the probabilistic
+/// counterpart to the SVM margin scores.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  Status Fit(const Dataset& data, Rng& rng) override;
+  double Score(std::span<const double> features) const override;
+  bool probabilistic() const override { return true; }
+  std::string name() const override { return "LR"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_LOGISTIC_REGRESSION_H_

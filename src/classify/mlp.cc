@@ -1,0 +1,101 @@
+#include "classify/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/transforms.h"
+
+namespace oasis {
+namespace classify {
+
+Mlp::Mlp(MlpOptions options) : options_(options) {}
+
+Status Mlp::Fit(const Dataset& data, Rng& rng) {
+  if (data.empty()) return Status::InvalidArgument("Mlp: empty dataset");
+  if (data.num_positives() == 0 || data.num_negatives() == 0) {
+    return Status::InvalidArgument("Mlp: needs both classes to train");
+  }
+  if (options_.hidden_units == 0) {
+    return Status::InvalidArgument("Mlp: hidden_units must be positive");
+  }
+
+  const size_t d = data.num_features();
+  const size_t h = options_.hidden_units;
+  const size_t n = data.size();
+  input_dim_ = d;
+
+  // Xavier-style init keeps tanh units in their responsive range.
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(d + h));
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(h + 1));
+  w1_.resize(h * d);
+  b1_.assign(h, 0.0);
+  w2_.resize(h);
+  b2_ = 0.0;
+  for (double& w : w1_) w = rng.NextGaussian() * scale1;
+  for (double& w : w2_) w = rng.NextGaussian() * scale2;
+
+  std::vector<double> vw1(h * d, 0.0);
+  std::vector<double> vb1(h, 0.0);
+  std::vector<double> vw2(h, 0.0);
+  double vb2 = 0.0;
+  std::vector<double> hidden(h);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double lr =
+        options_.learning_rate / std::sqrt(1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t step = 0; step < n; ++step) {
+      const size_t i = static_cast<size_t>(rng.NextBounded(n));
+      const double y = data.label(i) ? 1.0 : 0.0;
+      std::span<const double> x = data.row(i);
+
+      // Forward pass.
+      for (size_t u = 0; u < h; ++u) {
+        double z = b1_[u];
+        const double* row = &w1_[u * d];
+        for (size_t f = 0; f < d; ++f) z += row[f] * x[f];
+        hidden[u] = std::tanh(z);
+      }
+      double z_out = b2_;
+      for (size_t u = 0; u < h; ++u) z_out += w2_[u] * hidden[u];
+      const double prob = Expit(z_out);
+
+      // Backward pass (log-loss): d/dz_out = prob - y.
+      const double delta_out = prob - y;
+      for (size_t u = 0; u < h; ++u) {
+        const double grad_w2 = delta_out * hidden[u] + options_.l2 * w2_[u];
+        vw2[u] = options_.momentum * vw2[u] - lr * grad_w2;
+        const double delta_h =
+            delta_out * w2_[u] * (1.0 - hidden[u] * hidden[u]);
+        double* row = &w1_[u * d];
+        double* vrow = &vw1[u * d];
+        for (size_t f = 0; f < d; ++f) {
+          const double grad = delta_h * x[f] + options_.l2 * row[f];
+          vrow[f] = options_.momentum * vrow[f] - lr * grad;
+          row[f] += vrow[f];
+        }
+        vb1[u] = options_.momentum * vb1[u] - lr * delta_h;
+        b1_[u] += vb1[u];
+        w2_[u] += vw2[u];
+      }
+      vb2 = options_.momentum * vb2 - lr * delta_out;
+      b2_ += vb2;
+    }
+  }
+  return Status::OK();
+}
+
+double Mlp::Score(std::span<const double> features) const {
+  OASIS_DCHECK(features.size() == input_dim_);
+  const size_t h = w2_.size();
+  double z_out = b2_;
+  for (size_t u = 0; u < h; ++u) {
+    double z = b1_[u];
+    const double* row = &w1_[u * input_dim_];
+    for (size_t f = 0; f < input_dim_; ++f) z += row[f] * features[f];
+    z_out += w2_[u] * std::tanh(z);
+  }
+  return Expit(z_out);
+}
+
+}  // namespace classify
+}  // namespace oasis

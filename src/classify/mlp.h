@@ -1,0 +1,46 @@
+#ifndef OASIS_CLASSIFY_MLP_H_
+#define OASIS_CLASSIFY_MLP_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace oasis {
+namespace classify {
+
+/// Options for the one-hidden-layer perceptron.
+struct MlpOptions {
+  size_t hidden_units = 16;
+  double learning_rate = 0.05;
+  double l2 = 1e-5;
+  size_t epochs = 80;
+  double momentum = 0.9;
+};
+
+/// Multi-layer perceptron with one tanh hidden layer and a sigmoid output,
+/// trained by backpropagation with momentum SGD on log loss — the paper's
+/// "NN" classifier (Sec. 6.3.4). Scores are probabilities.
+class Mlp : public Classifier {
+ public:
+  explicit Mlp(MlpOptions options = {});
+
+  Status Fit(const Dataset& data, Rng& rng) override;
+  double Score(std::span<const double> features) const override;
+  bool probabilistic() const override { return true; }
+  std::string name() const override { return "NN"; }
+
+ private:
+  MlpOptions options_;
+  size_t input_dim_ = 0;
+  // Layer 1: hidden_units x input_dim weights + hidden biases.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  // Layer 2: output weights over hidden units + output bias.
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_MLP_H_

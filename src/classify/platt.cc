@@ -1,0 +1,170 @@
+#include "classify/platt.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/transforms.h"
+
+namespace oasis {
+namespace classify {
+
+Status PlattScaler::Fit(std::span<const double> scores,
+                        std::span<const uint8_t> labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return Status::InvalidArgument("PlattScaler: bad input sizes");
+  }
+  double prior1 = 0.0;
+  for (uint8_t y : labels) prior1 += (y != 0) ? 1.0 : 0.0;
+  const double prior0 = static_cast<double>(labels.size()) - prior1;
+  if (prior1 == 0.0 || prior0 == 0.0) {
+    return Status::InvalidArgument("PlattScaler: needs both classes");
+  }
+
+  // Platt's smoothed targets guard against overconfident sigmoids.
+  const double hi_target = (prior1 + 1.0) / (prior1 + 2.0);
+  const double lo_target = 1.0 / (prior0 + 2.0);
+
+  // Newton's method with backtracking on the regularised log-likelihood,
+  // following the numerically careful formulation of Lin, Lin & Weng (2007).
+  double a = 0.0;
+  double b = std::log((prior0 + 1.0) / (prior1 + 1.0));
+  const double sigma = 1e-12;
+  const size_t max_iter = 100;
+
+  auto objective = [&](double aa, double bb) {
+    double obj = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const double target = labels[i] != 0 ? hi_target : lo_target;
+      const double z = aa * scores[i] + bb;
+      // log(1 + exp(-|z|)) form avoids overflow.
+      if (z >= 0.0) {
+        obj += target * z + std::log1p(std::exp(-z));
+      } else {
+        obj += (target - 1.0) * z + std::log1p(std::exp(z));
+      }
+    }
+    return obj;
+  };
+
+  double current = objective(a, b);
+  for (size_t iter = 0; iter < max_iter; ++iter) {
+    double h11 = sigma, h22 = sigma, h21 = 0.0;
+    double g1 = 0.0, g2 = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const double target = labels[i] != 0 ? hi_target : lo_target;
+      const double z = a * scores[i] + b;
+      const double p = Expit(-z);        // = 1 - sigmoid(z)
+      const double q = 1.0 - p;          // = sigmoid(z)
+      const double w = p * q;
+      h11 += scores[i] * scores[i] * w;
+      h22 += w;
+      h21 += scores[i] * w;
+      const double diff = target - p;    // Lin et al. gradient convention.
+      g1 += scores[i] * diff;
+      g2 += diff;
+    }
+    if (std::abs(g1) < 1e-10 && std::abs(g2) < 1e-10) break;
+
+    const double det = h11 * h22 - h21 * h21;
+    const double da = -(h22 * g1 - h21 * g2) / det;
+    const double db = -(-h21 * g1 + h11 * g2) / det;
+    const double grad_dot_step = g1 * da + g2 * db;
+
+    double step = 1.0;
+    bool improved = false;
+    while (step >= 1e-10) {
+      const double na = a + step * da;
+      const double nb = b + step * db;
+      const double next = objective(na, nb);
+      if (next < current + 1e-4 * step * grad_dot_step) {
+        a = na;
+        b = nb;
+        current = next;
+        improved = true;
+        break;
+      }
+      step /= 2.0;
+    }
+    if (!improved) break;  // Line search failed: converged numerically.
+  }
+
+  a_ = a;
+  b_ = b;
+  train_positive_rate_ = prior1 / (prior1 + prior0);
+  fitted_ = true;
+  return Status::OK();
+}
+
+double PlattScaler::Transform(double score) const {
+  OASIS_DCHECK(fitted_);
+  // P(y=1|s) = 1 / (1 + exp(a s + b)) in Platt's parametrisation, where the
+  // fitted model above is for P(y=0); equivalently sigmoid(-(a s + b)).
+  return Expit(-(a_ * score + b_));
+}
+
+CalibratedClassifier::CalibratedClassifier(Factory factory, size_t folds)
+    : factory_(factory), folds_(folds) {
+  OASIS_CHECK(factory != nullptr);
+  OASIS_CHECK_GE(folds, 2u);
+}
+
+Status CalibratedClassifier::Fit(const Dataset& data, Rng& rng) {
+  if (data.empty()) {
+    return Status::InvalidArgument("CalibratedClassifier: empty dataset");
+  }
+  // Out-of-fold scores: train on k-1 folds, score the held-out fold.
+  std::vector<double> oof_scores;
+  std::vector<uint8_t> oof_labels;
+  oof_scores.reserve(data.size());
+  oof_labels.reserve(data.size());
+  const std::vector<std::vector<size_t>> folds =
+      data.FoldIndices(folds_, rng.NextUint64());
+  for (size_t held_out = 0; held_out < folds.size(); ++held_out) {
+    std::vector<size_t> train_rows;
+    for (size_t f = 0; f < folds.size(); ++f) {
+      if (f == held_out) continue;
+      train_rows.insert(train_rows.end(), folds[f].begin(), folds[f].end());
+    }
+    if (train_rows.empty() || folds[held_out].empty()) continue;
+    Dataset train = data.Subset(train_rows);
+    if (train.num_positives() == 0 || train.num_negatives() == 0) {
+      continue;  // Degenerate fold under extreme imbalance: skip.
+    }
+    std::unique_ptr<Classifier> model = factory_();
+    Rng fold_rng = rng.Split();
+    OASIS_RETURN_NOT_OK(model->Fit(train, fold_rng));
+    for (size_t i : folds[held_out]) {
+      oof_scores.push_back(model->Score(data.row(i)));
+      oof_labels.push_back(data.label(i) ? 1 : 0);
+    }
+  }
+  if (oof_scores.empty()) {
+    return Status::FailedPrecondition(
+        "CalibratedClassifier: no usable cross-validation folds");
+  }
+  OASIS_RETURN_NOT_OK(scaler_.Fit(oof_scores, oof_labels));
+
+  // Final base model on all data.
+  base_ = factory_();
+  Rng final_rng = rng.Split();
+  return base_->Fit(data, final_rng);
+}
+
+double CalibratedClassifier::Score(std::span<const double> features) const {
+  OASIS_DCHECK(base_ != nullptr);
+  const double p = scaler_.Transform(base_->Score(features));
+  if (target_positive_rate_ <= 0.0 || target_positive_rate_ >= 1.0) return p;
+  // Saerens-style prior correction on the logit scale: shift by the log of
+  // the target-to-train odds ratio.
+  const double train_rate = scaler_.train_positive_rate();
+  const double shift = std::log(target_positive_rate_ / (1.0 - target_positive_rate_)) -
+                       std::log(train_rate / (1.0 - train_rate));
+  return Expit(Logit(p) + shift);
+}
+
+std::string CalibratedClassifier::name() const {
+  return base_ != nullptr ? base_->name() + "+Platt" : "Calibrated";
+}
+
+}  // namespace classify
+}  // namespace oasis

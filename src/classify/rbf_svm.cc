@@ -1,0 +1,84 @@
+#include "classify/rbf_svm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace classify {
+
+RbfSvm::RbfSvm(RbfSvmOptions options) : options_(options) {}
+
+double RbfSvm::Kernel(std::span<const double> a, std::span<const double> b) const {
+  double dist_sq = 0.0;
+  for (size_t f = 0; f < a.size(); ++f) {
+    const double diff = a[f] - b[f];
+    dist_sq += diff * diff;
+  }
+  return std::exp(-options_.gamma * dist_sq);
+}
+
+Status RbfSvm::Fit(const Dataset& data, Rng& rng) {
+  if (data.empty()) return Status::InvalidArgument("RbfSvm: empty dataset");
+  if (data.num_positives() == 0 || data.num_negatives() == 0) {
+    return Status::InvalidArgument("RbfSvm: needs both classes to train");
+  }
+  if (!(options_.lambda > 0.0) || !(options_.gamma > 0.0)) {
+    return Status::InvalidArgument("RbfSvm: lambda and gamma must be positive");
+  }
+
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  input_dim_ = d;
+
+  // Kernelised Pegasos: alpha_i counts how often example i was selected
+  // while misclassified under the current implicit weight vector
+  //   w_t = (1 / (lambda t)) * sum_i alpha_i y_i phi(x_i).
+  std::vector<int64_t> alpha(n, 0);
+  size_t t = 0;
+  for (size_t step = 0; step < options_.steps; ++step) {
+    ++t;
+    const size_t i = static_cast<size_t>(rng.NextBounded(n));
+    const double y = data.label(i) ? 1.0 : -1.0;
+    double decision = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (alpha[j] == 0) continue;
+      const double yj = data.label(j) ? 1.0 : -1.0;
+      decision += static_cast<double>(alpha[j]) * yj * Kernel(data.row(j), data.row(i));
+    }
+    decision /= options_.lambda * static_cast<double>(t);
+    if (y * decision < 1.0) ++alpha[i];
+  }
+
+  // Freeze the support set: only examples with alpha > 0 matter at test time.
+  support_.clear();
+  coeffs_.clear();
+  const double scale = 1.0 / (options_.lambda * static_cast<double>(t));
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha[i] == 0) continue;
+    std::span<const double> row = data.row(i);
+    support_.insert(support_.end(), row.begin(), row.end());
+    const double y = data.label(i) ? 1.0 : -1.0;
+    coeffs_.push_back(static_cast<double>(alpha[i]) * y * scale);
+  }
+  if (coeffs_.empty()) {
+    return Status::Internal("RbfSvm: training produced an empty support set");
+  }
+  return Status::OK();
+}
+
+double RbfSvm::Score(std::span<const double> features) const {
+  OASIS_DCHECK(features.size() == input_dim_);
+  OASIS_DCHECK(!coeffs_.empty());
+  double decision = 0.0;
+  for (size_t s = 0; s < coeffs_.size(); ++s) {
+    std::span<const double> sv(&support_[s * input_dim_], input_dim_);
+    decision += coeffs_[s] * Kernel(sv, features);
+  }
+  return decision;
+}
+
+size_t RbfSvm::num_support_vectors() const { return coeffs_.size(); }
+
+}  // namespace classify
+}  // namespace oasis

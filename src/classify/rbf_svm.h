@@ -1,0 +1,50 @@
+#ifndef OASIS_CLASSIFY_RBF_SVM_H_
+#define OASIS_CLASSIFY_RBF_SVM_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace oasis {
+namespace classify {
+
+/// Options for the kernelised SVM.
+struct RbfSvmOptions {
+  /// RBF kernel width: K(a, b) = exp(-gamma ||a - b||^2).
+  double gamma = 1.0;
+  /// L2 regularisation strength of the Pegasos objective.
+  double lambda = 1e-3;
+  /// Total stochastic steps (the kernelised Pegasos iteration count).
+  size_t steps = 4000;
+};
+
+/// RBF-kernel SVM trained with kernelised Pegasos — the paper's "R-SVM".
+///
+/// The model keeps a coefficient per training example (non-zeros act as
+/// support vectors); scoring evaluates the kernel against the support set
+/// only. Scores are signed margins (uncalibrated).
+class RbfSvm : public Classifier {
+ public:
+  explicit RbfSvm(RbfSvmOptions options = {});
+
+  Status Fit(const Dataset& data, Rng& rng) override;
+  double Score(std::span<const double> features) const override;
+  bool probabilistic() const override { return false; }
+  std::string name() const override { return "R-SVM"; }
+
+  size_t num_support_vectors() const;
+
+ private:
+  double Kernel(std::span<const double> a, std::span<const double> b) const;
+
+  RbfSvmOptions options_;
+  size_t input_dim_ = 0;
+  // Support set: flattened feature rows, labels (+-1) and alpha counts.
+  std::vector<double> support_;
+  std::vector<double> coeffs_;  // alpha_i * y_i / (lambda * T)
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_RBF_SVM_H_

@@ -1,0 +1,51 @@
+#include "classify/scaler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/running_stats.h"
+
+namespace oasis {
+namespace classify {
+
+Status StandardScaler::Fit(const Dataset& data) {
+  if (data.empty()) return Status::InvalidArgument("StandardScaler: empty dataset");
+  const size_t d = data.num_features();
+  std::vector<RunningStats> stats(d);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::span<const double> row = data.row(i);
+    for (size_t f = 0; f < d; ++f) stats[f].Add(row[f]);
+  }
+  means_.resize(d);
+  stddevs_.resize(d);
+  for (size_t f = 0; f < d; ++f) {
+    means_[f] = stats[f].mean();
+    const double sd = std::sqrt(stats[f].variance_population());
+    stddevs_[f] = sd > 1e-12 ? sd : 1.0;  // Constant feature -> identity scale.
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void StandardScaler::TransformInPlace(std::span<double> features) const {
+  OASIS_DCHECK(fitted_);
+  OASIS_DCHECK(features.size() == means_.size());
+  for (size_t f = 0; f < features.size(); ++f) {
+    features[f] = (features[f] - means_[f]) / stddevs_[f];
+  }
+}
+
+Dataset StandardScaler::Transform(const Dataset& data) const {
+  Dataset out(data.num_features());
+  std::vector<double> row(data.num_features());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::span<const double> src = data.row(i);
+    for (size_t f = 0; f < row.size(); ++f) row[f] = src[f];
+    TransformInPlace(row);
+    OASIS_CHECK_OK(out.Add(row, data.label(i)));
+  }
+  return out;
+}
+
+}  // namespace classify
+}  // namespace oasis

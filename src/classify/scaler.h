@@ -1,0 +1,39 @@
+#ifndef OASIS_CLASSIFY_SCALER_H_
+#define OASIS_CLASSIFY_SCALER_H_
+
+#include <span>
+#include <vector>
+
+#include "classify/dataset.h"
+#include "common/status.h"
+
+namespace oasis {
+namespace classify {
+
+/// Per-feature standardisation (zero mean, unit variance) fitted on training
+/// data and applied to anything scored later. Constant features map to 0.
+class StandardScaler {
+ public:
+  /// Learns per-feature means and standard deviations.
+  Status Fit(const Dataset& data);
+
+  /// Transforms one feature vector in place.
+  void TransformInPlace(std::span<double> features) const;
+
+  /// Returns a standardised copy of the dataset.
+  Dataset Transform(const Dataset& data) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+  bool fitted_ = false;
+};
+
+}  // namespace classify
+}  // namespace oasis
+
+#endif  // OASIS_CLASSIFY_SCALER_H_

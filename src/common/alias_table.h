@@ -1,0 +1,45 @@
+#ifndef OASIS_COMMON_ALIAS_TABLE_H_
+#define OASIS_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace oasis {
+
+/// Walker/Vose alias table for O(1) sampling from a fixed discrete
+/// distribution.
+///
+/// Construction is O(n). This is the production sampling backend for the
+/// static importance sampler over large pair pools (the paper's reference
+/// implementation used an O(n) linear scan per draw; see Table 3).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative (unnormalised) weights. Fails with
+  /// InvalidArgument when weights are empty, contain a negative/NaN entry, or
+  /// sum to zero.
+  static Result<AliasTable> Build(std::span<const double> weights);
+
+  /// Draws an index in O(1).
+  size_t Sample(Rng& rng) const;
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+  /// Normalised probability of category i (for tests and diagnostics).
+  double probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;      // Acceptance probability per slot.
+  std::vector<uint32_t> alias_;   // Alias target per slot.
+  std::vector<double> normalized_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,74 @@
+#ifndef OASIS_COMMON_LOGGING_H_
+#define OASIS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oasis {
+namespace internal {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Stream-style log sink. FATAL messages abort the process on destruction.
+/// Used through the OASIS_LOG / OASIS_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Minimum level that is actually emitted; default kInfo. Thread-safe-ish
+/// (plain int store; intended for test/bench configuration at startup).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+}  // namespace internal
+}  // namespace oasis
+
+#define OASIS_LOG(level)                                                     \
+  ::oasis::internal::LogMessage(::oasis::internal::LogLevel::k##level,       \
+                                __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a sampling library silently corrupt estimates,
+/// so they must fail fast.
+#define OASIS_CHECK(condition)                                               \
+  if (!(condition))                                                          \
+  OASIS_LOG(Fatal) << "Check failed: " #condition " "
+
+#define OASIS_CHECK_OK(expr)                                                 \
+  do {                                                                       \
+    ::oasis::Status _st = (expr);                                            \
+    if (!_st.ok())                                                           \
+      OASIS_LOG(Fatal) << "Status not OK: " << _st.ToString();               \
+  } while (false)
+
+#define OASIS_CHECK_GE(a, b) OASIS_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_GT(a, b) OASIS_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_LE(a, b) OASIS_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_LT(a, b) OASIS_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_EQ(a, b) OASIS_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OASIS_CHECK_NE(a, b) OASIS_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define OASIS_DCHECK(condition) OASIS_CHECK(condition)
+#else
+#define OASIS_DCHECK(condition) \
+  if (false) OASIS_LOG(Fatal)
+#endif
+
+#endif  // OASIS_COMMON_LOGGING_H_

@@ -1,0 +1,132 @@
+#ifndef OASIS_COMMON_STATUS_H_
+#define OASIS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace oasis {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions (Google style); fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success/error carrier, modelled after Arrow/Abseil Status.
+///
+/// The OK state carries no message and is cheap to copy. Error states carry a
+/// code and a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error carrier, modelled after arrow::Result.
+///
+/// A Result<T> holds either a T (status().ok()) or an error Status. Accessing
+/// the value of an error Result aborts via CHECK in debug-friendly fashion.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring arrow::Result).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& ValueOrDie() const& { return std::get<T>(payload_); }
+  T& ValueOrDie() & { return std::get<T>(payload_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(payload_)); }
+
+  /// Alias for ValueOrDie, matching Abseil naming.
+  const T& value() const& { return ValueOrDie(); }
+  T& value() & { return ValueOrDie(); }
+  T&& value() && { return std::move(*this).ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates an error Status from an expression, Arrow-style.
+#define OASIS_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::oasis::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define OASIS_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto OASIS_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!OASIS_CONCAT_(_res_, __LINE__).ok())       \
+    return OASIS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(OASIS_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define OASIS_CONCAT_INNER_(a, b) a##b
+#define OASIS_CONCAT_(a, b) OASIS_CONCAT_INNER_(a, b)
+
+}  // namespace oasis
+
+#endif  // OASIS_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#ifndef OASIS_CORE_AIS_ESTIMATOR_H_
+#define OASIS_CORE_AIS_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "sampling/sampler.h"
+
+namespace oasis {
+
+/// Running form of the adaptive-importance-sampling F-measure estimator
+/// (paper Eqn. 3).
+///
+/// Maintains the three weighted sums
+///   num      = sum_t w_t l_t l-hat_t
+///   den_pred = sum_t w_t l-hat_t
+///   den_true = sum_t w_t l_t
+/// from which F_alpha = num / (alpha den_pred + (1-alpha) den_true),
+/// precision = num / den_pred, and recall = num / den_true all follow — the
+/// alpha=1 and alpha=0 specialisations of the same statistic.
+class AisEstimator {
+ public:
+  explicit AisEstimator(double alpha);
+
+  /// Folds one weighted observation (w_t, l_t, l-hat_t) into the sums.
+  void Add(double weight, bool label, bool prediction);
+
+  /// Current snapshot; fields are undefined until the corresponding
+  /// denominator is positive (the 0/0 regime of Eqn. 3).
+  EstimateSnapshot Snapshot() const;
+
+  /// F_alpha if defined, otherwise `fallback` — OASIS feeds this into the
+  /// instrumental-distribution update with fallback = F-hat(0).
+  double FAlphaOr(double fallback) const;
+
+  int64_t observations() const { return observations_; }
+  double numerator() const { return num_; }
+  double denominator_predicted() const { return den_pred_; }
+  double denominator_true() const { return den_true_; }
+
+ private:
+  double alpha_;
+  double num_ = 0.0;
+  double den_pred_ = 0.0;
+  double den_true_ = 0.0;
+  int64_t observations_ = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_CORE_AIS_ESTIMATOR_H_

@@ -1,0 +1,33 @@
+#ifndef OASIS_CORE_INITIALIZATION_H_
+#define OASIS_CORE_INITIALIZATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sampling/sampler.h"
+#include "strata/strata.h"
+
+namespace oasis {
+
+/// Output of Algorithm 2: the score-derived initial guesses OASIS starts
+/// from before any label has been collected.
+struct InitialEstimates {
+  /// Initial F-measure guess F-hat(0).
+  double f_alpha = 0.0;
+  /// Initial per-stratum oracle probability guesses pi-hat(0), clamped to
+  /// (0, 1) so they are valid beta-prior means.
+  std::vector<double> pi;
+  /// Per-stratum mean predictions lambda_k (known exactly from the pool).
+  std::vector<double> lambda;
+};
+
+/// Implements Algorithm 2 of the paper. pi-hat(0)_k is the stratum mean
+/// score, passed through the logistic map around pool.threshold when scores
+/// are not probabilities; F-hat(0) combines pi-hat(0), lambda and the stratum
+/// sizes exactly as in line 8.
+Result<InitialEstimates> InitializeFromScores(const Strata& strata,
+                                              const ScoredPool& pool, double alpha);
+
+}  // namespace oasis
+
+#endif  // OASIS_CORE_INITIALIZATION_H_

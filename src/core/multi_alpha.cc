@@ -1,0 +1,47 @@
+#include "core/multi_alpha.h"
+
+#include <cmath>
+#include <utility>
+
+namespace oasis {
+
+MultiAlphaEstimator::MultiAlphaEstimator(std::vector<double> alphas)
+    : alphas_(std::move(alphas)) {}
+
+Result<MultiAlphaEstimator> MultiAlphaEstimator::Create(std::vector<double> alphas) {
+  if (alphas.empty()) {
+    return Status::InvalidArgument("MultiAlphaEstimator: empty alpha grid");
+  }
+  for (double alpha : alphas) {
+    if (std::isnan(alpha) || alpha < 0.0 || alpha > 1.0) {
+      return Status::InvalidArgument("MultiAlphaEstimator: alpha outside [0, 1]");
+    }
+  }
+  return MultiAlphaEstimator(std::move(alphas));
+}
+
+void MultiAlphaEstimator::Add(double weight, bool label, bool prediction) {
+  if (label && prediction) num_ += weight;
+  if (prediction) den_pred_ += weight;
+  if (label) den_true_ += weight;
+  ++observations_;
+}
+
+std::vector<MultiAlphaEstimator::GridEstimate> MultiAlphaEstimator::Estimates()
+    const {
+  std::vector<GridEstimate> out;
+  out.reserve(alphas_.size());
+  for (double alpha : alphas_) {
+    GridEstimate estimate;
+    estimate.alpha = alpha;
+    const double denom = alpha * den_pred_ + (1.0 - alpha) * den_true_;
+    if (denom > 0.0) {
+      estimate.f_alpha = num_ / denom;
+      estimate.defined = true;
+    }
+    out.push_back(estimate);
+  }
+  return out;
+}
+
+}  // namespace oasis

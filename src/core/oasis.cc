@@ -1,0 +1,129 @@
+#include "core/oasis.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/initialization.h"
+#include "core/instrumental.h"
+
+namespace oasis {
+
+OasisSampler::OasisSampler(const ScoredPool* pool, LabelCache* labels,
+                           std::shared_ptr<const Strata> strata,
+                           const OasisOptions& options, Rng rng,
+                           StratifiedBetaModel model, std::vector<double> lambda,
+                           double initial_f)
+    : Sampler(pool, labels, options.alpha, rng),
+      strata_(std::move(strata)),
+      options_(options),
+      model_(std::move(model)),
+      lambda_(std::move(lambda)),
+      initial_f_(initial_f),
+      estimator_(options.alpha) {}
+
+Result<std::unique_ptr<OasisSampler>> OasisSampler::Create(
+    const ScoredPool* pool, LabelCache* labels,
+    std::shared_ptr<const Strata> strata, const OasisOptions& options, Rng rng) {
+  if (pool == nullptr || labels == nullptr || strata == nullptr) {
+    return Status::InvalidArgument("OasisSampler: null pool/labels/strata");
+  }
+  OASIS_RETURN_NOT_OK(pool->Validate());
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("OasisSampler: alpha must be in [0, 1]");
+  }
+  if (std::isnan(options.epsilon) || options.epsilon <= 0.0 ||
+      options.epsilon > 1.0) {
+    return Status::InvalidArgument(
+        "OasisSampler: epsilon must lie in (0, 1] (Remark 5: epsilon = 0 "
+        "forfeits consistency)");
+  }
+  if (static_cast<int64_t>(strata->num_items()) != pool->size()) {
+    return Status::InvalidArgument("OasisSampler: strata/pool size mismatch");
+  }
+  OASIS_RETURN_NOT_OK(strata->Validate());
+
+  // Algorithm 2: score-derived initial estimates.
+  OASIS_ASSIGN_OR_RETURN(InitialEstimates init,
+                         InitializeFromScores(*strata, *pool, options.alpha));
+
+  // Sec. 6.3 default: eta = 2K unless the caller fixed a strength.
+  OasisOptions resolved = options;
+  if (resolved.prior_strength <= 0.0) {
+    resolved.prior_strength = 2.0 * static_cast<double>(strata->num_strata());
+  }
+  OASIS_ASSIGN_OR_RETURN(
+      StratifiedBetaModel model,
+      StratifiedBetaModel::Create(init.pi, resolved.prior_strength,
+                                  resolved.decay_prior));
+
+  return std::unique_ptr<OasisSampler>(
+      new OasisSampler(pool, labels, std::move(strata), resolved, rng,
+                       std::move(model), std::move(init.lambda), init.f_alpha));
+}
+
+Result<std::unique_ptr<OasisSampler>> OasisSampler::CreateWithCsf(
+    const ScoredPool* pool, LabelCache* labels, size_t target_strata,
+    const OasisOptions& options, Rng rng) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("OasisSampler: null pool");
+  }
+  OASIS_ASSIGN_OR_RETURN(
+      Strata strata,
+      StratifyCsf(pool->scores, target_strata, pool->scores_are_probabilities));
+  return Create(pool, labels, std::make_shared<const Strata>(std::move(strata)),
+                options, rng);
+}
+
+Status OasisSampler::Step() {
+  const size_t num_strata = strata_->num_strata();
+
+  // Line 3: v(t) from the current posterior means and F estimate, with the
+  // initial Algorithm-2 guess standing in until Eqn. (3) is defined.
+  const double f_current = estimator_.FAlphaOr(initial_f_);
+  v_scratch_.resize(num_strata);
+  {
+    std::vector<double> pi = model_.PosteriorMeans();
+    OASIS_ASSIGN_OR_RETURN(
+        std::vector<double> v_star,
+        OptimalStratifiedInstrumental(strata_->weights(), lambda_, pi, f_current,
+                                      options_.alpha));
+    OASIS_ASSIGN_OR_RETURN(
+        v_scratch_, EpsilonGreedyMix(strata_->weights(), v_star, options_.epsilon));
+  }
+
+  // Lines 4-5: stratum ~ v(t), item uniform within the stratum.
+  const size_t k = rng().NextDiscreteLinear(v_scratch_);
+  const int64_t item = strata_->SampleItem(k, rng());
+
+  // Line 6: importance weight w_t = omega_k / v_k, since p(z) = 1/N and
+  // q_t(z) = v_k / |P_k|. The epsilon floor bounds this by 1/epsilon.
+  const double weight = strata_->weight(k) / v_scratch_[k];
+
+  // Lines 7-8: query oracle, read prediction.
+  const bool label = QueryLabel(item);
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+
+  // Lines 9-11: posterior update and AIS sums.
+  model_.Observe(k, label);
+  estimator_.Add(weight, label, prediction);
+  if (observer_) observer_(weight, label, prediction);
+  return Status::OK();
+}
+
+EstimateSnapshot OasisSampler::Estimate() const { return estimator_.Snapshot(); }
+
+std::string OasisSampler::name() const {
+  return "OASIS-" + std::to_string(strata_->num_strata());
+}
+
+Result<std::vector<double>> OasisSampler::CurrentInstrumental() const {
+  const double f_current = estimator_.FAlphaOr(initial_f_);
+  std::vector<double> pi = model_.PosteriorMeans();
+  OASIS_ASSIGN_OR_RETURN(
+      std::vector<double> v_star,
+      OptimalStratifiedInstrumental(strata_->weights(), lambda_, pi, f_current,
+                                    options_.alpha));
+  return EpsilonGreedyMix(strata_->weights(), v_star, options_.epsilon);
+}
+
+}  // namespace oasis

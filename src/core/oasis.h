@@ -1,0 +1,104 @@
+#ifndef OASIS_CORE_OASIS_H_
+#define OASIS_CORE_OASIS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ais_estimator.h"
+#include "core/bayesian_model.h"
+#include "sampling/sampler.h"
+#include "strata/csf.h"
+#include "strata/strata.h"
+
+namespace oasis {
+
+/// Tunables of Algorithm 3. Defaults follow the paper's experiments
+/// (Sec. 6.3: alpha = 1/2, epsilon = 1e-3, eta = 2K).
+struct OasisOptions {
+  /// F-measure weight: 1 = precision, 0 = recall, 1/2 = balanced F.
+  double alpha = 0.5;
+  /// Greediness parameter of the epsilon-greedy instrumental mix (Eqn. 12);
+  /// must lie in (0, 1] for the consistency guarantee to hold.
+  double epsilon = 1e-3;
+  /// Prior strength eta > 0; 0 selects the paper's experimental setting
+  /// eta = 2K at construction time.
+  double prior_strength = 0.0;
+  /// Remark-4 retroactive prior decay.
+  bool decay_prior = true;
+};
+
+/// OASIS — Optimal Asymptotic Sequential Importance Sampling (Algorithm 3).
+///
+/// Per iteration: recompute the epsilon-greedy stratified instrumental
+/// distribution v(t) from the current Bayesian posterior and F estimate, draw
+/// a stratum ~ v(t) and an item uniformly within it, query the oracle, update
+/// the beta posterior (Eqn. 10) and fold the importance-weighted observation
+/// (w_t = omega_k / v_k) into the AIS estimator (Eqn. 3).
+///
+/// Estimates of F_alpha, precision and recall are all consistent for their
+/// population values (paper Theorem 3); see tests/oasis_test.cc for the
+/// statistical verification.
+class OasisSampler : public Sampler {
+ public:
+  /// Creates a sampler over a pre-built stratification. `pool` and `labels`
+  /// must outlive the sampler; `strata` is shared so that repeated experiment
+  /// runs reuse one stratification. Initial guesses come from Algorithm 2
+  /// applied to the pool scores.
+  static Result<std::unique_ptr<OasisSampler>> Create(
+      const ScoredPool* pool, LabelCache* labels,
+      std::shared_ptr<const Strata> strata, const OasisOptions& options, Rng rng);
+
+  /// Convenience: stratifies the pool internally with CSF (Algorithm 1).
+  static Result<std::unique_ptr<OasisSampler>> CreateWithCsf(
+      const ScoredPool* pool, LabelCache* labels, size_t target_strata,
+      const OasisOptions& options, Rng rng);
+
+  Status Step() override;
+  EstimateSnapshot Estimate() const override;
+  std::string name() const override;
+
+  /// Streams every weighted observation (w_t, l_t, l-hat_t) to a consumer in
+  /// addition to the built-in estimator — e.g. a MultiAlphaEstimator pricing
+  /// the whole precision-recall trade-off from the same label stream, or a
+  /// persistent audit log. Invoked after the internal update, on the calling
+  /// thread.
+  using Observer = std::function<void(double weight, bool label, bool prediction)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+  // --- Diagnostics (Figure 4) -------------------------------------------
+
+  /// Current posterior means pi-hat(t).
+  std::vector<double> PosteriorMeans() const { return model_.PosteriorMeans(); }
+
+  /// Current epsilon-greedy instrumental distribution v(t) (normalised).
+  Result<std::vector<double>> CurrentInstrumental() const;
+
+  /// Per-stratum mean predictions lambda (fixed by the pool).
+  const std::vector<double>& lambda() const { return lambda_; }
+
+  const Strata& strata() const { return *strata_; }
+  const OasisOptions& options() const { return options_; }
+  double initial_f() const { return initial_f_; }
+
+ private:
+  OasisSampler(const ScoredPool* pool, LabelCache* labels,
+               std::shared_ptr<const Strata> strata, const OasisOptions& options,
+               Rng rng, StratifiedBetaModel model, std::vector<double> lambda,
+               double initial_f);
+
+  std::shared_ptr<const Strata> strata_;
+  OasisOptions options_;
+  StratifiedBetaModel model_;
+  std::vector<double> lambda_;
+  double initial_f_;
+  AisEstimator estimator_;
+  Observer observer_;
+  // Scratch buffer reused across iterations to avoid per-step allocation.
+  std::vector<double> v_scratch_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_CORE_OASIS_H_

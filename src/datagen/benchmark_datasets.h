@@ -1,0 +1,121 @@
+#ifndef OASIS_DATAGEN_BENCHMARK_DATASETS_H_
+#define OASIS_DATAGEN_BENCHMARK_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "er/pool.h"
+#include "eval/measures.h"
+#include "sampling/sampler.h"
+
+namespace oasis {
+namespace datagen {
+
+/// Classifier families evaluated in the paper (Sec. 6.3.4 / Figure 5).
+enum class ClassifierKind {
+  kLinearSvm,
+  kLogisticRegression,
+  kMlp,
+  kAdaBoost,
+  kRbfSvm,
+};
+
+/// Short name for a classifier kind ("L-SVM", "LR", ...).
+std::string ClassifierKindName(ClassifierKind kind);
+
+/// Fresh classifier instance of the given kind with library defaults.
+std::unique_ptr<classify::Classifier> MakeClassifier(ClassifierKind kind);
+
+/// Configuration of one synthetic evaluation dataset, mirroring a row of the
+/// paper's Tables 1-2. The `paper_*` fields record the published reference
+/// values so harnesses can print paper-vs-reproduced side by side.
+struct DatasetProfile {
+  std::string name;
+  Domain domain = Domain::kECommerce;
+  bool dedup = false;
+  /// tweets100k: scores are generated directly from a latent-margin model
+  /// (not an ER dataset; included, as in the paper, to test the balanced
+  /// regime).
+  bool direct_scores = false;
+
+  // Full-dataset shape (Table 1).
+  size_t left_size = 0;
+  size_t right_size = 0;
+  size_t full_matches = 0;      // Two-source: number of shared entities.
+  size_t dedup_entities = 0;    // Dedup: entity count...
+  size_t dedup_min_cluster = 1; // ...and duplicate-cluster size range.
+  size_t dedup_max_cluster = 1;
+
+  // Pool shape (Table 2).
+  int64_t pool_size = 0;
+  int64_t pool_matches = 0;
+
+  // Generation knobs controlling classifier quality.
+  CorruptionOptions corruption;
+  /// Bimodal match difficulty: fraction of matched entities corrupted with
+  /// `hard_corruption` instead of `corruption` (two-source profiles only).
+  CorruptionOptions hard_corruption;
+  double hard_match_fraction = 0.0;
+  double hard_negative_fraction = 0.1;
+  int64_t train_matches = 300;
+  int64_t train_nonmatches = 3000;
+  double train_hard_fraction = 0.3;
+  /// The matcher's operating point: the decision threshold is set so that
+  /// the number of predicted positives is round(factor * pool_matches) —
+  /// i.e. factor ~ recall/precision of the intended operating point.
+  double predicted_positive_factor = 1.0;
+  /// Latent-margin separation for direct-score profiles.
+  double direct_margin = 0.77;
+
+  // Published reference values (Tables 1-2).
+  int64_t paper_full_size = 0;
+  int64_t paper_full_matches = 0;
+  double paper_imbalance = 0.0;
+  int64_t paper_pool_size = 0;
+  int64_t paper_pool_matches = 0;
+  double paper_precision = 0.0;
+  double paper_recall = 0.0;
+  double paper_f = 0.0;
+};
+
+/// The six standard profiles, in the paper's Table 1 order (decreasing class
+/// imbalance): Amazon-GoogleProducts, restaurant, DBLP-ACM, Abt-Buy, cora,
+/// tweets100k.
+const std::vector<DatasetProfile>& StandardProfiles();
+
+/// Profile lookup by (case-sensitive) name.
+Result<DatasetProfile> ProfileByName(const std::string& name);
+
+/// A ready-to-evaluate benchmark pool: scored pairs, predictions, hidden
+/// ground truth, and the pool-level true measures the estimators are judged
+/// against.
+struct BenchmarkPool {
+  std::string profile_name;
+  ScoredPool scored;
+  /// Ground truth per pool item (feeds oracles; estimators never touch it).
+  std::vector<uint8_t> truth;
+  int64_t pool_matches = 0;
+  /// True pool-level precision / recall / F_1/2 (computed with full truth).
+  Measures true_measures;
+};
+
+/// Generates the profile's dataset, trains the pair classifier, scores the
+/// evaluation pool and fixes the operating point. `calibrated` wraps the
+/// classifier in cross-validated Platt scaling (probability scores), the
+/// paper's Sec. 6.3.2 comparison. Deterministic in `seed`.
+Result<BenchmarkPool> BuildBenchmarkPool(const DatasetProfile& profile,
+                                         ClassifierKind kind, bool calibrated,
+                                         uint64_t seed);
+
+/// Generates only the underlying dataset (used by the Table 1 harness).
+Result<ErDataset> GenerateDatasetForProfile(const DatasetProfile& profile,
+                                            uint64_t seed);
+
+}  // namespace datagen
+}  // namespace oasis
+
+#endif  // OASIS_DATAGEN_BENCHMARK_DATASETS_H_

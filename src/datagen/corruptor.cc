@@ -1,0 +1,135 @@
+#include "datagen/corruptor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "er/tokenize.h"
+
+namespace oasis {
+namespace datagen {
+
+namespace {
+
+/// One random character edit inside a token: substitute, insert, delete or
+/// swap adjacent characters.
+std::string CharEdit(std::string token, Rng& rng) {
+  if (token.empty()) return token;
+  const uint64_t kind = rng.NextBounded(4);
+  const size_t pos = static_cast<size_t>(rng.NextBounded(token.size()));
+  const char random_char = static_cast<char>('a' + rng.NextBounded(26));
+  switch (kind) {
+    case 0:  // substitute
+      token[pos] = random_char;
+      break;
+    case 1:  // insert
+      token.insert(token.begin() + static_cast<int64_t>(pos), random_char);
+      break;
+    case 2:  // delete
+      if (token.size() > 1) token.erase(token.begin() + static_cast<int64_t>(pos));
+      break;
+    case 3:  // swap adjacent
+      if (pos + 1 < token.size()) std::swap(token[pos], token[pos + 1]);
+      break;
+  }
+  return token;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const auto& token : tokens) {
+    if (token.empty()) continue;
+    if (!out.empty()) out += " ";
+    out += token;
+  }
+  return out;
+}
+
+std::string NoiseWord(Rng& rng) {
+  static const char* const kSyllables[] = {"ka", "re", "mo", "li", "tu",
+                                           "sa", "ve", "no", "pi", "da"};
+  std::string word;
+  const size_t syllables = 2 + rng.NextBounded(2);
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kSyllables[rng.NextBounded(10)];
+  }
+  return word;
+}
+
+}  // namespace
+
+std::string CorruptText(const std::string& text, const CorruptionOptions& options,
+                        Rng& rng) {
+  std::vector<std::string> tokens = er::WordTokens(text);
+  if (tokens.empty()) return text;
+
+  // Token drops (never drop below one token so the field stays non-empty).
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (kept.empty() || !rng.NextBernoulli(options.token_drop_rate)) {
+      kept.push_back(tokens[i]);
+    }
+  }
+
+  // Adjacent token swaps.
+  for (size_t i = 0; i + 1 < kept.size(); ++i) {
+    if (rng.NextBernoulli(options.token_swap_rate)) {
+      std::swap(kept[i], kept[i + 1]);
+    }
+  }
+
+  // Per-token abbreviation and character edits.
+  for (auto& token : kept) {
+    if (token.size() > 4 && rng.NextBernoulli(options.abbreviation_rate)) {
+      token = token.substr(0, 3 + rng.NextBounded(2));
+    }
+    if (rng.NextBernoulli(options.char_edit_rate)) {
+      token = CharEdit(std::move(token), rng);
+    }
+  }
+  return JoinTokens(kept);
+}
+
+er::Record CorruptRecord(const er::Record& record, const er::Schema& schema,
+                         const CorruptionOptions& options, Rng& rng) {
+  er::Record out;
+  out.values.reserve(record.values.size());
+  for (size_t f = 0; f < record.values.size(); ++f) {
+    const er::FieldValue& value = record.values[f];
+    if (value.missing || rng.NextBernoulli(options.missing_rate)) {
+      out.values.push_back(er::FieldValue::Missing());
+      continue;
+    }
+    switch (schema.field(f).kind) {
+      case er::FieldKind::kShortText:
+      case er::FieldKind::kLongText: {
+        const bool rewritable = schema.field(f).kind == er::FieldKind::kLongText;
+        if (rewritable && rng.NextBernoulli(options.field_rewrite_rate)) {
+          // Source-specific rewrite: unrelated noise words of similar length.
+          const size_t n = std::max<size_t>(3, er::WordTokens(value.text).size() / 2);
+          std::vector<std::string> words;
+          for (size_t i = 0; i < n; ++i) words.push_back(NoiseWord(rng));
+          out.values.push_back(er::FieldValue::Text(JoinTokens(words)));
+        } else {
+          out.values.push_back(
+              er::FieldValue::Text(CorruptText(value.text, options, rng)));
+        }
+        break;
+      }
+      case er::FieldKind::kNumeric: {
+        if (rng.NextBernoulli(options.numeric_rewrite_rate)) {
+          out.values.push_back(er::FieldValue::Number(
+              value.number * (0.2 + 1.6 * rng.NextDouble())));
+        } else {
+          const double jitter = 1.0 + options.numeric_jitter * rng.NextGaussian();
+          out.values.push_back(er::FieldValue::Number(value.number * jitter));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace oasis

@@ -1,0 +1,55 @@
+#ifndef OASIS_DATAGEN_CORRUPTOR_H_
+#define OASIS_DATAGEN_CORRUPTOR_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "er/record.h"
+
+namespace oasis {
+namespace datagen {
+
+/// Strength of the per-source record corruption applied when deriving each
+/// database's record of an entity from the canonical record. Heavier
+/// corruption pushes matching pairs down the similarity-score scale, which
+/// is the knob that controls classifier quality per dataset profile
+/// (excellent on DBLP-ACM-like data, poor on Amazon-GoogleProducts-like).
+struct CorruptionOptions {
+  /// Probability of a character-level edit (substitute/insert/delete/swap)
+  /// per token of a text field.
+  double char_edit_rate = 0.15;
+  /// Probability of dropping each token (beyond the first) of a text field.
+  double token_drop_rate = 0.08;
+  /// Probability of swapping a pair of adjacent tokens in a text field.
+  double token_swap_rate = 0.05;
+  /// Probability of abbreviating a token to a prefix ("corporation"->"corp").
+  double abbreviation_rate = 0.08;
+  /// Probability of replacing a whole long-text field with fresh unrelated
+  /// noise words (models source-specific blurbs: two shops write independent
+  /// descriptions of the same product). Short text fields (names, titles)
+  /// are never rewritten wholesale — identity-bearing fields degrade via
+  /// char/token noise only, as in real data.
+  double field_rewrite_rate = 0.0;
+  /// Probability of a field becoming missing.
+  double missing_rate = 0.02;
+  /// Relative jitter applied to numeric fields (price differences between
+  /// shops, OCR'd years, ...).
+  double numeric_jitter = 0.05;
+  /// Probability a numeric field is replaced by an unrelated value.
+  double numeric_rewrite_rate = 0.0;
+};
+
+/// Returns a corrupted copy of `record` under the schema's field kinds.
+/// Corruption never changes field arity; determinism follows the RNG.
+er::Record CorruptRecord(const er::Record& record, const er::Schema& schema,
+                         const CorruptionOptions& options, Rng& rng);
+
+/// Applies character/token-level corruption to one text payload (exposed for
+/// tests and for callers corrupting free-standing strings).
+std::string CorruptText(const std::string& text, const CorruptionOptions& options,
+                        Rng& rng);
+
+}  // namespace datagen
+}  // namespace oasis
+
+#endif  // OASIS_DATAGEN_CORRUPTOR_H_

@@ -1,0 +1,265 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace datagen {
+
+namespace {
+
+/// Packs a pair into one key for collision checks.
+uint64_t PairKey(int32_t left, int32_t right) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(left)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(right));
+}
+
+}  // namespace
+
+int64_t ErDataset::TotalPairs() const {
+  if (dedup) {
+    const int64_t n = left.size();
+    return n * (n - 1) / 2;
+  }
+  return left.size() * right.size();
+}
+
+double ErDataset::ImbalanceRatio() const {
+  if (matches.empty()) return std::numeric_limits<double>::infinity();
+  const double m = static_cast<double>(matches.size());
+  return (static_cast<double>(TotalPairs()) - m) / m;
+}
+
+Result<ErDataset> GenerateTwoSource(EntityGenerator& generator,
+                                    const TwoSourceConfig& config, Rng& rng) {
+  if (config.num_matches > config.left_size ||
+      config.num_matches > config.right_size) {
+    return Status::InvalidArgument(
+        "GenerateTwoSource: num_matches exceeds a database size");
+  }
+  ErDataset dataset;
+  dataset.left.schema = generator.schema();
+  dataset.right.schema = generator.schema();
+  dataset.left.records.reserve(config.left_size);
+  dataset.right.records.reserve(config.right_size);
+
+  // Shared entities first: both sides receive independently corrupted copies
+  // of the canonical record; the entity's difficulty class picks the
+  // corruption strength for both sides.
+  for (size_t m = 0; m < config.num_matches; ++m) {
+    const er::Record canonical = generator.GenerateEntity();
+    const bool hard = rng.NextBernoulli(config.hard_match_fraction);
+    const CorruptionOptions& corruption =
+        hard ? config.hard_corruption : config.corruption;
+    dataset.left.records.push_back(
+        CorruptRecord(canonical, generator.schema(), corruption, rng));
+    dataset.right.records.push_back(
+        CorruptRecord(canonical, generator.schema(), corruption, rng));
+    dataset.matches.push_back({static_cast<int32_t>(m), static_cast<int32_t>(m)});
+  }
+  // Source-exclusive entities fill the remainder.
+  while (dataset.left.records.size() < config.left_size) {
+    dataset.left.records.push_back(CorruptRecord(
+        generator.GenerateEntity(), generator.schema(), config.corruption, rng));
+  }
+  while (dataset.right.records.size() < config.right_size) {
+    dataset.right.records.push_back(CorruptRecord(
+        generator.GenerateEntity(), generator.schema(), config.corruption, rng));
+  }
+
+  // Shuffle both databases so match indices are not aligned; remap R.
+  std::vector<size_t> left_perm(config.left_size);
+  std::vector<size_t> right_perm(config.right_size);
+  for (size_t i = 0; i < left_perm.size(); ++i) left_perm[i] = i;
+  for (size_t i = 0; i < right_perm.size(); ++i) right_perm[i] = i;
+  rng.Shuffle(left_perm);
+  rng.Shuffle(right_perm);
+  // left_perm[new_pos] = old_pos; build inverse to remap match indices.
+  std::vector<int32_t> left_new_of_old(config.left_size);
+  std::vector<int32_t> right_new_of_old(config.right_size);
+  for (size_t new_pos = 0; new_pos < left_perm.size(); ++new_pos) {
+    left_new_of_old[left_perm[new_pos]] = static_cast<int32_t>(new_pos);
+  }
+  for (size_t new_pos = 0; new_pos < right_perm.size(); ++new_pos) {
+    right_new_of_old[right_perm[new_pos]] = static_cast<int32_t>(new_pos);
+  }
+  std::vector<er::Record> left_shuffled(config.left_size);
+  std::vector<er::Record> right_shuffled(config.right_size);
+  for (size_t new_pos = 0; new_pos < left_perm.size(); ++new_pos) {
+    left_shuffled[new_pos] = std::move(dataset.left.records[left_perm[new_pos]]);
+  }
+  for (size_t new_pos = 0; new_pos < right_perm.size(); ++new_pos) {
+    right_shuffled[new_pos] = std::move(dataset.right.records[right_perm[new_pos]]);
+  }
+  dataset.left.records = std::move(left_shuffled);
+  dataset.right.records = std::move(right_shuffled);
+  for (er::RecordPair& match : dataset.matches) {
+    match.left = left_new_of_old[static_cast<size_t>(match.left)];
+    match.right = right_new_of_old[static_cast<size_t>(match.right)];
+  }
+  return dataset;
+}
+
+Result<ErDataset> GenerateDedup(EntityGenerator& generator,
+                                const DedupConfig& config, Rng& rng) {
+  if (config.num_entities == 0 || config.min_cluster == 0 ||
+      config.max_cluster < config.min_cluster) {
+    return Status::InvalidArgument("GenerateDedup: bad cluster configuration");
+  }
+  ErDataset dataset;
+  dataset.dedup = true;
+  dataset.left.schema = generator.schema();
+
+  std::vector<std::vector<int32_t>> clusters;
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    const er::Record canonical = generator.GenerateEntity();
+    const size_t cluster_size =
+        config.min_cluster +
+        static_cast<size_t>(
+            rng.NextBounded(config.max_cluster - config.min_cluster + 1));
+    std::vector<int32_t> members;
+    for (size_t c = 0; c < cluster_size; ++c) {
+      members.push_back(static_cast<int32_t>(dataset.left.records.size()));
+      dataset.left.records.push_back(
+          CorruptRecord(canonical, generator.schema(), config.corruption, rng));
+    }
+    clusters.push_back(std::move(members));
+  }
+  // All within-cluster pairs are matches.
+  for (const auto& members : clusters) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        dataset.matches.push_back({members[i], members[j]});
+      }
+    }
+  }
+  dataset.right = dataset.left;  // Self-join view for pipelines expecting two DBs.
+  return dataset;
+}
+
+namespace {
+
+/// Draws a uniformly random candidate pair from the dataset's pair space
+/// (left < right for dedup).
+er::RecordPair RandomPair(const ErDataset& dataset, Rng& rng) {
+  if (dataset.dedup) {
+    const int64_t n = dataset.left.size();
+    int32_t a = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+    int32_t b = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n - 1)));
+    if (b >= a) ++b;
+    return {std::min(a, b), std::max(a, b)};
+  }
+  return {static_cast<int32_t>(
+              rng.NextBounded(static_cast<uint64_t>(dataset.left.size()))),
+          static_cast<int32_t>(
+              rng.NextBounded(static_cast<uint64_t>(dataset.right.size())))};
+}
+
+/// Draws a "hard" negative: shares one side with a ground-truth match, so
+/// the pair often shares brand/venue/name tokens and lands mid-score.
+er::RecordPair HardNegative(const ErDataset& dataset, Rng& rng) {
+  const er::RecordPair& anchor =
+      dataset.matches[rng.NextBounded(dataset.matches.size())];
+  er::RecordPair pair = anchor;
+  if (rng.NextBernoulli(0.5)) {
+    pair.right = static_cast<int32_t>(
+        rng.NextBounded(static_cast<uint64_t>(dataset.right.size())));
+  } else {
+    pair.left = static_cast<int32_t>(
+        rng.NextBounded(static_cast<uint64_t>(dataset.left.size())));
+  }
+  if (dataset.dedup) {
+    if (pair.left == pair.right) {
+      pair.right = (pair.right + 1) % static_cast<int32_t>(dataset.left.size());
+    }
+    if (pair.left > pair.right) std::swap(pair.left, pair.right);
+  }
+  return pair;
+}
+
+Result<er::PairPool> SampleLabelledPairs(const ErDataset& dataset,
+                                         int64_t num_matches,
+                                         int64_t num_nonmatches,
+                                         double hard_negative_fraction,
+                                         Rng& rng) {
+  if (num_matches > static_cast<int64_t>(dataset.matches.size())) {
+    return Status::InvalidArgument(
+        "SamplePool: requested more matches than the dataset holds (" +
+        std::to_string(num_matches) + " > " +
+        std::to_string(dataset.matches.size()) + ")");
+  }
+  if (num_matches < 0 || num_nonmatches < 0 ||
+      hard_negative_fraction < 0.0 || hard_negative_fraction > 1.0) {
+    return Status::InvalidArgument("SamplePool: bad arguments");
+  }
+  const int64_t total = num_matches + num_nonmatches;
+  if (total <= 0) return Status::InvalidArgument("SamplePool: empty pool");
+  // The pair space must be large enough to host the distinct non-matches.
+  if (dataset.TotalPairs() < total) {
+    return Status::InvalidArgument("SamplePool: pair space too small");
+  }
+
+  er::PairPool pool;
+  std::unordered_set<uint64_t> used;
+  std::unordered_set<uint64_t> match_keys;
+  match_keys.reserve(dataset.matches.size() * 2);
+  for (const er::RecordPair& match : dataset.matches) {
+    match_keys.insert(PairKey(match.left, match.right));
+  }
+
+  // Matches: sample without replacement from R.
+  std::vector<size_t> match_order =
+      rng.SampleWithoutReplacement(dataset.matches.size(),
+                                   static_cast<size_t>(num_matches));
+  for (size_t idx : match_order) {
+    const er::RecordPair& match = dataset.matches[idx];
+    used.insert(PairKey(match.left, match.right));
+    pool.Add(match, /*is_match=*/true);
+  }
+
+  // Non-matches: rejection-sample distinct pairs that are not in R.
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = 1000 * num_nonmatches + 10000;
+  while (added < num_nonmatches) {
+    if (++attempts > max_attempts) {
+      return Status::Internal("SamplePool: rejection sampling stalled");
+    }
+    const bool hard = rng.NextBernoulli(hard_negative_fraction) &&
+                      !dataset.matches.empty();
+    const er::RecordPair pair =
+        hard ? HardNegative(dataset, rng) : RandomPair(dataset, rng);
+    const uint64_t key = PairKey(pair.left, pair.right);
+    if (match_keys.contains(key)) continue;  // Accidentally a true match.
+    if (!used.insert(key).second) continue;  // Duplicate pool pair.
+    pool.Add(pair, /*is_match=*/false);
+    ++added;
+  }
+  return pool;
+}
+
+}  // namespace
+
+Result<er::PairPool> SamplePool(const ErDataset& dataset, int64_t pool_size,
+                                int64_t pool_matches, double hard_negative_fraction,
+                                Rng& rng) {
+  if (pool_matches > pool_size) {
+    return Status::InvalidArgument("SamplePool: pool_matches > pool_size");
+  }
+  return SampleLabelledPairs(dataset, pool_matches, pool_size - pool_matches,
+                             hard_negative_fraction, rng);
+}
+
+Result<er::PairPool> SampleTrainingPairs(const ErDataset& dataset,
+                                         int64_t num_matches,
+                                         int64_t num_nonmatches,
+                                         double hard_negative_fraction, Rng& rng) {
+  return SampleLabelledPairs(dataset, num_matches, num_nonmatches,
+                             hard_negative_fraction, rng);
+}
+
+}  // namespace datagen
+}  // namespace oasis

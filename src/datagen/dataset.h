@@ -1,0 +1,106 @@
+#ifndef OASIS_DATAGEN_DATASET_H_
+#define OASIS_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/corruptor.h"
+#include "datagen/entity_generator.h"
+#include "er/pool.h"
+#include "er/record.h"
+
+namespace oasis {
+namespace datagen {
+
+/// A generated ER dataset: two databases plus the ground-truth matching
+/// relation R (Definition 1). For deduplication datasets `dedup` is true and
+/// `right` mirrors `left`; the pair space is then the n(n-1)/2 unordered
+/// pairs of one database.
+struct ErDataset {
+  er::Database left;
+  er::Database right;
+  /// Ground-truth matching pairs (left index, right index); for dedup
+  /// datasets both index `left` and satisfy left < right.
+  std::vector<er::RecordPair> matches;
+  bool dedup = false;
+
+  /// |Z| = n1 * n2, or n(n-1)/2 for dedup.
+  int64_t TotalPairs() const;
+
+  /// Ratio of non-matching to matching pairs over the full pair space.
+  double ImbalanceRatio() const;
+};
+
+/// Two-source dataset generation parameters.
+///
+/// Matched entities come in two difficulty classes, mirroring real ER
+/// datasets where part of the matches are clean (rankable by any reasonable
+/// matcher) and the rest are heavily divergent across sources (mismatched
+/// blurbs, renamed products): a fraction `hard_match_fraction` of the shared
+/// entities is corrupted with `hard_corruption` instead of `corruption`.
+/// This bimodality is what produces the paper's precision/recall operating
+/// points (e.g. Abt-Buy's P=.92/R=.44).
+struct TwoSourceConfig {
+  size_t left_size = 1000;
+  size_t right_size = 1000;
+  /// Number of entities present in both sources (= |R| when each shared
+  /// entity contributes exactly one record per source, as here).
+  size_t num_matches = 100;
+  /// Corruption for source-exclusive entities and easy matches.
+  CorruptionOptions corruption;
+  /// Corruption for the hard match class.
+  CorruptionOptions hard_corruption;
+  /// Fraction of matched entities drawn from the hard class.
+  double hard_match_fraction = 0.0;
+};
+
+/// Generates a two-source dataset: `num_matches` entities materialise in
+/// both databases (each side corrupted independently), the remainder of each
+/// database is filled with records of distinct entities.
+Result<ErDataset> GenerateTwoSource(EntityGenerator& generator,
+                                    const TwoSourceConfig& config, Rng& rng);
+
+/// Deduplication dataset generation parameters (cora-style).
+struct DedupConfig {
+  /// Number of underlying entities.
+  size_t num_entities = 100;
+  /// Records per entity are drawn uniformly from [min, max]; every pair of
+  /// records of one entity is a matching pair, so cluster sizes drive |R|
+  /// quadratically.
+  size_t min_cluster = 1;
+  size_t max_cluster = 3;
+  CorruptionOptions corruption;
+};
+
+/// Generates a single-database deduplication dataset with clustered
+/// duplicates.
+Result<ErDataset> GenerateDedup(EntityGenerator& generator,
+                                const DedupConfig& config, Rng& rng);
+
+/// Assembles an evaluation pool of `pool_size` pairs containing exactly
+/// `pool_matches` ground-truth matches sampled from the dataset (mirroring
+/// the randomised pools of the paper's Table 2): matches are sampled from R
+/// without replacement; non-matches are a mix of random cross pairs and
+/// "hard" negatives that share an entity-like attribute with some record.
+///
+/// `hard_negative_fraction` controls the share of non-matches taken from
+/// near-collision pairs (same left record as a match but different right
+/// record, or vice versa), which populate the mid-score range.
+Result<er::PairPool> SamplePool(const ErDataset& dataset, int64_t pool_size,
+                                int64_t pool_matches, double hard_negative_fraction,
+                                Rng& rng);
+
+/// Builds a labelled training set of pairs (matches + easy + hard
+/// non-matches) for fitting the pair classifier, mirroring the paper's
+/// "random subset with ground truth" training regime.
+Result<er::PairPool> SampleTrainingPairs(const ErDataset& dataset,
+                                         int64_t num_matches,
+                                         int64_t num_nonmatches,
+                                         double hard_negative_fraction, Rng& rng);
+
+}  // namespace datagen
+}  // namespace oasis
+
+#endif  // OASIS_DATAGEN_DATASET_H_

@@ -1,0 +1,144 @@
+#include "datagen/entity_generator.h"
+
+#include <cmath>
+
+namespace oasis {
+namespace datagen {
+
+using er::FieldKind;
+using er::FieldSpec;
+using er::FieldValue;
+using er::Record;
+using er::Schema;
+
+EntityGenerator::EntityGenerator(Domain domain, Rng rng)
+    : domain_(domain), rng_(rng.Split()), words_(rng.Split()) {
+  switch (domain_) {
+    case Domain::kECommerce:
+      schema_ = Schema({{"name", FieldKind::kShortText},
+                        {"description", FieldKind::kLongText},
+                        {"manufacturer", FieldKind::kShortText},
+                        {"price", FieldKind::kNumeric}});
+      brands_ = words_.Vocabulary(60, 2, 3);
+      nouns_ = words_.Vocabulary(120, 2, 3);
+      descriptors_ = words_.Vocabulary(80, 1, 2);
+      topic_words_ = words_.Vocabulary(400, 1, 3);
+      break;
+    case Domain::kRestaurant:
+      schema_ = Schema({{"name", FieldKind::kShortText},
+                        {"address", FieldKind::kShortText},
+                        {"city", FieldKind::kShortText},
+                        {"cuisine", FieldKind::kShortText}});
+      nouns_ = words_.Vocabulary(150, 2, 3);
+      cities_ = words_.Vocabulary(12, 2, 3);
+      cuisines_ = words_.Vocabulary(15, 2, 3);
+      streets_ = words_.Vocabulary(80, 2, 3);
+      break;
+    case Domain::kCitation:
+      schema_ = Schema({{"title", FieldKind::kShortText},
+                        {"authors", FieldKind::kShortText},
+                        {"venue", FieldKind::kShortText},
+                        {"year", FieldKind::kNumeric}});
+      topic_words_ = words_.Vocabulary(300, 1, 3);
+      venues_ = words_.Vocabulary(25, 2, 4);
+      surnames_.reserve(200);
+      for (int i = 0; i < 200; ++i) surnames_.push_back(words_.Surname());
+      break;
+  }
+}
+
+Record EntityGenerator::GenerateEntity() {
+  switch (domain_) {
+    case Domain::kECommerce:
+      return GenerateProduct();
+    case Domain::kRestaurant:
+      return GenerateRestaurant();
+    case Domain::kCitation:
+      return GenerateCitation();
+  }
+  return Record{};
+}
+
+Record EntityGenerator::GenerateProduct() {
+  const std::string& brand = brands_[words_.ZipfIndex(brands_.size())];
+  const std::string& noun = nouns_[words_.ZipfIndex(nouns_.size())];
+  const std::string model = words_.ModelCode();
+
+  std::string name = brand + " " + noun;
+  if (rng_.NextBernoulli(0.6)) {
+    name += " " + descriptors_[words_.ZipfIndex(descriptors_.size())];
+  }
+  name += " " + model;
+
+  // Description: 15-40 topical words seeded with the identifying tokens so
+  // matches share long-text content too.
+  std::string description = brand + " " + noun + " " + model;
+  const size_t extra = 15 + rng_.NextBounded(26);
+  for (size_t i = 0; i < extra; ++i) {
+    description += " " + topic_words_[words_.ZipfIndex(topic_words_.size())];
+  }
+
+  // Log-normal price: most products cheap, a long expensive tail.
+  const double price = std::exp(3.0 + 1.2 * rng_.NextGaussian());
+
+  Record record;
+  record.values.push_back(FieldValue::Text(name));
+  record.values.push_back(FieldValue::Text(description));
+  record.values.push_back(FieldValue::Text(brand));
+  record.values.push_back(FieldValue::Number(std::round(price * 100.0) / 100.0));
+  return record;
+}
+
+Record EntityGenerator::GenerateRestaurant() {
+  std::string name = nouns_[words_.ZipfIndex(nouns_.size())];
+  static const char* const kSuffixes[] = {"cafe",  "bistro", "grill",
+                                          "house", "garden", "kitchen"};
+  if (rng_.NextBernoulli(0.7)) {
+    name += " ";
+    name += kSuffixes[rng_.NextBounded(6)];
+  }
+
+  std::string address = std::to_string(1 + rng_.NextBounded(9999)) + " " +
+                        streets_[words_.ZipfIndex(streets_.size())];
+  static const char* const kRoadKinds[] = {"st", "ave", "blvd", "rd", "ln"};
+  address += " ";
+  address += kRoadKinds[rng_.NextBounded(5)];
+
+  Record record;
+  record.values.push_back(FieldValue::Text(name));
+  record.values.push_back(FieldValue::Text(address));
+  record.values.push_back(
+      FieldValue::Text(cities_[words_.ZipfIndex(cities_.size())]));
+  record.values.push_back(
+      FieldValue::Text(cuisines_[words_.ZipfIndex(cuisines_.size())]));
+  return record;
+}
+
+Record EntityGenerator::GenerateCitation() {
+  std::string title;
+  const size_t title_words = 4 + rng_.NextBounded(7);
+  for (size_t i = 0; i < title_words; ++i) {
+    if (i > 0) title += " ";
+    title += topic_words_[words_.ZipfIndex(topic_words_.size())];
+  }
+
+  std::string authors;
+  const size_t num_authors = 1 + rng_.NextBounded(4);
+  for (size_t i = 0; i < num_authors; ++i) {
+    if (i > 0) authors += ", ";
+    authors.push_back(static_cast<char>('A' + rng_.NextBounded(26)));
+    authors += ". " + surnames_[words_.ZipfIndex(surnames_.size())];
+  }
+
+  Record record;
+  record.values.push_back(FieldValue::Text(title));
+  record.values.push_back(FieldValue::Text(authors));
+  record.values.push_back(
+      FieldValue::Text(venues_[words_.ZipfIndex(venues_.size())]));
+  record.values.push_back(
+      FieldValue::Number(1980.0 + static_cast<double>(rng_.NextBounded(36))));
+  return record;
+}
+
+}  // namespace datagen
+}  // namespace oasis

@@ -1,0 +1,66 @@
+#ifndef OASIS_DATAGEN_ENTITY_GENERATOR_H_
+#define OASIS_DATAGEN_ENTITY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/names.h"
+#include "er/record.h"
+
+namespace oasis {
+namespace datagen {
+
+/// Entity domains mirroring the paper's evaluation datasets: e-commerce
+/// products (Abt-Buy / Amazon-GoogleProducts), restaurant listings
+/// (restaurant) and bibliographic citations (cora / DBLP-ACM).
+enum class Domain { kECommerce, kRestaurant, kCitation };
+
+/// Generates canonical entity records for a domain. Each call to
+/// GenerateEntity() invents a new distinct underlying entity; two-source and
+/// deduplication datasets then derive per-source records by corrupting the
+/// canonical record (see corruptor.h).
+class EntityGenerator {
+ public:
+  EntityGenerator(Domain domain, Rng rng);
+
+  /// Schema of the generated records:
+  ///  - kECommerce: name (short), description (long), manufacturer (short),
+  ///    price (numeric)
+  ///  - kRestaurant: name (short), address (short), city (short),
+  ///    cuisine (short)
+  ///  - kCitation: title (short), authors (short), venue (short),
+  ///    year (numeric)
+  const er::Schema& schema() const { return schema_; }
+  Domain domain() const { return domain_; }
+
+  /// Canonical record for a brand-new entity.
+  er::Record GenerateEntity();
+
+ private:
+  er::Record GenerateProduct();
+  er::Record GenerateRestaurant();
+  er::Record GenerateCitation();
+
+  Domain domain_;
+  Rng rng_;
+  WordGenerator words_;
+  er::Schema schema_;
+
+  // Shared vocabularies so entities overlap in tokens (hard negatives need
+  // lexical collisions, like real product catalogues).
+  std::vector<std::string> brands_;
+  std::vector<std::string> nouns_;
+  std::vector<std::string> descriptors_;
+  std::vector<std::string> cities_;
+  std::vector<std::string> cuisines_;
+  std::vector<std::string> streets_;
+  std::vector<std::string> venues_;
+  std::vector<std::string> topic_words_;
+  std::vector<std::string> surnames_;
+};
+
+}  // namespace datagen
+}  // namespace oasis
+
+#endif  // OASIS_DATAGEN_ENTITY_GENERATOR_H_

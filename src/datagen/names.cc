@@ -1,0 +1,95 @@
+#include "datagen/names.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace oasis {
+namespace datagen {
+
+namespace {
+const char* const kOnsets[] = {"b",  "br", "c",  "ch", "d",  "dr", "f",  "fl",
+                               "g",  "gr", "h",  "j",  "k",  "kl", "l",  "m",
+                               "n",  "p",  "pr", "r",  "s",  "st", "t",  "tr",
+                               "v",  "w",  "z",  "sh", "th", "sl"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"};
+const char* const kCodas[] = {"",  "n", "r", "l", "s", "t", "x",
+                              "m", "k", "d", "ng", "rn"};
+
+constexpr size_t kNumOnsets = sizeof(kOnsets) / sizeof(kOnsets[0]);
+constexpr size_t kNumVowels = sizeof(kVowels) / sizeof(kVowels[0]);
+constexpr size_t kNumCodas = sizeof(kCodas) / sizeof(kCodas[0]);
+}  // namespace
+
+WordGenerator::WordGenerator(Rng rng) : rng_(rng) {}
+
+std::string WordGenerator::Word(size_t min_syllables, size_t max_syllables) {
+  const size_t syllables =
+      min_syllables +
+      static_cast<size_t>(rng_.NextBounded(max_syllables - min_syllables + 1));
+  std::string word;
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kOnsets[rng_.NextBounded(kNumOnsets)];
+    word += kVowels[rng_.NextBounded(kNumVowels)];
+    // Codas mostly close the final syllable; sprinkling them mid-word makes
+    // words look less templated.
+    if (s + 1 == syllables || rng_.NextBernoulli(0.25)) {
+      word += kCodas[rng_.NextBounded(kNumCodas)];
+    }
+  }
+  return word;
+}
+
+std::vector<std::string> WordGenerator::Vocabulary(size_t count,
+                                                   size_t min_syllables,
+                                                   size_t max_syllables) {
+  std::vector<std::string> words;
+  words.reserve(count);
+  std::unordered_set<std::string> seen;
+  while (words.size() < count) {
+    std::string word = Word(min_syllables, max_syllables);
+    if (seen.insert(word).second) words.push_back(std::move(word));
+  }
+  return words;
+}
+
+std::string WordGenerator::Surname() {
+  std::string name = Word(2, 3);
+  name[0] = static_cast<char>(name[0] - 'a' + 'A');
+  return name;
+}
+
+std::string WordGenerator::Author() {
+  std::string author;
+  author.push_back(static_cast<char>('A' + rng_.NextBounded(26)));
+  author += ". ";
+  author += Surname();
+  return author;
+}
+
+std::string WordGenerator::ModelCode() {
+  std::string code;
+  const size_t letters = 2 + rng_.NextBounded(2);
+  for (size_t i = 0; i < letters; ++i) {
+    code.push_back(static_cast<char>('a' + rng_.NextBounded(26)));
+  }
+  code.push_back('-');
+  const size_t digits = 3 + rng_.NextBounded(2);
+  for (size_t i = 0; i < digits; ++i) {
+    code.push_back(static_cast<char>('0' + rng_.NextBounded(10)));
+  }
+  return code;
+}
+
+size_t WordGenerator::ZipfIndex(size_t n) {
+  if (n <= 1) return 0;
+  // Inverse-CDF of the (unnormalised) 1/(k+1) law via the harmonic integral:
+  // rank ~ exp(u * ln(n+1)) - 1.
+  const double u = rng_.NextDouble();
+  const double rank = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+  size_t idx = static_cast<size_t>(rank);
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace datagen
+}  // namespace oasis

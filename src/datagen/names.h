@@ -1,0 +1,49 @@
+#ifndef OASIS_DATAGEN_NAMES_H_
+#define OASIS_DATAGEN_NAMES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace oasis {
+namespace datagen {
+
+/// Deterministic pronounceable-word generator used to synthesise entity
+/// vocabulary (brand names, product words, street names, surnames, ...).
+/// Words are built from consonant/vowel syllables so that corrupted variants
+/// stay plausibly string-similar — which is what gives the synthetic
+/// datasets realistic similarity-score distributions.
+class WordGenerator {
+ public:
+  explicit WordGenerator(Rng rng);
+
+  /// One pronounceable word with the given syllable count range.
+  std::string Word(size_t min_syllables = 2, size_t max_syllables = 3);
+
+  /// A vocabulary of `count` distinct words.
+  std::vector<std::string> Vocabulary(size_t count, size_t min_syllables = 2,
+                                      size_t max_syllables = 3);
+
+  /// A capitalised person surname ("Veldson").
+  std::string Surname();
+
+  /// Initial + surname author string ("J. Veldson").
+  std::string Author();
+
+  /// Alphanumeric model code ("XR-4500").
+  std::string ModelCode();
+
+  /// Samples an index from {0, ..., n-1} with a Zipf-like (1/(rank+1)) bias,
+  /// used to give token frequencies a realistic skew.
+  size_t ZipfIndex(size_t n);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace datagen
+}  // namespace oasis
+
+#endif  // OASIS_DATAGEN_NAMES_H_

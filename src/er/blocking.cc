@@ -1,0 +1,91 @@
+#include "er/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "er/normalize.h"
+#include "er/tokenize.h"
+
+namespace oasis {
+namespace er {
+
+namespace {
+
+/// token -> record indices holding that token in the key field.
+using BlockIndex = std::unordered_map<std::string, std::vector<int32_t>>;
+
+Result<BlockIndex> BuildIndex(const Database& db, int field_index) {
+  if (field_index < 0 ||
+      static_cast<size_t>(field_index) >= db.schema.num_fields()) {
+    return Status::InvalidArgument("TokenBlocking: field index out of range");
+  }
+  BlockIndex index;
+  for (int32_t i = 0; i < static_cast<int32_t>(db.records.size()); ++i) {
+    const FieldValue& value = db.records[static_cast<size_t>(i)]
+                                  .values[static_cast<size_t>(field_index)];
+    if (value.missing) continue;
+    std::vector<std::string> tokens = WordTokens(NormalizeString(value.text));
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const auto& token : tokens) index[token].push_back(i);
+  }
+  return index;
+}
+
+std::vector<RecordPair> DedupePairs(std::vector<RecordPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(), [](const RecordPair& a, const RecordPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace
+
+Result<std::vector<RecordPair>> TokenBlocking(const Database& left,
+                                              const Database& right,
+                                              const BlockingOptions& options) {
+  OASIS_RETURN_NOT_OK(left.Validate());
+  OASIS_RETURN_NOT_OK(right.Validate());
+  OASIS_ASSIGN_OR_RETURN(BlockIndex left_index, BuildIndex(left, options.field_index));
+  OASIS_ASSIGN_OR_RETURN(BlockIndex right_index,
+                         BuildIndex(right, options.field_index));
+
+  std::vector<RecordPair> candidates;
+  for (const auto& [token, left_ids] : left_index) {
+    auto it = right_index.find(token);
+    if (it == right_index.end()) continue;
+    const auto& right_ids = it->second;
+    if (options.max_block_size > 0 &&
+        left_ids.size() * right_ids.size() > options.max_block_size) {
+      continue;  // Stop-word block: too unselective to be useful.
+    }
+    for (int32_t l : left_ids) {
+      for (int32_t r : right_ids) candidates.push_back({l, r});
+    }
+  }
+  return DedupePairs(std::move(candidates));
+}
+
+Result<std::vector<RecordPair>> TokenBlockingDedup(const Database& db,
+                                                   const BlockingOptions& options) {
+  OASIS_RETURN_NOT_OK(db.Validate());
+  OASIS_ASSIGN_OR_RETURN(BlockIndex index, BuildIndex(db, options.field_index));
+  std::vector<RecordPair> candidates;
+  for (const auto& [token, ids] : index) {
+    if (options.max_block_size > 0 &&
+        ids.size() * (ids.size() - 1) / 2 > options.max_block_size) {
+      continue;
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        candidates.push_back({std::min(ids[i], ids[j]), std::max(ids[i], ids[j])});
+      }
+    }
+  }
+  return DedupePairs(std::move(candidates));
+}
+
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,45 @@
+#ifndef OASIS_ER_BLOCKING_H_
+#define OASIS_ER_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/pool.h"
+#include "er/record.h"
+
+namespace oasis {
+namespace er {
+
+/// Options for token blocking.
+struct BlockingOptions {
+  /// Field whose word tokens key the blocks.
+  int field_index = 0;
+  /// Blocks larger than this are dropped entirely (stop-word guard); 0
+  /// disables the cap.
+  size_t max_block_size = 1000;
+};
+
+/// Standard token blocking (the linear-scan candidate-reduction stage of the
+/// typical ER pipeline described in Sec. 2.1): two records become a candidate
+/// pair when they share at least one word token in the key field. Returns
+/// deduplicated candidate pairs; candidates are NOT labelled (callers attach
+/// ground truth when known).
+///
+/// The paper's evaluation pools bypass blocking (they subsample Z directly);
+/// blocking is provided as part of the full pipeline substrate and exercised
+/// by the deduplication example.
+Result<std::vector<RecordPair>> TokenBlocking(const Database& left,
+                                              const Database& right,
+                                              const BlockingOptions& options);
+
+/// Deduplication variant over a single database; emits pairs with
+/// left < right only.
+Result<std::vector<RecordPair>> TokenBlockingDedup(const Database& db,
+                                                   const BlockingOptions& options);
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_BLOCKING_H_

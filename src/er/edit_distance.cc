@@ -1,0 +1,120 @@
+#include "er/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace er {
+
+int64_t LevenshteinDistance(const std::string& a, const std::string& b) {
+  // Keep the shorter string in the inner dimension for O(min) memory.
+  const std::string& rows = a.size() >= b.size() ? a : b;
+  const std::string& cols = a.size() >= b.size() ? b : a;
+  const size_t m = cols.size();
+  if (m == 0) return static_cast<int64_t>(rows.size());
+
+  std::vector<int64_t> prev(m + 1);
+  std::vector<int64_t> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int64_t>(j);
+
+  for (size_t i = 1; i <= rows.size(); ++i) {
+    curr[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int64_t substitute =
+          prev[j - 1] + (rows[i - 1] == cols[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+int64_t DamerauLevenshteinDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int64_t>(m);
+  if (m == 0) return static_cast<int64_t>(n);
+
+  // Optimal string alignment needs three rows (i-2, i-1, i).
+  std::vector<int64_t> two_back(m + 1);
+  std::vector<int64_t> prev(m + 1);
+  std::vector<int64_t> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int64_t>(j);
+
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int64_t substitute = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        curr[j] = std::min(curr[j], two_back[j - 2] + 1);  // Transposition.
+      }
+    }
+    std::swap(two_back, prev);
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double JaroSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const int64_t window =
+      std::max<int64_t>(static_cast<int64_t>(std::max(a.size(), b.size())) / 2 - 1,
+                        0);
+  std::vector<uint8_t> a_matched(a.size(), 0);
+  std::vector<uint8_t> b_matched(b.size(), 0);
+
+  int64_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo =
+        static_cast<size_t>(std::max<int64_t>(0, static_cast<int64_t>(i) - window));
+    const size_t hi = std::min(b.size(), i + static_cast<size_t>(window) + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = 1;
+      b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  int64_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) + m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(const std::string& a, const std::string& b,
+                             double prefix_scale) {
+  OASIS_DCHECK(prefix_scale >= 0.0 && prefix_scale <= 0.25);
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,36 @@
+#ifndef OASIS_ER_EDIT_DISTANCE_H_
+#define OASIS_ER_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace oasis {
+namespace er {
+
+/// Levenshtein edit distance (unit-cost insert/delete/substitute), computed
+/// with the two-row dynamic program in O(|a|*|b|) time and O(min) space.
+int64_t LevenshteinDistance(const std::string& a, const std::string& b);
+
+/// Levenshtein similarity: 1 - distance / max(|a|, |b|); 1 when both are
+/// empty. A standard attribute-level similarity in ER scoring stages
+/// (Sec. 2.1.1 lists edit distance among the usual features).
+double LevenshteinSimilarity(const std::string& a, const std::string& b);
+
+/// Damerau-Levenshtein distance (additionally counts adjacent-character
+/// transposition as one edit) — the classic typo model; restricted variant
+/// (optimal string alignment).
+int64_t DamerauLevenshteinDistance(const std::string& a, const std::string& b);
+
+/// Jaro similarity in [0, 1]: the match-and-transposition measure behind
+/// most record-linkage name comparators.
+double JaroSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with scaling factor `prefix_scale` (standard 0.1, capped at 0.25).
+double JaroWinklerSimilarity(const std::string& a, const std::string& b,
+                             double prefix_scale = 0.1);
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_EDIT_DISTANCE_H_

@@ -1,0 +1,69 @@
+#include "er/normalize.h"
+
+#include <cctype>
+
+namespace oasis {
+namespace er {
+
+namespace {
+
+/// Maps Latin-1 accented code points (0xC0-0xFF range, presented as single
+/// bytes) to a base ASCII letter; returns 0 for bytes without a mapping.
+char TransliterateLatin1(unsigned char byte) {
+  if (byte >= 0xC0 && byte <= 0xC5) return 'a';
+  if (byte == 0xC7) return 'c';
+  if (byte >= 0xC8 && byte <= 0xCB) return 'e';
+  if (byte >= 0xCC && byte <= 0xCF) return 'i';
+  if (byte == 0xD1) return 'n';
+  if (byte >= 0xD2 && byte <= 0xD6) return 'o';
+  if (byte >= 0xD9 && byte <= 0xDC) return 'u';
+  if (byte == 0xDD) return 'y';
+  if (byte >= 0xE0 && byte <= 0xE5) return 'a';
+  if (byte == 0xE7) return 'c';
+  if (byte >= 0xE8 && byte <= 0xEB) return 'e';
+  if (byte >= 0xEC && byte <= 0xEF) return 'i';
+  if (byte == 0xF1) return 'n';
+  if (byte >= 0xF2 && byte <= 0xF6) return 'o';
+  if (byte >= 0xF9 && byte <= 0xFC) return 'u';
+  if (byte == 0xFD || byte == 0xFF) return 'y';
+  return 0;
+}
+
+}  // namespace
+
+std::string NormalizeString(const std::string& input) {
+  std::string out;
+  out.reserve(input.size());
+  bool pending_space = false;
+  for (unsigned char byte : input) {
+    char c = 0;
+    if (std::isalnum(byte)) {
+      c = static_cast<char>(std::tolower(byte));
+    } else {
+      c = TransliterateLatin1(byte);
+    }
+    if (c != 0) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(c);
+    } else {
+      pending_space = true;  // Symbols/whitespace become (collapsed) spaces.
+    }
+  }
+  return out;
+}
+
+std::string ToLowerAscii(const std::string& input) {
+  std::string out = input;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsBlankAfterNormalize(const std::string& input) {
+  return NormalizeString(input).empty();
+}
+
+}  // namespace er
+}  // namespace oasis

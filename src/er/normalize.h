@@ -1,0 +1,25 @@
+#ifndef OASIS_ER_NORMALIZE_H_
+#define OASIS_ER_NORMALIZE_H_
+
+#include <string>
+
+namespace oasis {
+namespace er {
+
+/// Canonicalises a string for comparison, per the paper's pre-processing
+/// step: lower-cases ASCII, transliterates common Latin-1 accented bytes to
+/// their base letter, replaces every other non-alphanumeric byte with a
+/// space, and collapses runs of whitespace to single spaces (trimming the
+/// ends).
+std::string NormalizeString(const std::string& input);
+
+/// Lower-cases ASCII letters only.
+std::string ToLowerAscii(const std::string& input);
+
+/// True when the normalised form of `input` is empty (nothing comparable).
+bool IsBlankAfterNormalize(const std::string& input);
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_NORMALIZE_H_

@@ -1,0 +1,186 @@
+#include "er/pipeline.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "er/normalize.h"
+#include "er/similarity.h"
+#include "er/tokenize.h"
+
+namespace oasis {
+namespace er {
+
+Result<CachedFeaturizer> CachedFeaturizer::Build(const Database& left,
+                                                 const Database& right) {
+  OASIS_RETURN_NOT_OK(left.Validate());
+  OASIS_RETURN_NOT_OK(right.Validate());
+  if (left.schema.num_fields() != right.schema.num_fields()) {
+    return Status::InvalidArgument("CachedFeaturizer: schema arity mismatch");
+  }
+  for (size_t f = 0; f < left.schema.num_fields(); ++f) {
+    if (left.schema.field(f).kind != right.schema.field(f).kind) {
+      return Status::InvalidArgument("CachedFeaturizer: field kind mismatch");
+    }
+  }
+
+  CachedFeaturizer featurizer;
+  featurizer.schema_ = left.schema;
+  featurizer.field_slot_.resize(left.schema.num_fields(), -1);
+  featurizer.vectorizers_.resize(left.schema.num_fields());
+
+  int trigram_slot = 0;
+  int vector_slot = 0;
+  int number_slot = 0;
+  for (size_t f = 0; f < left.schema.num_fields(); ++f) {
+    switch (left.schema.field(f).kind) {
+      case FieldKind::kShortText:
+        featurizer.field_slot_[f] = trigram_slot++;
+        break;
+      case FieldKind::kLongText: {
+        featurizer.field_slot_[f] = vector_slot++;
+        std::vector<std::vector<std::string>> corpus;
+        for (const Database* db : {&left, &right}) {
+          for (const Record& rec : db->records) {
+            const FieldValue& value = rec.values[f];
+            if (value.missing) continue;
+            corpus.push_back(WordTokens(NormalizeString(value.text)));
+          }
+        }
+        if (corpus.empty()) {
+          return Status::InvalidArgument(
+              "CachedFeaturizer: no values for long-text field '" +
+              left.schema.field(f).name + "'");
+        }
+        OASIS_RETURN_NOT_OK(featurizer.vectorizers_[f].Fit(corpus));
+        break;
+      }
+      case FieldKind::kNumeric:
+        featurizer.field_slot_[f] = number_slot++;
+        break;
+    }
+  }
+
+  featurizer.left_cache_.reserve(left.records.size());
+  for (const Record& rec : left.records) {
+    featurizer.left_cache_.push_back(featurizer.CacheRecord(rec));
+  }
+  featurizer.right_cache_.reserve(right.records.size());
+  for (const Record& rec : right.records) {
+    featurizer.right_cache_.push_back(featurizer.CacheRecord(rec));
+  }
+  return featurizer;
+}
+
+CachedFeaturizer::CachedRecord CachedFeaturizer::CacheRecord(
+    const Record& record) const {
+  CachedRecord cached;
+  cached.missing.resize(schema_.num_fields(), 0);
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    const FieldValue& value = record.values[f];
+    cached.missing[f] = value.missing ? 1 : 0;
+    switch (schema_.field(f).kind) {
+      case FieldKind::kShortText:
+        cached.trigrams.push_back(
+            value.missing ? std::vector<std::string>{}
+                          : NgramSet(NormalizeString(value.text), 3));
+        break;
+      case FieldKind::kLongText:
+        cached.vectors.push_back(
+            value.missing
+                ? SparseVector{}
+                : vectorizers_[f].Transform(WordTokens(NormalizeString(value.text))));
+        break;
+      case FieldKind::kNumeric:
+        cached.numbers.push_back(value.missing ? 0.0 : value.number);
+        break;
+    }
+  }
+  return cached;
+}
+
+std::vector<double> CachedFeaturizer::Features(int32_t left_index,
+                                               int32_t right_index) const {
+  OASIS_DCHECK(left_index >= 0 && left_index < left_size());
+  OASIS_DCHECK(right_index >= 0 && right_index < right_size());
+  const CachedRecord& a = left_cache_[static_cast<size_t>(left_index)];
+  const CachedRecord& b = right_cache_[static_cast<size_t>(right_index)];
+
+  std::vector<double> features(schema_.num_fields(), 0.5);
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    if (a.missing[f] != 0 || b.missing[f] != 0) continue;  // Neutral value.
+    const size_t slot = static_cast<size_t>(field_slot_[f]);
+    switch (schema_.field(f).kind) {
+      case FieldKind::kShortText:
+        features[f] = JaccardSimilarity(a.trigrams[slot], b.trigrams[slot]);
+        break;
+      case FieldKind::kLongText:
+        features[f] = CosineSimilarity(a.vectors[slot], b.vectors[slot]);
+        break;
+      case FieldKind::kNumeric:
+        features[f] = NumericSimilarity(a.numbers[slot], b.numbers[slot]);
+        break;
+    }
+  }
+  return features;
+}
+
+Result<ErPipeline> ErPipeline::Create(const Database* left, const Database* right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("ErPipeline: null database");
+  }
+  ErPipeline pipeline;
+  OASIS_ASSIGN_OR_RETURN(pipeline.featurizer_,
+                         CachedFeaturizer::Build(*left, *right));
+  return pipeline;
+}
+
+Status ErPipeline::Train(const TrainingSet& training,
+                         std::unique_ptr<classify::Classifier> model, Rng& rng) {
+  if (model == nullptr) return Status::InvalidArgument("ErPipeline: null model");
+  if (training.pairs.size() != training.labels.size() || training.pairs.empty()) {
+    return Status::InvalidArgument("ErPipeline: bad training set");
+  }
+
+  classify::Dataset data(featurizer_.num_features());
+  for (size_t i = 0; i < training.pairs.size(); ++i) {
+    const RecordPair pair = training.pairs[i];
+    OASIS_RETURN_NOT_OK(
+        data.Add(featurizer_.Features(pair.left, pair.right),
+                 training.labels[i] != 0));
+  }
+  OASIS_RETURN_NOT_OK(scaler_.Fit(data));
+  classify::Dataset scaled = scaler_.Transform(data);
+  OASIS_RETURN_NOT_OK(model->Fit(scaled, rng));
+  model_ = std::move(model);
+  return Status::OK();
+}
+
+Result<ScoredPool> ErPipeline::ScorePairs(std::span<const RecordPair> pairs) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("ErPipeline: Train before ScorePairs");
+  }
+  if (pairs.empty()) {
+    return Status::InvalidArgument("ErPipeline: empty pair set");
+  }
+  ScoredPool pool;
+  pool.scores.reserve(pairs.size());
+  pool.predictions.reserve(pairs.size());
+  pool.scores_are_probabilities = model_->probabilistic();
+  pool.threshold = model_->threshold();
+  for (const RecordPair& pair : pairs) {
+    const double score = ScorePair(pair);
+    pool.scores.push_back(score);
+    pool.predictions.push_back(score >= pool.threshold ? 1 : 0);
+  }
+  return pool;
+}
+
+double ErPipeline::ScorePair(RecordPair pair) const {
+  OASIS_DCHECK(model_ != nullptr);
+  std::vector<double> features = featurizer_.Features(pair.left, pair.right);
+  scaler_.TransformInPlace(features);
+  return model_->Score(features);
+}
+
+}  // namespace er
+}  // namespace oasis

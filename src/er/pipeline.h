@@ -1,0 +1,109 @@
+#ifndef OASIS_ER_PIPELINE_H_
+#define OASIS_ER_PIPELINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/scaler.h"
+#include "common/status.h"
+#include "er/pool.h"
+#include "er/record.h"
+#include "er/tfidf.h"
+#include "sampling/sampler.h"
+
+namespace oasis {
+namespace er {
+
+/// Pairwise feature extractor with per-record caching.
+///
+/// Pre-computes, for every record of both databases: trigram sets for short
+/// text fields, tf-idf vectors for long text fields, and numeric payloads.
+/// Pair features then reduce to set intersections / sparse dot products,
+/// which is what makes featurising the paper's ~700k-pair pools cheap.
+class CachedFeaturizer {
+ public:
+  /// Constructs an empty featurizer; use Build() to obtain a usable one.
+  CachedFeaturizer() = default;
+
+  /// Fits tf-idf vocabularies and builds both record caches. For
+  /// deduplication pass the same database twice.
+  static Result<CachedFeaturizer> Build(const Database& left, const Database& right);
+
+  /// Feature vector (one similarity per schema field) for a pair of cached
+  /// records.
+  std::vector<double> Features(int32_t left_index, int32_t right_index) const;
+
+  size_t num_features() const { return schema_.num_fields(); }
+  const Schema& schema() const { return schema_; }
+  int64_t left_size() const { return static_cast<int64_t>(left_cache_.size()); }
+  int64_t right_size() const { return static_cast<int64_t>(right_cache_.size()); }
+
+ private:
+  /// Cached comparison representation of one record.
+  struct CachedRecord {
+    // Per short-text field: sorted trigram set.
+    std::vector<std::vector<std::string>> trigrams;
+    // Per long-text field: L2-normalised tf-idf vector.
+    std::vector<SparseVector> vectors;
+    // Per numeric field: value.
+    std::vector<double> numbers;
+    // Per field: missing flag.
+    std::vector<uint8_t> missing;
+  };
+
+  CachedRecord CacheRecord(const Record& record) const;
+
+  Schema schema_;
+  // Field index -> slot within the per-kind arrays of CachedRecord.
+  std::vector<int> field_slot_;
+  std::vector<TfIdfVectorizer> vectorizers_;
+  std::vector<CachedRecord> left_cache_;
+  std::vector<CachedRecord> right_cache_;
+};
+
+/// A labelled training set of record pairs for the pair classifier.
+struct TrainingSet {
+  std::vector<RecordPair> pairs;
+  std::vector<uint8_t> labels;
+
+  size_t size() const { return pairs.size(); }
+};
+
+/// End-to-end scoring pipeline (paper Sec. 6.1.2): similarity features over
+/// record pairs -> standardisation -> binary classifier -> similarity scores
+/// and predicted labels.
+class ErPipeline {
+ public:
+  /// Builds the featurizer caches. The databases must outlive the pipeline.
+  static Result<ErPipeline> Create(const Database* left, const Database* right);
+
+  /// Trains the pair classifier (taking ownership) on the training set.
+  Status Train(const TrainingSet& training, std::unique_ptr<classify::Classifier> model,
+               Rng& rng);
+
+  /// Scores a set of candidate pairs into the evaluation-pool representation
+  /// consumed by the samplers. Train must have succeeded.
+  Result<ScoredPool> ScorePairs(std::span<const RecordPair> pairs) const;
+
+  /// Raw classifier score for one pair.
+  double ScorePair(RecordPair pair) const;
+
+  const classify::Classifier& classifier() const { return *model_; }
+  const CachedFeaturizer& featurizer() const { return featurizer_; }
+  bool trained() const { return model_ != nullptr; }
+
+ private:
+  ErPipeline() = default;
+
+  CachedFeaturizer featurizer_;
+  classify::StandardScaler scaler_;
+  std::unique_ptr<classify::Classifier> model_;
+};
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_PIPELINE_H_

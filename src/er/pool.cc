@@ -1,0 +1,21 @@
+#include "er/pool.h"
+
+#include <limits>
+
+namespace oasis {
+namespace er {
+
+void PairPool::Add(RecordPair pair, bool is_match) {
+  pairs_.push_back(pair);
+  truth_.push_back(is_match ? 1 : 0);
+  if (is_match) ++num_matches_;
+}
+
+double PairPool::ImbalanceRatio() const {
+  if (num_matches_ == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(size() - num_matches_) /
+         static_cast<double>(num_matches_);
+}
+
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,57 @@
+#ifndef OASIS_ER_POOL_H_
+#define OASIS_ER_POOL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace oasis {
+namespace er {
+
+/// One candidate record pair: indices into the left and right databases. For
+/// deduplication pools both indices refer to the same database and
+/// left < right.
+struct RecordPair {
+  int32_t left = 0;
+  int32_t right = 0;
+
+  bool operator==(const RecordPair& other) const {
+    return left == other.left && right == other.right;
+  }
+};
+
+/// A pool of candidate record pairs with ground-truth match labels — the
+/// sampling frame P of Definition 4. Ground truth is carried here (the pool
+/// is handed to oracles); estimators only ever see it through an Oracle.
+class PairPool {
+ public:
+  PairPool() = default;
+
+  /// Appends a pair with its ground-truth label.
+  void Add(RecordPair pair, bool is_match);
+
+  int64_t size() const { return static_cast<int64_t>(pairs_.size()); }
+  const RecordPair& pair(int64_t i) const { return pairs_[static_cast<size_t>(i)]; }
+  const std::vector<RecordPair>& pairs() const { return pairs_; }
+
+  bool is_match(int64_t i) const { return truth_[static_cast<size_t>(i)] != 0; }
+  const std::vector<uint8_t>& truth() const { return truth_; }
+
+  int64_t num_matches() const { return num_matches_; }
+
+  /// Non-matches per match; +inf-like large value when there are no matches.
+  double ImbalanceRatio() const;
+
+ private:
+  std::vector<RecordPair> pairs_;
+  std::vector<uint8_t> truth_;
+  int64_t num_matches_ = 0;
+};
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_POOL_H_

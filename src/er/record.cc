@@ -1,0 +1,28 @@
+#include "er/record.h"
+
+#include <utility>
+
+namespace oasis {
+namespace er {
+
+Schema::Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Database::Validate() const {
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].values.size() != schema.num_fields()) {
+      return Status::InvalidArgument("Database: record " + std::to_string(i) +
+                                     " arity does not match schema");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,87 @@
+#ifndef OASIS_ER_RECORD_H_
+#define OASIS_ER_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oasis {
+namespace er {
+
+/// How a field participates in similarity scoring (Sec. 6.1.2 of the paper):
+/// short text fields are compared with trigram Jaccard, long text fields with
+/// tf-idf cosine, numeric fields with normalised absolute difference.
+enum class FieldKind { kShortText, kLongText, kNumeric };
+
+/// One field declaration in a record schema.
+struct FieldSpec {
+  std::string name;
+  FieldKind kind = FieldKind::kShortText;
+};
+
+/// Ordered collection of field declarations shared by all records of a
+/// database.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldSpec> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const FieldSpec& field(size_t i) const { return fields_[i]; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+
+  /// Index of the field with the given name, or -1.
+  int FieldIndex(const std::string& name) const;
+
+ private:
+  std::vector<FieldSpec> fields_;
+};
+
+/// One field value: text payload for text fields, numeric payload for
+/// numeric fields; `missing` models incomplete records (the paper's
+/// pre-processing imputes these).
+struct FieldValue {
+  std::string text;
+  double number = 0.0;
+  bool missing = false;
+
+  static FieldValue Text(std::string value) {
+    FieldValue v;
+    v.text = std::move(value);
+    return v;
+  }
+  static FieldValue Number(double value) {
+    FieldValue v;
+    v.number = value;
+    return v;
+  }
+  static FieldValue Missing() {
+    FieldValue v;
+    v.missing = true;
+    return v;
+  }
+};
+
+/// A record is a row of field values aligned with a Schema.
+struct Record {
+  std::vector<FieldValue> values;
+};
+
+/// A database: schema plus rows. Entity identity is external (held by the
+/// dataset's ground-truth relation), mirroring Definition 1.
+struct Database {
+  Schema schema;
+  std::vector<Record> records;
+
+  int64_t size() const { return static_cast<int64_t>(records.size()); }
+
+  /// Checks that every record matches the schema arity.
+  Status Validate() const;
+};
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_RECORD_H_

@@ -1,0 +1,115 @@
+#include "er/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "er/normalize.h"
+#include "er/tokenize.h"
+
+namespace oasis {
+namespace er {
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+double TrigramJaccard(const std::string& a, const std::string& b) {
+  const std::vector<std::string> grams_a = NgramSet(NormalizeString(a), 3);
+  const std::vector<std::string> grams_b = NgramSet(NormalizeString(b), 3);
+  return JaccardSimilarity(grams_a, grams_b);
+}
+
+double NumericSimilarity(double a, double b) {
+  const double magnitude = std::abs(a) + std::abs(b);
+  if (magnitude <= 0.0) return 1.0;
+  const double diff = std::abs(a - b) / magnitude;
+  return std::max(0.0, 1.0 - diff);
+}
+
+Result<SimilarityFeaturizer> SimilarityFeaturizer::Fit(const Database& left,
+                                                       const Database& right) {
+  OASIS_RETURN_NOT_OK(left.Validate());
+  OASIS_RETURN_NOT_OK(right.Validate());
+  if (left.schema.num_fields() != right.schema.num_fields()) {
+    return Status::InvalidArgument("SimilarityFeaturizer: schema arity mismatch");
+  }
+  for (size_t f = 0; f < left.schema.num_fields(); ++f) {
+    if (left.schema.field(f).kind != right.schema.field(f).kind) {
+      return Status::InvalidArgument("SimilarityFeaturizer: field kind mismatch");
+    }
+  }
+
+  SimilarityFeaturizer featurizer;
+  featurizer.schema_ = left.schema;
+  featurizer.vectorizers_.resize(left.schema.num_fields());
+  for (size_t f = 0; f < left.schema.num_fields(); ++f) {
+    if (left.schema.field(f).kind != FieldKind::kLongText) continue;
+    std::vector<std::vector<std::string>> corpus;
+    corpus.reserve(left.records.size() + right.records.size());
+    for (const Database* db : {&left, &right}) {
+      for (const Record& rec : db->records) {
+        const FieldValue& value = rec.values[f];
+        if (value.missing) continue;
+        corpus.push_back(WordTokens(NormalizeString(value.text)));
+      }
+    }
+    if (corpus.empty()) {
+      return Status::InvalidArgument(
+          "SimilarityFeaturizer: long-text field '" + left.schema.field(f).name +
+          "' has no non-missing values to fit tf-idf on");
+    }
+    OASIS_RETURN_NOT_OK(featurizer.vectorizers_[f].Fit(corpus));
+  }
+  return featurizer;
+}
+
+std::vector<double> SimilarityFeaturizer::Features(const Record& left,
+                                                   const Record& right) const {
+  OASIS_DCHECK(left.values.size() == schema_.num_fields());
+  OASIS_DCHECK(right.values.size() == schema_.num_fields());
+  std::vector<double> features(schema_.num_fields(), 0.5);
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    const FieldValue& a = left.values[f];
+    const FieldValue& b = right.values[f];
+    if (a.missing || b.missing) continue;  // Neutral 0.5 for missing data.
+    switch (schema_.field(f).kind) {
+      case FieldKind::kShortText:
+        features[f] = TrigramJaccard(a.text, b.text);
+        break;
+      case FieldKind::kLongText: {
+        const SparseVector va =
+            vectorizers_[f].Transform(WordTokens(NormalizeString(a.text)));
+        const SparseVector vb =
+            vectorizers_[f].Transform(WordTokens(NormalizeString(b.text)));
+        features[f] = CosineSimilarity(va, vb);
+        break;
+      }
+      case FieldKind::kNumeric:
+        features[f] = NumericSimilarity(a.number, b.number);
+        break;
+    }
+  }
+  return features;
+}
+
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,56 @@
+#ifndef OASIS_ER_SIMILARITY_H_
+#define OASIS_ER_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/record.h"
+#include "er/tfidf.h"
+
+namespace oasis {
+namespace er {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two sorted, deduplicated string
+/// sets. Both empty -> 1 (identical emptiness); one empty -> 0.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Trigram Jaccard similarity of two raw strings (normalised internally) —
+/// the paper's short-text feature.
+double TrigramJaccard(const std::string& a, const std::string& b);
+
+/// Normalised absolute difference similarity for numerics:
+/// 1 - |a - b| / (|a| + |b|), clamped to [0, 1]; 1 when both are 0 — the
+/// paper's numeric feature, oriented so larger = more similar.
+double NumericSimilarity(double a, double b);
+
+/// Pairwise feature extractor implementing the paper's scoring stage: one
+/// scalar similarity per schema field (trigram Jaccard for short text,
+/// tf-idf cosine for long text, normalised absolute difference for
+/// numerics). Missing values yield the neutral feature value 0.5.
+class SimilarityFeaturizer {
+ public:
+  /// Builds a featurizer for the schema, fitting one tf-idf vocabulary per
+  /// long-text field over the union of both databases' values.
+  static Result<SimilarityFeaturizer> Fit(const Database& left,
+                                          const Database& right);
+
+  /// Feature vector (one entry per schema field) for a record pair.
+  std::vector<double> Features(const Record& left, const Record& right) const;
+
+  size_t num_features() const { return schema_.num_fields(); }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  SimilarityFeaturizer() = default;
+
+  Schema schema_;
+  // One fitted vectoriser per field (only populated for kLongText fields).
+  std::vector<TfIdfVectorizer> vectorizers_;
+};
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_SIMILARITY_H_

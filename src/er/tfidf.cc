@@ -1,0 +1,92 @@
+#include "er/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace oasis {
+namespace er {
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.ids[i] == b.ids[j]) {
+      dot += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    } else if (a.ids[i] < b.ids[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+Status TfIdfVectorizer::Fit(const std::vector<std::vector<std::string>>& documents) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("TfIdfVectorizer: empty corpus");
+  }
+  vocabulary_.clear();
+  std::vector<int64_t> doc_freq;
+  for (const auto& doc : documents) {
+    // Count each term once per document for df.
+    std::vector<std::string> unique = doc;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    for (const auto& term : unique) {
+      auto [it, inserted] =
+          vocabulary_.emplace(term, static_cast<int32_t>(vocabulary_.size()));
+      if (inserted) {
+        doc_freq.push_back(1);
+      } else {
+        ++doc_freq[static_cast<size_t>(it->second)];
+      }
+    }
+  }
+  const double n = static_cast<double>(documents.size());
+  idf_.resize(doc_freq.size());
+  for (size_t t = 0; t < doc_freq.size(); ++t) {
+    idf_[t] = std::log((1.0 + n) / (1.0 + static_cast<double>(doc_freq[t]))) + 1.0;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+SparseVector TfIdfVectorizer::Transform(const std::vector<std::string>& tokens) const {
+  SparseVector out;
+  if (!fitted_) return out;
+  // Term frequencies restricted to the vocabulary, in term-id order.
+  std::map<int32_t, double> tf;
+  for (const auto& token : tokens) {
+    auto it = vocabulary_.find(token);
+    if (it == vocabulary_.end()) continue;
+    tf[it->second] += 1.0;
+  }
+  if (tf.empty()) return out;
+  out.ids.reserve(tf.size());
+  out.weights.reserve(tf.size());
+  double norm_sq = 0.0;
+  for (const auto& [id, count] : tf) {
+    const double w = count * idf_[static_cast<size_t>(id)];
+    out.ids.push_back(id);
+    out.weights.push_back(w);
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& w : out.weights) w *= inv;
+  }
+  return out;
+}
+
+double TfIdfVectorizer::IdfOf(const std::string& term) const {
+  auto it = vocabulary_.find(term);
+  if (it == vocabulary_.end()) return 0.0;
+  return idf_[static_cast<size_t>(it->second)];
+}
+
+}  // namespace er
+}  // namespace oasis

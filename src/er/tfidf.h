@@ -1,0 +1,57 @@
+#ifndef OASIS_ER_TFIDF_H_
+#define OASIS_ER_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oasis {
+namespace er {
+
+/// Sparse L2-normalised term-weight vector: parallel (term id, weight) pairs
+/// sorted by term id, ready for linear-merge cosine similarity.
+struct SparseVector {
+  std::vector<int32_t> ids;
+  std::vector<double> weights;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// Cosine similarity of two sparse vectors (assumed L2-normalised: the dot
+/// product). Empty vectors yield 0.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// tf-idf vectoriser over word-token documents — the long-text similarity
+/// feature of the paper's pipeline (Sec. 6.1.2).
+///
+/// Fit() learns the vocabulary and smoothed idf weights
+/// (idf = ln((1 + N) / (1 + df)) + 1, scikit-learn's convention); Transform()
+/// produces L2-normalised tf-idf vectors, mapping unseen terms to nothing.
+class TfIdfVectorizer {
+ public:
+  /// Learns vocabulary and document frequencies from tokenised documents.
+  Status Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Transforms a tokenised document; Fit must have succeeded first.
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+  bool fitted() const { return fitted_; }
+
+  /// idf weight of a term; 0 when out-of-vocabulary (diagnostics/tests).
+  double IdfOf(const std::string& term) const;
+
+ private:
+  std::unordered_map<std::string, int32_t> vocabulary_;
+  std::vector<double> idf_;
+  bool fitted_ = false;
+};
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_TFIDF_H_

@@ -1,0 +1,49 @@
+#include "er/tokenize.h"
+
+#include <algorithm>
+
+namespace oasis {
+namespace er {
+
+std::vector<std::string> WordTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t start = std::string::npos;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    const bool is_space = (i == text.size()) || text[i] == ' ' || text[i] == '\t' ||
+                          text[i] == '\n';
+    if (!is_space && start == std::string::npos) {
+      start = i;
+    } else if (is_space && start != std::string::npos) {
+      tokens.push_back(text.substr(start, i - start));
+      start = std::string::npos;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> CharacterNgrams(const std::string& text, size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0) return grams;
+  if (text.empty()) return grams;
+  std::string padded;
+  padded.reserve(text.size() + 2 * (n - 1));
+  padded.append(n - 1, '#');
+  padded += text;
+  padded.append(n - 1, '#');
+  if (padded.size() < n) return grams;
+  grams.reserve(padded.size() - n + 1);
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+std::vector<std::string> NgramSet(const std::string& text, size_t n) {
+  std::vector<std::string> grams = CharacterNgrams(text, n);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+}  // namespace er
+}  // namespace oasis

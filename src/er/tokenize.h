@@ -1,0 +1,25 @@
+#ifndef OASIS_ER_TOKENIZE_H_
+#define OASIS_ER_TOKENIZE_H_
+
+#include <string>
+#include <vector>
+
+namespace oasis {
+namespace er {
+
+/// Splits a (normalised) string into whitespace-delimited word tokens.
+std::vector<std::string> WordTokens(const std::string& text);
+
+/// Character n-grams of a (normalised) string, including word-boundary
+/// padding with '#': "abc" with n=3 yields {"##a", "#ab", "abc", "bc#",
+/// "c##"}. Padding keeps short strings comparable, the standard trick for
+/// trigram Jaccard similarity.
+std::vector<std::string> CharacterNgrams(const std::string& text, size_t n);
+
+/// Sorted, deduplicated n-gram set — the representation consumed by Jaccard.
+std::vector<std::string> NgramSet(const std::string& text, size_t n);
+
+}  // namespace er
+}  // namespace oasis
+
+#endif  // OASIS_ER_TOKENIZE_H_

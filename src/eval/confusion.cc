@@ -1,0 +1,40 @@
+#include "eval/confusion.h"
+
+namespace oasis {
+
+void ConfusionCounts::Add(bool truth, bool prediction) {
+  if (truth && prediction) {
+    ++true_positives;
+  } else if (!truth && prediction) {
+    ++false_positives;
+  } else if (truth && !prediction) {
+    ++false_negatives;
+  } else {
+    ++true_negatives;
+  }
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  true_negatives += other.true_negatives;
+  return *this;
+}
+
+Result<ConfusionCounts> CountConfusion(std::span<const uint8_t> truth,
+                                       std::span<const uint8_t> predictions) {
+  if (truth.size() != predictions.size()) {
+    return Status::InvalidArgument("CountConfusion: length mismatch");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("CountConfusion: empty input");
+  }
+  ConfusionCounts counts;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    counts.Add(truth[i] != 0, predictions[i] != 0);
+  }
+  return counts;
+}
+
+}  // namespace oasis

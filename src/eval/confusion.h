@@ -1,0 +1,37 @@
+#ifndef OASIS_EVAL_CONFUSION_H_
+#define OASIS_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+
+namespace oasis {
+
+/// Pairwise confusion counts for a binary (match / non-match) task.
+struct ConfusionCounts {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  int64_t true_negatives = 0;
+
+  int64_t total() const {
+    return true_positives + false_positives + false_negatives + true_negatives;
+  }
+  int64_t actual_positives() const { return true_positives + false_negatives; }
+  int64_t predicted_positives() const { return true_positives + false_positives; }
+
+  /// Accumulates one (truth, prediction) observation.
+  void Add(bool truth, bool prediction);
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other);
+};
+
+/// Tallies confusion counts over parallel truth/prediction vectors (entries
+/// are 0/1). Fails when the spans differ in length or are empty.
+Result<ConfusionCounts> CountConfusion(std::span<const uint8_t> truth,
+                                       std::span<const uint8_t> predictions);
+
+}  // namespace oasis
+
+#endif  // OASIS_EVAL_CONFUSION_H_

@@ -1,0 +1,46 @@
+#include "eval/measures.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+MaybeValue FAlpha(double tp, double fp, double fn, double alpha) {
+  OASIS_DCHECK(alpha >= 0.0 && alpha <= 1.0);
+  MaybeValue out;
+  const double denom = alpha * (tp + fp) + (1.0 - alpha) * (tp + fn);
+  if (denom <= 0.0) return out;
+  out.value = tp / denom;
+  out.defined = true;
+  return out;
+}
+
+Measures ComputeMeasures(const ConfusionCounts& counts, double alpha) {
+  Measures m;
+  const double tp = static_cast<double>(counts.true_positives);
+  const double fp = static_cast<double>(counts.false_positives);
+  const double fn = static_cast<double>(counts.false_negatives);
+
+  const MaybeValue f = FAlpha(tp, fp, fn, alpha);
+  m.f_alpha = f.value;
+  m.f_defined = f.defined;
+
+  const MaybeValue p = FAlpha(tp, fp, fn, 1.0);
+  m.precision = p.value;
+  m.precision_defined = p.defined;
+
+  const MaybeValue r = FAlpha(tp, fp, fn, 0.0);
+  m.recall = r.value;
+  m.recall_defined = r.defined;
+  return m;
+}
+
+double AlphaFromBeta(double beta) { return 1.0 / (1.0 + beta * beta); }
+
+double BetaFromAlpha(double alpha) {
+  OASIS_CHECK(alpha > 0.0 && alpha <= 1.0);
+  return std::sqrt(1.0 / alpha - 1.0);
+}
+
+}  // namespace oasis

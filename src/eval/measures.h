@@ -1,0 +1,43 @@
+#ifndef OASIS_EVAL_MEASURES_H_
+#define OASIS_EVAL_MEASURES_H_
+
+#include "eval/confusion.h"
+
+namespace oasis {
+
+/// Precision, recall and the alpha-weighted F-measure of the paper's Eqn. 1:
+///
+///   F_alpha = TP / (alpha (TP + FP) + (1 - alpha) (TP + FN))
+///
+/// alpha = 1 is precision, alpha = 0 is recall, alpha = 1/2 the balanced
+/// F-measure (harmonic mean of precision and recall). The relation to the
+/// usual beta-parametrisation is alpha = 1 / (1 + beta^2).
+struct Measures {
+  double f_alpha = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  /// False when the respective denominator is zero (no predicted and/or no
+  /// actual positives), in which case the values above are meaningless.
+  bool f_defined = false;
+  bool precision_defined = false;
+  bool recall_defined = false;
+};
+
+/// F_alpha from raw counts; returns {value, defined}. Not defined when the
+/// denominator alpha(TP+FP) + (1-alpha)(TP+FN) is zero.
+struct MaybeValue {
+  double value = 0.0;
+  bool defined = false;
+};
+MaybeValue FAlpha(double tp, double fp, double fn, double alpha);
+
+/// All three measures from confusion counts.
+Measures ComputeMeasures(const ConfusionCounts& counts, double alpha);
+
+/// Converts between the alpha-weight of Eqn. 1 and the F-beta parametrisation.
+double AlphaFromBeta(double beta);
+double BetaFromAlpha(double alpha);
+
+}  // namespace oasis
+
+#endif  // OASIS_EVAL_MEASURES_H_

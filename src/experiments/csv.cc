@@ -1,0 +1,135 @@
+#include "experiments/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace oasis {
+namespace experiments {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+Status WritePoolCsv(const std::string& path, const ScoredPool& pool,
+                    const std::vector<uint8_t>* truth) {
+  OASIS_RETURN_NOT_OK(pool.Validate());
+  if (truth != nullptr &&
+      static_cast<int64_t>(truth->size()) != pool.size()) {
+    return Status::InvalidArgument("WritePoolCsv: truth size mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("WritePoolCsv: cannot open '" + path + "'");
+  }
+  out << (truth != nullptr ? "score,prediction,truth\n" : "score,prediction\n");
+  char buffer[64];
+  for (int64_t i = 0; i < pool.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g",
+                  pool.scores[static_cast<size_t>(i)]);
+    out << buffer << ',' << int{pool.predictions[static_cast<size_t>(i)]};
+    if (truth != nullptr) out << ',' << int{(*truth)[static_cast<size_t>(i)]};
+    out << '\n';
+  }
+  if (!out) {
+    return Status::Internal("WritePoolCsv: write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<LoadedPool> ReadPoolCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("ReadPoolCsv: cannot open '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("ReadPoolCsv: empty file");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.size() < 2 || header[0] != "score" || header[1] != "prediction") {
+    return Status::InvalidArgument(
+        "ReadPoolCsv: expected header 'score,prediction[,truth]'");
+  }
+  const bool has_truth = header.size() >= 3 && header[2] == "truth";
+
+  LoadedPool loaded;
+  loaded.has_truth = has_truth;
+  bool all_unit_interval = true;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() < (has_truth ? 3u : 2u)) {
+      return Status::InvalidArgument("ReadPoolCsv: short row at line " +
+                                     std::to_string(line_number));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double score = std::strtod(cells[0].c_str(), &end);
+    if (end == cells[0].c_str() || errno == ERANGE) {
+      return Status::InvalidArgument("ReadPoolCsv: bad score at line " +
+                                     std::to_string(line_number));
+    }
+    const std::string& pred = cells[1];
+    if (pred != "0" && pred != "1") {
+      return Status::InvalidArgument("ReadPoolCsv: bad prediction at line " +
+                                     std::to_string(line_number));
+    }
+    loaded.pool.scores.push_back(score);
+    loaded.pool.predictions.push_back(pred == "1" ? 1 : 0);
+    if (score < 0.0 || score > 1.0) all_unit_interval = false;
+    if (has_truth) {
+      const std::string& truth = cells[2];
+      if (truth != "0" && truth != "1") {
+        return Status::InvalidArgument("ReadPoolCsv: bad truth at line " +
+                                       std::to_string(line_number));
+      }
+      loaded.truth.push_back(truth == "1" ? 1 : 0);
+    }
+  }
+  if (loaded.pool.scores.empty()) {
+    return Status::InvalidArgument("ReadPoolCsv: no data rows");
+  }
+  loaded.pool.scores_are_probabilities = all_unit_interval;
+  loaded.pool.threshold = all_unit_interval ? 0.5 : 0.0;
+  OASIS_RETURN_NOT_OK(loaded.pool.Validate());
+  return loaded;
+}
+
+Status WriteCurvesCsv(const std::string& path,
+                      const std::vector<ErrorCurve>& curves) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("WriteCurvesCsv: cannot open '" + path + "'");
+  }
+  out << "method,labels,mean_abs_error,stddev,mean_estimate,frac_defined\n";
+  for (const ErrorCurve& curve : curves) {
+    for (size_t i = 0; i < curve.budgets.size(); ++i) {
+      out << curve.method << ',' << curve.budgets[i] << ','
+          << curve.mean_abs_error[i] << ',' << curve.stddev[i] << ','
+          << curve.mean_estimate[i] << ',' << curve.frac_defined[i] << '\n';
+    }
+  }
+  if (!out) {
+    return Status::Internal("WriteCurvesCsv: write failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,44 @@
+#ifndef OASIS_EXPERIMENTS_CSV_H_
+#define OASIS_EXPERIMENTS_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/runner.h"
+#include "sampling/sampler.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Writes an evaluation pool (score, prediction, and optionally truth) to a
+/// CSV file with header `score,prediction[,truth]`. Intended for exchanging
+/// pools with external tooling (plotting, the authors' Python package, ...).
+Status WritePoolCsv(const std::string& path, const ScoredPool& pool,
+                    const std::vector<uint8_t>* truth = nullptr);
+
+/// Parsed pool file: the pool plus the truth column when present.
+struct LoadedPool {
+  ScoredPool pool;
+  std::vector<uint8_t> truth;  // Empty when the file has no truth column.
+  bool has_truth = false;
+};
+
+/// Reads a pool from a CSV written by WritePoolCsv (or any file with a
+/// `score,prediction[,truth]` header). Scores are declared probabilities
+/// when every value lies in [0, 1].
+Result<LoadedPool> ReadPoolCsv(const std::string& path);
+
+/// Writes error curves in long format:
+/// `method,labels,mean_abs_error,stddev,mean_estimate,frac_defined`.
+Status WriteCurvesCsv(const std::string& path,
+                      const std::vector<ErrorCurve>& curves);
+
+/// Splits one CSV line on commas (no quoting support — the pool format
+/// is purely numeric). Exposed for tests.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_CSV_H_

@@ -1,0 +1,58 @@
+#include "experiments/metrics.h"
+
+namespace oasis {
+namespace experiments {
+
+int64_t FirstDefinedBudget(const ErrorCurve& curve, double level) {
+  for (size_t i = 0; i < curve.budgets.size(); ++i) {
+    if (curve.frac_defined[i] >= level) return curve.budgets[i];
+  }
+  return -1;
+}
+
+int64_t BudgetToReachError(const ErrorCurve& curve, double target) {
+  // Scan from the end to find the last index above target; the answer is the
+  // next checkpoint (error <= target from there on).
+  int64_t result = -1;
+  for (size_t i = curve.budgets.size(); i > 0; --i) {
+    const size_t idx = i - 1;
+    if (curve.mean_abs_error[idx] > target) {
+      // idx is the last above-target point.
+      if (idx + 1 < curve.budgets.size()) return curve.budgets[idx + 1];
+      return -1;  // Never settles below target.
+    }
+    result = curve.budgets[idx];
+  }
+  return result;  // Entire curve at or below target.
+}
+
+Result<double> LabelSaving(const ErrorCurve& method, const ErrorCurve& baseline,
+                           double target) {
+  const int64_t method_budget = BudgetToReachError(method, target);
+  const int64_t baseline_budget = BudgetToReachError(baseline, target);
+  if (method_budget < 0 || baseline_budget <= 0) {
+    return Status::InvalidArgument(
+        "LabelSaving: a curve never reaches the target error");
+  }
+  return 1.0 - static_cast<double>(method_budget) /
+                   static_cast<double>(baseline_budget);
+}
+
+ErrorCurve ThinCurve(const ErrorCurve& curve, size_t max_points) {
+  if (max_points == 0 || curve.budgets.size() <= max_points) return curve;
+  ErrorCurve thin;
+  thin.method = curve.method;
+  thin.repeats = curve.repeats;
+  const size_t stride = (curve.budgets.size() + max_points - 1) / max_points;
+  for (size_t i = stride - 1; i < curve.budgets.size(); i += stride) {
+    thin.budgets.push_back(curve.budgets[i]);
+    thin.mean_abs_error.push_back(curve.mean_abs_error[i]);
+    thin.stddev.push_back(curve.stddev[i]);
+    thin.mean_estimate.push_back(curve.mean_estimate[i]);
+    thin.frac_defined.push_back(curve.frac_defined[i]);
+  }
+  return thin;
+}
+
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,38 @@
+#ifndef OASIS_EXPERIMENTS_METRICS_H_
+#define OASIS_EXPERIMENTS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/runner.h"
+
+namespace oasis {
+namespace experiments {
+
+/// First budget at which `frac_defined` exceeds `level` (the paper plots
+/// curves from the point where the estimate has >= 95% probability of being
+/// well-defined); -1 when never reached.
+int64_t FirstDefinedBudget(const ErrorCurve& curve, double level = 0.95);
+
+/// Smallest budget at which the mean absolute error drops to `target` and
+/// stays at or below it for the remainder of the curve; -1 when never.
+/// This implements the "labels needed to reach a given estimate precision"
+/// comparison behind the paper's headline label-saving percentages.
+int64_t BudgetToReachError(const ErrorCurve& curve, double target);
+
+/// Label-budget saving of `method` relative to `baseline` at error level
+/// `target`: 1 - budget(method)/budget(baseline). Negative when the method
+/// is worse; returns InvalidArgument when either curve never reaches the
+/// target.
+Result<double> LabelSaving(const ErrorCurve& method, const ErrorCurve& baseline,
+                           double target);
+
+/// Downsamples a curve to (approximately) `max_points` evenly spaced
+/// checkpoints for compact text output.
+ErrorCurve ThinCurve(const ErrorCurve& curve, size_t max_points);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_METRICS_H_

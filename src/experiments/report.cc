@@ -1,0 +1,112 @@
+#include "experiments/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "experiments/metrics.h"
+
+namespace oasis {
+namespace experiments {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  size_t rule_len = 0;
+  for (size_t c = 0; c < widths.size(); ++c) rule_len += widths[c] + (c > 0 ? 2 : 0);
+  out += std::string(rule_len, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::Print(std::ostream& os) const { os << ToString(); }
+
+std::string FormatDouble(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatScientific(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", precision, value);
+  return buffer;
+}
+
+std::string FormatCount(int64_t value) {
+  const std::string digits = std::to_string(value);
+  const size_t sign = digits[0] == '-' ? 1 : 0;
+  std::string out;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    // Insert a separator whenever a group of three digits starts, counting
+    // from the right and skipping the sign position.
+    if (i > sign && (digits.size() - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+void PrintCurves(std::ostream& os, const std::vector<ErrorCurve>& curves,
+                 double defined_level, size_t max_rows) {
+  if (curves.empty()) return;
+  std::vector<ErrorCurve> thinned;
+  thinned.reserve(curves.size());
+  for (const ErrorCurve& curve : curves) {
+    thinned.push_back(ThinCurve(curve, max_rows));
+  }
+
+  std::vector<std::string> headers{"labels"};
+  for (const ErrorCurve& curve : thinned) {
+    headers.push_back(curve.method + " abs.err");
+    headers.push_back(curve.method + " std.dev");
+  }
+  TextTable table(std::move(headers));
+
+  const size_t rows = thinned[0].budgets.size();
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> cells{FormatCount(thinned[0].budgets[r])};
+    for (const ErrorCurve& curve : thinned) {
+      if (r < curve.budgets.size() && curve.frac_defined[r] >= defined_level) {
+        cells.push_back(FormatDouble(curve.mean_abs_error[r]));
+        cells.push_back(FormatDouble(curve.stddev[r]));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
+      }
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(os);
+}
+
+}  // namespace experiments
+}  // namespace oasis

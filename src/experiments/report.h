@@ -1,0 +1,51 @@
+#ifndef OASIS_EXPERIMENTS_REPORT_H_
+#define OASIS_EXPERIMENTS_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Fixed-width text table for harness output (the benches print the same
+/// rows the paper's tables report).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  std::string ToString() const;
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.0132"); NaN-safe.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Scientific formatting ("2.48e-05") for the Table 3 per-iteration column.
+std::string FormatScientific(double value, int precision = 3);
+
+/// Thousands-separated integer ("4,397,038").
+std::string FormatCount(int64_t value);
+
+/// Prints a set of error curves as one aligned series table: budget column
+/// followed by abs-err and std-dev columns per method. Rows where a method's
+/// estimate is defined in fewer than `defined_level` of repeats print "-"
+/// (the paper omits those points from its plots).
+void PrintCurves(std::ostream& os, const std::vector<ErrorCurve>& curves,
+                 double defined_level = 0.95, size_t max_rows = 25);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_REPORT_H_

@@ -1,0 +1,222 @@
+#include "experiments/runner.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "stats/confidence.h"
+#include "stats/running_stats.h"
+
+namespace oasis {
+namespace experiments {
+
+MethodSpec MakePassiveSpec(double alpha) {
+  MethodSpec spec;
+  spec.name = "Passive";
+  spec.factory = [alpha](const ScoredPool* pool, LabelCache* labels,
+                         Rng rng) -> Result<std::unique_ptr<Sampler>> {
+    OASIS_ASSIGN_OR_RETURN(std::unique_ptr<PassiveSampler> sampler,
+                           PassiveSampler::Create(pool, labels, alpha, rng));
+    return std::unique_ptr<Sampler>(std::move(sampler));
+  };
+  return spec;
+}
+
+MethodSpec MakeStratifiedSpec(double alpha, std::shared_ptr<const Strata> strata) {
+  MethodSpec spec;
+  spec.name = "Stratified";
+  spec.factory = [alpha, strata](const ScoredPool* pool, LabelCache* labels,
+                                 Rng rng) -> Result<std::unique_ptr<Sampler>> {
+    OASIS_ASSIGN_OR_RETURN(
+        std::unique_ptr<StratifiedSampler> sampler,
+        StratifiedSampler::Create(pool, labels, strata, alpha, rng));
+    return std::unique_ptr<Sampler>(std::move(sampler));
+  };
+  return spec;
+}
+
+MethodSpec MakeImportanceSpec(const ImportanceOptions& options) {
+  MethodSpec spec;
+  spec.name = "IS";
+  spec.factory = [options](const ScoredPool* pool, LabelCache* labels,
+                           Rng rng) -> Result<std::unique_ptr<Sampler>> {
+    OASIS_ASSIGN_OR_RETURN(std::unique_ptr<ImportanceSampler> sampler,
+                           ImportanceSampler::Create(pool, labels, options, rng));
+    return std::unique_ptr<Sampler>(std::move(sampler));
+  };
+  return spec;
+}
+
+MethodSpec MakeOasisSpec(const OasisOptions& options,
+                         std::shared_ptr<const Strata> strata) {
+  MethodSpec spec;
+  spec.name = "OASIS-" + std::to_string(strata->num_strata());
+  spec.factory = [options, strata](const ScoredPool* pool, LabelCache* labels,
+                                   Rng rng) -> Result<std::unique_ptr<Sampler>> {
+    OASIS_ASSIGN_OR_RETURN(std::unique_ptr<OasisSampler> sampler,
+                           OasisSampler::Create(pool, labels, strata, options, rng));
+    return std::unique_ptr<Sampler>(std::move(sampler));
+  };
+  return spec;
+}
+
+namespace {
+
+/// Per-checkpoint accumulators for one worker thread.
+struct CurveAccumulator {
+  std::vector<RunningStats> abs_error;
+  std::vector<RunningStats> estimate;
+  std::vector<int64_t> defined_count;
+  int64_t repeats = 0;
+
+  explicit CurveAccumulator(size_t checkpoints)
+      : abs_error(checkpoints), estimate(checkpoints), defined_count(checkpoints, 0) {}
+
+  void Merge(const CurveAccumulator& other) {
+    for (size_t i = 0; i < abs_error.size(); ++i) {
+      abs_error[i].Merge(other.abs_error[i]);
+      estimate[i].Merge(other.estimate[i]);
+      defined_count[i] += other.defined_count[i];
+    }
+    repeats += other.repeats;
+  }
+};
+
+/// Runs one repeat and folds its trajectory into the accumulator.
+Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
+                    Oracle& oracle, double true_f, const TrajectoryOptions& traj,
+                    Rng rng, CurveAccumulator* acc) {
+  LabelCache labels(&oracle);
+  OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
+                         method.factory(&pool, &labels, rng));
+  OASIS_ASSIGN_OR_RETURN(Trajectory trajectory, RunTrajectory(*sampler, traj));
+  OASIS_CHECK_EQ(trajectory.snapshots.size(), acc->abs_error.size());
+  for (size_t i = 0; i < trajectory.snapshots.size(); ++i) {
+    const EstimateSnapshot& snap = trajectory.snapshots[i];
+    if (!snap.f_defined) continue;
+    acc->abs_error[i].Add(std::abs(snap.f_alpha - true_f));
+    acc->estimate[i].Add(snap.f_alpha);
+    ++acc->defined_count[i];
+  }
+  ++acc->repeats;
+  return Status::OK();
+}
+
+/// Derives the per-repeat RNG stream: independent of thread scheduling.
+Rng RepeatRng(uint64_t base_seed, int repeat) {
+  return Rng(base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(repeat + 1)));
+}
+
+}  // namespace
+
+Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& pool,
+                                 Oracle& oracle, double true_f,
+                                 const RunnerOptions& options) {
+  if (options.repeats <= 0) {
+    return Status::InvalidArgument("RunErrorCurve: repeats must be positive");
+  }
+  OASIS_RETURN_NOT_OK(pool.Validate());
+
+  // Derive checkpoint count once, to shape all accumulators.
+  size_t num_checkpoints = 0;
+  for (int64_t b = options.trajectory.checkpoint_every;
+       b <= options.trajectory.budget; b += options.trajectory.checkpoint_every) {
+    ++num_checkpoints;
+  }
+  if (num_checkpoints == 0) {
+    return Status::InvalidArgument("RunErrorCurve: no checkpoints in budget");
+  }
+
+  int num_threads = options.num_threads;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  num_threads = std::min(num_threads, options.repeats);
+
+  std::vector<CurveAccumulator> accumulators(
+      static_cast<size_t>(num_threads), CurveAccumulator(num_checkpoints));
+  std::atomic<int> next_repeat{0};
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&](int thread_index) {
+    CurveAccumulator& acc = accumulators[static_cast<size_t>(thread_index)];
+    for (;;) {
+      const int repeat = next_repeat.fetch_add(1);
+      if (repeat >= options.repeats || failed.load()) break;
+      const Status status =
+          RunOneRepeat(method, pool, oracle, true_f, options.trajectory,
+                       RepeatRng(options.base_seed, repeat), &acc);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = status;
+        failed.store(true);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+  if (failed.load()) return first_error;
+
+  CurveAccumulator total(num_checkpoints);
+  for (const CurveAccumulator& acc : accumulators) total.Merge(acc);
+
+  ErrorCurve curve;
+  curve.method = method.name;
+  curve.repeats = static_cast<int>(total.repeats);
+  for (int64_t b = options.trajectory.checkpoint_every;
+       b <= options.trajectory.budget; b += options.trajectory.checkpoint_every) {
+    curve.budgets.push_back(b);
+  }
+  curve.mean_abs_error.resize(num_checkpoints);
+  curve.stddev.resize(num_checkpoints);
+  curve.mean_estimate.resize(num_checkpoints);
+  curve.frac_defined.resize(num_checkpoints);
+  for (size_t i = 0; i < num_checkpoints; ++i) {
+    curve.mean_abs_error[i] = total.abs_error[i].mean();
+    curve.stddev[i] = total.estimate[i].stddev();
+    curve.mean_estimate[i] = total.estimate[i].mean();
+    curve.frac_defined[i] =
+        static_cast<double>(total.defined_count[i]) /
+        static_cast<double>(total.repeats);
+  }
+  return curve;
+}
+
+Result<FinalErrorSummary> RunFinalError(const MethodSpec& method,
+                                        const ScoredPool& pool, Oracle& oracle,
+                                        double true_f,
+                                        const RunnerOptions& options) {
+  RunnerOptions final_options = options;
+  // One checkpoint at the final budget is all we need.
+  final_options.trajectory.checkpoint_every = final_options.trajectory.budget;
+  OASIS_ASSIGN_OR_RETURN(
+      ErrorCurve curve, RunErrorCurve(method, pool, oracle, true_f, final_options));
+
+  // Recompute the CI from the curve's aggregate statistics: stddev of the
+  // absolute error is not directly stored, so re-derive from a dedicated run
+  // is wasteful — instead approximate with stddev of estimates, which equals
+  // the error spread around a fixed truth up to bias. For the Figure 5 bars
+  // we follow the paper and report the standard error of the mean |error|.
+  FinalErrorSummary summary;
+  summary.method = method.name;
+  OASIS_CHECK(!curve.mean_abs_error.empty());
+  summary.mean_abs_error = curve.mean_abs_error.back();
+  summary.frac_defined = curve.frac_defined.back();
+  summary.repeats = curve.repeats;
+  const double n_defined =
+      std::max(1.0, curve.frac_defined.back() * curve.repeats);
+  summary.ci_half_width =
+      NormalQuantileTwoSided(0.95) * curve.stddev.back() / std::sqrt(n_defined);
+  return summary;
+}
+
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,94 @@
+#ifndef OASIS_EXPERIMENTS_RUNNER_H_
+#define OASIS_EXPERIMENTS_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/oasis.h"
+#include "oracle/oracle.h"
+#include "sampling/importance.h"
+#include "sampling/passive.h"
+#include "sampling/sampler.h"
+#include "sampling/stratified.h"
+#include "sampling/trajectory.h"
+#include "strata/strata.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Factory that instantiates one fresh sampler per repeated run. The runner
+/// supplies a per-repeat LabelCache and an independent RNG stream.
+using SamplerFactory = std::function<Result<std::unique_ptr<Sampler>>(
+    const ScoredPool* pool, LabelCache* labels, Rng rng)>;
+
+/// A named estimation method for experiment harnesses.
+struct MethodSpec {
+  std::string name;
+  SamplerFactory factory;
+};
+
+/// Standard method constructors matching the paper's comparison set.
+MethodSpec MakePassiveSpec(double alpha);
+MethodSpec MakeStratifiedSpec(double alpha, std::shared_ptr<const Strata> strata);
+MethodSpec MakeImportanceSpec(const ImportanceOptions& options);
+MethodSpec MakeOasisSpec(const OasisOptions& options,
+                         std::shared_ptr<const Strata> strata);
+
+/// Aggregated error statistics of one method on one pool, indexed by label
+/// budget — the data behind each curve of the paper's Figure 2.
+struct ErrorCurve {
+  std::string method;
+  std::vector<int64_t> budgets;
+  /// E|F-hat - F| over repeats whose estimate was defined at the checkpoint.
+  std::vector<double> mean_abs_error;
+  /// Standard deviation of the estimates across (defined) repeats.
+  std::vector<double> stddev;
+  std::vector<double> mean_estimate;
+  /// Fraction of repeats whose estimate was defined at the checkpoint; the
+  /// paper starts plotting once this exceeds 0.95.
+  std::vector<double> frac_defined;
+  int repeats = 0;
+};
+
+/// Controls for repeated trajectory runs.
+struct RunnerOptions {
+  int repeats = 100;
+  TrajectoryOptions trajectory;
+  uint64_t base_seed = 0x0a515u;
+  /// 0 = hardware concurrency.
+  int num_threads = 0;
+};
+
+/// Runs `method` on the pool `options.repeats` times (fresh LabelCache and
+/// RNG stream per repeat, fanned out over threads) and aggregates estimate
+/// error statistics against the reference value `true_f`.
+///
+/// The oracle must be stateless across Label() calls (all oracles in this
+/// library are) since repeats share it concurrently.
+Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& pool,
+                                 Oracle& oracle, double true_f,
+                                 const RunnerOptions& options);
+
+/// Final-budget summary of a method (used by the Figure 5 harness):
+/// mean +- CI of |F-hat - F| after the full budget.
+struct FinalErrorSummary {
+  std::string method;
+  double mean_abs_error = 0.0;
+  double ci_half_width = 0.0;  // 95% normal CI on the mean.
+  double frac_defined = 0.0;
+  int repeats = 0;
+};
+
+/// Runs repeats and summarises only the final-budget error.
+Result<FinalErrorSummary> RunFinalError(const MethodSpec& method,
+                                        const ScoredPool& pool, Oracle& oracle,
+                                        double true_f, const RunnerOptions& options);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_RUNNER_H_

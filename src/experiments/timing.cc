@@ -1,0 +1,59 @@
+#include "experiments/timing.h"
+
+#include <ctime>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace experiments {
+
+namespace {
+/// Process CPU time with nanosecond resolution; std::clock's CLOCKS_PER_SEC
+/// granularity is too coarse to time the O(1)-per-iteration samplers.
+double CpuSecondsNow() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+}  // namespace
+
+Result<TimingResult> TimeMethod(const MethodSpec& method, const ScoredPool& pool,
+                                Oracle& oracle, int64_t iterations, int repeats,
+                                uint64_t base_seed) {
+  if (iterations <= 0 || repeats <= 0) {
+    return Status::InvalidArgument("TimeMethod: iterations/repeats must be positive");
+  }
+  OASIS_RETURN_NOT_OK(pool.Validate());
+
+  TimingResult result;
+  result.method = method.name;
+  result.iterations_per_run = iterations;
+  result.repeats = repeats;
+
+  double total_run = 0.0;
+  double total_setup = 0.0;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    LabelCache labels(&oracle);
+    Rng rng(base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(repeat + 1)));
+
+    const double setup_start = CpuSecondsNow();
+    OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
+                           method.factory(&pool, &labels, rng));
+    total_setup += CpuSecondsNow() - setup_start;
+
+    const double run_start = CpuSecondsNow();
+    for (int64_t it = 0; it < iterations; ++it) {
+      OASIS_RETURN_NOT_OK(sampler->Step());
+    }
+    total_run += CpuSecondsNow() - run_start;
+  }
+
+  result.cpu_seconds_per_run = total_run / repeats;
+  result.cpu_setup_seconds = total_setup / repeats;
+  result.cpu_seconds_per_iteration =
+      result.cpu_seconds_per_run / static_cast<double>(iterations);
+  return result;
+}
+
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,37 @@
+#ifndef OASIS_EXPERIMENTS_TIMING_H_
+#define OASIS_EXPERIMENTS_TIMING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "experiments/runner.h"
+
+namespace oasis {
+namespace experiments {
+
+/// CPU-time measurement of one estimation method — the data behind the
+/// paper's Table 3 (average CPU time per run and per iteration).
+struct TimingResult {
+  std::string method;
+  double cpu_seconds_per_run = 0.0;
+  double cpu_seconds_per_iteration = 0.0;
+  /// Sampler construction time (instrumental-distribution setup etc.),
+  /// excluded from the per-run figure, as the paper excludes strata
+  /// precomputation.
+  double cpu_setup_seconds = 0.0;
+  int64_t iterations_per_run = 0;
+  int repeats = 0;
+};
+
+/// Runs the method `repeats` times for `iterations` sampling iterations each
+/// (no budget cap, matching the paper's fixed-iteration timing protocol) and
+/// reports mean CPU times measured with std::clock.
+Result<TimingResult> TimeMethod(const MethodSpec& method, const ScoredPool& pool,
+                                Oracle& oracle, int64_t iterations, int repeats,
+                                uint64_t base_seed);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_TIMING_H_

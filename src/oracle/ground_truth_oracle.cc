@@ -1,0 +1,27 @@
+#include "oracle/ground_truth_oracle.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+GroundTruthOracle::GroundTruthOracle(std::vector<uint8_t> truth)
+    : truth_(std::move(truth)) {
+  for (uint8_t t : truth_) {
+    if (t != 0) ++num_positives_;
+  }
+}
+
+bool GroundTruthOracle::Label(int64_t item, Rng& rng) {
+  (void)rng;  // Deterministic: the RNG is part of the Oracle contract only.
+  OASIS_DCHECK(item >= 0 && item < num_items());
+  return truth_[static_cast<size_t>(item)] != 0;
+}
+
+double GroundTruthOracle::TrueProbability(int64_t item) const {
+  OASIS_DCHECK(item >= 0 && item < num_items());
+  return truth_[static_cast<size_t>(item)] != 0 ? 1.0 : 0.0;
+}
+
+}  // namespace oasis

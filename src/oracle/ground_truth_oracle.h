@@ -1,0 +1,33 @@
+#ifndef OASIS_ORACLE_GROUND_TRUTH_ORACLE_H_
+#define OASIS_ORACLE_GROUND_TRUTH_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace oasis {
+
+/// Deterministic oracle backed by a ground-truth label vector, as used in all
+/// of the paper's experiments (p(1|z) in {0, 1}).
+class GroundTruthOracle : public Oracle {
+ public:
+  /// Takes ownership of the 0/1 truth vector (one entry per pool item).
+  explicit GroundTruthOracle(std::vector<uint8_t> truth);
+
+  bool Label(int64_t item, Rng& rng) override;
+  double TrueProbability(int64_t item) const override;
+  bool deterministic() const override { return true; }
+  int64_t num_items() const override { return static_cast<int64_t>(truth_.size()); }
+
+  /// Total number of true matches (used by dataset statistics tables).
+  int64_t num_positives() const { return num_positives_; }
+
+ private:
+  std::vector<uint8_t> truth_;
+  int64_t num_positives_ = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_GROUND_TRUTH_ORACLE_H_

@@ -1,0 +1,41 @@
+#include "oracle/label_cache.h"
+
+#include "common/logging.h"
+
+namespace oasis {
+
+LabelCache::LabelCache(Oracle* oracle) : oracle_(oracle) {
+  OASIS_CHECK(oracle != nullptr);
+  cache_.assign(static_cast<size_t>(oracle->num_items()), 0);
+}
+
+bool LabelCache::Query(int64_t item, Rng& rng) {
+  OASIS_DCHECK(item >= 0 && item < oracle_->num_items());
+  ++total_queries_;
+  uint8_t& slot = cache_[static_cast<size_t>(item)];
+  if (oracle_->deterministic()) {
+    if (slot != 0) {
+      return slot == 2;  // Free replay of the cached label.
+    }
+    const bool label = oracle_->Label(item, rng);
+    slot = label ? 2 : 1;
+    ++labels_consumed_;
+    ++distinct_items_;
+    return label;
+  }
+  // Noisy oracle: every draw costs budget; remember first touch for
+  // distinct-item accounting.
+  if (slot == 0) {
+    slot = 3;
+    ++distinct_items_;
+  }
+  ++labels_consumed_;
+  return oracle_->Label(item, rng);
+}
+
+bool LabelCache::IsLabelled(int64_t item) const {
+  OASIS_DCHECK(item >= 0 && item < oracle_->num_items());
+  return cache_[static_cast<size_t>(item)] != 0;
+}
+
+}  // namespace oasis

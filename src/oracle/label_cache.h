@@ -1,0 +1,54 @@
+#ifndef OASIS_ORACLE_LABEL_CACHE_H_
+#define OASIS_ORACLE_LABEL_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/oracle.h"
+
+namespace oasis {
+
+/// Budget-accounting front-end to an Oracle.
+///
+/// All samplers in this library sample with replacement; per the paper
+/// (footnote 5), a pool item is charged to the label budget only the first
+/// time its label is queried. For deterministic oracles the first label is
+/// cached and replayed for free on re-queries. For noisy oracles every query
+/// is a fresh Bernoulli draw and every query is charged — matching the
+/// "repeated labelling to average out noise" regime of Section 2.2.
+class LabelCache {
+ public:
+  /// The oracle must outlive the cache. Caching behaviour follows
+  /// oracle->deterministic().
+  explicit LabelCache(Oracle* oracle);
+
+  /// Returns a label for `item`, charging the budget per the policy above.
+  bool Query(int64_t item, Rng& rng);
+
+  /// Labels charged to the budget so far.
+  int64_t labels_consumed() const { return labels_consumed_; }
+
+  /// Total queries including free cache hits.
+  int64_t total_queries() const { return total_queries_; }
+
+  /// Number of distinct items labelled at least once.
+  int64_t distinct_items_labelled() const { return distinct_items_; }
+
+  /// True when `item` has been queried before (deterministic mode only
+  /// returns meaningful values; noisy mode also tracks first-touch).
+  bool IsLabelled(int64_t item) const;
+
+  const Oracle& oracle() const { return *oracle_; }
+
+ private:
+  Oracle* oracle_;
+  // 0 = never queried, 1 = cached label 0, 2 = cached label 1.
+  std::vector<uint8_t> cache_;
+  int64_t labels_consumed_ = 0;
+  int64_t total_queries_ = 0;
+  int64_t distinct_items_ = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_LABEL_CACHE_H_

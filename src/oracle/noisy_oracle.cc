@@ -1,0 +1,58 @@
+#include "oracle/noisy_oracle.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+NoisyOracle::NoisyOracle(std::vector<double> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  deterministic_ = true;
+  for (double p : probabilities_) {
+    if (p != 0.0 && p != 1.0) {
+      deterministic_ = false;
+      break;
+    }
+  }
+}
+
+Result<NoisyOracle> NoisyOracle::FromProbabilities(std::vector<double> probabilities) {
+  if (probabilities.empty()) {
+    return Status::InvalidArgument("NoisyOracle: empty probability vector");
+  }
+  for (double p : probabilities) {
+    if (std::isnan(p) || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("NoisyOracle: probability outside [0, 1]");
+    }
+  }
+  return NoisyOracle(std::move(probabilities));
+}
+
+Result<NoisyOracle> NoisyOracle::FromTruthWithFlipNoise(
+    const std::vector<uint8_t>& truth, double flip_rate) {
+  if (truth.empty()) {
+    return Status::InvalidArgument("NoisyOracle: empty truth vector");
+  }
+  if (std::isnan(flip_rate) || flip_rate < 0.0 || flip_rate >= 0.5) {
+    return Status::InvalidArgument("NoisyOracle: flip_rate must be in [0, 0.5)");
+  }
+  std::vector<double> probabilities(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    probabilities[i] = truth[i] != 0 ? 1.0 - flip_rate : flip_rate;
+  }
+  return NoisyOracle(std::move(probabilities));
+}
+
+bool NoisyOracle::Label(int64_t item, Rng& rng) {
+  OASIS_DCHECK(item >= 0 && item < num_items());
+  return rng.NextBernoulli(probabilities_[static_cast<size_t>(item)]);
+}
+
+double NoisyOracle::TrueProbability(int64_t item) const {
+  OASIS_DCHECK(item >= 0 && item < num_items());
+  return probabilities_[static_cast<size_t>(item)];
+}
+
+}  // namespace oasis

@@ -1,0 +1,42 @@
+#ifndef OASIS_ORACLE_NOISY_ORACLE_H_
+#define OASIS_ORACLE_NOISY_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "oracle/oracle.h"
+
+namespace oasis {
+
+/// Randomised oracle with an arbitrary probability p(1|z) per item — the
+/// general regime of Definition 4 (e.g., a pool of crowd annotators whose
+/// majority answer is stochastic).
+class NoisyOracle : public Oracle {
+ public:
+  /// Builds from per-item probabilities (each in [0, 1]).
+  static Result<NoisyOracle> FromProbabilities(std::vector<double> probabilities);
+
+  /// Builds from ground truth labels with a symmetric flip rate: a true match
+  /// is labelled 1 with probability 1 - flip_rate, a non-match with
+  /// probability flip_rate. flip_rate must lie in [0, 0.5).
+  static Result<NoisyOracle> FromTruthWithFlipNoise(
+      const std::vector<uint8_t>& truth, double flip_rate);
+
+  bool Label(int64_t item, Rng& rng) override;
+  double TrueProbability(int64_t item) const override;
+  bool deterministic() const override { return deterministic_; }
+  int64_t num_items() const override {
+    return static_cast<int64_t>(probabilities_.size());
+  }
+
+ private:
+  explicit NoisyOracle(std::vector<double> probabilities);
+
+  std::vector<double> probabilities_;
+  bool deterministic_ = false;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_NOISY_ORACLE_H_

@@ -1,0 +1,8 @@
+#include "oracle/oracle.h"
+
+namespace oasis {
+
+// Oracle is an interface; the out-of-line key function lives here so the
+// vtable has a home translation unit.
+
+}  // namespace oasis

@@ -1,0 +1,39 @@
+#ifndef OASIS_ORACLE_ORACLE_H_
+#define OASIS_ORACLE_ORACLE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace oasis {
+
+/// Randomised labelling oracle (Definition 4 of the paper).
+///
+/// A query for pool item z returns one draw from Bernoulli(p(1|z)), where
+/// p(1|z) is the oracle probability of item z being a match. A deterministic
+/// oracle has p(1|z) in {0, 1} (the regime of the paper's experiments); a
+/// noisy oracle models crowdsourced annotators.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Draws one label for pool item `item` using the caller's RNG, so that the
+  /// complete experiment is reproducible from a single seed.
+  virtual bool Label(int64_t item, Rng& rng) = 0;
+
+  /// True oracle probability p(1|item). Exposed for constructing ground-truth
+  /// reference values in benches/tests; estimators never call this.
+  virtual double TrueProbability(int64_t item) const = 0;
+
+  /// Whether p(1|z) is degenerate ({0,1}) for every item. Deterministic
+  /// oracles admit label caching (paper footnote 5: a pair is charged to the
+  /// budget only the first time).
+  virtual bool deterministic() const = 0;
+
+  /// Number of items the oracle covers.
+  virtual int64_t num_items() const = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_ORACLE_H_

@@ -1,0 +1,51 @@
+#include "sampling/passive.h"
+
+namespace oasis {
+
+PassiveSampler::PassiveSampler(const ScoredPool* pool, LabelCache* labels,
+                               double alpha, Rng rng)
+    : Sampler(pool, labels, alpha, rng) {}
+
+Result<std::unique_ptr<PassiveSampler>> PassiveSampler::Create(
+    const ScoredPool* pool, LabelCache* labels, double alpha, Rng rng) {
+  if (pool == nullptr || labels == nullptr) {
+    return Status::InvalidArgument("PassiveSampler: null pool or labels");
+  }
+  OASIS_RETURN_NOT_OK(pool->Validate());
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("PassiveSampler: alpha must be in [0, 1]");
+  }
+  return std::unique_ptr<PassiveSampler>(
+      new PassiveSampler(pool, labels, alpha, rng));
+}
+
+Status PassiveSampler::Step() {
+  const int64_t item = static_cast<int64_t>(
+      rng().NextBounded(static_cast<uint64_t>(pool().size())));
+  const bool label = QueryLabel(item);
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+  if (label && prediction) tp_ += 1.0;
+  if (prediction) predicted_pos_ += 1.0;
+  if (label) actual_pos_ += 1.0;
+  return Status::OK();
+}
+
+EstimateSnapshot PassiveSampler::Estimate() const {
+  EstimateSnapshot snap;
+  const double denom = alpha() * predicted_pos_ + (1.0 - alpha()) * actual_pos_;
+  if (denom > 0.0) {
+    snap.f_alpha = tp_ / denom;
+    snap.f_defined = true;
+  }
+  if (predicted_pos_ > 0.0) {
+    snap.precision = tp_ / predicted_pos_;
+    snap.precision_defined = true;
+  }
+  if (actual_pos_ > 0.0) {
+    snap.recall = tp_ / actual_pos_;
+    snap.recall_defined = true;
+  }
+  return snap;
+}
+
+}  // namespace oasis

@@ -1,0 +1,48 @@
+#include "sampling/sampler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+Status ScoredPool::Validate() const {
+  if (scores.empty()) return Status::InvalidArgument("ScoredPool: empty pool");
+  if (scores.size() != predictions.size()) {
+    return Status::InvalidArgument("ScoredPool: scores/predictions length mismatch");
+  }
+  for (double s : scores) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument("ScoredPool: non-finite score");
+    }
+    if (scores_are_probabilities && (s < 0.0 || s > 1.0)) {
+      return Status::InvalidArgument(
+          "ScoredPool: probability score outside [0, 1]");
+    }
+  }
+  for (uint8_t p : predictions) {
+    if (p > 1) return Status::InvalidArgument("ScoredPool: prediction not in {0,1}");
+  }
+  return Status::OK();
+}
+
+int64_t ScoredPool::NumPredictedPositives() const {
+  int64_t count = 0;
+  for (uint8_t p : predictions) count += (p != 0);
+  return count;
+}
+
+Sampler::Sampler(const ScoredPool* pool, LabelCache* labels, double alpha, Rng rng)
+    : pool_(pool), labels_(labels), alpha_(alpha), rng_(rng) {
+  OASIS_CHECK(pool != nullptr);
+  OASIS_CHECK(labels != nullptr);
+  OASIS_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  OASIS_CHECK_EQ(pool->size(), labels->oracle().num_items());
+}
+
+bool Sampler::QueryLabel(int64_t item) {
+  ++iterations_;
+  return labels_->Query(item, rng_);
+}
+
+}  // namespace oasis

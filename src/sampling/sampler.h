@@ -1,0 +1,105 @@
+#ifndef OASIS_SAMPLING_SAMPLER_H_
+#define OASIS_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "oracle/label_cache.h"
+
+namespace oasis {
+
+/// The evaluation view of a record-pair pool: one similarity score and one
+/// predicted label per pair (Definition 4). Ground truth lives behind the
+/// Oracle, never here — estimators can only see it one label at a time.
+struct ScoredPool {
+  /// Similarity score s(z) per pool item.
+  std::vector<double> scores;
+  /// Predicted labels l-hat(z) in {0, 1} per pool item (z in R-hat or not).
+  std::vector<uint8_t> predictions;
+  /// Whether scores already live in [0, 1] and approximate probabilities
+  /// (calibrated); when false the initialisation logit-maps them around
+  /// `threshold`.
+  bool scores_are_probabilities = false;
+  /// Classifier decision threshold tau on the raw score scale (Algorithm 2's
+  /// optional input); ignored when scores_are_probabilities.
+  double threshold = 0.0;
+
+  int64_t size() const { return static_cast<int64_t>(scores.size()); }
+
+  /// Checks structural validity (non-empty, equal lengths, finite scores,
+  /// 0/1 predictions, probability scores in range when declared).
+  Status Validate() const;
+
+  /// Number of predicted positives (|R-hat| restricted to the pool).
+  int64_t NumPredictedPositives() const;
+};
+
+/// Point-in-time estimate of the three evaluation measures. `*_defined`
+/// mirrors the paper's observation that Eqn. (1)/(3) are 0/0 until a
+/// (predicted or true) positive enters the sample.
+struct EstimateSnapshot {
+  double f_alpha = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  bool f_defined = false;
+  bool precision_defined = false;
+  bool recall_defined = false;
+};
+
+/// Base class for all pool evaluation samplers (Passive, Stratified, IS,
+/// OASIS). One Step() = one sampling iteration: draw a pool item according to
+/// the method's (possibly adaptive) distribution, query the oracle through
+/// the shared LabelCache, and fold the observation into the running
+/// estimator. Sampling is with replacement; budget accounting (first query
+/// per item is charged, replays are free for deterministic oracles) is
+/// centralised in LabelCache.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Performs one sampling iteration.
+  virtual Status Step() = 0;
+
+  /// Current estimates of F_alpha / precision / recall.
+  virtual EstimateSnapshot Estimate() const = 0;
+
+  /// Short method name used in reports ("Passive", "OASIS-30", ...).
+  virtual std::string name() const = 0;
+
+  /// Labels charged to the budget so far.
+  int64_t labels_consumed() const { return labels_->labels_consumed(); }
+
+  /// Sampling iterations performed so far (>= labels_consumed in the
+  /// deterministic-oracle regime).
+  int64_t iterations() const { return iterations_; }
+
+  const ScoredPool& pool() const { return *pool_; }
+  LabelCache& labels() { return *labels_; }
+  double alpha() const { return alpha_; }
+
+ protected:
+  /// `pool` and `labels` must outlive the sampler.
+  Sampler(const ScoredPool* pool, LabelCache* labels, double alpha, Rng rng);
+
+  /// Queries the oracle for `item` and bumps the iteration counter.
+  bool QueryLabel(int64_t item);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  const ScoredPool* pool_;
+  LabelCache* labels_;
+  double alpha_;
+  Rng rng_;
+  int64_t iterations_ = 0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_SAMPLING_SAMPLER_H_

@@ -1,0 +1,82 @@
+#include "sampling/stratified.h"
+
+#include <utility>
+
+namespace oasis {
+
+StratifiedSampler::StratifiedSampler(const ScoredPool* pool, LabelCache* labels,
+                                     std::shared_ptr<const Strata> strata,
+                                     double alpha, Rng rng)
+    : Sampler(pool, labels, alpha, rng), strata_(std::move(strata)) {
+  const size_t k = strata_->num_strata();
+  samples_.assign(k, 0.0);
+  tp_sum_.assign(k, 0.0);
+  pos_sum_.assign(k, 0.0);
+  lambda_ = strata_->MeanPerStratum(
+      std::span<const uint8_t>(pool->predictions.data(), pool->predictions.size()));
+}
+
+Result<std::unique_ptr<StratifiedSampler>> StratifiedSampler::Create(
+    const ScoredPool* pool, LabelCache* labels,
+    std::shared_ptr<const Strata> strata, double alpha, Rng rng) {
+  if (pool == nullptr || labels == nullptr || strata == nullptr) {
+    return Status::InvalidArgument("StratifiedSampler: null pool/labels/strata");
+  }
+  OASIS_RETURN_NOT_OK(pool->Validate());
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("StratifiedSampler: alpha must be in [0, 1]");
+  }
+  if (static_cast<int64_t>(strata->num_items()) != pool->size()) {
+    return Status::InvalidArgument("StratifiedSampler: strata/pool size mismatch");
+  }
+  OASIS_RETURN_NOT_OK(strata->Validate());
+  return std::unique_ptr<StratifiedSampler>(
+      new StratifiedSampler(pool, labels, std::move(strata), alpha, rng));
+}
+
+Status StratifiedSampler::Step() {
+  // Proportional allocation: stratum ~ omega, item ~ Uniform(P_k).
+  const size_t k = rng().NextDiscreteLinear(strata_->weights());
+  const int64_t item = strata_->SampleItem(k, rng());
+  const bool label = QueryLabel(item);
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+  samples_[k] += 1.0;
+  if (label && prediction) tp_sum_[k] += 1.0;
+  if (label) pos_sum_[k] += 1.0;
+  return Status::OK();
+}
+
+EstimateSnapshot StratifiedSampler::Estimate() const {
+  // Population-weighted combination of per-stratum sample means. Strata with
+  // no samples contribute zero to the label-dependent terms.
+  double tp = 0.0;
+  double actual_pos = 0.0;
+  double predicted_pos = 0.0;
+  bool any_samples = false;
+  for (size_t k = 0; k < strata_->num_strata(); ++k) {
+    predicted_pos += strata_->weight(k) * lambda_[k];
+    if (samples_[k] <= 0.0) continue;
+    any_samples = true;
+    tp += strata_->weight(k) * tp_sum_[k] / samples_[k];
+    actual_pos += strata_->weight(k) * pos_sum_[k] / samples_[k];
+  }
+
+  EstimateSnapshot snap;
+  if (!any_samples) return snap;
+  const double denom = alpha() * predicted_pos + (1.0 - alpha()) * actual_pos;
+  if (denom > 0.0) {
+    snap.f_alpha = tp / denom;
+    snap.f_defined = true;
+  }
+  if (predicted_pos > 0.0) {
+    snap.precision = tp / predicted_pos;
+    snap.precision_defined = true;
+  }
+  if (actual_pos > 0.0) {
+    snap.recall = tp / actual_pos;
+    snap.recall_defined = true;
+  }
+  return snap;
+}
+
+}  // namespace oasis

@@ -1,0 +1,53 @@
+#include "sampling/trajectory.h"
+
+namespace oasis {
+
+Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& options) {
+  if (options.budget <= 0) {
+    return Status::InvalidArgument("RunTrajectory: budget must be positive");
+  }
+  if (options.checkpoint_every <= 0) {
+    return Status::InvalidArgument("RunTrajectory: checkpoint_every must be positive");
+  }
+  int64_t max_iterations = options.max_iterations;
+  if (max_iterations <= 0) max_iterations = 50 * options.budget + 100000;
+
+  Trajectory out;
+  for (int64_t b = options.checkpoint_every; b <= options.budget;
+       b += options.checkpoint_every) {
+    out.budgets.push_back(b);
+  }
+  out.snapshots.reserve(out.budgets.size());
+
+  size_t next_checkpoint = 0;
+  const int64_t start_labels = sampler.labels_consumed();
+  while (sampler.labels_consumed() - start_labels < options.budget) {
+    if (sampler.iterations() >= max_iterations) {
+      out.truncated = true;
+      break;
+    }
+    OASIS_RETURN_NOT_OK(sampler.Step());
+    const int64_t consumed = sampler.labels_consumed() - start_labels;
+    const EstimateSnapshot snap = sampler.Estimate();
+    if (out.first_defined_budget < 0 && snap.f_defined) {
+      out.first_defined_budget = consumed;
+    }
+    while (next_checkpoint < out.budgets.size() &&
+           consumed >= out.budgets[next_checkpoint]) {
+      out.snapshots.push_back(snap);
+      ++next_checkpoint;
+    }
+  }
+  // Fill any remaining checkpoints (early stop) with the final estimate so
+  // every trajectory in an experiment has the same shape.
+  const EstimateSnapshot final_snap = sampler.Estimate();
+  while (next_checkpoint < out.budgets.size()) {
+    out.snapshots.push_back(final_snap);
+    ++next_checkpoint;
+  }
+  out.total_iterations = sampler.iterations();
+  out.labels_consumed = sampler.labels_consumed() - start_labels;
+  return out;
+}
+
+}  // namespace oasis

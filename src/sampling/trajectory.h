@@ -1,0 +1,47 @@
+#ifndef OASIS_SAMPLING_TRAJECTORY_H_
+#define OASIS_SAMPLING_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sampling/sampler.h"
+
+namespace oasis {
+
+/// Controls a budget-driven sampler run with checkpointed estimates.
+struct TrajectoryOptions {
+  /// Total label budget (distinct oracle charges).
+  int64_t budget = 1000;
+  /// Record an estimate snapshot every this many labels.
+  int64_t checkpoint_every = 10;
+  /// Iteration cap; 0 derives a generous default from the budget. Guards
+  /// against the (theoretically possible) case where resampling of cached
+  /// items keeps a run from ever consuming fresh budget.
+  int64_t max_iterations = 0;
+};
+
+/// The estimate history of one sampler run, indexed by label budget. This is
+/// the primitive behind every error-vs-budget curve in the paper (Fig. 2/3).
+struct Trajectory {
+  /// Checkpoint label counts: checkpoint_every, 2*checkpoint_every, ...
+  std::vector<int64_t> budgets;
+  /// Estimate at each checkpoint (snapshot taken when the consumed budget
+  /// first reached the checkpoint).
+  std::vector<EstimateSnapshot> snapshots;
+  /// Budget consumed when F first became defined; -1 when it never did.
+  int64_t first_defined_budget = -1;
+  int64_t total_iterations = 0;
+  int64_t labels_consumed = 0;
+  /// True when the run hit max_iterations before exhausting the budget
+  /// (trailing checkpoints are filled with the final estimate).
+  bool truncated = false;
+};
+
+/// Runs `sampler` until the label budget is exhausted (or the iteration cap
+/// fires), recording estimates at each checkpoint.
+Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& options);
+
+}  // namespace oasis
+
+#endif  // OASIS_SAMPLING_TRAJECTORY_H_

@@ -1,0 +1,29 @@
+#ifndef OASIS_STATS_CONFIDENCE_H_
+#define OASIS_STATS_CONFIDENCE_H_
+
+#include "stats/running_stats.h"
+
+namespace oasis {
+
+/// Symmetric normal-approximation confidence interval for a mean.
+struct ConfidenceInterval {
+  double center = 0.0;
+  double half_width = 0.0;
+
+  double lower() const { return center - half_width; }
+  double upper() const { return center + half_width; }
+};
+
+/// Two-sided standard-normal quantile z such that P(|Z| <= z) = level.
+/// Implemented with the Acklam inverse-CDF approximation (|error| < 1.2e-9),
+/// so level = 0.95 gives the familiar 1.959964.
+double NormalQuantileTwoSided(double level);
+
+/// Normal-approximation CI for the mean of the accumulated samples; this is
+/// the "approx. 95% confidence interval" error bar of Figure 5.
+ConfidenceInterval MeanConfidenceInterval(const RunningStats& stats,
+                                          double level = 0.95);
+
+}  // namespace oasis
+
+#endif  // OASIS_STATS_CONFIDENCE_H_

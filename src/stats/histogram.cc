@@ -1,0 +1,60 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oasis {
+
+size_t Histogram::BinIndex(double value) const {
+  const size_t m = num_bins();
+  if (value <= edges.front()) return 0;
+  if (value >= edges.back()) return m - 1;
+  const double width = (edges.back() - edges.front()) / static_cast<double>(m);
+  auto idx = static_cast<size_t>((value - edges.front()) / width);
+  if (idx >= m) idx = m - 1;
+  // Equal-width arithmetic can land one bin off at boundaries; nudge so the
+  // bin invariant edges[idx] <= value < edges[idx+1] holds (last bin closed).
+  while (idx > 0 && value < edges[idx]) --idx;
+  while (idx + 1 < m && value >= edges[idx + 1]) ++idx;
+  return idx;
+}
+
+Result<Histogram> BuildHistogram(std::span<const double> values, size_t num_bins) {
+  if (values.empty()) {
+    return Status::InvalidArgument("BuildHistogram: empty value span");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("BuildHistogram: num_bins must be positive");
+  }
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    if (std::isnan(v)) {
+      return Status::InvalidArgument("BuildHistogram: NaN value");
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (lo == hi) {
+    // Degenerate range: widen symmetrically so bins have positive width.
+    const double pad = (lo == 0.0) ? 0.5 : std::abs(lo) * 0.5 + 0.5;
+    lo -= pad;
+    hi += pad;
+  }
+
+  Histogram h;
+  h.counts.assign(num_bins, 0);
+  h.edges.resize(num_bins + 1);
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (size_t i = 0; i <= num_bins; ++i) {
+    h.edges[i] = lo + width * static_cast<double>(i);
+  }
+  h.edges[num_bins] = hi;  // Exact upper edge despite rounding.
+
+  for (double v : values) {
+    ++h.counts[h.BinIndex(v)];
+  }
+  return h;
+}
+
+}  // namespace oasis

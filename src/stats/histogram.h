@@ -1,0 +1,45 @@
+#ifndef OASIS_STATS_HISTOGRAM_H_
+#define OASIS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oasis {
+
+/// Equal-width histogram over a span of real values.
+///
+/// This is the score-distribution estimate used by the CSF stratification
+/// (Algorithm 1, line 2 of the paper): `counts[i]` is the number of values in
+/// bin i, and `edges` holds the M+1 bin boundaries. Values equal to the upper
+/// edge fall in the last bin (numpy.histogram convention, matching the
+/// reference implementation).
+struct Histogram {
+  std::vector<int64_t> counts;  // size M
+  std::vector<double> edges;    // size M + 1, strictly increasing
+
+  /// Number of bins.
+  size_t num_bins() const { return counts.size(); }
+
+  /// Lower/upper range covered by the histogram.
+  double min() const { return edges.front(); }
+  double max() const { return edges.back(); }
+
+  /// Returns the bin index that `value` falls in; values outside the range
+  /// are clamped to the first/last bin.
+  size_t BinIndex(double value) const;
+};
+
+/// Builds an equal-width histogram with `num_bins` bins over [min(values),
+/// max(values)]. When all values are identical the single point is widened by
+/// a tiny symmetric margin so every bin is well defined.
+///
+/// Fails with InvalidArgument when `values` is empty, contains NaN, or
+/// num_bins == 0.
+Result<Histogram> BuildHistogram(std::span<const double> values, size_t num_bins);
+
+}  // namespace oasis
+
+#endif  // OASIS_STATS_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+#include "stats/kl_divergence.h"
+
+#include <cmath>
+#include <limits>
+
+namespace oasis {
+
+Result<double> KlDivergence(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    return Status::InvalidArgument("KlDivergence: length mismatch");
+  }
+  if (p.empty()) {
+    return Status::InvalidArgument("KlDivergence: empty distributions");
+  }
+  double p_total = 0.0;
+  double q_total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < 0.0 || q[i] < 0.0 || std::isnan(p[i]) || std::isnan(q[i])) {
+      return Status::InvalidArgument("KlDivergence: negative or NaN weight");
+    }
+    p_total += p[i];
+    q_total += q[i];
+  }
+  if (p_total <= 0.0 || q_total <= 0.0) {
+    return Status::InvalidArgument("KlDivergence: zero-mass distribution");
+  }
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / p_total;
+    if (pi == 0.0) continue;
+    const double qi = q[i] / q_total;
+    if (qi == 0.0) return std::numeric_limits<double>::infinity();
+    kl += pi * std::log(pi / qi);
+  }
+  // Numerical round-off can produce a tiny negative value for p == q.
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+}  // namespace oasis

@@ -1,0 +1,23 @@
+#ifndef OASIS_STATS_KL_DIVERGENCE_H_
+#define OASIS_STATS_KL_DIVERGENCE_H_
+
+#include <span>
+
+#include "common/status.h"
+
+namespace oasis {
+
+/// KL divergence D(p || q) = sum_i p_i log(p_i / q_i) between two discrete
+/// distributions given as (possibly unnormalised) non-negative weights.
+///
+/// Figure 4(d) of the paper reports D(v* || v(t)) as the convergence
+/// diagnostic for the instrumental distribution; zero indicates convergence.
+///
+/// Terms with p_i == 0 contribute zero. Returns InvalidArgument when the
+/// vectors differ in length or either fails to normalise; returns +infinity
+/// when some p_i > 0 has q_i == 0 (absolute continuity violated).
+Result<double> KlDivergence(std::span<const double> p, std::span<const double> q);
+
+}  // namespace oasis
+
+#endif  // OASIS_STATS_KL_DIVERGENCE_H_

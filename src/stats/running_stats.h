@@ -1,0 +1,48 @@
+#ifndef OASIS_STATS_RUNNING_STATS_H_
+#define OASIS_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace oasis {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+///
+/// Used throughout the experiment harness to aggregate estimator error and
+/// spread across repeated runs without storing every sample.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford / Chan).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divide by n). Zero when fewer than one sample.
+  double variance_population() const;
+
+  /// Sample variance (divide by n-1). Zero when fewer than two samples.
+  double variance_sample() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Standard error of the mean: stddev / sqrt(n).
+  double standard_error() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_STATS_RUNNING_STATS_H_

@@ -1,0 +1,49 @@
+#include "stats/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+double Expit(double x) {
+  // Split by sign to avoid overflow in exp for large |x|.
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double Logit(double p, double eps) {
+  p = Clamp(p, eps, 1.0 - eps);
+  return std::log(p / (1.0 - p));
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double NormalizeInPlace(std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    const double uniform = weights.empty() ? 0.0 : 1.0 / static_cast<double>(weights.size());
+    std::fill(weights.begin(), weights.end(), uniform);
+    return total;
+  }
+  for (double& w : weights) w /= total;
+  return total;
+}
+
+double MeanAbsoluteDifference(std::span<const double> a, std::span<const double> b) {
+  OASIS_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace oasis

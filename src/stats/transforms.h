@@ -1,0 +1,32 @@
+#ifndef OASIS_STATS_TRANSFORMS_H_
+#define OASIS_STATS_TRANSFORMS_H_
+
+#include <span>
+#include <vector>
+
+namespace oasis {
+
+/// Logistic function 1 / (1 + exp(-x)); maps R to (0, 1).
+///
+/// Algorithm 2 of the paper applies this to stratum mean scores (offset by
+/// the classifier threshold tau) when raw scores are not probabilities.
+double Expit(double x);
+
+/// Inverse of Expit; p is clamped to [eps, 1-eps] for numerical safety.
+double Logit(double p, double eps = 1e-12);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Normalises a non-negative weight vector in place to sum to one. When the
+/// sum is zero the vector becomes uniform. Returns the pre-normalisation sum.
+double NormalizeInPlace(std::vector<double>& weights);
+
+/// Element-wise |a - b| averaged over the vectors (L1 distance / n); the
+/// convergence diagnostics of Figure 4 report this for pi-hat and v-star.
+/// Vectors must be the same length.
+double MeanAbsoluteDifference(std::span<const double> a, std::span<const double> b);
+
+}  // namespace oasis
+
+#endif  // OASIS_STATS_TRANSFORMS_H_

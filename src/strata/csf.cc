@@ -1,0 +1,87 @@
+#include "strata/csf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/transforms.h"
+
+namespace oasis {
+
+Result<Strata> StratifyCsf(std::span<const double> scores, const CsfOptions& options) {
+  if (scores.empty()) return Status::InvalidArgument("StratifyCsf: empty scores");
+  if (options.target_strata == 0) {
+    return Status::InvalidArgument("StratifyCsf: target_strata must be positive");
+  }
+  // The logit transform is monotone, so stratifying the transformed scores
+  // yields the same kind of score-interval strata with better resolution in
+  // the tails of probability-valued scores.
+  std::vector<double> transformed;
+  if (options.logit_transform) {
+    transformed.reserve(scores.size());
+    for (double s : scores) {
+      if (std::isnan(s)) {
+        return Status::InvalidArgument("StratifyCsf: NaN score");
+      }
+      transformed.push_back(Logit(s, 1e-9));
+    }
+    scores = transformed;
+  }
+  size_t bins = options.histogram_bins;
+  if (bins == 0) bins = std::max<size_t>(1000, 10 * options.target_strata);
+  if (bins < options.target_strata) {
+    return Status::InvalidArgument(
+        "StratifyCsf: histogram_bins must be >= target_strata");
+  }
+
+  // Algorithm 1, lines 1-3: histogram of scores, then the cumulative
+  // sqrt-frequency curve over the bins.
+  OASIS_ASSIGN_OR_RETURN(Histogram hist, BuildHistogram(scores, bins));
+  std::vector<double> csf(bins);
+  double acc = 0.0;
+  for (size_t j = 0; j < bins; ++j) {
+    acc += std::sqrt(static_cast<double>(hist.counts[j]));
+    csf[j] = acc;
+  }
+  const double total = csf.back();
+  if (total <= 0.0) {
+    return Status::Internal("StratifyCsf: degenerate score histogram");
+  }
+
+  // Lines 4-18: cut the CSF scale into target_strata equal-width pieces and
+  // map each cut back to a histogram bin edge on the score scale. Duplicate
+  // cuts (several targets landing in one bin) collapse, so the final K can be
+  // smaller than requested.
+  const double width = total / static_cast<double>(options.target_strata);
+  std::vector<double> stratum_edges;
+  stratum_edges.push_back(hist.edges.front());
+  size_t j = 0;
+  for (size_t k = 1; k < options.target_strata; ++k) {
+    const double target = width * static_cast<double>(k);
+    while (j < bins && csf[j] < target) ++j;
+    if (j >= bins - 1) break;  // Remaining cuts would coincide with the top edge.
+    const double edge = hist.edges[j + 1];
+    if (edge > stratum_edges.back()) stratum_edges.push_back(edge);
+  }
+  stratum_edges.push_back(hist.edges.back());
+
+  // Line 19: allocate items to strata; FromScoreEdges drops empty strata.
+  return Strata::FromScoreEdges(scores, stratum_edges);
+}
+
+Result<Strata> StratifyCsf(std::span<const double> scores, size_t target_strata) {
+  CsfOptions options;
+  options.target_strata = target_strata;
+  return StratifyCsf(scores, options);
+}
+
+Result<Strata> StratifyCsf(std::span<const double> scores, size_t target_strata,
+                           bool scores_are_probabilities) {
+  CsfOptions options;
+  options.target_strata = target_strata;
+  options.logit_transform = scores_are_probabilities;
+  return StratifyCsf(scores, options);
+}
+
+}  // namespace oasis

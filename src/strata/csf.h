@@ -1,0 +1,54 @@
+#ifndef OASIS_STRATA_CSF_H_
+#define OASIS_STRATA_CSF_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/status.h"
+#include "strata/strata.h"
+
+namespace oasis {
+
+/// Options for cumulative-sqrt-F stratification (Algorithm 1 of the paper).
+struct CsfOptions {
+  /// Desired number of strata K-tilde. The result is NOT guaranteed to have
+  /// exactly this many strata: score-histogram granularity and empty-stratum
+  /// removal can reduce it (the paper makes the same caveat).
+  size_t target_strata = 30;
+
+  /// Number of equal-width histogram bins M used to estimate the score
+  /// distribution. Must be >= target_strata for the cut search to have room.
+  size_t histogram_bins = 0;  // 0 -> max(1000, 10 * target_strata)
+
+  /// Stratify on the logit of the scores instead of the raw scores. Only
+  /// meaningful for probability scores in [0, 1]. Probability scores under
+  /// extreme class imbalance concentrate almost all mass within a sliver of
+  /// [0, 1]; equal-width histogram bins cannot resolve that region, merging
+  /// heterogeneous items into one stratum. The logit transform is monotone
+  /// (identical stratum semantics) but spreads both tails so CSF can cut
+  /// them. Scores are clamped to [1e-9, 1 - 1e-9] before the transform.
+  bool logit_transform = false;
+};
+
+/// Stratifies pool items by similarity score using the cumulative-sqrt-F
+/// (CSF) rule of Dalenius & Hodges: strata are equal-width intervals on the
+/// cumulative sqrt(frequency) scale, which approximately minimises
+/// intra-stratum score variance.
+///
+/// Under the extreme class imbalance of ER this produces the characteristic
+/// shape of the paper's Figure 1: enormous low-score strata and tiny
+/// high-score strata.
+Result<Strata> StratifyCsf(std::span<const double> scores, const CsfOptions& options);
+
+/// Convenience overload with defaults except the stratum count.
+Result<Strata> StratifyCsf(std::span<const double> scores, size_t target_strata);
+
+/// Convenience overload selecting the logit transform when the scores are
+/// probabilities — the right default for pools produced by calibrated
+/// classifiers.
+Result<Strata> StratifyCsf(std::span<const double> scores, size_t target_strata,
+                           bool scores_are_probabilities);
+
+}  // namespace oasis
+
+#endif  // OASIS_STRATA_CSF_H_

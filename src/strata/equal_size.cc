@@ -1,0 +1,43 @@
+#include "strata/equal_size.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace oasis {
+
+Result<Strata> StratifyEqualSize(std::span<const double> scores, size_t num_strata) {
+  if (scores.empty()) return Status::InvalidArgument("StratifyEqualSize: empty scores");
+  if (num_strata == 0) {
+    return Status::InvalidArgument("StratifyEqualSize: num_strata must be positive");
+  }
+  for (double s : scores) {
+    if (std::isnan(s)) return Status::InvalidArgument("StratifyEqualSize: NaN score");
+  }
+  const size_t n = scores.size();
+  const size_t k_eff = std::min(num_strata, n);
+
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+
+  // Distribute n items over k_eff groups; the first (n % k_eff) groups get one
+  // extra item so sizes differ by at most one.
+  std::vector<int32_t> assignment(n, 0);
+  const size_t base = n / k_eff;
+  const size_t extra = n % k_eff;
+  size_t pos = 0;
+  for (size_t k = 0; k < k_eff; ++k) {
+    const size_t group = base + (k < extra ? 1 : 0);
+    for (size_t i = 0; i < group; ++i) {
+      assignment[static_cast<size_t>(order[pos++])] = static_cast<int32_t>(k);
+    }
+  }
+  return Strata::FromAssignment(assignment);
+}
+
+}  // namespace oasis

@@ -1,0 +1,24 @@
+#ifndef OASIS_STRATA_EQUAL_SIZE_H_
+#define OASIS_STRATA_EQUAL_SIZE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/status.h"
+#include "strata/strata.h"
+
+namespace oasis {
+
+/// Equal-size stratification: items are ranked by score and split into K
+/// consecutive rank groups of (near-)equal population.
+///
+/// This is the alternative stratification design mentioned by the paper
+/// (from Druck & McCallum). It guarantees balanced stratum sizes but, unlike
+/// CSF, lets score variance concentrate inside strata — the ablation benches
+/// compare the two. Ties are broken by item index so results are
+/// deterministic. K is capped at the number of items.
+Result<Strata> StratifyEqualSize(std::span<const double> scores, size_t num_strata);
+
+}  // namespace oasis
+
+#endif  // OASIS_STRATA_EQUAL_SIZE_H_

@@ -1,0 +1,134 @@
+#include "strata/strata.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+Result<Strata> Strata::FromAssignment(std::span<const int32_t> assignment) {
+  if (assignment.empty()) {
+    return Status::InvalidArgument("Strata: empty assignment");
+  }
+  int32_t max_index = -1;
+  for (int32_t a : assignment) {
+    if (a < 0) return Status::InvalidArgument("Strata: negative stratum index");
+    max_index = std::max(max_index, a);
+  }
+
+  // Bucket items, then compact away empty strata while preserving order.
+  std::vector<std::vector<int32_t>> buckets(static_cast<size_t>(max_index) + 1);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    buckets[static_cast<size_t>(assignment[i])].push_back(static_cast<int32_t>(i));
+  }
+
+  Strata strata;
+  strata.stratum_of_.assign(assignment.size(), -1);
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    const int32_t k = static_cast<int32_t>(strata.allocations_.size());
+    for (int32_t item : bucket) strata.stratum_of_[item] = k;
+    strata.allocations_.push_back(std::move(bucket));
+  }
+
+  const double n = static_cast<double>(assignment.size());
+  strata.weights_.resize(strata.allocations_.size());
+  for (size_t k = 0; k < strata.allocations_.size(); ++k) {
+    strata.weights_[k] = static_cast<double>(strata.allocations_[k].size()) / n;
+  }
+  return strata;
+}
+
+Result<Strata> Strata::FromScoreEdges(std::span<const double> scores,
+                                      std::span<const double> edges) {
+  if (scores.empty()) return Status::InvalidArgument("Strata: empty scores");
+  if (edges.size() < 2) {
+    return Status::InvalidArgument("Strata: need at least two edges");
+  }
+  for (size_t i = 1; i < edges.size(); ++i) {
+    if (!(edges[i] > edges[i - 1])) {
+      return Status::InvalidArgument("Strata: edges must be strictly increasing");
+    }
+  }
+
+  const size_t num_bins = edges.size() - 1;
+  std::vector<int32_t> assignment(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double s = scores[i];
+    if (std::isnan(s)) return Status::InvalidArgument("Strata: NaN score");
+    // upper_bound gives the first edge strictly greater than s, so bin j
+    // covers [edges[j], edges[j+1}); clamp out-of-range and top-edge values.
+    auto it = std::upper_bound(edges.begin(), edges.end(), s);
+    int64_t bin = static_cast<int64_t>(it - edges.begin()) - 1;
+    bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(num_bins) - 1);
+    assignment[i] = static_cast<int32_t>(bin);
+  }
+  return FromAssignment(assignment);
+}
+
+int32_t Strata::SampleItem(size_t k, Rng& rng) const {
+  OASIS_DCHECK(k < allocations_.size());
+  const auto& items = allocations_[k];
+  OASIS_DCHECK(!items.empty());
+  return items[rng.NextBounded(items.size())];
+}
+
+std::vector<double> Strata::MeanPerStratum(std::span<const double> values) const {
+  OASIS_CHECK_EQ(values.size(), stratum_of_.size());
+  std::vector<double> means(num_strata(), 0.0);
+  for (size_t k = 0; k < num_strata(); ++k) {
+    double acc = 0.0;
+    for (int32_t item : allocations_[k]) acc += values[static_cast<size_t>(item)];
+    means[k] = acc / static_cast<double>(allocations_[k].size());
+  }
+  return means;
+}
+
+std::vector<double> Strata::MeanPerStratum(std::span<const uint8_t> values) const {
+  OASIS_CHECK_EQ(values.size(), stratum_of_.size());
+  std::vector<double> means(num_strata(), 0.0);
+  for (size_t k = 0; k < num_strata(); ++k) {
+    double acc = 0.0;
+    for (int32_t item : allocations_[k]) {
+      acc += values[static_cast<size_t>(item)] != 0 ? 1.0 : 0.0;
+    }
+    means[k] = acc / static_cast<double>(allocations_[k].size());
+  }
+  return means;
+}
+
+Status Strata::Validate() const {
+  if (allocations_.empty()) return Status::FailedPrecondition("Strata: no strata");
+  std::vector<uint8_t> seen(stratum_of_.size(), 0);
+  size_t total = 0;
+  for (size_t k = 0; k < allocations_.size(); ++k) {
+    if (allocations_[k].empty()) {
+      return Status::FailedPrecondition("Strata: empty stratum survived compaction");
+    }
+    for (int32_t item : allocations_[k]) {
+      if (item < 0 || static_cast<size_t>(item) >= stratum_of_.size()) {
+        return Status::FailedPrecondition("Strata: item index out of range");
+      }
+      if (seen[static_cast<size_t>(item)]) {
+        return Status::FailedPrecondition("Strata: item in multiple strata");
+      }
+      seen[static_cast<size_t>(item)] = 1;
+      if (stratum_of_[static_cast<size_t>(item)] != static_cast<int32_t>(k)) {
+        return Status::FailedPrecondition("Strata: stratum_of mismatch");
+      }
+      ++total;
+    }
+  }
+  if (total != stratum_of_.size()) {
+    return Status::FailedPrecondition("Strata: not all items allocated");
+  }
+  double weight_sum = 0.0;
+  for (double w : weights_) weight_sum += w;
+  if (std::abs(weight_sum - 1.0) > 1e-9) {
+    return Status::FailedPrecondition("Strata: weights do not sum to 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace oasis

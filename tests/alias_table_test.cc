@@ -1,0 +1,101 @@
+#include "common/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(AliasTableTest, RejectsEmptyWeights) {
+  EXPECT_FALSE(AliasTable::Build({}).ok());
+}
+
+TEST(AliasTableTest, RejectsNegativeWeight) {
+  const std::vector<double> weights{1.0, -0.5};
+  EXPECT_FALSE(AliasTable::Build(weights).ok());
+}
+
+TEST(AliasTableTest, RejectsNaNWeight) {
+  const std::vector<double> weights{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(AliasTable::Build(weights).ok());
+}
+
+TEST(AliasTableTest, RejectsAllZeroWeights) {
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  EXPECT_FALSE(AliasTable::Build(weights).ok());
+}
+
+TEST(AliasTableTest, NormalizesProbabilities) {
+  const std::vector<double> weights{2.0, 6.0, 2.0};
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_NEAR(table.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(table.probability(2), 0.2, 1e-12);
+}
+
+TEST(AliasTableTest, SingleCategoryAlwaysSampled) {
+  const std::vector<double> weights{3.7};
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  Rng rng(99);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), weights[i] / 10.0, 0.008)
+        << "category " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightCategoryNeverSampled) {
+  const std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const size_t draw = table.Sample(rng);
+    EXPECT_TRUE(draw == 1 || draw == 3);
+  }
+}
+
+TEST(AliasTableTest, ExtremeWeightRatio) {
+  // One category dominates by 10^9 yet the rare one remains reachable in
+  // expectation and probabilities stay exact.
+  const std::vector<double> weights{1e-9, 1.0};
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  EXPECT_NEAR(table.probability(0), 1e-9 / (1.0 + 1e-9), 1e-18);
+  Rng rng(4);
+  int rare = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table.Sample(rng) == 0) ++rare;
+  }
+  EXPECT_LE(rare, 2);  // ~1e-4 expected draws.
+}
+
+TEST(AliasTableTest, LargeUniformTable) {
+  std::vector<double> weights(10000, 0.5);
+  AliasTable table = AliasTable::Build(weights).ValueOrDie();
+  Rng rng(5);
+  // Spot-check the range and that many distinct values appear.
+  std::vector<uint8_t> seen(10000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const size_t draw = table.Sample(rng);
+    ASSERT_LT(draw, 10000u);
+    seen[draw] = 1;
+  }
+  int distinct = 0;
+  for (uint8_t s : seen) distinct += s;
+  EXPECT_GT(distinct, 9500);
+}
+
+}  // namespace
+}  // namespace oasis

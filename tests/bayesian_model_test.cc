@@ -1,0 +1,111 @@
+#include "core/bayesian_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(StratifiedBetaModelTest, RejectsBadArguments) {
+  EXPECT_FALSE(StratifiedBetaModel::Create({}, 2.0, true).ok());
+  const std::vector<double> degenerate{0.0, 0.5};
+  EXPECT_FALSE(StratifiedBetaModel::Create(degenerate, 2.0, true).ok());
+  const std::vector<double> over{0.5, 1.0};
+  EXPECT_FALSE(StratifiedBetaModel::Create(over, 2.0, true).ok());
+  const std::vector<double> valid{0.5};
+  EXPECT_FALSE(StratifiedBetaModel::Create(valid, 0.0, true).ok());
+  EXPECT_FALSE(StratifiedBetaModel::Create(valid, -1.0, true).ok());
+}
+
+TEST(StratifiedBetaModelTest, PriorMeanBeforeObservations) {
+  const std::vector<double> prior{0.2, 0.7};
+  StratifiedBetaModel model =
+      StratifiedBetaModel::Create(prior, 4.0, /*decay_prior=*/false).ValueOrDie();
+  EXPECT_NEAR(model.PosteriorMean(0), 0.2, 1e-12);
+  EXPECT_NEAR(model.PosteriorMean(1), 0.7, 1e-12);
+}
+
+TEST(StratifiedBetaModelTest, PosteriorUpdateMatchesBetaBernoulli) {
+  // Prior Beta(eta*pi, eta*(1-pi)) with eta=4, pi=0.25 -> Beta(1, 3).
+  const std::vector<double> prior{0.25};
+  StratifiedBetaModel model =
+      StratifiedBetaModel::Create(prior, 4.0, /*decay_prior=*/false).ValueOrDie();
+  // Observe 3 matches, 1 non-match: posterior Beta(4, 4), mean 0.5.
+  model.Observe(0, true);
+  model.Observe(0, true);
+  model.Observe(0, true);
+  model.Observe(0, false);
+  EXPECT_NEAR(model.PosteriorMean(0), 0.5, 1e-12);
+  EXPECT_EQ(model.labels_observed(0), 4);
+  EXPECT_EQ(model.matches_observed(0), 3);
+}
+
+TEST(StratifiedBetaModelTest, StrataAreIndependent) {
+  const std::vector<double> prior{0.5, 0.5};
+  StratifiedBetaModel model =
+      StratifiedBetaModel::Create(prior, 2.0, false).ValueOrDie();
+  model.Observe(0, true);
+  model.Observe(0, true);
+  EXPECT_GT(model.PosteriorMean(0), 0.5);
+  EXPECT_NEAR(model.PosteriorMean(1), 0.5, 1e-12);  // Untouched stratum.
+}
+
+TEST(StratifiedBetaModelTest, DecayExactlyDividesPrior) {
+  // Remark 4: after n_k labels the prior column is divided by n_k. With
+  // eta=10, pi0=0.5 (Beta(5,5)) and 2 observed matches:
+  //   no decay:  (5+2)/(10+2)            = 7/12
+  //   decay n=2: (5/2+2)/(5/2+5/2+2)     = 4.5/7 ~ 0.642857
+  const std::vector<double> prior{0.5};
+  StratifiedBetaModel no_decay =
+      StratifiedBetaModel::Create(prior, 10.0, false).ValueOrDie();
+  StratifiedBetaModel decay =
+      StratifiedBetaModel::Create(prior, 10.0, true).ValueOrDie();
+  for (StratifiedBetaModel* model : {&no_decay, &decay}) {
+    model->Observe(0, true);
+    model->Observe(0, true);
+  }
+  EXPECT_NEAR(no_decay.PosteriorMean(0), 7.0 / 12.0, 1e-12);
+  EXPECT_NEAR(decay.PosteriorMean(0), 4.5 / 7.0, 1e-12);
+}
+
+TEST(StratifiedBetaModelTest, DecayRecoversFromMisspecifiedPrior) {
+  // Heavily wrong prior (pi0=0.9) against all-negative labels: the decayed
+  // model must converge to ~0 much faster than the undecayed one.
+  const std::vector<double> prior{0.9};
+  StratifiedBetaModel no_decay =
+      StratifiedBetaModel::Create(prior, 100.0, false).ValueOrDie();
+  StratifiedBetaModel decay =
+      StratifiedBetaModel::Create(prior, 100.0, true).ValueOrDie();
+  for (int i = 0; i < 50; ++i) {
+    no_decay.Observe(0, false);
+    decay.Observe(0, false);
+  }
+  EXPECT_LT(decay.PosteriorMean(0), 0.05);
+  EXPECT_GT(no_decay.PosteriorMean(0), 0.5);  // Still dominated by the prior.
+}
+
+TEST(StratifiedBetaModelTest, ConvergesToEmpiricalRate) {
+  const std::vector<double> prior{0.5};
+  StratifiedBetaModel model =
+      StratifiedBetaModel::Create(prior, 2.0, true).ValueOrDie();
+  // 300 labels at a 1/3 match rate.
+  for (int i = 0; i < 300; ++i) model.Observe(0, i % 3 == 0);
+  EXPECT_NEAR(model.PosteriorMean(0), 1.0 / 3.0, 0.01);
+}
+
+TEST(StratifiedBetaModelTest, PosteriorMeansVectorMatchesScalars) {
+  const std::vector<double> prior{0.1, 0.5, 0.9};
+  StratifiedBetaModel model =
+      StratifiedBetaModel::Create(prior, 3.0, true).ValueOrDie();
+  model.Observe(1, true);
+  model.Observe(2, false);
+  const std::vector<double> means = model.PosteriorMeans();
+  ASSERT_EQ(means.size(), 3u);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(means[k], model.PosteriorMean(k));
+  }
+}
+
+}  // namespace
+}  // namespace oasis

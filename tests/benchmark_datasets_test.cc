@@ -1,0 +1,160 @@
+#include "datagen/benchmark_datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/confusion.h"
+
+namespace oasis {
+namespace datagen {
+namespace {
+
+TEST(ProfilesTest, SixStandardProfilesInPaperOrder) {
+  const auto& profiles = StandardProfiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "Amazon-GoogleProducts");
+  EXPECT_EQ(profiles[1].name, "restaurant");
+  EXPECT_EQ(profiles[2].name, "DBLP-ACM");
+  EXPECT_EQ(profiles[3].name, "Abt-Buy");
+  EXPECT_EQ(profiles[4].name, "cora");
+  EXPECT_EQ(profiles[5].name, "tweets100k");
+}
+
+TEST(ProfilesTest, FullSizesMatchPaperTable1) {
+  const auto& profiles = StandardProfiles();
+  // Two-source profiles reproduce |Z| = n1 * n2 at (or very near) the
+  // published sizes.
+  EXPECT_EQ(static_cast<int64_t>(profiles[0].left_size * profiles[0].right_size),
+            profiles[0].paper_full_size);
+  EXPECT_EQ(static_cast<int64_t>(profiles[1].left_size * profiles[1].right_size),
+            profiles[1].paper_full_size);
+  EXPECT_EQ(static_cast<int64_t>(profiles[3].left_size * profiles[3].right_size),
+            profiles[3].paper_full_size);
+  // DBLP-ACM is approximate (the paper's size has no integer factorisation
+  // consistent with the published record counts).
+  const double dblp =
+      static_cast<double>(profiles[2].left_size * profiles[2].right_size);
+  EXPECT_NEAR(dblp / static_cast<double>(profiles[2].paper_full_size), 1.0, 0.01);
+}
+
+TEST(ProfilesTest, LookupByName) {
+  EXPECT_TRUE(ProfileByName("cora").ok());
+  EXPECT_EQ(ProfileByName("cora").ValueOrDie().dedup, true);
+  EXPECT_FALSE(ProfileByName("nonexistent").ok());
+}
+
+TEST(ClassifierFactoryTest, AllKindsConstructAndName) {
+  for (ClassifierKind kind :
+       {ClassifierKind::kLinearSvm, ClassifierKind::kLogisticRegression,
+        ClassifierKind::kMlp, ClassifierKind::kAdaBoost, ClassifierKind::kRbfSvm}) {
+    auto model = MakeClassifier(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), ClassifierKindName(kind));
+  }
+}
+
+/// A miniature profile so pool construction stays fast in unit tests.
+DatasetProfile MiniProfile() {
+  DatasetProfile p;
+  p.name = "mini";
+  p.domain = Domain::kECommerce;
+  p.left_size = 150;
+  p.right_size = 150;
+  p.full_matches = 60;
+  p.pool_size = 2000;
+  p.pool_matches = 25;
+  p.hard_negative_fraction = 0.1;
+  p.train_matches = 40;
+  p.train_nonmatches = 400;
+  p.train_hard_fraction = 0.3;
+  p.predicted_positive_factor = 0.8;
+  return p;
+}
+
+TEST(BuildBenchmarkPoolTest, PoolShapeAndTruthCounts) {
+  BenchmarkPool pool =
+      BuildBenchmarkPool(MiniProfile(), ClassifierKind::kLinearSvm,
+                         /*calibrated=*/false, /*seed=*/42)
+          .ValueOrDie();
+  EXPECT_EQ(pool.scored.size(), 2000);
+  EXPECT_EQ(pool.truth.size(), 2000u);
+  EXPECT_EQ(pool.pool_matches, 25);
+  EXPECT_TRUE(pool.scored.Validate().ok());
+  int64_t truth_count = 0;
+  for (uint8_t t : pool.truth) truth_count += t;
+  EXPECT_EQ(truth_count, 25);
+}
+
+TEST(BuildBenchmarkPoolTest, OperatingPointHitsPredictedCount) {
+  DatasetProfile profile = MiniProfile();
+  profile.predicted_positive_factor = 0.8;
+  BenchmarkPool pool = BuildBenchmarkPool(profile, ClassifierKind::kLinearSvm,
+                                          false, 43)
+                           .ValueOrDie();
+  // round(0.8 * 25) = 20 predicted positives (+- score ties).
+  EXPECT_NEAR(static_cast<double>(pool.scored.NumPredictedPositives()), 20.0, 3.0);
+}
+
+TEST(BuildBenchmarkPoolTest, ScoresSeparateClassesOnEasyData) {
+  BenchmarkPool pool = BuildBenchmarkPool(MiniProfile(), ClassifierKind::kLinearSvm,
+                                          false, 44)
+                           .ValueOrDie();
+  // Mean score of matches far above mean score of non-matches.
+  double match_mean = 0.0;
+  double non_mean = 0.0;
+  int64_t matches = 0;
+  for (size_t i = 0; i < pool.truth.size(); ++i) {
+    if (pool.truth[i]) {
+      match_mean += pool.scored.scores[i];
+      ++matches;
+    } else {
+      non_mean += pool.scored.scores[i];
+    }
+  }
+  match_mean /= static_cast<double>(matches);
+  non_mean /= static_cast<double>(pool.truth.size() - matches);
+  EXPECT_GT(match_mean, non_mean + 0.5);
+}
+
+TEST(BuildBenchmarkPoolTest, CalibratedScoresAreProbabilities) {
+  BenchmarkPool pool = BuildBenchmarkPool(MiniProfile(), ClassifierKind::kLinearSvm,
+                                          /*calibrated=*/true, 45)
+                           .ValueOrDie();
+  EXPECT_TRUE(pool.scored.scores_are_probabilities);
+  for (double s : pool.scored.scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(BuildBenchmarkPoolTest, DeterministicInSeed) {
+  BenchmarkPool a =
+      BuildBenchmarkPool(MiniProfile(), ClassifierKind::kLinearSvm, false, 77)
+          .ValueOrDie();
+  BenchmarkPool b =
+      BuildBenchmarkPool(MiniProfile(), ClassifierKind::kLinearSvm, false, 77)
+          .ValueOrDie();
+  EXPECT_EQ(a.scored.scores, b.scored.scores);
+  EXPECT_EQ(a.truth, b.truth);
+}
+
+TEST(BuildBenchmarkPoolTest, DirectScoreProfileTweets) {
+  DatasetProfile tweets = ProfileByName("tweets100k").ValueOrDie();
+  BenchmarkPool pool =
+      BuildBenchmarkPool(tweets, ClassifierKind::kLinearSvm, false, 46)
+          .ValueOrDie();
+  EXPECT_EQ(pool.scored.size(), tweets.pool_size);
+  EXPECT_EQ(pool.pool_matches, tweets.pool_matches);
+  // Balanced regime: precision and recall should land near the paper's
+  // ~0.76/0.78 operating point.
+  EXPECT_NEAR(pool.true_measures.precision, tweets.paper_precision, 0.05);
+  EXPECT_NEAR(pool.true_measures.recall, tweets.paper_recall, 0.05);
+}
+
+TEST(GenerateDatasetForProfileTest, DirectScoreProfileHasNoDataset) {
+  DatasetProfile tweets = ProfileByName("tweets100k").ValueOrDie();
+  EXPECT_FALSE(GenerateDatasetForProfile(tweets, 1).ok());
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace oasis

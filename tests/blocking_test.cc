@@ -1,0 +1,98 @@
+#include "er/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace oasis {
+namespace er {
+namespace {
+
+Database MakeDb(std::vector<std::string> names) {
+  Database db;
+  db.schema = Schema({{"name", FieldKind::kShortText}});
+  for (auto& name : names) {
+    Record r;
+    r.values.push_back(FieldValue::Text(std::move(name)));
+    db.records.push_back(std::move(r));
+  }
+  return db;
+}
+
+bool Contains(const std::vector<RecordPair>& pairs, RecordPair target) {
+  return std::find(pairs.begin(), pairs.end(), target) != pairs.end();
+}
+
+TEST(TokenBlockingTest, PairsShareAToken) {
+  Database left = MakeDb({"acme widget", "zeta gadget"});
+  Database right = MakeDb({"acme tool", "other thing"});
+  BlockingOptions options;
+  const std::vector<RecordPair> pairs =
+      TokenBlocking(left, right, options).ValueOrDie();
+  EXPECT_TRUE(Contains(pairs, {0, 0}));   // Share "acme".
+  EXPECT_FALSE(Contains(pairs, {1, 1}));  // No shared token.
+  EXPECT_FALSE(Contains(pairs, {0, 1}));
+}
+
+TEST(TokenBlockingTest, DeduplicatesMultiTokenOverlap) {
+  Database left = MakeDb({"red blue green"});
+  Database right = MakeDb({"red blue yellow"});
+  const std::vector<RecordPair> pairs =
+      TokenBlocking(left, right, BlockingOptions{}).ValueOrDie();
+  // Two shared tokens but the pair appears once.
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(TokenBlockingTest, StopWordBlocksAreDropped) {
+  // Every record shares "the"; with a tiny cap the block is skipped and no
+  // pairs survive.
+  Database left = MakeDb({"the alpha", "the beta", "the gamma"});
+  Database right = MakeDb({"the delta", "the epsilon"});
+  BlockingOptions options;
+  options.max_block_size = 2;  // 3*2 = 6 > 2 -> dropped.
+  const std::vector<RecordPair> pairs =
+      TokenBlocking(left, right, options).ValueOrDie();
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(TokenBlockingTest, MissingValuesAreSkipped) {
+  Database left = MakeDb({"shared token"});
+  Database right = MakeDb({"shared token"});
+  Record missing;
+  missing.values.push_back(FieldValue::Missing());
+  right.records.push_back(missing);
+  const std::vector<RecordPair> pairs =
+      TokenBlocking(left, right, BlockingOptions{}).ValueOrDie();
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(TokenBlockingTest, RejectsBadFieldIndex) {
+  Database left = MakeDb({"x"});
+  Database right = MakeDb({"x"});
+  BlockingOptions options;
+  options.field_index = 5;
+  EXPECT_FALSE(TokenBlocking(left, right, options).ok());
+}
+
+TEST(TokenBlockingDedupTest, EmitsOrderedPairsOnce) {
+  Database db = MakeDb({"acme one", "acme two", "acme three", "unrelated"});
+  const std::vector<RecordPair> pairs =
+      TokenBlockingDedup(db, BlockingOptions{}).ValueOrDie();
+  EXPECT_EQ(pairs.size(), 3u);  // C(3,2) pairs among the "acme" records.
+  for (const RecordPair& pair : pairs) {
+    EXPECT_LT(pair.left, pair.right);
+  }
+}
+
+TEST(TokenBlockingDedupTest, RecallAgainstGroundTruth) {
+  // Duplicates share tokens, so blocking must recover every true pair.
+  Database db = MakeDb({"john smith", "jon smith", "mary jones", "mary jonse"});
+  const std::vector<RecordPair> pairs =
+      TokenBlockingDedup(db, BlockingOptions{}).ValueOrDie();
+  EXPECT_TRUE(Contains(pairs, {0, 1}));  // Share "smith".
+  EXPECT_TRUE(Contains(pairs, {2, 3}));  // Share "mary".
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

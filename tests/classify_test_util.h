@@ -1,0 +1,60 @@
+#ifndef OASIS_TESTS_CLASSIFY_TEST_UTIL_H_
+#define OASIS_TESTS_CLASSIFY_TEST_UTIL_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/dataset.h"
+#include "common/random.h"
+
+namespace oasis {
+namespace testutil {
+
+/// Linearly separable-ish 2D blobs: positives around (+1, +1), negatives
+/// around (-1, -1), with the given Gaussian spread.
+inline classify::Dataset MakeBlobs(size_t per_class, double spread,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  classify::Dataset data(2);
+  for (size_t i = 0; i < per_class; ++i) {
+    const std::vector<double> pos{1.0 + spread * rng.NextGaussian(),
+                                  1.0 + spread * rng.NextGaussian()};
+    const std::vector<double> neg{-1.0 + spread * rng.NextGaussian(),
+                                  -1.0 + spread * rng.NextGaussian()};
+    (void)data.Add(pos, true);
+    (void)data.Add(neg, false);
+  }
+  return data;
+}
+
+/// XOR-patterned data: linearly inseparable, solvable by MLP / RBF / trees.
+inline classify::Dataset MakeXor(size_t per_quadrant, double spread,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  classify::Dataset data(2);
+  const double centers[4][2] = {{1, 1}, {-1, -1}, {1, -1}, {-1, 1}};
+  for (size_t i = 0; i < per_quadrant; ++i) {
+    for (int q = 0; q < 4; ++q) {
+      const std::vector<double> point{
+          centers[q][0] + spread * rng.NextGaussian(),
+          centers[q][1] + spread * rng.NextGaussian()};
+      (void)data.Add(point, q < 2);  // Same-sign quadrants positive.
+    }
+  }
+  return data;
+}
+
+/// Fraction of correct predictions of `model` on `data`.
+inline double Accuracy(const classify::Classifier& model,
+                       const classify::Dataset& data) {
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (model.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace testutil
+}  // namespace oasis
+
+#endif  // OASIS_TESTS_CLASSIFY_TEST_UTIL_H_

@@ -1,0 +1,45 @@
+#include "stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oasis {
+namespace {
+
+TEST(NormalQuantileTest, KnownQuantiles) {
+  EXPECT_NEAR(NormalQuantileTwoSided(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantileTwoSided(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(NormalQuantileTwoSided(0.90), 1.644854, 1e-5);
+  EXPECT_NEAR(NormalQuantileTwoSided(0.6826895), 1.0, 1e-4);
+}
+
+TEST(MeanConfidenceIntervalTest, FewSamplesGiveZeroWidth) {
+  RunningStats stats;
+  stats.Add(1.0);
+  const ConfidenceInterval ci = MeanConfidenceInterval(stats);
+  EXPECT_DOUBLE_EQ(ci.center, 1.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(MeanConfidenceIntervalTest, WidthMatchesFormula) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.Add(x);
+  const ConfidenceInterval ci = MeanConfidenceInterval(stats, 0.95);
+  EXPECT_DOUBLE_EQ(ci.center, 3.0);
+  const double expected =
+      NormalQuantileTwoSided(0.95) * stats.stddev() / std::sqrt(5.0);
+  EXPECT_NEAR(ci.half_width, expected, 1e-12);
+  EXPECT_NEAR(ci.lower(), 3.0 - expected, 1e-12);
+  EXPECT_NEAR(ci.upper(), 3.0 + expected, 1e-12);
+}
+
+TEST(MeanConfidenceIntervalTest, HigherLevelIsWider) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) stats.Add(x);
+  EXPECT_GT(MeanConfidenceInterval(stats, 0.99).half_width,
+            MeanConfidenceInterval(stats, 0.90).half_width);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,56 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(ConfusionTest, AddClassifiesAllQuadrants) {
+  ConfusionCounts counts;
+  counts.Add(true, true);
+  counts.Add(false, true);
+  counts.Add(true, false);
+  counts.Add(false, false);
+  EXPECT_EQ(counts.true_positives, 1);
+  EXPECT_EQ(counts.false_positives, 1);
+  EXPECT_EQ(counts.false_negatives, 1);
+  EXPECT_EQ(counts.true_negatives, 1);
+  EXPECT_EQ(counts.total(), 4);
+  EXPECT_EQ(counts.actual_positives(), 2);
+  EXPECT_EQ(counts.predicted_positives(), 2);
+}
+
+TEST(ConfusionTest, PlusEqualsAccumulates) {
+  ConfusionCounts a;
+  a.Add(true, true);
+  ConfusionCounts b;
+  b.Add(false, true);
+  b.Add(false, false);
+  a += b;
+  EXPECT_EQ(a.true_positives, 1);
+  EXPECT_EQ(a.false_positives, 1);
+  EXPECT_EQ(a.true_negatives, 1);
+  EXPECT_EQ(a.total(), 3);
+}
+
+TEST(CountConfusionTest, CountsVectors) {
+  const std::vector<uint8_t> truth{1, 1, 0, 0, 1};
+  const std::vector<uint8_t> pred{1, 0, 1, 0, 1};
+  const ConfusionCounts counts = CountConfusion(truth, pred).ValueOrDie();
+  EXPECT_EQ(counts.true_positives, 2);
+  EXPECT_EQ(counts.false_negatives, 1);
+  EXPECT_EQ(counts.false_positives, 1);
+  EXPECT_EQ(counts.true_negatives, 1);
+}
+
+TEST(CountConfusionTest, RejectsMismatchedOrEmpty) {
+  const std::vector<uint8_t> one{1};
+  const std::vector<uint8_t> two{1, 0};
+  EXPECT_FALSE(CountConfusion(one, two).ok());
+  EXPECT_FALSE(CountConfusion({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,142 @@
+#include "datagen/corruptor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/entity_generator.h"
+#include "er/similarity.h"
+#include "er/tokenize.h"
+
+namespace oasis {
+namespace datagen {
+namespace {
+
+TEST(CorruptTextTest, ZeroRatesAreIdentity) {
+  CorruptionOptions options;
+  options.char_edit_rate = 0.0;
+  options.token_drop_rate = 0.0;
+  options.token_swap_rate = 0.0;
+  options.abbreviation_rate = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(CorruptText("hello cruel world", options, rng), "hello cruel world");
+}
+
+TEST(CorruptTextTest, NeverProducesEmptyFromNonEmpty) {
+  CorruptionOptions options;
+  options.token_drop_rate = 0.95;  // Aggressive drops.
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(CorruptText("alpha beta gamma delta", options, rng).empty());
+  }
+}
+
+TEST(CorruptTextTest, ModerateCorruptionKeepsStringsSimilar) {
+  CorruptionOptions options;  // Defaults: moderate.
+  Rng rng(3);
+  double total_sim = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const std::string original = "panasonic lumix digital camera dmc fz80";
+    const std::string corrupted = CorruptText(original, options, rng);
+    total_sim += er::TrigramJaccard(original, corrupted);
+  }
+  EXPECT_GT(total_sim / n, 0.5);  // Still recognisably the same string.
+  EXPECT_LT(total_sim / n, 1.0);  // But actually corrupted.
+}
+
+TEST(CorruptTextTest, HeavierRatesLowerSimilarity) {
+  CorruptionOptions light;
+  light.char_edit_rate = 0.05;
+  light.token_drop_rate = 0.02;
+  CorruptionOptions heavy;
+  heavy.char_edit_rate = 0.5;
+  heavy.token_drop_rate = 0.35;
+  heavy.abbreviation_rate = 0.3;
+
+  Rng rng_light(4);
+  Rng rng_heavy(4);
+  double light_sim = 0.0;
+  double heavy_sim = 0.0;
+  const int n = 150;
+  const std::string original = "international business machines corporation";
+  for (int i = 0; i < n; ++i) {
+    light_sim += er::TrigramJaccard(original, CorruptText(original, light, rng_light));
+    heavy_sim += er::TrigramJaccard(original, CorruptText(original, heavy, rng_heavy));
+  }
+  EXPECT_GT(light_sim / n, heavy_sim / n + 0.1);
+}
+
+TEST(CorruptRecordTest, PreservesArity) {
+  EntityGenerator gen(Domain::kECommerce, Rng(5));
+  const er::Record record = gen.GenerateEntity();
+  CorruptionOptions options;
+  Rng rng(6);
+  const er::Record corrupted = CorruptRecord(record, gen.schema(), options, rng);
+  EXPECT_EQ(corrupted.values.size(), record.values.size());
+}
+
+TEST(CorruptRecordTest, MissingRateProducesMissingFields) {
+  EntityGenerator gen(Domain::kECommerce, Rng(7));
+  CorruptionOptions options;
+  options.missing_rate = 0.5;
+  Rng rng(8);
+  int missing = 0;
+  int total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const er::Record corrupted =
+        CorruptRecord(gen.GenerateEntity(), gen.schema(), options, rng);
+    for (const auto& value : corrupted.values) {
+      missing += value.missing ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(missing / static_cast<double>(total), 0.5, 0.1);
+}
+
+TEST(CorruptRecordTest, NumericJitterStaysRelative) {
+  EntityGenerator gen(Domain::kECommerce, Rng(9));
+  CorruptionOptions options;
+  options.numeric_jitter = 0.01;
+  options.missing_rate = 0.0;
+  options.numeric_rewrite_rate = 0.0;
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const er::Record record = gen.GenerateEntity();
+    const er::Record corrupted = CorruptRecord(record, gen.schema(), options, rng);
+    const double original = record.values[3].number;
+    const double jittered = corrupted.values[3].number;
+    EXPECT_NEAR(jittered / original, 1.0, 0.1);
+  }
+}
+
+TEST(CorruptRecordTest, FieldRewriteDestroysLongTextOnly) {
+  EntityGenerator gen(Domain::kECommerce, Rng(11));
+  CorruptionOptions options;
+  options.field_rewrite_rate = 1.0;  // Always rewrite long-text fields.
+  options.missing_rate = 0.0;
+  options.char_edit_rate = 0.0;
+  options.token_drop_rate = 0.0;
+  options.token_swap_rate = 0.0;
+  options.abbreviation_rate = 0.0;
+  Rng rng(12);
+  const er::Record record = gen.GenerateEntity();
+  const er::Record corrupted = CorruptRecord(record, gen.schema(), options, rng);
+  // Description (long text) is replaced wholesale...
+  EXPECT_LT(er::TrigramJaccard(record.values[1].text, corrupted.values[1].text),
+            0.35);
+  // ...while the identity-bearing name (short text) is untouched by rewrite.
+  EXPECT_EQ(record.values[0].text, corrupted.values[0].text);
+}
+
+TEST(CorruptRecordTest, MissingInputStaysMissing) {
+  er::Schema schema({{"a", er::FieldKind::kShortText}});
+  er::Record record;
+  record.values.push_back(er::FieldValue::Missing());
+  CorruptionOptions options;
+  Rng rng(13);
+  const er::Record corrupted = CorruptRecord(record, schema, options, rng);
+  EXPECT_TRUE(corrupted.values[0].missing);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace oasis

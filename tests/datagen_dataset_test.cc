@@ -1,0 +1,177 @@
+#include "datagen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace oasis {
+namespace datagen {
+namespace {
+
+TEST(GenerateTwoSourceTest, SizesAndMatchesAreExact) {
+  Rng rng(1);
+  EntityGenerator gen(Domain::kECommerce, rng.Split());
+  TwoSourceConfig config;
+  config.left_size = 120;
+  config.right_size = 90;
+  config.num_matches = 25;
+  ErDataset dataset = GenerateTwoSource(gen, config, rng).ValueOrDie();
+
+  EXPECT_EQ(dataset.left.size(), 120);
+  EXPECT_EQ(dataset.right.size(), 90);
+  EXPECT_EQ(dataset.matches.size(), 25u);
+  EXPECT_FALSE(dataset.dedup);
+  EXPECT_EQ(dataset.TotalPairs(), 120 * 90);
+  EXPECT_TRUE(dataset.left.Validate().ok());
+  EXPECT_TRUE(dataset.right.Validate().ok());
+}
+
+TEST(GenerateTwoSourceTest, MatchIndicesAreValidAndDistinct) {
+  Rng rng(2);
+  EntityGenerator gen(Domain::kRestaurant, rng.Split());
+  TwoSourceConfig config;
+  config.left_size = 60;
+  config.right_size = 70;
+  config.num_matches = 30;
+  ErDataset dataset = GenerateTwoSource(gen, config, rng).ValueOrDie();
+
+  std::set<int32_t> left_seen;
+  std::set<int32_t> right_seen;
+  for (const er::RecordPair& match : dataset.matches) {
+    EXPECT_GE(match.left, 0);
+    EXPECT_LT(match.left, 60);
+    EXPECT_GE(match.right, 0);
+    EXPECT_LT(match.right, 70);
+    // One record per entity per source: no index reused.
+    EXPECT_TRUE(left_seen.insert(match.left).second);
+    EXPECT_TRUE(right_seen.insert(match.right).second);
+  }
+}
+
+TEST(GenerateTwoSourceTest, RejectsTooManyMatches) {
+  Rng rng(3);
+  EntityGenerator gen(Domain::kECommerce, rng.Split());
+  TwoSourceConfig config;
+  config.left_size = 10;
+  config.right_size = 100;
+  config.num_matches = 11;
+  EXPECT_FALSE(GenerateTwoSource(gen, config, rng).ok());
+}
+
+TEST(GenerateTwoSourceTest, ImbalanceRatioMatchesDefinition) {
+  Rng rng(4);
+  EntityGenerator gen(Domain::kECommerce, rng.Split());
+  TwoSourceConfig config;
+  config.left_size = 50;
+  config.right_size = 40;
+  config.num_matches = 10;
+  ErDataset dataset = GenerateTwoSource(gen, config, rng).ValueOrDie();
+  EXPECT_DOUBLE_EQ(dataset.ImbalanceRatio(), (2000.0 - 10.0) / 10.0);
+}
+
+TEST(GenerateDedupTest, ClusterPairsAreAllMatches) {
+  Rng rng(5);
+  EntityGenerator gen(Domain::kCitation, rng.Split());
+  DedupConfig config;
+  config.num_entities = 10;
+  config.min_cluster = 3;
+  config.max_cluster = 3;  // Exactly 3 records each: C(3,2)=3 pairs each.
+  ErDataset dataset = GenerateDedup(gen, config, rng).ValueOrDie();
+  EXPECT_TRUE(dataset.dedup);
+  EXPECT_EQ(dataset.left.size(), 30);
+  EXPECT_EQ(dataset.matches.size(), 30u);
+  EXPECT_EQ(dataset.TotalPairs(), 30 * 29 / 2);
+  for (const er::RecordPair& match : dataset.matches) {
+    EXPECT_LT(match.left, match.right);
+  }
+}
+
+TEST(GenerateDedupTest, RejectsBadClusterConfig) {
+  Rng rng(6);
+  EntityGenerator gen(Domain::kCitation, rng.Split());
+  DedupConfig config;
+  config.num_entities = 0;
+  EXPECT_FALSE(GenerateDedup(gen, config, rng).ok());
+  config.num_entities = 5;
+  config.min_cluster = 4;
+  config.max_cluster = 2;
+  EXPECT_FALSE(GenerateDedup(gen, config, rng).ok());
+}
+
+ErDataset SmallDataset(uint64_t seed) {
+  Rng rng(seed);
+  EntityGenerator gen(Domain::kECommerce, rng.Split());
+  TwoSourceConfig config;
+  config.left_size = 80;
+  config.right_size = 80;
+  config.num_matches = 40;
+  return GenerateTwoSource(gen, config, rng).ValueOrDie();
+}
+
+TEST(SamplePoolTest, ExactCountsAndNoDuplicates) {
+  ErDataset dataset = SmallDataset(7);
+  Rng rng(8);
+  er::PairPool pool = SamplePool(dataset, 500, 20, 0.2, rng).ValueOrDie();
+  EXPECT_EQ(pool.size(), 500);
+  EXPECT_EQ(pool.num_matches(), 20);
+
+  std::set<std::pair<int32_t, int32_t>> seen;
+  for (int64_t i = 0; i < pool.size(); ++i) {
+    EXPECT_TRUE(
+        seen.insert({pool.pair(i).left, pool.pair(i).right}).second)
+        << "duplicate pool pair";
+  }
+}
+
+TEST(SamplePoolTest, TruthLabelsAreConsistentWithR) {
+  ErDataset dataset = SmallDataset(9);
+  std::set<std::pair<int32_t, int32_t>> matches;
+  for (const er::RecordPair& match : dataset.matches) {
+    matches.insert({match.left, match.right});
+  }
+  Rng rng(10);
+  er::PairPool pool = SamplePool(dataset, 800, 30, 0.3, rng).ValueOrDie();
+  for (int64_t i = 0; i < pool.size(); ++i) {
+    const bool in_r =
+        matches.contains({pool.pair(i).left, pool.pair(i).right});
+    EXPECT_EQ(pool.is_match(i), in_r);
+  }
+}
+
+TEST(SamplePoolTest, RejectsImpossibleRequests) {
+  ErDataset dataset = SmallDataset(11);
+  Rng rng(12);
+  // More matches than the dataset holds.
+  EXPECT_FALSE(SamplePool(dataset, 100, 60, 0.1, rng).ok());
+  // Pool larger than the pair space.
+  EXPECT_FALSE(SamplePool(dataset, 80 * 80 + 1, 10, 0.1, rng).ok());
+  // matches > size.
+  EXPECT_FALSE(SamplePool(dataset, 10, 20, 0.1, rng).ok());
+}
+
+TEST(SampleTrainingPairsTest, ComposesMatchesAndNonMatches) {
+  ErDataset dataset = SmallDataset(13);
+  Rng rng(14);
+  er::PairPool training =
+      SampleTrainingPairs(dataset, 15, 60, 0.4, rng).ValueOrDie();
+  EXPECT_EQ(training.size(), 75);
+  EXPECT_EQ(training.num_matches(), 15);
+}
+
+TEST(SamplePoolTest, DedupPoolsRespectOrdering) {
+  Rng rng(15);
+  EntityGenerator gen(Domain::kCitation, rng.Split());
+  DedupConfig config;
+  config.num_entities = 12;
+  config.min_cluster = 4;
+  config.max_cluster = 6;
+  ErDataset dataset = GenerateDedup(gen, config, rng).ValueOrDie();
+  er::PairPool pool = SamplePool(dataset, 400, 30, 0.3, rng).ValueOrDie();
+  for (int64_t i = 0; i < pool.size(); ++i) {
+    EXPECT_LT(pool.pair(i).left, pool.pair(i).right);
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace oasis

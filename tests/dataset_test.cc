@@ -1,0 +1,77 @@
+#include "classify/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace oasis {
+namespace classify {
+namespace {
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset data(2);
+  ASSERT_TRUE(data.Add(std::vector<double>{1.0, 2.0}, true).ok());
+  ASSERT_TRUE(data.Add(std::vector<double>{3.0, 4.0}, false).ok());
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_EQ(data.num_positives(), 1);
+  EXPECT_EQ(data.num_negatives(), 1);
+  EXPECT_TRUE(data.label(0));
+  EXPECT_FALSE(data.label(1));
+  EXPECT_DOUBLE_EQ(data.row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(data.row(1)[1], 4.0);
+}
+
+TEST(DatasetTest, RejectsArityMismatch) {
+  Dataset data(2);
+  EXPECT_FALSE(data.Add(std::vector<double>{1.0}, true).ok());
+  EXPECT_FALSE(data.Add(std::vector<double>{1.0, 2.0, 3.0}, true).ok());
+}
+
+TEST(DatasetTest, FoldIndicesPartitionAllRows) {
+  Dataset data(1);
+  for (int i = 0; i < 23; ++i) {
+    ASSERT_TRUE(data.Add(std::vector<double>{static_cast<double>(i)}, i % 2).ok());
+  }
+  const auto folds = data.FoldIndices(5, 42);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> seen;
+  for (const auto& fold : folds) {
+    for (size_t idx : fold) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate row in folds";
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  // Fold sizes differ by at most one.
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 4u);
+    EXPECT_LE(fold.size(), 5u);
+  }
+}
+
+TEST(DatasetTest, FoldIndicesDeterministicInSeed) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(data.Add(std::vector<double>{0.0}, false).ok());
+  }
+  EXPECT_EQ(data.FoldIndices(3, 7), data.FoldIndices(3, 7));
+}
+
+TEST(DatasetTest, SubsetPreservesRowsAndLabels) {
+  Dataset data(2);
+  ASSERT_TRUE(data.Add(std::vector<double>{1.0, 2.0}, true).ok());
+  ASSERT_TRUE(data.Add(std::vector<double>{3.0, 4.0}, false).ok());
+  ASSERT_TRUE(data.Add(std::vector<double>{5.0, 6.0}, true).ok());
+  const std::vector<size_t> rows{2, 0};
+  Dataset subset = data.Subset(rows);
+  EXPECT_EQ(subset.size(), 2u);
+  EXPECT_DOUBLE_EQ(subset.row(0)[0], 5.0);
+  EXPECT_TRUE(subset.label(0));
+  EXPECT_DOUBLE_EQ(subset.row(1)[0], 1.0);
+  EXPECT_TRUE(subset.label(1));
+}
+
+}  // namespace
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,115 @@
+#include "er/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace oasis {
+namespace er {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("saturday", "sunday"),
+            LevenshteinDistance("sunday", "saturday"));
+}
+
+TEST(LevenshteinTest, TriangleInequalityOnRandomStrings) {
+  Rng rng(1);
+  auto random_string = [&rng]() {
+    std::string s;
+    const size_t len = rng.NextBounded(12);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = random_string();
+    const std::string b = random_string();
+    const std::string c = random_string();
+    EXPECT_LE(LevenshteinDistance(a, c),
+              LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+  }
+}
+
+TEST(LevenshteinSimilarityTest, RangeAndExtremes) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  const double sim = LevenshteinSimilarity("panasonic", "panasonc");
+  EXPECT_GT(sim, 0.8);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(DamerauTest, TranspositionCostsOne) {
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2);  // Plain Levenshtein: two.
+  EXPECT_EQ(DamerauLevenshteinDistance("ca", "abc"), 3);  // OSA restriction.
+}
+
+TEST(DamerauTest, ReducesToLevenshteinWithoutTranspositions) {
+  EXPECT_EQ(DamerauLevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(DamerauLevenshteinDistance("", "xyz"), 3);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  // Classic textbook pair: JARO("martha", "marhta") = 17/18 ~ 0.9444.
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 17.0 / 18.0, 1e-9);
+  // JARO("dixon", "dicksonx") ~ 0.76667.
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 23.0 / 30.0, 1e-9);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  const double jaro = JaroSimilarity("martha", "marhta");
+  const double jw = JaroWinklerSimilarity("martha", "marhta");
+  // Common prefix "mar" (3 chars): jw = jaro + 3 * 0.1 * (1 - jaro).
+  EXPECT_NEAR(jw, jaro + 0.3 * (1.0 - jaro), 1e-9);
+  EXPECT_GT(jw, jaro);
+}
+
+TEST(JaroWinklerTest, NoPrefixNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abcd", "xbcd"),
+                   JaroSimilarity("abcd", "xbcd"));
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Identical 5-char prefixes boost only 4 characters' worth.
+  const double jaro = JaroSimilarity("abcdex", "abcdey");
+  const double jw = JaroWinklerSimilarity("abcdex", "abcdey");
+  EXPECT_NEAR(jw, jaro + 4 * 0.1 * (1.0 - jaro), 1e-9);
+}
+
+TEST(JaroWinklerTest, BoundedInUnitInterval) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a, b;
+    for (size_t i = rng.NextBounded(10); i > 0; --i) {
+      a.push_back(static_cast<char>('a' + rng.NextBounded(5)));
+    }
+    for (size_t i = rng.NextBounded(10); i > 0; --i) {
+      b.push_back(static_cast<char>('a' + rng.NextBounded(5)));
+    }
+    const double jw = JaroWinklerSimilarity(a, b);
+    EXPECT_GE(jw, 0.0);
+    EXPECT_LE(jw, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,89 @@
+#include "datagen/entity_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace datagen {
+namespace {
+
+TEST(EntityGeneratorTest, ECommerceSchemaAndRecordShape) {
+  EntityGenerator gen(Domain::kECommerce, Rng(1));
+  const er::Schema& schema = gen.schema();
+  ASSERT_EQ(schema.num_fields(), 4u);
+  EXPECT_EQ(schema.field(0).kind, er::FieldKind::kShortText);
+  EXPECT_EQ(schema.field(1).kind, er::FieldKind::kLongText);
+  EXPECT_EQ(schema.field(3).kind, er::FieldKind::kNumeric);
+
+  const er::Record record = gen.GenerateEntity();
+  ASSERT_EQ(record.values.size(), 4u);
+  EXPECT_FALSE(record.values[0].text.empty());
+  EXPECT_FALSE(record.values[1].text.empty());
+  EXPECT_GT(record.values[3].number, 0.0);  // Price is positive.
+}
+
+TEST(EntityGeneratorTest, DescriptionsAreLong) {
+  EntityGenerator gen(Domain::kECommerce, Rng(2));
+  for (int i = 0; i < 20; ++i) {
+    const er::Record record = gen.GenerateEntity();
+    // Description should have many more tokens than the name.
+    EXPECT_GT(record.values[1].text.size(), record.values[0].text.size());
+  }
+}
+
+TEST(EntityGeneratorTest, RestaurantSchemaIsAllShortText) {
+  EntityGenerator gen(Domain::kRestaurant, Rng(3));
+  const er::Schema& schema = gen.schema();
+  ASSERT_EQ(schema.num_fields(), 4u);
+  for (size_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(schema.field(f).kind, er::FieldKind::kShortText);
+  }
+  const er::Record record = gen.GenerateEntity();
+  for (const auto& value : record.values) {
+    EXPECT_FALSE(value.text.empty());
+  }
+}
+
+TEST(EntityGeneratorTest, CitationYearInRange) {
+  EntityGenerator gen(Domain::kCitation, Rng(4));
+  for (int i = 0; i < 50; ++i) {
+    const er::Record record = gen.GenerateEntity();
+    EXPECT_GE(record.values[3].number, 1980.0);
+    EXPECT_LE(record.values[3].number, 2016.0);
+  }
+}
+
+TEST(EntityGeneratorTest, EntitiesAreMostlyDistinct) {
+  EntityGenerator gen(Domain::kECommerce, Rng(5));
+  std::set<std::string> names;
+  for (int i = 0; i < 200; ++i) {
+    names.insert(gen.GenerateEntity().values[0].text);
+  }
+  // Model codes make full names near-unique.
+  EXPECT_GT(names.size(), 190u);
+}
+
+TEST(EntityGeneratorTest, SharedVocabularyCreatesTokenCollisions) {
+  // Different entities should still share brands/nouns sometimes — that is
+  // what makes hard negatives hard.
+  EntityGenerator gen(Domain::kECommerce, Rng(6));
+  std::set<std::string> manufacturers;
+  for (int i = 0; i < 200; ++i) {
+    manufacturers.insert(gen.GenerateEntity().values[2].text);
+  }
+  EXPECT_LT(manufacturers.size(), 70u);  // Far fewer brands than entities.
+}
+
+TEST(EntityGeneratorTest, DeterministicForSameSeed) {
+  EntityGenerator a(Domain::kCitation, Rng(7));
+  EntityGenerator b(Domain::kCitation, Rng(7));
+  for (int i = 0; i < 20; ++i) {
+    const er::Record ra = a.GenerateEntity();
+    const er::Record rb = b.GenerateEntity();
+    EXPECT_EQ(ra.values[0].text, rb.values[0].text);
+    EXPECT_EQ(ra.values[3].number, rb.values[3].number);
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace oasis

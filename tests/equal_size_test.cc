@@ -1,0 +1,79 @@
+#include "strata/equal_size.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace oasis {
+namespace {
+
+TEST(EqualSizeTest, RejectsBadArguments) {
+  EXPECT_FALSE(StratifyEqualSize({}, 3).ok());
+  const std::vector<double> scores{0.5};
+  EXPECT_FALSE(StratifyEqualSize(scores, 0).ok());
+}
+
+TEST(EqualSizeTest, SizesDifferByAtMostOne) {
+  Rng rng(3);
+  std::vector<double> scores;
+  for (int i = 0; i < 1003; ++i) scores.push_back(rng.NextDouble());
+  Strata strata = StratifyEqualSize(scores, 10).ValueOrDie();
+  EXPECT_EQ(strata.num_strata(), 10u);
+  size_t min_size = scores.size();
+  size_t max_size = 0;
+  for (size_t k = 0; k < strata.num_strata(); ++k) {
+    min_size = std::min(min_size, strata.size(k));
+    max_size = std::max(max_size, strata.size(k));
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+  EXPECT_TRUE(strata.Validate().ok());
+}
+
+TEST(EqualSizeTest, StrataFollowScoreOrder) {
+  const std::vector<double> scores{0.9, 0.1, 0.5, 0.3, 0.7, 0.2};
+  Strata strata = StratifyEqualSize(scores, 3).ValueOrDie();
+  // Lowest-score items land in stratum 0, highest in the last stratum.
+  EXPECT_EQ(strata.stratum_of(1), 0);  // 0.1
+  EXPECT_EQ(strata.stratum_of(0), 2);  // 0.9
+  EXPECT_LT(strata.stratum_of(3), strata.stratum_of(4));  // 0.3 < 0.7
+}
+
+TEST(EqualSizeTest, MoreStrataThanItemsIsCapped) {
+  const std::vector<double> scores{0.1, 0.2, 0.3};
+  Strata strata = StratifyEqualSize(scores, 10).ValueOrDie();
+  EXPECT_EQ(strata.num_strata(), 3u);
+  for (size_t k = 0; k < 3; ++k) EXPECT_EQ(strata.size(k), 1u);
+}
+
+TEST(EqualSizeTest, TiedScoresAreDeterministic) {
+  const std::vector<double> scores(9, 0.5);
+  Strata a = StratifyEqualSize(scores, 3).ValueOrDie();
+  Strata b = StratifyEqualSize(scores, 3).ValueOrDie();
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(a.stratum_of(i), b.stratum_of(i));
+  }
+  EXPECT_EQ(a.num_strata(), 3u);
+}
+
+TEST(EqualSizeTest, ContrastWithCsfOnImbalancedScores) {
+  // On heavily imbalanced scores, equal-size strata mix the high-score tail
+  // into one big top stratum, whereas CSF isolates it (see csf_test).
+  Rng rng(5);
+  std::vector<double> scores;
+  for (int i = 0; i < 10000; ++i) scores.push_back(0.05 * rng.NextDouble());
+  for (int i = 0; i < 20; ++i) scores.push_back(0.9 + 0.1 * rng.NextDouble());
+  Strata strata = StratifyEqualSize(scores, 10).ValueOrDie();
+  // All 20 high-score items share the top stratum with ~980 low items.
+  const int32_t top = strata.stratum_of(static_cast<int64_t>(scores.size()) - 1);
+  size_t high_in_top = 0;
+  for (size_t i = 10000; i < scores.size(); ++i) {
+    if (strata.stratum_of(static_cast<int64_t>(i)) == top) ++high_in_top;
+  }
+  EXPECT_EQ(high_in_top, 20u);
+  EXPECT_GT(strata.size(static_cast<size_t>(top)), 500u);
+}
+
+}  // namespace
+}  // namespace oasis

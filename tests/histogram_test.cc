@@ -1,0 +1,96 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(HistogramTest, RejectsEmptyInput) {
+  EXPECT_FALSE(BuildHistogram({}, 4).ok());
+}
+
+TEST(HistogramTest, RejectsZeroBins) {
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_FALSE(BuildHistogram(values, 0).ok());
+}
+
+TEST(HistogramTest, RejectsNaN) {
+  const std::vector<double> values{1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(BuildHistogram(values, 2).ok());
+}
+
+TEST(HistogramTest, CountsSumToInputSize) {
+  const std::vector<double> values{0.0, 0.1, 0.2, 0.5, 0.9, 1.0, 0.33, 0.77};
+  Histogram h = BuildHistogram(values, 5).ValueOrDie();
+  EXPECT_EQ(std::accumulate(h.counts.begin(), h.counts.end(), int64_t{0}),
+            static_cast<int64_t>(values.size()));
+}
+
+TEST(HistogramTest, EqualWidthEdges) {
+  const std::vector<double> values{0.0, 10.0};
+  Histogram h = BuildHistogram(values, 4).ValueOrDie();
+  ASSERT_EQ(h.edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(h.edges[0], 0.0);
+  EXPECT_DOUBLE_EQ(h.edges[1], 2.5);
+  EXPECT_DOUBLE_EQ(h.edges[2], 5.0);
+  EXPECT_DOUBLE_EQ(h.edges[3], 7.5);
+  EXPECT_DOUBLE_EQ(h.edges[4], 10.0);
+}
+
+TEST(HistogramTest, TopEdgeValueFallsInLastBin) {
+  const std::vector<double> values{0.0, 0.5, 1.0};
+  Histogram h = BuildHistogram(values, 2).ValueOrDie();
+  EXPECT_EQ(h.BinIndex(1.0), 1u);  // numpy.histogram convention.
+  EXPECT_EQ(h.counts[1], 2);       // 0.5 and 1.0.
+  EXPECT_EQ(h.counts[0], 1);       // 0.0.
+}
+
+TEST(HistogramTest, DegenerateRangeIsWidened) {
+  const std::vector<double> values{3.0, 3.0, 3.0};
+  Histogram h = BuildHistogram(values, 4).ValueOrDie();
+  EXPECT_LT(h.min(), 3.0);
+  EXPECT_GT(h.max(), 3.0);
+  EXPECT_EQ(std::accumulate(h.counts.begin(), h.counts.end(), int64_t{0}), 3);
+}
+
+TEST(HistogramTest, DegenerateZeroRange) {
+  const std::vector<double> values{0.0, 0.0};
+  Histogram h = BuildHistogram(values, 2).ValueOrDie();
+  EXPECT_LT(h.min(), 0.0);
+  EXPECT_GT(h.max(), 0.0);
+}
+
+TEST(HistogramTest, BinIndexClampsOutOfRange) {
+  const std::vector<double> values{0.0, 1.0};
+  Histogram h = BuildHistogram(values, 4).ValueOrDie();
+  EXPECT_EQ(h.BinIndex(-5.0), 0u);
+  EXPECT_EQ(h.BinIndex(5.0), 3u);
+}
+
+TEST(HistogramTest, BinIndexConsistentWithEdges) {
+  const std::vector<double> values{-2.0, -1.0, 0.0, 1.0, 2.0, 0.25, 0.75};
+  Histogram h = BuildHistogram(values, 7).ValueOrDie();
+  for (double v : values) {
+    const size_t bin = h.BinIndex(v);
+    EXPECT_GE(v, h.edges[bin] - 1e-12);
+    if (bin + 1 < h.num_bins()) {
+      EXPECT_LT(v, h.edges[bin + 1] + 1e-12);
+    }
+  }
+}
+
+TEST(HistogramTest, HeavilySkewedData) {
+  // The shape that CSF consumes: a huge mass at low scores, a sliver high.
+  std::vector<double> values(10000, 0.01);
+  for (int i = 0; i < 10; ++i) values.push_back(0.99);
+  Histogram h = BuildHistogram(values, 100).ValueOrDie();
+  EXPECT_EQ(h.counts.front(), 10000);
+  EXPECT_EQ(h.counts.back(), 10);
+}
+
+}  // namespace
+}  // namespace oasis

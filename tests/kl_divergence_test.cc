@@ -1,0 +1,71 @@
+#include "stats/kl_divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(KlDivergenceTest, IdenticalDistributionsGiveZero) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p).ValueOrDie(), 0.0);
+}
+
+TEST(KlDivergenceTest, KnownValue) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.9, 0.1};
+  const double expected = 0.5 * std::log(0.5 / 0.9) + 0.5 * std::log(0.5 / 0.1);
+  EXPECT_NEAR(KlDivergence(p, q).ValueOrDie(), expected, 1e-12);
+}
+
+TEST(KlDivergenceTest, AcceptsUnnormalisedInput) {
+  const std::vector<double> p{1.0, 1.0};
+  const std::vector<double> q{9.0, 1.0};
+  const double expected = 0.5 * std::log(0.5 / 0.9) + 0.5 * std::log(0.5 / 0.1);
+  EXPECT_NEAR(KlDivergence(p, q).ValueOrDie(), expected, 1e-12);
+}
+
+TEST(KlDivergenceTest, ZeroPTermContributesNothing) {
+  const std::vector<double> p{0.0, 1.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(KlDivergence(p, q).ValueOrDie(), std::log(2.0), 1e-12);
+}
+
+TEST(KlDivergenceTest, AbsoluteContinuityViolationIsInfinite) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(KlDivergence(p, q).ValueOrDie()));
+}
+
+TEST(KlDivergenceTest, NonNegative) {
+  const std::vector<double> p{0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> q{0.4, 0.3, 0.2, 0.1};
+  EXPECT_GE(KlDivergence(p, q).ValueOrDie(), 0.0);
+}
+
+TEST(KlDivergenceTest, RejectsLengthMismatch) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0};
+  EXPECT_FALSE(KlDivergence(p, q).ok());
+}
+
+TEST(KlDivergenceTest, RejectsEmpty) {
+  EXPECT_FALSE(KlDivergence({}, {}).ok());
+}
+
+TEST(KlDivergenceTest, RejectsNegativeWeights) {
+  const std::vector<double> p{0.5, -0.5};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_FALSE(KlDivergence(p, q).ok());
+}
+
+TEST(KlDivergenceTest, RejectsZeroMass) {
+  const std::vector<double> p{0.0, 0.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_FALSE(KlDivergence(p, q).ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,72 @@
+#include "oracle/label_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "oracle/ground_truth_oracle.h"
+#include "oracle/noisy_oracle.h"
+
+namespace oasis {
+namespace {
+
+TEST(LabelCacheTest, DeterministicRepeatsAreFree) {
+  // Paper footnote 5: a pair counts toward the budget only on first query.
+  GroundTruthOracle oracle({1, 0, 1});
+  LabelCache cache(&oracle);
+  Rng rng(1);
+
+  EXPECT_TRUE(cache.Query(0, rng));
+  EXPECT_EQ(cache.labels_consumed(), 1);
+  EXPECT_TRUE(cache.Query(0, rng));  // Replay.
+  EXPECT_TRUE(cache.Query(0, rng));
+  EXPECT_EQ(cache.labels_consumed(), 1);
+  EXPECT_EQ(cache.total_queries(), 3);
+  EXPECT_EQ(cache.distinct_items_labelled(), 1);
+
+  EXPECT_FALSE(cache.Query(1, rng));
+  EXPECT_EQ(cache.labels_consumed(), 2);
+}
+
+TEST(LabelCacheTest, CachedLabelsAreConsistent) {
+  GroundTruthOracle oracle({1, 0});
+  LabelCache cache(&oracle);
+  Rng rng(3);
+  const bool first = cache.Query(0, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache.Query(0, rng), first);
+  }
+}
+
+TEST(LabelCacheTest, IsLabelledTracksFirstTouch) {
+  GroundTruthOracle oracle({1, 0});
+  LabelCache cache(&oracle);
+  Rng rng(4);
+  EXPECT_FALSE(cache.IsLabelled(0));
+  cache.Query(0, rng);
+  EXPECT_TRUE(cache.IsLabelled(0));
+  EXPECT_FALSE(cache.IsLabelled(1));
+}
+
+TEST(LabelCacheTest, NoisyOracleChargesEveryQuery) {
+  NoisyOracle oracle = NoisyOracle::FromProbabilities({0.5, 0.5}).ValueOrDie();
+  LabelCache cache(&oracle);
+  Rng rng(5);
+  for (int i = 0; i < 7; ++i) cache.Query(0, rng);
+  EXPECT_EQ(cache.labels_consumed(), 7);
+  EXPECT_EQ(cache.total_queries(), 7);
+  EXPECT_EQ(cache.distinct_items_labelled(), 1);
+}
+
+TEST(LabelCacheTest, NoisyQueriesAreFreshDraws) {
+  NoisyOracle oracle = NoisyOracle::FromProbabilities({0.5}).ValueOrDie();
+  LabelCache cache(&oracle);
+  Rng rng(6);
+  int ones = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) ones += cache.Query(0, rng) ? 1 : 0;
+  // A caching bug would produce 0 or n; fresh draws give ~n/2.
+  EXPECT_GT(ones, n / 3);
+  EXPECT_LT(ones, 2 * n / 3);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,91 @@
+#include "classify/linear_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "classify_test_util.h"
+
+namespace oasis {
+namespace classify {
+namespace {
+
+using testutil::Accuracy;
+using testutil::MakeBlobs;
+
+TEST(LinearSvmTest, RejectsDegenerateTrainingData) {
+  LinearSvm svm;
+  Rng rng(1);
+  Dataset empty(2);
+  EXPECT_FALSE(svm.Fit(empty, rng).ok());
+
+  Dataset one_class(2);
+  ASSERT_TRUE(one_class.Add(std::vector<double>{1.0, 1.0}, true).ok());
+  EXPECT_FALSE(svm.Fit(one_class, rng).ok());
+
+  LinearSvmOptions bad;
+  bad.lambda = 0.0;
+  LinearSvm bad_svm(bad);
+  Dataset blobs = MakeBlobs(10, 0.2, 2);
+  EXPECT_FALSE(bad_svm.Fit(blobs, rng).ok());
+}
+
+TEST(LinearSvmTest, SeparatesBlobs) {
+  Dataset train = MakeBlobs(200, 0.3, 3);
+  Dataset test = MakeBlobs(200, 0.3, 4);
+  LinearSvm svm;
+  Rng rng(5);
+  ASSERT_TRUE(svm.Fit(train, rng).ok());
+  EXPECT_GT(Accuracy(svm, test), 0.97);
+}
+
+TEST(LinearSvmTest, MarginsAreSigned) {
+  Dataset train = MakeBlobs(200, 0.2, 7);
+  LinearSvm svm;
+  Rng rng(9);
+  ASSERT_TRUE(svm.Fit(train, rng).ok());
+  EXPECT_FALSE(svm.probabilistic());
+  EXPECT_DOUBLE_EQ(svm.threshold(), 0.0);
+  EXPECT_GT(svm.Score(std::vector<double>{2.0, 2.0}), 0.0);
+  EXPECT_LT(svm.Score(std::vector<double>{-2.0, -2.0}), 0.0);
+}
+
+TEST(LinearSvmTest, ThresholdShiftTradesRecallForPrecision) {
+  Dataset train = MakeBlobs(200, 0.6, 11);
+  LinearSvmOptions options;
+  options.threshold_shift = 2.0;  // Very conservative positive calls.
+  LinearSvm strict(options);
+  LinearSvm normal;
+  Rng rng1(13);
+  Rng rng2(13);
+  ASSERT_TRUE(strict.Fit(train, rng1).ok());
+  ASSERT_TRUE(normal.Fit(train, rng2).ok());
+
+  Dataset test = MakeBlobs(300, 0.6, 17);
+  int strict_positives = 0;
+  int normal_positives = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    strict_positives += strict.Predict(test.row(i)) ? 1 : 0;
+    normal_positives += normal.Predict(test.row(i)) ? 1 : 0;
+  }
+  EXPECT_LT(strict_positives, normal_positives);
+}
+
+TEST(LinearSvmTest, DeterministicGivenSeed) {
+  Dataset train = MakeBlobs(100, 0.3, 19);
+  LinearSvm a;
+  LinearSvm b;
+  Rng rng1(21);
+  Rng rng2(21);
+  ASSERT_TRUE(a.Fit(train, rng1).ok());
+  ASSERT_TRUE(b.Fit(train, rng2).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearSvmTest, NameIsStable) {
+  LinearSvm svm;
+  EXPECT_EQ(svm.name(), "L-SVM");
+}
+
+}  // namespace
+}  // namespace classify
+}  // namespace oasis

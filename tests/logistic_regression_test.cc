@@ -1,0 +1,85 @@
+#include "classify/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "classify_test_util.h"
+
+namespace oasis {
+namespace classify {
+namespace {
+
+using testutil::Accuracy;
+using testutil::MakeBlobs;
+
+TEST(LogisticRegressionTest, RejectsDegenerateData) {
+  LogisticRegression lr;
+  Rng rng(1);
+  Dataset empty(2);
+  EXPECT_FALSE(lr.Fit(empty, rng).ok());
+  Dataset one_class(2);
+  ASSERT_TRUE(one_class.Add(std::vector<double>{0.0, 0.0}, false).ok());
+  EXPECT_FALSE(lr.Fit(one_class, rng).ok());
+}
+
+TEST(LogisticRegressionTest, SeparatesBlobs) {
+  Dataset train = MakeBlobs(200, 0.3, 3);
+  Dataset test = MakeBlobs(200, 0.3, 5);
+  LogisticRegression lr;
+  Rng rng(7);
+  ASSERT_TRUE(lr.Fit(train, rng).ok());
+  EXPECT_GT(Accuracy(lr, test), 0.97);
+}
+
+TEST(LogisticRegressionTest, ScoresAreProbabilities) {
+  Dataset train = MakeBlobs(150, 0.4, 9);
+  LogisticRegression lr;
+  Rng rng(11);
+  ASSERT_TRUE(lr.Fit(train, rng).ok());
+  EXPECT_TRUE(lr.probabilistic());
+  EXPECT_DOUBLE_EQ(lr.threshold(), 0.5);
+  for (double x : {-3.0, -1.0, 0.0, 1.0, 3.0}) {
+    const double p = lr.Score(std::vector<double>{x, x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_GT(lr.Score(std::vector<double>{2.0, 2.0}), 0.9);
+  EXPECT_LT(lr.Score(std::vector<double>{-2.0, -2.0}), 0.1);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreRoughlyCalibrated) {
+  // With well-specified (logistic-ish) data, predicted probabilities near p
+  // should be correct about p of the time.
+  Dataset train = MakeBlobs(800, 0.8, 13);
+  LogisticRegression lr;
+  Rng rng(15);
+  ASSERT_TRUE(lr.Fit(train, rng).ok());
+
+  Dataset test = MakeBlobs(800, 0.8, 17);
+  double bucket_correct = 0;
+  double bucket_total = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const double p = lr.Score(test.row(i));
+    if (p >= 0.6 && p <= 0.8) {
+      bucket_total += 1;
+      bucket_correct += test.label(i) ? 1 : 0;
+    }
+  }
+  if (bucket_total >= 30) {
+    EXPECT_NEAR(bucket_correct / bucket_total, 0.7, 0.15);
+  }
+}
+
+TEST(LogisticRegressionTest, DeterministicGivenSeed) {
+  Dataset train = MakeBlobs(100, 0.3, 19);
+  LogisticRegression a;
+  LogisticRegression b;
+  Rng rng1(23);
+  Rng rng2(23);
+  ASSERT_TRUE(a.Fit(train, rng1).ok());
+  ASSERT_TRUE(b.Fit(train, rng2).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+}  // namespace
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,93 @@
+#include "eval/measures.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace {
+
+TEST(FAlphaTest, AlphaOneIsPrecision) {
+  // TP=8, FP=2, FN=4: precision = 8/10.
+  const MaybeValue p = FAlpha(8, 2, 4, 1.0);
+  ASSERT_TRUE(p.defined);
+  EXPECT_DOUBLE_EQ(p.value, 0.8);
+}
+
+TEST(FAlphaTest, AlphaZeroIsRecall) {
+  const MaybeValue r = FAlpha(8, 2, 4, 0.0);
+  ASSERT_TRUE(r.defined);
+  EXPECT_NEAR(r.value, 8.0 / 12.0, 1e-12);
+}
+
+TEST(FAlphaTest, BalancedIsHarmonicMean) {
+  const double precision = 0.8;
+  const double recall = 8.0 / 12.0;
+  const double harmonic = 2.0 * precision * recall / (precision + recall);
+  const MaybeValue f = FAlpha(8, 2, 4, 0.5);
+  ASSERT_TRUE(f.defined);
+  EXPECT_NEAR(f.value, harmonic, 1e-12);
+}
+
+TEST(FAlphaTest, UndefinedWhenNoPositivesEitherWay) {
+  EXPECT_FALSE(FAlpha(0, 0, 0, 0.5).defined);
+  // Precision undefined with no predicted positives even when FN exist.
+  EXPECT_FALSE(FAlpha(0, 0, 5, 1.0).defined);
+  // Recall undefined with no actual positives even when FP exist.
+  EXPECT_FALSE(FAlpha(0, 5, 0, 0.0).defined);
+}
+
+TEST(FAlphaTest, PerfectClassifier) {
+  const MaybeValue f = FAlpha(10, 0, 0, 0.5);
+  ASSERT_TRUE(f.defined);
+  EXPECT_DOUBLE_EQ(f.value, 1.0);
+}
+
+TEST(FAlphaTest, MonotoneInAlphaWhenPrecisionExceedsRecall) {
+  // precision (alpha=1) > recall (alpha=0) here, so F should increase with
+  // alpha.
+  double prev = FAlpha(8, 2, 14, 0.0).value;
+  for (double alpha : {0.25, 0.5, 0.75, 1.0}) {
+    const double current = FAlpha(8, 2, 14, alpha).value;
+    EXPECT_GT(current, prev);
+    prev = current;
+  }
+}
+
+TEST(ComputeMeasuresTest, AllThreeMeasures) {
+  ConfusionCounts counts;
+  counts.true_positives = 8;
+  counts.false_positives = 2;
+  counts.false_negatives = 4;
+  counts.true_negatives = 100;
+  const Measures m = ComputeMeasures(counts, 0.5);
+  EXPECT_TRUE(m.f_defined);
+  EXPECT_TRUE(m.precision_defined);
+  EXPECT_TRUE(m.recall_defined);
+  EXPECT_DOUBLE_EQ(m.precision, 0.8);
+  EXPECT_NEAR(m.recall, 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(m.f_alpha, 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+}
+
+TEST(ComputeMeasuresTest, InvariantToTrueNegatives) {
+  // The F-measure's key robustness property under class imbalance (Sec. 2.2).
+  ConfusionCounts a;
+  a.true_positives = 5;
+  a.false_positives = 3;
+  a.false_negatives = 2;
+  a.true_negatives = 10;
+  ConfusionCounts b = a;
+  b.true_negatives = 1000000;
+  EXPECT_DOUBLE_EQ(ComputeMeasures(a, 0.5).f_alpha,
+                   ComputeMeasures(b, 0.5).f_alpha);
+}
+
+TEST(AlphaBetaTest, RoundTrip) {
+  // alpha = 1/(1+beta^2) (paper footnote 1).
+  EXPECT_DOUBLE_EQ(AlphaFromBeta(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(AlphaFromBeta(0.0), 1.0);
+  for (double beta : {0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(BetaFromAlpha(AlphaFromBeta(beta)), beta, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,83 @@
+#include "experiments/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace experiments {
+namespace {
+
+ErrorCurve MakeCurve() {
+  ErrorCurve curve;
+  curve.method = "test";
+  curve.budgets = {100, 200, 300, 400, 500};
+  curve.mean_abs_error = {0.20, 0.10, 0.05, 0.02, 0.01};
+  curve.stddev = {0.2, 0.1, 0.05, 0.02, 0.01};
+  curve.mean_estimate = {0.5, 0.55, 0.58, 0.59, 0.6};
+  curve.frac_defined = {0.5, 0.9, 1.0, 1.0, 1.0};
+  curve.repeats = 100;
+  return curve;
+}
+
+TEST(FirstDefinedBudgetTest, FindsThresholdCrossing) {
+  const ErrorCurve curve = MakeCurve();
+  EXPECT_EQ(FirstDefinedBudget(curve, 0.95), 300);
+  EXPECT_EQ(FirstDefinedBudget(curve, 0.5), 100);
+  EXPECT_EQ(FirstDefinedBudget(curve, 1.01), -1);
+}
+
+TEST(BudgetToReachErrorTest, FindsStableCrossing) {
+  const ErrorCurve curve = MakeCurve();
+  EXPECT_EQ(BudgetToReachError(curve, 0.05), 300);
+  EXPECT_EQ(BudgetToReachError(curve, 0.10), 200);
+  EXPECT_EQ(BudgetToReachError(curve, 0.25), 100);  // Already below at start.
+  EXPECT_EQ(BudgetToReachError(curve, 0.005), -1);  // Never reached.
+}
+
+TEST(BudgetToReachErrorTest, RequiresStayingBelow) {
+  // Error dips below the target then bounces back: the crossing only counts
+  // once it is final.
+  ErrorCurve curve = MakeCurve();
+  curve.mean_abs_error = {0.04, 0.20, 0.04, 0.03, 0.02};
+  EXPECT_EQ(BudgetToReachError(curve, 0.05), 300);
+}
+
+TEST(LabelSavingTest, ComputesRelativeSaving) {
+  ErrorCurve fast = MakeCurve();  // Reaches 0.05 at 300.
+  ErrorCurve slow = MakeCurve();
+  slow.budgets = {100, 200, 300, 400, 500};
+  slow.mean_abs_error = {0.5, 0.4, 0.3, 0.1, 0.05};  // Reaches 0.05 at 500.
+  const double saving = LabelSaving(fast, slow, 0.05).ValueOrDie();
+  EXPECT_NEAR(saving, 1.0 - 300.0 / 500.0, 1e-12);
+}
+
+TEST(LabelSavingTest, FailsWhenTargetUnreached) {
+  const ErrorCurve curve = MakeCurve();
+  ErrorCurve never = MakeCurve();
+  never.mean_abs_error = {0.5, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_FALSE(LabelSaving(never, curve, 0.05).ok());
+  EXPECT_FALSE(LabelSaving(curve, never, 0.05).ok());
+}
+
+TEST(ThinCurveTest, ReducesPointCount) {
+  ErrorCurve curve;
+  for (int i = 1; i <= 100; ++i) {
+    curve.budgets.push_back(i * 10);
+    curve.mean_abs_error.push_back(1.0 / i);
+    curve.stddev.push_back(0.5 / i);
+    curve.mean_estimate.push_back(0.5);
+    curve.frac_defined.push_back(1.0);
+  }
+  const ErrorCurve thin = ThinCurve(curve, 10);
+  EXPECT_LE(thin.budgets.size(), 10u);
+  EXPECT_EQ(thin.budgets.back(), 1000);  // Keeps the final point.
+}
+
+TEST(ThinCurveTest, ShortCurvesPassThrough) {
+  const ErrorCurve curve = MakeCurve();
+  const ErrorCurve thin = ThinCurve(curve, 10);
+  EXPECT_EQ(thin.budgets.size(), curve.budgets.size());
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,76 @@
+#include "classify/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "classify_test_util.h"
+
+namespace oasis {
+namespace classify {
+namespace {
+
+using testutil::Accuracy;
+using testutil::MakeBlobs;
+using testutil::MakeXor;
+
+TEST(MlpTest, RejectsDegenerateData) {
+  Mlp mlp;
+  Rng rng(1);
+  Dataset empty(2);
+  EXPECT_FALSE(mlp.Fit(empty, rng).ok());
+  MlpOptions bad;
+  bad.hidden_units = 0;
+  Mlp bad_mlp(bad);
+  Dataset blobs = MakeBlobs(10, 0.2, 2);
+  EXPECT_FALSE(bad_mlp.Fit(blobs, rng).ok());
+}
+
+TEST(MlpTest, SeparatesBlobs) {
+  Dataset train = MakeBlobs(200, 0.3, 3);
+  Dataset test = MakeBlobs(200, 0.3, 5);
+  Mlp mlp;
+  Rng rng(7);
+  ASSERT_TRUE(mlp.Fit(train, rng).ok());
+  EXPECT_GT(Accuracy(mlp, test), 0.95);
+}
+
+TEST(MlpTest, SolvesXorUnlikeLinearModels) {
+  // The hidden layer must capture the non-linear decision boundary.
+  Dataset train = MakeXor(150, 0.25, 9);
+  Dataset test = MakeXor(150, 0.25, 11);
+  MlpOptions options;
+  options.hidden_units = 16;
+  options.epochs = 150;
+  Mlp mlp(options);
+  Rng rng(13);
+  ASSERT_TRUE(mlp.Fit(train, rng).ok());
+  EXPECT_GT(Accuracy(mlp, test), 0.9);
+}
+
+TEST(MlpTest, OutputsAreProbabilities) {
+  Dataset train = MakeBlobs(100, 0.4, 15);
+  Mlp mlp;
+  Rng rng(17);
+  ASSERT_TRUE(mlp.Fit(train, rng).ok());
+  EXPECT_TRUE(mlp.probabilistic());
+  for (double x : {-2.0, 0.0, 2.0}) {
+    const double p = mlp.Score(std::vector<double>{x, -x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  Dataset train = MakeBlobs(80, 0.3, 19);
+  Mlp a;
+  Mlp b;
+  Rng rng1(29);
+  Rng rng2(29);
+  ASSERT_TRUE(a.Fit(train, rng1).ok());
+  ASSERT_TRUE(b.Fit(train, rng2).ok());
+  const std::vector<double> probe{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(a.Score(probe), b.Score(probe));
+}
+
+}  // namespace
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,94 @@
+#include "datagen/names.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+namespace oasis {
+namespace datagen {
+namespace {
+
+TEST(WordGeneratorTest, WordsAreLowercaseAlpha) {
+  WordGenerator gen(Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    const std::string word = gen.Word();
+    EXPECT_FALSE(word.empty());
+    for (char c : word) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c))) << word;
+    }
+  }
+}
+
+TEST(WordGeneratorTest, VocabularyIsDistinct) {
+  WordGenerator gen(Rng(2));
+  const std::vector<std::string> vocab = gen.Vocabulary(300);
+  EXPECT_EQ(vocab.size(), 300u);
+  std::set<std::string> unique(vocab.begin(), vocab.end());
+  EXPECT_EQ(unique.size(), 300u);
+}
+
+TEST(WordGeneratorTest, DeterministicForSameSeed) {
+  WordGenerator a(Rng(3));
+  WordGenerator b(Rng(3));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Word(), b.Word());
+  }
+}
+
+TEST(WordGeneratorTest, SurnameIsCapitalised) {
+  WordGenerator gen(Rng(4));
+  for (int i = 0; i < 50; ++i) {
+    const std::string surname = gen.Surname();
+    ASSERT_FALSE(surname.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(surname[0])));
+  }
+}
+
+TEST(WordGeneratorTest, AuthorHasInitialDotSurname) {
+  WordGenerator gen(Rng(5));
+  const std::string author = gen.Author();
+  ASSERT_GE(author.size(), 4u);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(author[0])));
+  EXPECT_EQ(author[1], '.');
+  EXPECT_EQ(author[2], ' ');
+}
+
+TEST(WordGeneratorTest, ModelCodeShape) {
+  WordGenerator gen(Rng(6));
+  for (int i = 0; i < 50; ++i) {
+    const std::string code = gen.ModelCode();
+    const size_t dash = code.find('-');
+    ASSERT_NE(dash, std::string::npos);
+    for (size_t c = 0; c < dash; ++c) {
+      EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(code[c])));
+    }
+    for (size_t c = dash + 1; c < code.size(); ++c) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(code[c])));
+    }
+  }
+}
+
+TEST(WordGeneratorTest, ZipfIndexSkewsTowardLowRanks) {
+  WordGenerator gen(Rng(7));
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.ZipfIndex(100) < 10) ++low;
+  }
+  // Under the 1/(k+1) law the first 10 of 100 ranks carry ~log(11)/log(101)
+  // ~ 52% of the mass — far above the uniform 10%.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(WordGeneratorTest, ZipfIndexInRange) {
+  WordGenerator gen(Rng(8));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.ZipfIndex(7), 7u);
+  }
+  EXPECT_EQ(gen.ZipfIndex(1), 0u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace oasis

@@ -1,0 +1,54 @@
+#include "er/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace er {
+namespace {
+
+TEST(NormalizeStringTest, LowercasesAscii) {
+  EXPECT_EQ(NormalizeString("HeLLo World"), "hello world");
+}
+
+TEST(NormalizeStringTest, StripsSymbolsToSpaces) {
+  EXPECT_EQ(NormalizeString("foo-bar/baz (v2)"), "foo bar baz v2");
+}
+
+TEST(NormalizeStringTest, CollapsesWhitespaceAndTrims) {
+  EXPECT_EQ(NormalizeString("  a   b\t\tc  "), "a b c");
+}
+
+TEST(NormalizeStringTest, KeepsDigits) {
+  EXPECT_EQ(NormalizeString("XR-4500, 2nd ed."), "xr 4500 2nd ed");
+}
+
+TEST(NormalizeStringTest, TransliteratesLatin1Accents) {
+  // "café" with Latin-1 e-acute (0xE9).
+  const std::string input = std::string("caf") + static_cast<char>(0xE9);
+  EXPECT_EQ(NormalizeString(input), "cafe");
+  const std::string upper = std::string("CAF") + static_cast<char>(0xC9);
+  EXPECT_EQ(NormalizeString(upper), "cafe");
+}
+
+TEST(NormalizeStringTest, EmptyAndSymbolOnlyInputs) {
+  EXPECT_EQ(NormalizeString(""), "");
+  EXPECT_EQ(NormalizeString("!!! --- ###"), "");
+}
+
+TEST(NormalizeStringTest, Idempotent) {
+  const std::string once = NormalizeString("Crème Brûlée #42!");
+  EXPECT_EQ(NormalizeString(once), once);
+}
+
+TEST(ToLowerAsciiTest, Basics) {
+  EXPECT_EQ(ToLowerAscii("AbC123"), "abc123");
+}
+
+TEST(IsBlankAfterNormalizeTest, DetectsEmptyNormalisedForms) {
+  EXPECT_TRUE(IsBlankAfterNormalize("  ** "));
+  EXPECT_FALSE(IsBlankAfterNormalize("x"));
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/oasis.h"
+#include "oracle/ground_truth_oracle.h"
+#include "strata/csf.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testutil::MakeSyntheticPool;
+using testutil::SyntheticPool;
+using testutil::SyntheticPoolOptions;
+
+/// Property sweep: OASIS must remain a consistent estimator across the
+/// F-measure weight alpha, the greediness epsilon, the stratum count K, and
+/// the pool's class imbalance. Each case runs a seeded sampler to a large
+/// budget and checks convergence to the pool truth, plus the structural
+/// invariants (normalised instrumental distribution, bounded weights).
+class OasisConsistencySweep
+    : public ::testing::TestWithParam<
+          std::tuple<double /*alpha*/, double /*epsilon*/, size_t /*K*/,
+                     double /*match_fraction*/>> {};
+
+TEST_P(OasisConsistencySweep, ConvergesAndStaysValid) {
+  const auto [alpha, epsilon, target_strata, match_fraction] = GetParam();
+
+  SyntheticPoolOptions pool_options;
+  pool_options.size = 3000;
+  pool_options.match_fraction = match_fraction;
+  pool_options.seed = 1000 + static_cast<uint64_t>(alpha * 10) +
+                      static_cast<uint64_t>(epsilon * 1e4) + target_strata;
+  SyntheticPool pool = MakeSyntheticPool(pool_options);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, target_strata).ValueOrDie());
+  OasisOptions options;
+  options.alpha = alpha;
+  options.epsilon = epsilon;
+  auto sampler =
+      OasisSampler::Create(&pool.scored, &labels, strata, options, Rng(17))
+          .ValueOrDie();
+
+  // The reference value at this alpha from full ground truth.
+  double tp = 0, pred = 0, pos = 0;
+  for (size_t i = 0; i < pool.truth.size(); ++i) {
+    if (pool.truth[i] && pool.scored.predictions[i]) tp += 1;
+    if (pool.scored.predictions[i]) pred += 1;
+    if (pool.truth[i]) pos += 1;
+  }
+  const double denom = alpha * pred + (1.0 - alpha) * pos;
+  if (denom <= 0.0) GTEST_SKIP() << "degenerate pool for this alpha";
+  const double true_f = tp / denom;
+
+  // At alpha = 1 (precision) the optimal instrumental distribution puts all
+  // but the epsilon floor on predicted-positive strata, which are small and
+  // quickly exhausted — exactly the intended behaviour. Budget accordingly:
+  // most of the predicted positives suffice to pin down precision.
+  int64_t budget = 2200;
+  if (alpha == 1.0) {
+    budget = std::min<int64_t>(budget, static_cast<int64_t>(0.7 * pred));
+  }
+  while (sampler->labels_consumed() < budget) {
+    ASSERT_TRUE(sampler->Step().ok());
+    ASSERT_LT(sampler->iterations(), 2000000)
+        << "sampler failed to consume budget";
+  }
+
+  // Structural invariants after adaptation.
+  const std::vector<double> v = sampler->CurrentInstrumental().ValueOrDie();
+  double v_total = 0.0;
+  for (size_t k = 0; k < v.size(); ++k) {
+    EXPECT_GT(v[k], 0.0);
+    EXPECT_LE(sampler->strata().weight(k) / v[k], 1.0 / epsilon + 1e-9);
+    v_total += v[k];
+  }
+  EXPECT_NEAR(v_total, 1.0, 1e-9);
+
+  const EstimateSnapshot snap = sampler->Estimate();
+  ASSERT_TRUE(snap.f_defined);
+  // Most of the informative pool labelled: the estimate must be close.
+  EXPECT_NEAR(snap.f_alpha, true_f, 0.10)
+      << "alpha=" << alpha << " eps=" << epsilon << " K=" << target_strata
+      << " match_fraction=" << match_fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaEpsilonKImbalance, OasisConsistencySweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(1e-3, 0.1),
+                       ::testing::Values(5, 30),
+                       ::testing::Values(0.02, 0.2)));
+
+/// Prior-strength sweep (Remark 4 territory): even grossly misspecified
+/// priors must not destroy convergence when decay is enabled.
+class OasisPriorSweep : public ::testing::TestWithParam<
+                            std::tuple<double /*eta*/, bool /*decay*/>> {};
+
+TEST_P(OasisPriorSweep, RobustToPriorStrength) {
+  const auto [eta, decay] = GetParam();
+  SyntheticPoolOptions pool_options;
+  pool_options.size = 2000;
+  pool_options.match_fraction = 0.05;
+  pool_options.seed = 999;
+  SyntheticPool pool = MakeSyntheticPool(pool_options);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+
+  OasisOptions options;
+  options.prior_strength = eta;
+  options.decay_prior = decay;
+  auto sampler = OasisSampler::CreateWithCsf(&pool.scored, &labels, 20, options,
+                                             Rng(19))
+                     .ValueOrDie();
+  while (sampler->labels_consumed() < 1600) {
+    ASSERT_TRUE(sampler->Step().ok());
+  }
+  const EstimateSnapshot snap = sampler->Estimate();
+  ASSERT_TRUE(snap.f_defined);
+  // The AIS estimate is consistent regardless of the prior; the prior only
+  // shapes the sampling distribution (efficiency, not correctness).
+  EXPECT_NEAR(snap.f_alpha, pool.true_measures.f_alpha, 0.08)
+      << "eta=" << eta << " decay=" << decay;
+}
+
+INSTANTIATE_TEST_SUITE_P(PriorStrengths, OasisPriorSweep,
+                         ::testing::Combine(::testing::Values(0.5, 2.0, 60.0,
+                                                              500.0),
+                                            ::testing::Bool()));
+
+/// Determinism sweep: identical seeds reproduce identical estimates across
+/// every configuration (the reproducibility contract of the library).
+class OasisDeterminismSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OasisDeterminismSweep, IdenticalSeedsIdenticalRuns) {
+  const size_t target_strata = GetParam();
+  SyntheticPool pool = MakeSyntheticPool({});
+  GroundTruthOracle oracle(pool.truth);
+
+  double estimates[2];
+  for (int run = 0; run < 2; ++run) {
+    LabelCache labels(&oracle);
+    auto sampler = OasisSampler::CreateWithCsf(&pool.scored, &labels,
+                                               target_strata, OasisOptions{},
+                                               Rng(4242))
+                       .ValueOrDie();
+    for (int i = 0; i < 1500; ++i) ASSERT_TRUE(sampler->Step().ok());
+    estimates[run] = sampler->Estimate().f_alpha;
+  }
+  EXPECT_DOUBLE_EQ(estimates[0], estimates[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(StratumCounts, OasisDeterminismSweep,
+                         ::testing::Values(5, 30, 60, 120));
+
+}  // namespace
+}  // namespace oasis

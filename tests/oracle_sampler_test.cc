@@ -1,0 +1,133 @@
+#include "sampling/oracle_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oracle/ground_truth_oracle.h"
+#include "strata/csf.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testutil::MakeSyntheticPool;
+using testutil::SyntheticPool;
+using testutil::SyntheticPoolOptions;
+
+std::shared_ptr<const Strata> MakeStrata(const ScoredPool& pool, size_t k) {
+  return std::make_shared<const Strata>(StratifyCsf(pool.scores, k).ValueOrDie());
+}
+
+TEST(OracleOptimalSamplerTest, RejectsBadArguments) {
+  SyntheticPool pool = MakeSyntheticPool({});
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto strata = MakeStrata(pool.scored, 10);
+  const std::vector<uint8_t> short_truth{1, 0};
+  EXPECT_FALSE(OracleOptimalSampler::Create(&pool.scored, &labels, strata,
+                                            short_truth, 0.5, 1e-3, Rng(1))
+                   .ok());
+  EXPECT_FALSE(OracleOptimalSampler::Create(nullptr, &labels, strata, pool.truth,
+                                            0.5, 1e-3, Rng(1))
+                   .ok());
+}
+
+TEST(OracleOptimalSamplerTest, InstrumentalIsValidDistribution) {
+  SyntheticPool pool = MakeSyntheticPool({});
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler = OracleOptimalSampler::Create(&pool.scored, &labels,
+                                              MakeStrata(pool.scored, 15),
+                                              pool.truth, 0.5, 1e-3, Rng(3))
+                     .ValueOrDie();
+  double total = 0.0;
+  for (double v : sampler->instrumental()) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OracleOptimalSamplerTest, ConvergesToTrueF) {
+  SyntheticPoolOptions options;
+  options.size = 3000;
+  options.match_fraction = 0.03;
+  options.seed = 301;
+  SyntheticPool pool = MakeSyntheticPool(options);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler = OracleOptimalSampler::Create(&pool.scored, &labels,
+                                              MakeStrata(pool.scored, 20),
+                                              pool.truth, 0.5, 1e-3, Rng(5))
+                     .ValueOrDie();
+  while (sampler->labels_consumed() < 2000) {
+    ASSERT_TRUE(sampler->Step().ok());
+  }
+  const EstimateSnapshot snap = sampler->Estimate();
+  ASSERT_TRUE(snap.f_defined);
+  EXPECT_NEAR(snap.f_alpha, pool.true_measures.f_alpha, 0.05);
+}
+
+TEST(OracleOptimalSamplerTest, AtLeastAsGoodAsPassiveOnAverage) {
+  // The oracle-optimal distribution is the variance-minimising reference; at
+  // a small budget its squared error should beat uniform sampling.
+  SyntheticPoolOptions options;
+  options.size = 6000;
+  options.match_fraction = 0.01;
+  options.seed = 303;
+  SyntheticPool pool = MakeSyntheticPool(options);
+  GroundTruthOracle oracle(pool.truth);
+  auto strata = MakeStrata(pool.scored, 20);
+
+  double oracle_sq = 0.0;
+  int oracle_n = 0;
+  double passive_sq = 0.0;
+  int passive_n = 0;
+  const int repeats = 20;
+  const int64_t budget = 300;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      LabelCache labels(&oracle);
+      auto sampler =
+          OracleOptimalSampler::Create(&pool.scored, &labels, strata, pool.truth,
+                                       0.5, 1e-3, Rng(400 + r))
+              .ValueOrDie();
+      while (labels.labels_consumed() < budget) {
+        ASSERT_TRUE(sampler->Step().ok());
+      }
+      const EstimateSnapshot snap = sampler->Estimate();
+      if (snap.f_defined) {
+        const double err = snap.f_alpha - pool.true_measures.f_alpha;
+        oracle_sq += err * err;
+        ++oracle_n;
+      }
+    }
+    {
+      LabelCache labels(&oracle);
+      Rng rng(500 + r);
+      double tp = 0, pred = 0, pos = 0;
+      while (labels.labels_consumed() < budget) {
+        const int64_t item = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(pool.scored.size())));
+        const bool label = labels.Query(item, rng);
+        if (label && pool.scored.predictions[item]) tp += 1;
+        if (pool.scored.predictions[item]) pred += 1;
+        if (label) pos += 1;
+      }
+      const double denom = 0.5 * (pred + pos);
+      if (denom > 0) {
+        const double err = tp / denom - pool.true_measures.f_alpha;
+        passive_sq += err * err;
+        ++passive_n;
+      }
+    }
+  }
+  ASSERT_GT(oracle_n, repeats / 2);
+  if (passive_n > repeats / 2) {
+    EXPECT_LT(std::sqrt(oracle_sq / oracle_n), std::sqrt(passive_sq / passive_n));
+  }
+}
+
+}  // namespace
+}  // namespace oasis

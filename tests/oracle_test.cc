@@ -1,0 +1,76 @@
+#include "oracle/ground_truth_oracle.h"
+#include "oracle/noisy_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(GroundTruthOracleTest, ReturnsExactTruth) {
+  GroundTruthOracle oracle({1, 0, 1, 0, 0});
+  Rng rng(1);
+  EXPECT_TRUE(oracle.Label(0, rng));
+  EXPECT_FALSE(oracle.Label(1, rng));
+  EXPECT_TRUE(oracle.Label(2, rng));
+  EXPECT_TRUE(oracle.deterministic());
+  EXPECT_EQ(oracle.num_items(), 5);
+  EXPECT_EQ(oracle.num_positives(), 2);
+}
+
+TEST(GroundTruthOracleTest, TrueProbabilityIsDegenerate) {
+  GroundTruthOracle oracle({1, 0});
+  EXPECT_DOUBLE_EQ(oracle.TrueProbability(0), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.TrueProbability(1), 0.0);
+}
+
+TEST(NoisyOracleTest, RejectsBadProbabilities) {
+  EXPECT_FALSE(NoisyOracle::FromProbabilities({}).ok());
+  EXPECT_FALSE(NoisyOracle::FromProbabilities({0.5, 1.5}).ok());
+  EXPECT_FALSE(NoisyOracle::FromProbabilities({-0.1}).ok());
+}
+
+TEST(NoisyOracleTest, DegenerateProbabilitiesAreDeterministic) {
+  NoisyOracle oracle = NoisyOracle::FromProbabilities({1.0, 0.0}).ValueOrDie();
+  EXPECT_TRUE(oracle.deterministic());
+}
+
+TEST(NoisyOracleTest, IntermediateProbabilitiesAreNoisy) {
+  NoisyOracle oracle = NoisyOracle::FromProbabilities({0.3}).ValueOrDie();
+  EXPECT_FALSE(oracle.deterministic());
+  Rng rng(9);
+  int ones = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ones += oracle.Label(0, rng) ? 1 : 0;
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(NoisyOracleTest, FlipNoiseMatchesRates) {
+  const std::vector<uint8_t> truth{1, 0};
+  NoisyOracle oracle =
+      NoisyOracle::FromTruthWithFlipNoise(truth, 0.2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(oracle.TrueProbability(0), 0.8);
+  EXPECT_DOUBLE_EQ(oracle.TrueProbability(1), 0.2);
+  EXPECT_FALSE(oracle.deterministic());
+}
+
+TEST(NoisyOracleTest, RejectsBadFlipRate) {
+  const std::vector<uint8_t> truth{1};
+  EXPECT_FALSE(NoisyOracle::FromTruthWithFlipNoise(truth, 0.5).ok());
+  EXPECT_FALSE(NoisyOracle::FromTruthWithFlipNoise(truth, -0.1).ok());
+  EXPECT_FALSE(NoisyOracle::FromTruthWithFlipNoise({}, 0.1).ok());
+}
+
+TEST(NoisyOracleTest, ZeroFlipRateIsDeterministic) {
+  const std::vector<uint8_t> truth{1, 0, 1};
+  NoisyOracle oracle =
+      NoisyOracle::FromTruthWithFlipNoise(truth, 0.0).ValueOrDie();
+  EXPECT_TRUE(oracle.deterministic());
+  Rng rng(2);
+  EXPECT_TRUE(oracle.Label(0, rng));
+  EXPECT_FALSE(oracle.Label(1, rng));
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,153 @@
+#include "er/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "classify/linear_svm.h"
+
+namespace oasis {
+namespace er {
+namespace {
+
+struct Fixture {
+  Database left;
+  Database right;
+  TrainingSet training;
+  std::vector<RecordPair> eval_pairs;
+  std::vector<uint8_t> eval_truth;
+};
+
+Record MakeRecord(const std::string& name, const std::string& blurb, double price) {
+  Record r;
+  r.values.push_back(FieldValue::Text(name));
+  r.values.push_back(FieldValue::Text(blurb));
+  r.values.push_back(FieldValue::Number(price));
+  return r;
+}
+
+/// Two tiny catalogues with three matching products and noise entries.
+Fixture MakeFixture() {
+  Fixture fx;
+  Schema schema({{"name", FieldKind::kShortText},
+                 {"blurb", FieldKind::kLongText},
+                 {"price", FieldKind::kNumeric}});
+  fx.left.schema = schema;
+  fx.right.schema = schema;
+
+  fx.left.records = {
+      MakeRecord("acme widget xr1", "compact widget for the home office", 49.0),
+      MakeRecord("bolt driver m3", "torque driver with led light", 120.0),
+      MakeRecord("clear kettle", "glass kettle fast boil", 35.0),
+      MakeRecord("random lamp", "warm light bedroom lamp", 20.0),
+  };
+  fx.right.records = {
+      MakeRecord("acme widget xr-1", "compact widget for home office use", 47.5),
+      MakeRecord("bolt driver m-3", "torque driver, led light included", 118.0),
+      MakeRecord("cleer kettle", "glass kettle with fast boil", 36.0),
+      MakeRecord("desk chair", "ergonomic mesh chair", 150.0),
+  };
+
+  // Training pairs: the three matches plus assorted non-matches.
+  for (int32_t i = 0; i < 3; ++i) {
+    fx.training.pairs.push_back({i, i});
+    fx.training.labels.push_back(1);
+  }
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = 0; j < 4; ++j) {
+      if (i == j && i < 3) continue;
+      fx.training.pairs.push_back({i, j});
+      fx.training.labels.push_back(0);
+    }
+  }
+
+  // Evaluation pairs: all 16 cross pairs.
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = 0; j < 4; ++j) {
+      fx.eval_pairs.push_back({i, j});
+      fx.eval_truth.push_back(i == j && i < 3 ? 1 : 0);
+    }
+  }
+  return fx;
+}
+
+TEST(CachedFeaturizerTest, MatchesPairsScoreHigherThanNonMatches) {
+  Fixture fx = MakeFixture();
+  CachedFeaturizer featurizer =
+      CachedFeaturizer::Build(fx.left, fx.right).ValueOrDie();
+  EXPECT_EQ(featurizer.num_features(), 3u);
+
+  const std::vector<double> match = featurizer.Features(0, 0);
+  const std::vector<double> non_match = featurizer.Features(0, 3);
+  double match_sum = 0.0;
+  double non_sum = 0.0;
+  for (size_t f = 0; f < 3; ++f) {
+    match_sum += match[f];
+    non_sum += non_match[f];
+  }
+  EXPECT_GT(match_sum, non_sum + 0.5);
+}
+
+TEST(CachedFeaturizerTest, DedupSelfJoinWorks) {
+  Fixture fx = MakeFixture();
+  CachedFeaturizer featurizer =
+      CachedFeaturizer::Build(fx.left, fx.left).ValueOrDie();
+  const std::vector<double> self = featurizer.Features(1, 1);
+  EXPECT_NEAR(self[0], 1.0, 1e-9);
+  EXPECT_NEAR(self[2], 1.0, 1e-9);
+}
+
+TEST(ErPipelineTest, TrainThenScoreSeparatesClasses) {
+  Fixture fx = MakeFixture();
+  ErPipeline pipeline = ErPipeline::Create(&fx.left, &fx.right).ValueOrDie();
+  EXPECT_FALSE(pipeline.trained());
+
+  Rng rng(21);
+  ASSERT_TRUE(pipeline
+                  .Train(fx.training, std::make_unique<classify::LinearSvm>(), rng)
+                  .ok());
+  EXPECT_TRUE(pipeline.trained());
+
+  ScoredPool pool = pipeline.ScorePairs(fx.eval_pairs).ValueOrDie();
+  ASSERT_EQ(pool.size(), static_cast<int64_t>(fx.eval_pairs.size()));
+  EXPECT_FALSE(pool.scores_are_probabilities);  // SVM margins.
+  ASSERT_TRUE(pool.Validate().ok());
+
+  // Every match must outscore every non-match on this easy fixture.
+  double min_match = 1e9;
+  double max_non = -1e9;
+  for (size_t i = 0; i < fx.eval_pairs.size(); ++i) {
+    if (fx.eval_truth[i] != 0) {
+      min_match = std::min(min_match, pool.scores[i]);
+    } else {
+      max_non = std::max(max_non, pool.scores[i]);
+    }
+  }
+  EXPECT_GT(min_match, max_non);
+}
+
+TEST(ErPipelineTest, ScoreBeforeTrainFails) {
+  Fixture fx = MakeFixture();
+  ErPipeline pipeline = ErPipeline::Create(&fx.left, &fx.right).ValueOrDie();
+  EXPECT_FALSE(pipeline.ScorePairs(fx.eval_pairs).ok());
+}
+
+TEST(ErPipelineTest, RejectsBadTrainingSet) {
+  Fixture fx = MakeFixture();
+  ErPipeline pipeline = ErPipeline::Create(&fx.left, &fx.right).ValueOrDie();
+  Rng rng(23);
+  TrainingSet empty;
+  EXPECT_FALSE(
+      pipeline.Train(empty, std::make_unique<classify::LinearSvm>(), rng).ok());
+  EXPECT_FALSE(pipeline.Train(fx.training, nullptr, rng).ok());
+}
+
+TEST(ErPipelineTest, RejectsNullDatabases) {
+  Fixture fx = MakeFixture();
+  EXPECT_FALSE(ErPipeline::Create(nullptr, &fx.right).ok());
+  EXPECT_FALSE(ErPipeline::Create(&fx.left, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

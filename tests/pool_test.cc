@@ -1,0 +1,45 @@
+#include "er/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oasis {
+namespace er {
+namespace {
+
+TEST(PairPoolTest, AddAndAccess) {
+  PairPool pool;
+  pool.Add({0, 1}, true);
+  pool.Add({2, 3}, false);
+  pool.Add({4, 5}, false);
+  EXPECT_EQ(pool.size(), 3);
+  EXPECT_EQ(pool.num_matches(), 1);
+  EXPECT_TRUE(pool.is_match(0));
+  EXPECT_FALSE(pool.is_match(1));
+  EXPECT_EQ(pool.pair(1).left, 2);
+  EXPECT_EQ(pool.pair(1).right, 3);
+  EXPECT_EQ(pool.truth().size(), 3u);
+}
+
+TEST(PairPoolTest, ImbalanceRatio) {
+  PairPool pool;
+  pool.Add({0, 0}, true);
+  for (int i = 0; i < 10; ++i) pool.Add({i, i + 1}, false);
+  EXPECT_DOUBLE_EQ(pool.ImbalanceRatio(), 10.0);
+}
+
+TEST(PairPoolTest, ImbalanceRatioWithNoMatchesIsInfinite) {
+  PairPool pool;
+  pool.Add({0, 1}, false);
+  EXPECT_TRUE(std::isinf(pool.ImbalanceRatio()));
+}
+
+TEST(RecordPairTest, Equality) {
+  EXPECT_EQ((RecordPair{1, 2}), (RecordPair{1, 2}));
+  EXPECT_FALSE((RecordPair{1, 2}) == (RecordPair{2, 1}));
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,171 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, 450);  // ~4.5 sigma of binomial(80000, 1/8).
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    min = std::min(min, u);
+    max = std::max(max, u);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesProbability) {
+  Rng rng(17);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMomentsMatchShape) {
+  Rng rng(29);
+  const double shape = 3.5;
+  double sum = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape);
+  EXPECT_NEAR(sum / n, shape, 0.08);  // Gamma(k,1) has mean k.
+}
+
+TEST(RngTest, GammaSmallShapeMean) {
+  Rng rng(31);
+  const double shape = 0.4;
+  double sum = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape);
+  EXPECT_NEAR(sum / n, shape, 0.03);
+}
+
+TEST(RngTest, BetaMomentsMatch) {
+  Rng rng(37);
+  const double a = 2.0;
+  const double b = 6.0;
+  double sum = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextBeta(a, b);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, a / (a + b), 0.01);
+}
+
+TEST(RngTest, DiscreteLinearMatchesWeights) {
+  Rng rng(41);
+  const std::vector<double> weights{1.0, 0.0, 3.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextDiscreteLinear(weights)];
+  EXPECT_EQ(counts[1], 0);  // Zero-weight category never drawn.
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(53);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentish) {
+  Rng parent(59);
+  Rng child = parent.Split();
+  // The child stream should not reproduce the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace oasis

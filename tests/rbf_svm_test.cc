@@ -1,0 +1,71 @@
+#include "classify/rbf_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "classify_test_util.h"
+
+namespace oasis {
+namespace classify {
+namespace {
+
+using testutil::Accuracy;
+using testutil::MakeBlobs;
+using testutil::MakeXor;
+
+TEST(RbfSvmTest, RejectsDegenerateData) {
+  RbfSvm svm;
+  Rng rng(1);
+  Dataset empty(2);
+  EXPECT_FALSE(svm.Fit(empty, rng).ok());
+
+  RbfSvmOptions bad;
+  bad.gamma = 0.0;
+  RbfSvm bad_svm(bad);
+  Dataset blobs = MakeBlobs(10, 0.2, 2);
+  EXPECT_FALSE(bad_svm.Fit(blobs, rng).ok());
+}
+
+TEST(RbfSvmTest, SeparatesBlobs) {
+  Dataset train = MakeBlobs(150, 0.3, 3);
+  Dataset test = MakeBlobs(150, 0.3, 5);
+  RbfSvm svm;
+  Rng rng(7);
+  ASSERT_TRUE(svm.Fit(train, rng).ok());
+  EXPECT_GT(Accuracy(svm, test), 0.95);
+}
+
+TEST(RbfSvmTest, SolvesXorViaKernel) {
+  Dataset train = MakeXor(100, 0.25, 9);
+  Dataset test = MakeXor(100, 0.25, 11);
+  RbfSvmOptions options;
+  options.gamma = 1.0;
+  options.steps = 6000;
+  RbfSvm svm(options);
+  Rng rng(13);
+  ASSERT_TRUE(svm.Fit(train, rng).ok());
+  EXPECT_GT(Accuracy(svm, test), 0.9);
+}
+
+TEST(RbfSvmTest, KeepsSparseSupportSet) {
+  Dataset train = MakeBlobs(200, 0.3, 15);
+  RbfSvm svm;
+  Rng rng(17);
+  ASSERT_TRUE(svm.Fit(train, rng).ok());
+  EXPECT_GT(svm.num_support_vectors(), 0u);
+  // Easily separable data needs only a fraction of the points as support.
+  EXPECT_LT(svm.num_support_vectors(), train.size());
+}
+
+TEST(RbfSvmTest, MarginsAreSigned) {
+  Dataset train = MakeBlobs(150, 0.3, 19);
+  RbfSvm svm;
+  Rng rng(21);
+  ASSERT_TRUE(svm.Fit(train, rng).ok());
+  EXPECT_FALSE(svm.probabilistic());
+  EXPECT_GT(svm.Score(std::vector<double>{1.0, 1.0}), 0.0);
+  EXPECT_LT(svm.Score(std::vector<double>{-1.0, -1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace classify
+}  // namespace oasis

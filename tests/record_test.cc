@@ -1,0 +1,54 @@
+#include "er/record.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace er {
+namespace {
+
+TEST(SchemaTest, FieldLookup) {
+  Schema schema({{"name", FieldKind::kShortText},
+                 {"desc", FieldKind::kLongText},
+                 {"price", FieldKind::kNumeric}});
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.FieldIndex("desc"), 1);
+  EXPECT_EQ(schema.FieldIndex("missing"), -1);
+  EXPECT_EQ(schema.field(2).kind, FieldKind::kNumeric);
+}
+
+TEST(FieldValueTest, Factories) {
+  const FieldValue text = FieldValue::Text("hello");
+  EXPECT_EQ(text.text, "hello");
+  EXPECT_FALSE(text.missing);
+
+  const FieldValue number = FieldValue::Number(3.5);
+  EXPECT_DOUBLE_EQ(number.number, 3.5);
+  EXPECT_FALSE(number.missing);
+
+  const FieldValue missing = FieldValue::Missing();
+  EXPECT_TRUE(missing.missing);
+}
+
+TEST(DatabaseTest, ValidateAcceptsMatchingArity) {
+  Database db;
+  db.schema = Schema({{"a", FieldKind::kShortText}, {"b", FieldKind::kNumeric}});
+  Record r;
+  r.values.push_back(FieldValue::Text("x"));
+  r.values.push_back(FieldValue::Number(1.0));
+  db.records.push_back(r);
+  EXPECT_TRUE(db.Validate().ok());
+  EXPECT_EQ(db.size(), 1);
+}
+
+TEST(DatabaseTest, ValidateRejectsArityMismatch) {
+  Database db;
+  db.schema = Schema({{"a", FieldKind::kShortText}, {"b", FieldKind::kNumeric}});
+  Record r;
+  r.values.push_back(FieldValue::Text("x"));  // Only one of two fields.
+  db.records.push_back(r);
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,81 @@
+#include "experiments/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace oasis {
+namespace experiments {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "2.5"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // All rows share the same column start for "value"/"1"/"2.5".
+  std::istringstream stream(out);
+  std::string header;
+  std::getline(stream, header);
+  const size_t value_col = header.find("value");
+  std::string rule, row1, row2;
+  std::getline(stream, rule);
+  std::getline(stream, row1);
+  std::getline(stream, row2);
+  EXPECT_EQ(row1.find('1'), value_col);
+  EXPECT_EQ(row2.find("2.5"), value_col);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"x"});
+  EXPECT_NO_FATAL_FAILURE(table.ToString());
+}
+
+TEST(FormatDoubleTest, PrecisionAndNaN) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(std::nan(""), 2), "nan");
+}
+
+TEST(FormatScientificTest, Shape) {
+  const std::string out = FormatScientific(2.483e-5, 3);
+  EXPECT_NE(out.find("e-05"), std::string::npos);
+  EXPECT_EQ(out.substr(0, 5), "2.483");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(4397038), "4,397,038");
+  EXPECT_EQ(FormatCount(-1234), "-1,234");
+}
+
+TEST(PrintCurvesTest, HidesUnderDefinedPoints) {
+  ErrorCurve curve;
+  curve.method = "M";
+  curve.budgets = {10, 20};
+  curve.mean_abs_error = {0.5, 0.25};
+  curve.stddev = {0.1, 0.05};
+  curve.mean_estimate = {0.4, 0.5};
+  curve.frac_defined = {0.5, 1.0};  // First point under the 95% bar.
+  curve.repeats = 10;
+
+  std::ostringstream out;
+  PrintCurves(out, {curve});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("M abs.err"), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);       // Hidden cell marker.
+  EXPECT_NE(text.find("0.2500"), std::string::npos);  // Visible cell.
+  EXPECT_EQ(text.find("0.5000"), std::string::npos);  // Hidden abs err.
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,92 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance_sample(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.standard_error(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(4.2);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(stats.variance_sample(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.2);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.2);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance_population(), 4.0);
+  EXPECT_NEAR(stats.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  std::vector<double> values{1.5, -2.0, 3.7, 0.0, 8.8, -4.1, 2.2};
+  RunningStats all;
+  for (double v : values) all.Add(v);
+
+  RunningStats left;
+  RunningStats right;
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i < 3 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance_sample(), all.variance_sample(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);  // Empty absorbs non-empty.
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats empty;
+  a.Merge(empty);  // Non-empty unchanged by empty.
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, StandardErrorShrinksWithN) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.standard_error(), large.standard_error());
+}
+
+TEST(RunningStatsTest, NumericalStabilityWithLargeOffset) {
+  // Welford should survive a huge common offset that naive sum-of-squares
+  // would destroy.
+  RunningStats stats;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) stats.Add(x);
+  EXPECT_NEAR(stats.variance_sample(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace oasis

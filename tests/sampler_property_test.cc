@@ -1,0 +1,212 @@
+// Cross-method property sweeps: every sampler in the library must satisfy
+// the same contracts — budget accounting, estimate definedness, determinism,
+// and convergence to the pool truth — across the F-measure weight alpha and
+// pool imbalance. One parameterised suite exercises all of them uniformly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/oasis.h"
+#include "oracle/ground_truth_oracle.h"
+#include "sampling/importance.h"
+#include "sampling/oracle_sampler.h"
+#include "sampling/passive.h"
+#include "sampling/stratified.h"
+#include "strata/csf.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testutil::MakeSyntheticPool;
+using testutil::SyntheticPool;
+using testutil::SyntheticPoolOptions;
+
+enum class Method { kPassive, kStratified, kImportance, kOasis, kOracleOptimal };
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kPassive:
+      return "Passive";
+    case Method::kStratified:
+      return "Stratified";
+    case Method::kImportance:
+      return "IS";
+    case Method::kOasis:
+      return "OASIS";
+    case Method::kOracleOptimal:
+      return "OracleOptimal";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<Sampler>> MakeSampler(Method method,
+                                             const SyntheticPool& pool,
+                                             LabelCache* labels, double alpha,
+                                             Rng rng) {
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 15).ValueOrDie());
+  switch (method) {
+    case Method::kPassive: {
+      OASIS_ASSIGN_OR_RETURN(auto sampler,
+                             PassiveSampler::Create(&pool.scored, labels, alpha,
+                                                    rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kStratified: {
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler,
+          StratifiedSampler::Create(&pool.scored, labels, strata, alpha, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kImportance: {
+      ImportanceOptions options;
+      options.alpha = alpha;
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler,
+          ImportanceSampler::Create(&pool.scored, labels, options, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kOasis: {
+      OasisOptions options;
+      options.alpha = alpha;
+      OASIS_ASSIGN_OR_RETURN(auto sampler,
+                             OasisSampler::Create(&pool.scored, labels, strata,
+                                                  options, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kOracleOptimal: {
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler,
+          OracleOptimalSampler::Create(&pool.scored, labels, strata, pool.truth,
+                                       alpha, 1e-3, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+/// Pool-truth F at a given alpha.
+double TrueF(const SyntheticPool& pool, double alpha) {
+  double tp = 0, pred = 0, pos = 0;
+  for (size_t i = 0; i < pool.truth.size(); ++i) {
+    if (pool.truth[i] && pool.scored.predictions[i]) tp += 1;
+    if (pool.scored.predictions[i]) pred += 1;
+    if (pool.truth[i]) pos += 1;
+  }
+  const double denom = alpha * pred + (1.0 - alpha) * pos;
+  return denom > 0 ? tp / denom : -1.0;
+}
+
+class SamplerContractSweep
+    : public ::testing::TestWithParam<std::tuple<Method, double /*alpha*/>> {};
+
+TEST_P(SamplerContractSweep, BudgetAccountingAndDeterminism) {
+  const auto [method, alpha] = GetParam();
+  SyntheticPoolOptions options;
+  options.size = 1200;
+  options.match_fraction = 0.08;
+  options.seed = 640 + static_cast<uint64_t>(alpha * 8);
+  SyntheticPool pool = MakeSyntheticPool(options);
+  GroundTruthOracle oracle(pool.truth);
+
+  double estimates[2];
+  for (int run = 0; run < 2; ++run) {
+    LabelCache labels(&oracle);
+    auto sampler =
+        MakeSampler(method, pool, &labels, alpha, Rng(999)).ValueOrDie();
+    for (int i = 0; i < 800; ++i) {
+      ASSERT_TRUE(sampler->Step().ok()) << MethodName(method);
+    }
+    // Budget never exceeds the pool size nor the iteration count.
+    EXPECT_LE(sampler->labels_consumed(), pool.scored.size());
+    EXPECT_LE(sampler->labels_consumed(), sampler->iterations());
+    EXPECT_EQ(sampler->iterations(), 800);
+    estimates[run] = sampler->Estimate().f_alpha;
+  }
+  EXPECT_DOUBLE_EQ(estimates[0], estimates[1]) << MethodName(method);
+}
+
+TEST_P(SamplerContractSweep, ConvergesToPoolTruth) {
+  const auto [method, alpha] = GetParam();
+  SyntheticPoolOptions options;
+  options.size = 2000;
+  options.match_fraction = 0.1;
+  options.seed = 7100 + static_cast<uint64_t>(alpha * 4);
+  SyntheticPool pool = MakeSyntheticPool(options);
+  const double true_f = TrueF(pool, alpha);
+  if (true_f < 0) GTEST_SKIP() << "degenerate pool at this alpha";
+
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler = MakeSampler(method, pool, &labels, alpha, Rng(31)).ValueOrDie();
+  // Run a generous iteration count; all methods must approach the truth once
+  // (nearly) the whole pool is labelled.
+  const int64_t max_iterations = 300000;
+  while (labels.labels_consumed() < 1900 &&
+         sampler->iterations() < max_iterations) {
+    ASSERT_TRUE(sampler->Step().ok());
+  }
+  const EstimateSnapshot snap = sampler->Estimate();
+  ASSERT_TRUE(snap.f_defined) << MethodName(method);
+  // Tolerance is loose for alpha extremes where fewer observations inform
+  // the estimate, and for samplers that may not exhaust the pool.
+  EXPECT_NEAR(snap.f_alpha, true_f, 0.12)
+      << MethodName(method) << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByAlpha, SamplerContractSweep,
+    ::testing::Combine(::testing::Values(Method::kPassive, Method::kStratified,
+                                         Method::kImportance, Method::kOasis,
+                                         Method::kOracleOptimal),
+                       ::testing::Values(0.0, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<SamplerContractSweep::ParamType>& info) {
+      // No structured bindings here: commas inside [] would split the macro
+      // arguments.
+      const Method method = std::get<0>(info.param);
+      const double alpha = std::get<1>(info.param);
+      std::string alpha_tag = alpha == 0.0 ? "recall"
+                              : alpha == 1.0 ? "precision"
+                                             : "balanced";
+      return MethodName(method) + "_" + alpha_tag;
+    });
+
+/// The estimator contracts must also hold on probability-score pools (the
+/// calibrated regime), which exercise the logit-scale CSF path.
+class ProbabilityPoolSweep : public ::testing::TestWithParam<Method> {};
+
+TEST_P(ProbabilityPoolSweep, WorksOnProbabilityScores) {
+  const Method method = GetParam();
+  SyntheticPoolOptions options;
+  options.size = 1500;
+  options.match_fraction = 0.05;
+  options.probability_scores = true;
+  options.seed = 911;
+  SyntheticPool pool = MakeSyntheticPool(options);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler = MakeSampler(method, pool, &labels, 0.5, Rng(17)).ValueOrDie();
+  while (labels.labels_consumed() < 1200 && sampler->iterations() < 200000) {
+    ASSERT_TRUE(sampler->Step().ok());
+  }
+  const EstimateSnapshot snap = sampler->Estimate();
+  ASSERT_TRUE(snap.f_defined) << MethodName(method);
+  EXPECT_NEAR(snap.f_alpha, pool.true_measures.f_alpha, 0.12)
+      << MethodName(method);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ProbabilityPoolSweep,
+                         ::testing::Values(Method::kPassive, Method::kStratified,
+                                           Method::kImportance, Method::kOasis,
+                                           Method::kOracleOptimal),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return MethodName(info.param);
+                         });
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,68 @@
+#include "classify/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace oasis {
+namespace classify {
+namespace {
+
+Dataset MakeData() {
+  Dataset data(2);
+  // Feature 0: mean 2, population stddev sqrt(2/3); feature 1: constant.
+  EXPECT_TRUE(data.Add(std::vector<double>{1.0, 5.0}, false).ok());
+  EXPECT_TRUE(data.Add(std::vector<double>{2.0, 5.0}, true).ok());
+  EXPECT_TRUE(data.Add(std::vector<double>{3.0, 5.0}, false).ok());
+  return data;
+}
+
+TEST(StandardScalerTest, RejectsEmpty) {
+  StandardScaler scaler;
+  Dataset empty(2);
+  EXPECT_FALSE(scaler.Fit(empty).ok());
+}
+
+TEST(StandardScalerTest, LearnsMoments) {
+  StandardScaler scaler;
+  Dataset data = MakeData();
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 2.0);
+  EXPECT_NEAR(scaler.stddevs()[0], std::sqrt(2.0 / 3.0), 1e-12);
+  // Constant feature falls back to unit scale.
+  EXPECT_DOUBLE_EQ(scaler.means()[1], 5.0);
+  EXPECT_DOUBLE_EQ(scaler.stddevs()[1], 1.0);
+}
+
+TEST(StandardScalerTest, TransformedDataIsStandardised) {
+  StandardScaler scaler;
+  Dataset data = MakeData();
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  Dataset scaled = scaler.Transform(data);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < scaled.size(); ++i) {
+    sum += scaled.row(i)[0];
+    sum_sq += scaled.row(i)[0] * scaled.row(i)[0];
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(sum_sq / 3.0, 1.0, 1e-12);
+  // Labels survive the transform.
+  EXPECT_TRUE(scaled.label(1));
+}
+
+TEST(StandardScalerTest, TransformInPlaceMatchesDatasetTransform) {
+  StandardScaler scaler;
+  Dataset data = MakeData();
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  std::vector<double> row{1.0, 5.0};
+  scaler.TransformInPlace(row);
+  Dataset scaled = scaler.Transform(data);
+  EXPECT_DOUBLE_EQ(row[0], scaled.row(0)[0]);
+  EXPECT_DOUBLE_EQ(row[1], scaled.row(0)[1]);
+}
+
+}  // namespace
+}  // namespace classify
+}  // namespace oasis

@@ -1,0 +1,126 @@
+#include "er/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace oasis {
+namespace er {
+namespace {
+
+TEST(JaccardTest, IdenticalSetsScoreOne) {
+  const std::vector<std::string> a{"ab", "bc", "cd"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsScoreZero) {
+  const std::vector<std::string> a{"ab"};
+  const std::vector<std::string> b{"xy"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.0);
+}
+
+TEST(JaccardTest, KnownOverlap) {
+  const std::vector<std::string> a{"a", "b", "c"};
+  const std::vector<std::string> b{"b", "c", "d"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 2.0 / 4.0);
+}
+
+TEST(JaccardTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  const std::vector<std::string> a{"x"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+}
+
+TEST(TrigramJaccardTest, CaseAndPunctuationInsensitive) {
+  EXPECT_DOUBLE_EQ(TrigramJaccard("Hello World", "hello, world!"), 1.0);
+}
+
+TEST(TrigramJaccardTest, TypoLowersButKeepsSimilarity) {
+  const double sim = TrigramJaccard("panasonic dvd player", "panasonc dvd player");
+  EXPECT_GT(sim, 0.6);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(TrigramJaccardTest, UnrelatedStringsScoreNearZero) {
+  EXPECT_LT(TrigramJaccard("alpha beta gamma", "zzz qqq www"), 0.1);
+}
+
+TEST(NumericSimilarityTest, EqualValuesScoreOne) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(0.0, 0.0), 1.0);
+}
+
+TEST(NumericSimilarityTest, KnownRatios) {
+  // |10-20| / (10+20) = 1/3 -> similarity 2/3.
+  EXPECT_NEAR(NumericSimilarity(10.0, 20.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1.0, -1.0), 0.0);  // Opposite signs.
+}
+
+TEST(NumericSimilarityTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(3.0, 7.0), NumericSimilarity(7.0, 3.0));
+}
+
+Database MakeDb(std::vector<Record> records) {
+  Database db;
+  db.schema = Schema({{"name", FieldKind::kShortText},
+                      {"blurb", FieldKind::kLongText},
+                      {"price", FieldKind::kNumeric}});
+  db.records = std::move(records);
+  return db;
+}
+
+Record MakeRecord(const std::string& name, const std::string& blurb, double price) {
+  Record r;
+  r.values.push_back(FieldValue::Text(name));
+  r.values.push_back(FieldValue::Text(blurb));
+  r.values.push_back(FieldValue::Number(price));
+  return r;
+}
+
+TEST(SimilarityFeaturizerTest, FeaturesPerField) {
+  Database left = MakeDb({MakeRecord("acme widget", "great widget for homes", 10)});
+  Database right = MakeDb({MakeRecord("acme widget", "great widget for homes", 10),
+                           MakeRecord("zzz gadget", "industrial tool kit", 99)});
+  SimilarityFeaturizer featurizer =
+      SimilarityFeaturizer::Fit(left, right).ValueOrDie();
+  EXPECT_EQ(featurizer.num_features(), 3u);
+
+  const std::vector<double> same =
+      featurizer.Features(left.records[0], right.records[0]);
+  EXPECT_NEAR(same[0], 1.0, 1e-12);
+  EXPECT_NEAR(same[1], 1.0, 1e-9);
+  EXPECT_NEAR(same[2], 1.0, 1e-12);
+
+  const std::vector<double> diff =
+      featurizer.Features(left.records[0], right.records[1]);
+  EXPECT_LT(diff[0], 0.3);
+  EXPECT_LT(diff[1], 0.3);
+  EXPECT_LT(diff[2], 0.5);
+}
+
+TEST(SimilarityFeaturizerTest, MissingValuesAreNeutral) {
+  Database left = MakeDb({MakeRecord("a", "b", 1.0)});
+  Database right = MakeDb({MakeRecord("a", "b", 1.0)});
+  Record holey;
+  holey.values.push_back(FieldValue::Missing());
+  holey.values.push_back(FieldValue::Text("b"));
+  holey.values.push_back(FieldValue::Missing());
+  SimilarityFeaturizer featurizer =
+      SimilarityFeaturizer::Fit(left, right).ValueOrDie();
+  const std::vector<double> features =
+      featurizer.Features(left.records[0], holey);
+  EXPECT_DOUBLE_EQ(features[0], 0.5);
+  EXPECT_DOUBLE_EQ(features[2], 0.5);
+}
+
+TEST(SimilarityFeaturizerTest, RejectsSchemaMismatch) {
+  Database left = MakeDb({MakeRecord("a", "b", 1.0)});
+  Database right;
+  right.schema = Schema({{"name", FieldKind::kNumeric},
+                         {"blurb", FieldKind::kLongText},
+                         {"price", FieldKind::kNumeric}});
+  right.records.push_back(MakeRecord("a", "b", 1.0));
+  EXPECT_FALSE(SimilarityFeaturizer::Fit(left, right).ok());
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

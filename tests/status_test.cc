@@ -1,0 +1,100 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace oasis {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad alpha");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad alpha");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeNameTest, CoversAllCodes) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  std::string taken = std::move(result).ValueOrDie();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status FailingOperation() { return Status::Internal("boom"); }
+
+Status PropagatingOperation() {
+  OASIS_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(PropagatingOperation().code(), StatusCode::kInternal);
+}
+
+Result<int> MakeSeven() { return 7; }
+
+Result<int> DoubleSeven() {
+  OASIS_ASSIGN_OR_RETURN(int value, MakeSeven());
+  return value * 2;
+}
+
+Result<int> FailToMake() { return Status::OutOfRange("nope"); }
+
+Result<int> PropagateFailure() {
+  OASIS_ASSIGN_OR_RETURN(int value, FailToMake());
+  return value;
+}
+
+TEST(MacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  EXPECT_EQ(DoubleSeven().ValueOrDie(), 14);
+  EXPECT_EQ(PropagateFailure().status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace oasis

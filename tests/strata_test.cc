@@ -1,0 +1,122 @@
+#include "strata/strata.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(StrataTest, FromAssignmentBasic) {
+  const std::vector<int32_t> assignment{0, 1, 0, 2, 1};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  EXPECT_EQ(strata.num_strata(), 3u);
+  EXPECT_EQ(strata.num_items(), 5u);
+  EXPECT_EQ(strata.size(0), 2u);
+  EXPECT_EQ(strata.size(1), 2u);
+  EXPECT_EQ(strata.size(2), 1u);
+  EXPECT_TRUE(strata.Validate().ok());
+}
+
+TEST(StrataTest, FromAssignmentCompactsEmptyStrata) {
+  // Stratum index 1 is unused; index 3 maps down to 1 after compaction.
+  const std::vector<int32_t> assignment{0, 3, 0, 3};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  EXPECT_EQ(strata.num_strata(), 2u);
+  EXPECT_EQ(strata.stratum_of(0), 0);
+  EXPECT_EQ(strata.stratum_of(1), 1);
+  EXPECT_TRUE(strata.Validate().ok());
+}
+
+TEST(StrataTest, FromAssignmentRejectsEmptyAndNegative) {
+  EXPECT_FALSE(Strata::FromAssignment({}).ok());
+  const std::vector<int32_t> bad{0, -1};
+  EXPECT_FALSE(Strata::FromAssignment(bad).ok());
+}
+
+TEST(StrataTest, WeightsSumToOneAndMatchSizes) {
+  const std::vector<int32_t> assignment{0, 0, 0, 1};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  EXPECT_DOUBLE_EQ(strata.weight(0), 0.75);
+  EXPECT_DOUBLE_EQ(strata.weight(1), 0.25);
+}
+
+TEST(StrataTest, FromScoreEdgesBinsCorrectly) {
+  const std::vector<double> scores{0.05, 0.15, 0.25, 0.95, 0.55};
+  const std::vector<double> edges{0.0, 0.1, 0.5, 1.0};
+  Strata strata = Strata::FromScoreEdges(scores, edges).ValueOrDie();
+  EXPECT_EQ(strata.num_strata(), 3u);
+  EXPECT_EQ(strata.stratum_of(0), 0);  // 0.05 in [0, 0.1)
+  EXPECT_EQ(strata.stratum_of(1), 1);  // 0.15 in [0.1, 0.5)
+  EXPECT_EQ(strata.stratum_of(2), 1);
+  EXPECT_EQ(strata.stratum_of(3), 2);  // 0.95 in [0.5, 1.0]
+  EXPECT_EQ(strata.stratum_of(4), 2);
+}
+
+TEST(StrataTest, FromScoreEdgesClampsOutOfRange) {
+  const std::vector<double> scores{-5.0, 5.0};
+  const std::vector<double> edges{0.0, 0.5, 1.0};
+  Strata strata = Strata::FromScoreEdges(scores, edges).ValueOrDie();
+  EXPECT_EQ(strata.stratum_of(0), 0);
+  EXPECT_EQ(strata.stratum_of(1), static_cast<int32_t>(strata.num_strata()) - 1);
+}
+
+TEST(StrataTest, FromScoreEdgesDropsEmptyBins) {
+  const std::vector<double> scores{0.05, 0.95};
+  const std::vector<double> edges{0.0, 0.1, 0.5, 0.9, 1.0};
+  Strata strata = Strata::FromScoreEdges(scores, edges).ValueOrDie();
+  EXPECT_EQ(strata.num_strata(), 2u);  // Middle bins are empty and removed.
+  EXPECT_TRUE(strata.Validate().ok());
+}
+
+TEST(StrataTest, FromScoreEdgesRejectsBadInput) {
+  const std::vector<double> scores{0.5};
+  EXPECT_FALSE(Strata::FromScoreEdges(scores, std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(
+      Strata::FromScoreEdges(scores, std::vector<double>{1.0, 0.0}).ok());
+  EXPECT_FALSE(Strata::FromScoreEdges({}, std::vector<double>{0.0, 1.0}).ok());
+}
+
+TEST(StrataTest, SampleItemStaysInStratum) {
+  const std::vector<int32_t> assignment{0, 1, 0, 1, 0, 1, 1};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    for (size_t k = 0; k < strata.num_strata(); ++k) {
+      const int32_t item = strata.SampleItem(k, rng);
+      EXPECT_EQ(strata.stratum_of(item), static_cast<int32_t>(k));
+    }
+  }
+}
+
+TEST(StrataTest, SampleItemIsUniformWithinStratum) {
+  const std::vector<int32_t> assignment{0, 0, 0, 0};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  Rng rng(17);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[strata.SampleItem(0, rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 4, 400);
+}
+
+TEST(StrataTest, MeanPerStratumDouble) {
+  const std::vector<int32_t> assignment{0, 0, 1, 1};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  const std::vector<double> values{1.0, 3.0, 10.0, 20.0};
+  const std::vector<double> means = strata.MeanPerStratum(values);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 15.0);
+}
+
+TEST(StrataTest, MeanPerStratumBinary) {
+  const std::vector<int32_t> assignment{0, 0, 0, 1};
+  Strata strata = Strata::FromAssignment(assignment).ValueOrDie();
+  const std::vector<uint8_t> flags{1, 0, 1, 1};
+  const std::vector<double> means = strata.MeanPerStratum(flags);
+  EXPECT_NEAR(means[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(means[1], 1.0);
+}
+
+}  // namespace
+}  // namespace oasis

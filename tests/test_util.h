@@ -1,0 +1,74 @@
+#ifndef OASIS_TESTS_TEST_UTIL_H_
+#define OASIS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "eval/confusion.h"
+#include "eval/measures.h"
+#include "sampling/sampler.h"
+#include "stats/transforms.h"
+
+namespace oasis {
+namespace testutil {
+
+/// A small synthetic evaluation pool with known ground truth, built so that
+/// scores correlate with truth (matches score high) and predictions come
+/// from thresholding the scores — the same structure the real ER pools have,
+/// at unit-test scale.
+struct SyntheticPool {
+  ScoredPool scored;
+  std::vector<uint8_t> truth;
+  Measures true_measures;  // Computed with full ground truth at alpha = 1/2.
+  int64_t num_matches = 0;
+};
+
+struct SyntheticPoolOptions {
+  int64_t size = 2000;
+  /// Approximate fraction of true matches.
+  double match_fraction = 0.05;
+  /// Gaussian noise added to the class signal; larger = weaker classifier.
+  double noise = 0.6;
+  /// Produce probability scores in [0,1] (via expit) instead of raw margins.
+  bool probability_scores = false;
+  uint64_t seed = 1234;
+};
+
+inline SyntheticPool MakeSyntheticPool(const SyntheticPoolOptions& options) {
+  Rng rng(options.seed);
+  SyntheticPool pool;
+  pool.scored.scores.reserve(static_cast<size_t>(options.size));
+  pool.scored.predictions.reserve(static_cast<size_t>(options.size));
+  pool.truth.reserve(static_cast<size_t>(options.size));
+
+  for (int64_t i = 0; i < options.size; ++i) {
+    const bool match = rng.NextBernoulli(options.match_fraction);
+    // Matches centre at +1, non-matches at -1 on the margin scale.
+    double margin = (match ? 1.0 : -1.0) + options.noise * rng.NextGaussian();
+    pool.truth.push_back(match ? 1 : 0);
+    pool.num_matches += match ? 1 : 0;
+    if (options.probability_scores) {
+      pool.scored.scores.push_back(Expit(2.0 * margin));
+    } else {
+      pool.scored.scores.push_back(margin);
+    }
+  }
+  pool.scored.scores_are_probabilities = options.probability_scores;
+  pool.scored.threshold = options.probability_scores ? 0.5 : 0.0;
+  for (int64_t i = 0; i < options.size; ++i) {
+    pool.scored.predictions.push_back(
+        pool.scored.scores[static_cast<size_t>(i)] >= pool.scored.threshold ? 1
+                                                                            : 0);
+  }
+
+  const ConfusionCounts counts =
+      CountConfusion(pool.truth, pool.scored.predictions).ValueOrDie();
+  pool.true_measures = ComputeMeasures(counts, 0.5);
+  return pool;
+}
+
+}  // namespace testutil
+}  // namespace oasis
+
+#endif  // OASIS_TESTS_TEST_UTIL_H_

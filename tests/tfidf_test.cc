@@ -1,0 +1,98 @@
+#include "er/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oasis {
+namespace er {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  return {
+      {"data", "base", "systems"},
+      {"data", "mining", "methods"},
+      {"graph", "systems"},
+  };
+}
+
+TEST(TfIdfTest, RejectsEmptyCorpus) {
+  TfIdfVectorizer vectorizer;
+  EXPECT_FALSE(vectorizer.Fit({}).ok());
+}
+
+TEST(TfIdfTest, VocabularyCoversAllTerms) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  EXPECT_EQ(vectorizer.vocabulary_size(), 6u);
+  EXPECT_TRUE(vectorizer.fitted());
+}
+
+TEST(TfIdfTest, IdfFollowsSmoothedFormula) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  // "data" appears in 2 of 3 docs: idf = ln(4/3) + 1.
+  EXPECT_NEAR(vectorizer.IdfOf("data"), std::log(4.0 / 3.0) + 1.0, 1e-12);
+  // "graph" appears in 1 doc: idf = ln(4/2) + 1.
+  EXPECT_NEAR(vectorizer.IdfOf("graph"), std::log(2.0) + 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(vectorizer.IdfOf("unknown"), 0.0);
+}
+
+TEST(TfIdfTest, TransformIsL2Normalised) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  const SparseVector v = vectorizer.Transform({"data", "systems", "data"});
+  double norm_sq = 0.0;
+  for (double w : v.weights) norm_sq += w * w;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(TfIdfTest, UnknownTermsAreDropped) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  EXPECT_TRUE(vectorizer.Transform({"zzz", "qqq"}).empty());
+}
+
+TEST(TfIdfTest, IdsAreSortedForMergeJoin) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  const SparseVector v =
+      vectorizer.Transform({"systems", "data", "graph", "mining"});
+  for (size_t i = 1; i < v.ids.size(); ++i) {
+    EXPECT_LT(v.ids[i - 1], v.ids[i]);
+  }
+}
+
+TEST(CosineSimilarityTest, IdenticalDocsScoreOne) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  const SparseVector a = vectorizer.Transform({"data", "base"});
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, DisjointDocsScoreZero) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  const SparseVector a = vectorizer.Transform({"data"});
+  const SparseVector b = vectorizer.Transform({"graph"});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarityTest, PartialOverlapBetweenZeroAndOne) {
+  TfIdfVectorizer vectorizer;
+  ASSERT_TRUE(vectorizer.Fit(Corpus()).ok());
+  const SparseVector a = vectorizer.Transform({"data", "base"});
+  const SparseVector b = vectorizer.Transform({"data", "mining"});
+  const double sim = CosineSimilarity(a, b);
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(CosineSimilarityTest, EmptyVectorsScoreZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity(SparseVector{}, SparseVector{}), 0.0);
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,68 @@
+#include "er/tokenize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace oasis {
+namespace er {
+namespace {
+
+TEST(WordTokensTest, SplitsOnWhitespace) {
+  const std::vector<std::string> tokens = WordTokens("alpha beta  gamma");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "alpha");
+  EXPECT_EQ(tokens[1], "beta");
+  EXPECT_EQ(tokens[2], "gamma");
+}
+
+TEST(WordTokensTest, HandlesTabsNewlinesAndEdges) {
+  const std::vector<std::string> tokens = WordTokens(" \t a\nb \t");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+}
+
+TEST(WordTokensTest, EmptyInput) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("   ").empty());
+}
+
+TEST(CharacterNgramsTest, TrigramsWithPadding) {
+  const std::vector<std::string> grams = CharacterNgrams("abc", 3);
+  const std::vector<std::string> expected{"##a", "#ab", "abc", "bc#", "c##"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(CharacterNgramsTest, ShortStringsStillProduceGrams) {
+  const std::vector<std::string> grams = CharacterNgrams("a", 3);
+  const std::vector<std::string> expected{"##a", "#a#", "a##"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(CharacterNgramsTest, EmptyAndZeroN) {
+  EXPECT_TRUE(CharacterNgrams("", 3).empty());
+  EXPECT_TRUE(CharacterNgrams("abc", 0).empty());
+}
+
+TEST(CharacterNgramsTest, UnigramsHaveNoPadding) {
+  const std::vector<std::string> grams = CharacterNgrams("ab", 1);
+  const std::vector<std::string> expected{"a", "b"};
+  EXPECT_EQ(grams, expected);
+}
+
+TEST(NgramSetTest, SortedAndDeduplicated) {
+  const std::vector<std::string> set = NgramSet("aaaa", 3);
+  // Grams: ##a, #aa, aaa, aaa, aa#, a## -> dedup "aaa".
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  EXPECT_EQ(std::count(set.begin(), set.end(), "aaa"), 1);
+}
+
+TEST(NgramSetTest, SameContentSameSet) {
+  EXPECT_EQ(NgramSet("hello", 3), NgramSet("hello", 3));
+  EXPECT_NE(NgramSet("hello", 3), NgramSet("help", 3));
+}
+
+}  // namespace
+}  // namespace er
+}  // namespace oasis

@@ -1,0 +1,110 @@
+#include "sampling/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "oracle/ground_truth_oracle.h"
+#include "sampling/passive.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using testutil::MakeSyntheticPool;
+using testutil::SyntheticPool;
+using testutil::SyntheticPoolOptions;
+
+TEST(TrajectoryTest, RejectsBadOptions) {
+  SyntheticPool pool = MakeSyntheticPool({});
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool.scored, &labels, 0.5, Rng(1)).ValueOrDie();
+  TrajectoryOptions bad;
+  bad.budget = 0;
+  EXPECT_FALSE(RunTrajectory(*sampler, bad).ok());
+  bad.budget = 10;
+  bad.checkpoint_every = 0;
+  EXPECT_FALSE(RunTrajectory(*sampler, bad).ok());
+}
+
+TEST(TrajectoryTest, CheckpointShapeMatchesBudget) {
+  SyntheticPool pool = MakeSyntheticPool({});
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool.scored, &labels, 0.5, Rng(2)).ValueOrDie();
+  TrajectoryOptions options;
+  options.budget = 100;
+  options.checkpoint_every = 10;
+  Trajectory trajectory = RunTrajectory(*sampler, options).ValueOrDie();
+  ASSERT_EQ(trajectory.budgets.size(), 10u);
+  ASSERT_EQ(trajectory.snapshots.size(), 10u);
+  EXPECT_EQ(trajectory.budgets.front(), 10);
+  EXPECT_EQ(trajectory.budgets.back(), 100);
+  EXPECT_EQ(trajectory.labels_consumed, 100);
+  EXPECT_FALSE(trajectory.truncated);
+}
+
+TEST(TrajectoryTest, BudgetConsumedExactly) {
+  SyntheticPoolOptions opts;
+  opts.size = 500;
+  SyntheticPool pool = MakeSyntheticPool(opts);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool.scored, &labels, 0.5, Rng(3)).ValueOrDie();
+  TrajectoryOptions options;
+  options.budget = 200;
+  options.checkpoint_every = 50;
+  Trajectory trajectory = RunTrajectory(*sampler, options).ValueOrDie();
+  EXPECT_EQ(trajectory.labels_consumed, 200);
+  EXPECT_EQ(labels.labels_consumed(), 200);
+  // Iterations >= labels (resampled cached items don't consume budget).
+  EXPECT_GE(trajectory.total_iterations, 200);
+}
+
+TEST(TrajectoryTest, TruncatesWhenBudgetUnreachable) {
+  // Pool of 50 items but budget of 100: the run can never consume more than
+  // 50 distinct labels and must stop at the iteration cap, filling trailing
+  // checkpoints with the final estimate.
+  SyntheticPoolOptions opts;
+  opts.size = 50;
+  opts.match_fraction = 0.3;
+  SyntheticPool pool = MakeSyntheticPool(opts);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool.scored, &labels, 0.5, Rng(4)).ValueOrDie();
+  TrajectoryOptions options;
+  options.budget = 100;
+  options.checkpoint_every = 10;
+  options.max_iterations = 5000;
+  Trajectory trajectory = RunTrajectory(*sampler, options).ValueOrDie();
+  EXPECT_TRUE(trajectory.truncated);
+  EXPECT_EQ(trajectory.labels_consumed, 50);
+  ASSERT_EQ(trajectory.snapshots.size(), 10u);
+  // Trailing checkpoints hold the final (defined) estimate.
+  EXPECT_TRUE(trajectory.snapshots.back().f_defined);
+}
+
+TEST(TrajectoryTest, FirstDefinedBudgetIsRecorded) {
+  SyntheticPoolOptions opts;
+  opts.size = 4000;
+  opts.match_fraction = 0.01;
+  opts.seed = 71;
+  SyntheticPool pool = MakeSyntheticPool(opts);
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool.scored, &labels, 0.5, Rng(5)).ValueOrDie();
+  TrajectoryOptions options;
+  options.budget = 1000;
+  options.checkpoint_every = 100;
+  Trajectory trajectory = RunTrajectory(*sampler, options).ValueOrDie();
+  // With 1% positives the first positive typically needs dozens of draws.
+  EXPECT_GT(trajectory.first_defined_budget, 0);
+  EXPECT_LE(trajectory.first_defined_budget, 1000);
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,80 @@
+#include "stats/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace oasis {
+namespace {
+
+TEST(ExpitTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Expit(0.0), 0.5);
+  EXPECT_NEAR(Expit(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(Expit(-2.0), 1.0 - Expit(2.0), 1e-15);
+}
+
+TEST(ExpitTest, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(Expit(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Expit(-1000.0), 0.0, 1e-12);
+}
+
+TEST(LogitTest, InverseOfExpit) {
+  for (double p : {0.01, 0.2, 0.5, 0.77, 0.99}) {
+    EXPECT_NEAR(Expit(Logit(p)), p, 1e-12);
+  }
+  for (double x : {-4.0, -1.0, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(Logit(Expit(x)), x, 1e-9);
+  }
+}
+
+TEST(LogitTest, ClampsExtremes) {
+  EXPECT_TRUE(std::isfinite(Logit(0.0)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0)));
+  EXPECT_LT(Logit(0.0), Logit(0.5));
+  EXPECT_GT(Logit(1.0), Logit(0.5));
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.3, 0.0, 1.0), 0.3);
+}
+
+TEST(NormalizeInPlaceTest, NormalizesAndReturnsSum) {
+  std::vector<double> weights{1.0, 3.0};
+  const double sum = NormalizeInPlace(weights);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_DOUBLE_EQ(weights[0], 0.25);
+  EXPECT_DOUBLE_EQ(weights[1], 0.75);
+}
+
+TEST(NormalizeInPlaceTest, ZeroMassBecomesUniform) {
+  std::vector<double> weights{0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(weights);
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
+TEST(NormalizeInPlaceTest, EmptyVectorIsNoop) {
+  std::vector<double> weights;
+  EXPECT_DOUBLE_EQ(NormalizeInPlace(weights), 0.0);
+  EXPECT_TRUE(weights.empty());
+}
+
+TEST(MeanAbsoluteDifferenceTest, KnownValue) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteDifference(a, b), (1.0 + 0.0 + 2.0) / 3.0);
+}
+
+TEST(MeanAbsoluteDifferenceTest, IdenticalIsZero) {
+  const std::vector<double> a{0.4, 0.6};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteDifference(a, a), 0.0);
+}
+
+TEST(MeanAbsoluteDifferenceTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteDifference({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace oasis
