@@ -1,12 +1,22 @@
 // google-benchmark micro-benches for the sampling hot paths: alias-table vs
 // linear-scan discrete draws (the Table 3 cost asymmetry at its core), the
-// per-iteration cost of each sampler as a function of K and N, and CSF
+// per-iteration cost of each sampler as a function of K and N, the fused
+// zero-allocation OASIS step against the allocating reference path, and CSF
 // stratification construction cost.
+//
+// Besides the console output, every run writes a machine-readable
+// BENCH_micro.json (path override: OASIS_BENCH_JSON) with steps/sec per
+// sampler and configuration, so the perf trajectory is trackable across
+// commits.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/alias_table.h"
 #include "common/random.h"
 #include "core/oasis.h"
@@ -46,6 +56,7 @@ void BM_AliasTableSample(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.Sample(rng));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AliasTableSample)->Arg(1000)->Arg(100000)->Arg(1000000);
 
@@ -57,6 +68,7 @@ void BM_LinearScanSample(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng.NextDiscreteLinear(weights));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LinearScanSample)->Arg(1000)->Arg(100000)->Arg(1000000);
 
@@ -72,6 +84,7 @@ void BM_AliasTableBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_AliasTableBuild)->Arg(1000)->Arg(100000)->Arg(1000000);
 
+/// One OASIS iteration through the fused zero-allocation path (the default).
 void BM_OasisStep(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
   static BenchPool* pool = new BenchPool(MakePool(100000));
@@ -83,9 +96,58 @@ void BM_OasisStep(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sampler->Step().ok());
   }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["K"] = static_cast<double>(sampler->strata().num_strata());
   state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()));
 }
 BENCHMARK(BM_OasisStep)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+/// One OASIS iteration through the original allocating path, kept as the
+/// baseline the fused path is compared against.
+void BM_OasisStepAllocating(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  OasisOptions options;
+  options.step_path = OasisStepPath::kAllocatingReference;
+  auto sampler =
+      OasisSampler::CreateWithCsf(&pool->scored, &labels, k, options, Rng(4))
+          .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["K"] = static_cast<double>(sampler->strata().num_strata());
+  state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()));
+}
+BENCHMARK(BM_OasisStepAllocating)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+
+/// Batched OASIS stepping: each bench iteration performs range(1) fused
+/// steps through StepBatch, amortising dispatch and validation.
+void BM_OasisStepBatch(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const int64_t batch = state.range(1);
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  auto sampler = OasisSampler::CreateWithCsf(&pool->scored, &labels, k,
+                                             OasisOptions{}, Rng(4))
+                     .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->StepBatch(batch).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["K"] = static_cast<double>(sampler->strata().num_strata());
+  state.counters["batch"] = static_cast<double>(batch);
+  state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()) +
+                 " batch=" + std::to_string(batch));
+}
+BENCHMARK(BM_OasisStepBatch)
+    ->Args({30, 64})
+    ->Args({30, 256})
+    ->Args({120, 64})
+    ->Args({120, 256});
 
 void BM_PassiveStep(benchmark::State& state) {
   static BenchPool* pool = new BenchPool(MakePool(100000));
@@ -96,8 +158,24 @@ void BM_PassiveStep(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sampler->Step().ok());
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PassiveStep);
+
+void BM_PassiveStepBatch(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  auto sampler =
+      PassiveSampler::Create(&pool->scored, &labels, 0.5, Rng(5)).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->StepBatch(batch).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_PassiveStepBatch)->Arg(256);
 
 void BM_ImportanceStepAlias(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -110,6 +188,8 @@ void BM_ImportanceStepAlias(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sampler->Step().ok());
   }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["N"] = static_cast<double>(n);
 }
 BENCHMARK(BM_ImportanceStepAlias)->Arg(10000)->Arg(100000)->Arg(300000);
 
@@ -126,6 +206,8 @@ void BM_ImportanceStepLinear(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sampler->Step().ok());
   }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["N"] = static_cast<double>(n);
 }
 BENCHMARK(BM_ImportanceStepLinear)->Arg(10000)->Arg(100000)->Arg(300000);
 
@@ -136,10 +218,58 @@ void BM_CsfStratify(benchmark::State& state) {
     auto strata = StratifyCsf(pool.scored.scores, 30, pool.scored.scores_are_probabilities);
     benchmark::DoNotOptimize(strata);
   }
+  state.counters["N"] = static_cast<double>(n);
 }
 BENCHMARK(BM_CsfStratify)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// Console reporter that additionally captures every finished run into the
+/// bench_util JSON writer, keyed by benchmark name with items/sec as the
+/// primary throughput number.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::JsonBenchWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::JsonBenchResult result;
+      result.name = run.benchmark_name();
+      result.iterations = run.iterations;
+      result.metrics["real_time_per_iter_ns"] = run.GetAdjustedRealTime();
+      for (const auto& [counter_name, counter] : run.counters) {
+        if (counter_name == "items_per_second") {
+          result.steps_per_sec = static_cast<double>(counter);
+        } else {
+          result.metrics[counter_name] = static_cast<double>(counter);
+        }
+      }
+      writer_->Add(std::move(result));
+    }
+  }
+
+ private:
+  bench::JsonBenchWriter* writer_;
+};
 
 }  // namespace
 }  // namespace oasis
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  oasis::bench::JsonBenchWriter writer("micro_sampling");
+  oasis::JsonCaptureReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const std::string path = oasis::bench::BenchJsonPath("micro");
+  if (!writer.WriteToFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu results)\n", path.c_str(), writer.size());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,14 @@
 #include <sstream>
 #include <string>
 
+/// Compiler hint that a pointer is free of aliasing within its scope; used by
+/// numeric hot loops to keep them vectorisable.
+#if defined(__GNUC__) || defined(__clang__)
+#define OASIS_RESTRICT __restrict__
+#else
+#define OASIS_RESTRICT
+#endif
+
 namespace oasis {
 namespace internal {
 

@@ -38,6 +38,13 @@ class StratifiedBetaModel {
   /// All posterior means; recomputed on demand.
   std::vector<double> PosteriorMeans() const;
 
+  /// In-place variant of PosteriorMeans: writes the K posterior means into
+  /// `out` (which must have length num_strata()) without allocating, for
+  /// callers that reuse a scratch buffer across iterations. (OasisSampler's
+  /// fused step goes further and maintains its own incremental cache, so it
+  /// does not call this per step.)
+  Status PosteriorMeansInto(std::span<double> out) const;
+
   size_t num_strata() const { return prior_match_.size(); }
   int64_t labels_observed(size_t stratum) const { return observed_total_[stratum]; }
   int64_t matches_observed(size_t stratum) const { return observed_match_[stratum]; }

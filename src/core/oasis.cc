@@ -1,10 +1,13 @@
 #include "core/oasis.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "common/logging.h"
 #include "core/initialization.h"
 #include "core/instrumental.h"
+#include "stats/transforms.h"
 
 namespace oasis {
 
@@ -19,7 +22,22 @@ OasisSampler::OasisSampler(const ScoredPool* pool, LabelCache* labels,
       model_(std::move(model)),
       lambda_(std::move(lambda)),
       initial_f_(initial_f),
-      estimator_(options.alpha) {}
+      estimator_(options.alpha) {
+  const size_t num_strata = strata_->num_strata();
+  v_scratch_.resize(num_strata);
+  // Seed the incremental posterior caches and the per-stratum constants of
+  // the v* formula. (1 - alpha) * (1 - lambda_k) uses the same factor
+  // grouping as OptimalStratifiedInstrumentalInto so the fused scan is
+  // bit-identical to the reference path.
+  pi_cache_ = model_.PosteriorMeans();
+  sqrt_pi_cache_.resize(num_strata);
+  c_not_pred_.resize(num_strata);
+  for (size_t k = 0; k < num_strata; ++k) {
+    sqrt_pi_cache_[k] = std::sqrt(pi_cache_[k]);
+    c_not_pred_[k] = (1.0 - options_.alpha) * (1.0 - lambda_[k]);
+  }
+  alpha_sq_ = options_.alpha * options_.alpha;
+}
 
 Result<std::unique_ptr<OasisSampler>> OasisSampler::Create(
     const ScoredPool* pool, LabelCache* labels,
@@ -74,7 +92,77 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::CreateWithCsf(
                 options, rng);
 }
 
-Status OasisSampler::Step() {
+void OasisSampler::ObserveLabel(size_t stratum, bool label) {
+  model_.Observe(stratum, label);
+  // Only the observed stratum's posterior changed (Eqn. 10 is per-stratum),
+  // so a single refresh keeps the caches exact.
+  pi_cache_[stratum] = model_.PosteriorMean(stratum);
+  sqrt_pi_cache_[stratum] = std::sqrt(pi_cache_[stratum]);
+}
+
+Status OasisSampler::StepFused() {
+  const size_t num_strata = strata_->num_strata();
+  const double* OASIS_RESTRICT weights = strata_->weights().data();
+  const double* OASIS_RESTRICT lambda = lambda_.data();
+  const double* OASIS_RESTRICT pi = pi_cache_.data();
+  const double* OASIS_RESTRICT sqrt_pi = sqrt_pi_cache_.data();
+  const double* OASIS_RESTRICT c_not_pred = c_not_pred_.data();
+  double* OASIS_RESTRICT v = v_scratch_.data();
+
+  // Line 3: v(t) from the current posterior means and F estimate. One fused
+  // scan computes the unnormalised v* masses; normalisation and the
+  // epsilon-greedy mix fold into a second in-place scan. Every expression
+  // keeps the reference path's factor grouping, so a seeded run is
+  // bit-identical to OasisStepPath::kAllocatingReference.
+  const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
+  const double a2f2 = alpha_sq_ * f * f;          // alpha^2 F^2
+  const double omf2 = (1.0 - f) * (1.0 - f);      // (1 - F)^2
+  double total = 0.0;
+  for (size_t i = 0; i < num_strata; ++i) {
+    const double not_pred = c_not_pred[i] * f * sqrt_pi[i];
+    const double pred =
+        lambda[i] * std::sqrt(a2f2 * (1.0 - pi[i]) + omf2 * pi[i]);
+    v[i] = weights[i] * (not_pred + pred);
+    total += v[i];
+  }
+  const double epsilon = options_.epsilon;
+  if (total <= 0.0) {
+    // Degenerate estimates: fall back to the (already normalised by
+    // invariant, renormalised here for exact reference parity) stratum
+    // weights before mixing.
+    std::copy(strata_->weights().begin(), strata_->weights().end(),
+              v_scratch_.begin());
+    NormalizeInPlace(v_scratch_);
+    for (size_t i = 0; i < num_strata; ++i) {
+      v[i] = epsilon * weights[i] + (1.0 - epsilon) * v[i];
+    }
+  } else {
+    for (size_t i = 0; i < num_strata; ++i) {
+      v[i] /= total;
+      v[i] = epsilon * weights[i] + (1.0 - epsilon) * v[i];
+    }
+  }
+
+  // Lines 4-5: stratum ~ v(t), item uniform within the stratum.
+  const size_t k = rng().NextDiscreteLinear(v_scratch_);
+  const int64_t item = strata_->SampleItem(k, rng());
+
+  // Line 6: importance weight w_t = omega_k / v_k, since p(z) = 1/N and
+  // q_t(z) = v_k / |P_k|. The epsilon floor bounds this by 1/epsilon.
+  const double weight = strata_->weight(k) / v_scratch_[k];
+
+  // Lines 7-8: query oracle, read prediction.
+  const bool label = QueryLabel(item);
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+
+  // Lines 9-11: posterior update and AIS sums.
+  ObserveLabel(k, label);
+  estimator_.Add(weight, label, prediction);
+  if (observer_) observer_(weight, label, prediction);
+  return Status::OK();
+}
+
+Status OasisSampler::StepAllocatingReference() {
   const size_t num_strata = strata_->num_strata();
 
   // Line 3: v(t) from the current posterior means and F estimate, with the
@@ -104,9 +192,32 @@ Status OasisSampler::Step() {
   const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
 
   // Lines 9-11: posterior update and AIS sums.
-  model_.Observe(k, label);
+  ObserveLabel(k, label);
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
+  return Status::OK();
+}
+
+Status OasisSampler::Step() {
+  if (options_.step_path == OasisStepPath::kAllocatingReference) {
+    return StepAllocatingReference();
+  }
+  return StepFused();
+}
+
+Status OasisSampler::StepBatch(int64_t n) {
+  if (n < 0) {
+    return Status::InvalidArgument("StepBatch: n must be non-negative");
+  }
+  if (options_.step_path == OasisStepPath::kAllocatingReference) {
+    for (int64_t i = 0; i < n; ++i) {
+      OASIS_RETURN_NOT_OK(StepAllocatingReference());
+    }
+    return Status::OK();
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    OASIS_RETURN_NOT_OK(StepFused());
+  }
   return Status::OK();
 }
 

@@ -14,6 +14,19 @@
 
 namespace oasis {
 
+/// Which Step() implementation OasisSampler runs. Both produce bit-identical
+/// sampling sequences from the same seed; the fused path is simply faster.
+enum class OasisStepPath {
+  /// Zero-allocation fused scan over precomputed per-stratum constants and an
+  /// incrementally-maintained posterior-mean cache. The default.
+  kFused,
+  /// The original allocating path (PosteriorMeans + OptimalStratified-
+  /// Instrumental + EpsilonGreedyMix, one vector each per step). Kept as the
+  /// reference implementation for equivalence tests and as the benchmark
+  /// baseline the fused path is measured against.
+  kAllocatingReference,
+};
+
 /// Tunables of Algorithm 3. Defaults follow the paper's experiments
 /// (Sec. 6.3: alpha = 1/2, epsilon = 1e-3, eta = 2K).
 struct OasisOptions {
@@ -27,6 +40,8 @@ struct OasisOptions {
   double prior_strength = 0.0;
   /// Remark-4 retroactive prior decay.
   bool decay_prior = true;
+  /// Hot-path selection; see OasisStepPath.
+  OasisStepPath step_path = OasisStepPath::kFused;
 };
 
 /// OASIS — Optimal Asymptotic Sequential Importance Sampling (Algorithm 3).
@@ -56,6 +71,7 @@ class OasisSampler : public Sampler {
       const OasisOptions& options, Rng rng);
 
   Status Step() override;
+  Status StepBatch(int64_t n) override;
   EstimateSnapshot Estimate() const override;
   std::string name() const override;
 
@@ -88,6 +104,15 @@ class OasisSampler : public Sampler {
                Rng rng, StratifiedBetaModel model, std::vector<double> lambda,
                double initial_f);
 
+  /// The zero-allocation fused iteration (OasisStepPath::kFused).
+  Status StepFused();
+  /// The original allocating iteration, kept as reference and benchmark
+  /// baseline (OasisStepPath::kAllocatingReference).
+  Status StepAllocatingReference();
+  /// Records the label in the beta posterior and refreshes the incremental
+  /// caches for the observed stratum (the only one whose mean can change).
+  void ObserveLabel(size_t stratum, bool label);
+
   std::shared_ptr<const Strata> strata_;
   OasisOptions options_;
   StratifiedBetaModel model_;
@@ -97,6 +122,20 @@ class OasisSampler : public Sampler {
   Observer observer_;
   // Scratch buffer reused across iterations to avoid per-step allocation.
   std::vector<double> v_scratch_;
+  // --- Fused-path state --------------------------------------------------
+  // Incrementally-maintained posterior means pi-hat_k and their square roots;
+  // ObserveLabel refreshes only the observed stratum, so Step() never
+  // recomputes the full posterior. Values are bit-identical to
+  // model_.PosteriorMeans() at all times.
+  std::vector<double> pi_cache_;
+  std::vector<double> sqrt_pi_cache_;
+  // Precomputed per-stratum constant (1 - alpha) * (1 - lambda_k) of the v*
+  // formula; fixed for the sampler's lifetime. The factor grouping mirrors
+  // the reference implementation exactly so the fused scan stays bit-for-bit
+  // identical to it.
+  std::vector<double> c_not_pred_;
+  // alpha^2, precomputed once.
+  double alpha_sq_ = 0.0;
 };
 
 }  // namespace oasis

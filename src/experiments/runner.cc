@@ -83,7 +83,9 @@ struct CurveAccumulator {
   }
 };
 
-/// Runs one repeat and folds its trajectory into the accumulator.
+/// Runs one repeat and folds its trajectory into the accumulator. Stepping
+/// goes through RunTrajectory and hence Sampler::StepBatch, so every repeat
+/// uses the samplers' amortised batch hot paths.
 Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
                     Oracle& oracle, double true_f, const TrajectoryOptions& traj,
                     Rng rng, CurveAccumulator* acc) {

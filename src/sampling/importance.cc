@@ -87,19 +87,26 @@ Status ImportanceSampler::BuildInstrumental() {
   return Status::OK();
 }
 
-Status ImportanceSampler::Step() {
-  size_t item;
-  if (options_.backend == SamplingBackend::kAliasTable) {
-    item = alias_.Sample(rng());
-  } else {
-    item = rng().NextDiscreteLinear(q_);
+Status ImportanceSampler::Step() { return StepBatch(1); }
+
+Status ImportanceSampler::StepBatch(int64_t n) {
+  if (n < 0) {
+    return Status::InvalidArgument("StepBatch: n must be non-negative");
   }
-  const bool label = QueryLabel(static_cast<int64_t>(item));
-  const bool prediction = pool().predictions[item] != 0;
-  const double w = weights_[item];
-  if (label && prediction) num_ += w;
-  if (prediction) den_pred_ += w;
-  if (label) den_true_ += w;
+  // The single draw/query/tally sequence; the backend branch and the
+  // predictions/weights base pointers are hoisted out of the loop.
+  const bool use_alias = options_.backend == SamplingBackend::kAliasTable;
+  const uint8_t* predictions = pool().predictions.data();
+  const double* weights = weights_.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t item = use_alias ? alias_.Sample(rng()) : rng().NextDiscreteLinear(q_);
+    const bool label = QueryLabel(static_cast<int64_t>(item));
+    const bool prediction = predictions[item] != 0;
+    const double w = weights[item];
+    if (label && prediction) num_ += w;
+    if (prediction) den_pred_ += w;
+    if (label) den_true_ += w;
+  }
   return Status::OK();
 }
 

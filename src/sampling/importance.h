@@ -50,6 +50,7 @@ class ImportanceSampler : public Sampler {
       Rng rng);
 
   Status Step() override;
+  Status StepBatch(int64_t n) override;
   EstimateSnapshot Estimate() const override;
   std::string name() const override { return "IS"; }
 

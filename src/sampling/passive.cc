@@ -19,14 +19,24 @@ Result<std::unique_ptr<PassiveSampler>> PassiveSampler::Create(
       new PassiveSampler(pool, labels, alpha, rng));
 }
 
-Status PassiveSampler::Step() {
-  const int64_t item = static_cast<int64_t>(
-      rng().NextBounded(static_cast<uint64_t>(pool().size())));
-  const bool label = QueryLabel(item);
-  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
-  if (label && prediction) tp_ += 1.0;
-  if (prediction) predicted_pos_ += 1.0;
-  if (label) actual_pos_ += 1.0;
+Status PassiveSampler::Step() { return StepBatch(1); }
+
+Status PassiveSampler::StepBatch(int64_t n) {
+  if (n < 0) {
+    return Status::InvalidArgument("StepBatch: n must be non-negative");
+  }
+  // The single draw/query/tally sequence, with the pool invariants hoisted
+  // out of the loop and no virtual dispatch per iteration.
+  const uint64_t size = static_cast<uint64_t>(pool().size());
+  const uint8_t* predictions = pool().predictions.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t item = static_cast<int64_t>(rng().NextBounded(size));
+    const bool label = QueryLabel(item);
+    const bool prediction = predictions[static_cast<size_t>(item)] != 0;
+    if (label && prediction) tp_ += 1.0;
+    if (prediction) predicted_pos_ += 1.0;
+    if (label) actual_pos_ += 1.0;
+  }
   return Status::OK();
 }
 

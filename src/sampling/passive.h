@@ -22,6 +22,7 @@ class PassiveSampler : public Sampler {
                                                         double alpha, Rng rng);
 
   Status Step() override;
+  Status StepBatch(int64_t n) override;
   EstimateSnapshot Estimate() const override;
   std::string name() const override { return "Passive"; }
 

@@ -45,4 +45,14 @@ bool Sampler::QueryLabel(int64_t item) {
   return labels_->Query(item, rng_);
 }
 
+Status Sampler::StepBatch(int64_t n) {
+  if (n < 0) {
+    return Status::InvalidArgument("StepBatch: n must be non-negative");
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    OASIS_RETURN_NOT_OK(Step());
+  }
+  return Status::OK();
+}
+
 }  // namespace oasis

@@ -66,6 +66,15 @@ class Sampler {
   /// Performs one sampling iteration.
   virtual Status Step() = 0;
 
+  /// Performs `n` sampling iterations as one call. Behaviourally identical to
+  /// calling Step() `n` times — same RNG stream, same oracle queries, same
+  /// estimate sequence — but lets implementations amortise virtual dispatch,
+  /// validation and invariant loads across the batch. Subclasses that
+  /// override it must preserve the exact per-step equivalence (it is tested).
+  /// The base implementation simply loops Step(). n must be >= 0; n == 0 is a
+  /// no-op.
+  virtual Status StepBatch(int64_t n);
+
   /// Current estimates of F_alpha / precision / recall.
   virtual EstimateSnapshot Estimate() const = 0;
 

@@ -34,15 +34,25 @@ Result<std::unique_ptr<StratifiedSampler>> StratifiedSampler::Create(
       new StratifiedSampler(pool, labels, std::move(strata), alpha, rng));
 }
 
-Status StratifiedSampler::Step() {
-  // Proportional allocation: stratum ~ omega, item ~ Uniform(P_k).
-  const size_t k = rng().NextDiscreteLinear(strata_->weights());
-  const int64_t item = strata_->SampleItem(k, rng());
-  const bool label = QueryLabel(item);
-  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
-  samples_[k] += 1.0;
-  if (label && prediction) tp_sum_[k] += 1.0;
-  if (label) pos_sum_[k] += 1.0;
+Status StratifiedSampler::Step() { return StepBatch(1); }
+
+Status StratifiedSampler::StepBatch(int64_t n) {
+  if (n < 0) {
+    return Status::InvalidArgument("StepBatch: n must be non-negative");
+  }
+  // Proportional allocation: stratum ~ omega, item ~ Uniform(P_k), with
+  // invariant loads hoisted out of the loop.
+  const std::vector<double>& omega = strata_->weights();
+  const uint8_t* predictions = pool().predictions.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t k = rng().NextDiscreteLinear(omega);
+    const int64_t item = strata_->SampleItem(k, rng());
+    const bool label = QueryLabel(item);
+    const bool prediction = predictions[static_cast<size_t>(item)] != 0;
+    samples_[k] += 1.0;
+    if (label && prediction) tp_sum_[k] += 1.0;
+    if (label) pos_sum_[k] += 1.0;
+  }
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@ class StratifiedSampler : public Sampler {
       std::shared_ptr<const Strata> strata, double alpha, Rng rng);
 
   Status Step() override;
+  Status StepBatch(int64_t n) override;
   EstimateSnapshot Estimate() const override;
   std::string name() const override { return "Stratified"; }
 

@@ -1,5 +1,7 @@
 #include "sampling/trajectory.h"
 
+#include <algorithm>
+
 namespace oasis {
 
 Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& options) {
@@ -19,17 +21,40 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
   }
   out.snapshots.reserve(out.budgets.size());
 
+  // Batched stepping through Sampler::StepBatch, exactly equivalent to the
+  // original per-step loop:
+  //  * Until F first becomes defined we step singly, so first_defined_budget
+  //    records the precise label count (once defined, the estimator's
+  //    denominator only grows, so F stays defined).
+  //  * Afterwards each batch is capped at the label deficit to the next
+  //    checkpoint. A step consumes at most one label, so a batch can never
+  //    jump past a checkpoint: the checkpoint is reached, if at all, exactly
+  //    at the batch's final step, where the snapshot below equals the one the
+  //    per-step loop would have taken.
+  //  * Batches are also capped at the remaining iteration allowance, so the
+  //    max_iterations guard fires at the same iteration as before.
   size_t next_checkpoint = 0;
   const int64_t start_labels = sampler.labels_consumed();
+  bool f_defined_seen = false;
   while (sampler.labels_consumed() - start_labels < options.budget) {
     if (sampler.iterations() >= max_iterations) {
       out.truncated = true;
       break;
     }
-    OASIS_RETURN_NOT_OK(sampler.Step());
+    int64_t batch = 1;
+    if (f_defined_seen) {
+      const int64_t consumed = sampler.labels_consumed() - start_labels;
+      const int64_t target = next_checkpoint < out.budgets.size()
+                                 ? out.budgets[next_checkpoint]
+                                 : options.budget;
+      batch = std::max<int64_t>(1, target - consumed);
+      batch = std::min(batch, max_iterations - sampler.iterations());
+    }
+    OASIS_RETURN_NOT_OK(sampler.StepBatch(batch));
     const int64_t consumed = sampler.labels_consumed() - start_labels;
     const EstimateSnapshot snap = sampler.Estimate();
-    if (out.first_defined_budget < 0 && snap.f_defined) {
+    if (!f_defined_seen && snap.f_defined) {
+      f_defined_seen = true;
       out.first_defined_budget = consumed;
     }
     while (next_checkpoint < out.budgets.size() &&

@@ -26,7 +26,7 @@ double Clamp(double x, double lo, double hi) {
   return std::min(std::max(x, lo), hi);
 }
 
-double NormalizeInPlace(std::vector<double>& weights) {
+double NormalizeInPlace(std::span<double> weights) {
   double total = 0.0;
   for (double w : weights) total += w;
   if (total <= 0.0) {
@@ -36,6 +36,10 @@ double NormalizeInPlace(std::vector<double>& weights) {
   }
   for (double& w : weights) w /= total;
   return total;
+}
+
+double NormalizeInPlace(std::vector<double>& weights) {
+  return NormalizeInPlace(std::span<double>(weights));
 }
 
 double MeanAbsoluteDifference(std::span<const double> a, std::span<const double> b) {

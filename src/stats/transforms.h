@@ -20,6 +20,7 @@ double Clamp(double x, double lo, double hi);
 
 /// Normalises a non-negative weight vector in place to sum to one. When the
 /// sum is zero the vector becomes uniform. Returns the pre-normalisation sum.
+double NormalizeInPlace(std::span<double> weights);
 double NormalizeInPlace(std::vector<double>& weights);
 
 /// Element-wise |a - b| averaged over the vectors (L1 distance / n); the

@@ -1,0 +1,380 @@
+// Equivalence tests for the batched / zero-allocation sampling hot path:
+//  * the *Into variants produce exactly the values of their allocating
+//    reference functions;
+//  * OasisSampler's fused step path is bit-for-bit identical to the original
+//    allocating reference path;
+//  * StepBatch(n) equals n calls to Step() exactly, for every sampler;
+//  * the batched RunTrajectory matches the original per-step driver loop;
+//  * the fused OASIS step performs zero heap allocations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/bayesian_model.h"
+#include "core/instrumental.h"
+#include "core/oasis.h"
+#include "oracle/ground_truth_oracle.h"
+#include "sampling/importance.h"
+#include "sampling/passive.h"
+#include "sampling/stratified.h"
+#include "sampling/trajectory.h"
+#include "strata/csf.h"
+#include "tests/test_util.h"
+
+namespace {
+// Global operator new/delete hooks counting heap allocations, used to verify
+// the fused OASIS step allocates nothing. Counting is toggled around the
+// measured region only, so unrelated gtest allocations don't interfere.
+std::atomic<bool> g_count_allocations{false};
+std::atomic<int64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace oasis {
+namespace {
+
+void ExpectSnapshotsIdentical(const EstimateSnapshot& a,
+                              const EstimateSnapshot& b) {
+  EXPECT_EQ(a.f_defined, b.f_defined);
+  EXPECT_EQ(a.precision_defined, b.precision_defined);
+  EXPECT_EQ(a.recall_defined, b.recall_defined);
+  // Exact equality on purpose: the batched and fused paths promise
+  // bit-identical estimate sequences, not just close ones.
+  EXPECT_EQ(a.f_alpha, b.f_alpha);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+}
+
+// --- Into variants vs allocating reference functions ----------------------
+
+TEST(IntoVariantsTest, OptimalStratifiedInstrumentalIntoMatches) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t k = 1 + static_cast<size_t>(rng.NextBounded(40));
+    std::vector<double> weights(k), lambda(k), pi(k);
+    double weight_total = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      weights[i] = rng.NextDouble() + 1e-3;
+      weight_total += weights[i];
+      lambda[i] = rng.NextDouble();
+      pi[i] = rng.NextDouble();
+    }
+    for (double& w : weights) w /= weight_total;
+    const double f = rng.NextDouble();
+    const double alpha = rng.NextDouble();
+
+    const std::vector<double> reference =
+        OptimalStratifiedInstrumental(weights, lambda, pi, f, alpha).ValueOrDie();
+    std::vector<double> out(k, -1.0);
+    ASSERT_TRUE(OptimalStratifiedInstrumentalInto(weights, lambda, pi, f, alpha,
+                                                  std::span<double>(out))
+                    .ok());
+    for (size_t i = 0; i < k; ++i) EXPECT_EQ(out[i], reference[i]);
+  }
+}
+
+TEST(IntoVariantsTest, OptimalStratifiedInstrumentalIntoDegenerateFallback) {
+  // F = 0 and pi = 0 zero out every mass; both paths must fall back to the
+  // normalised stratum weights.
+  const std::vector<double> weights{0.25, 0.75};
+  const std::vector<double> lambda{0.0, 0.0};
+  const std::vector<double> pi{0.0, 0.0};
+  const std::vector<double> reference =
+      OptimalStratifiedInstrumental(weights, lambda, pi, 0.0, 0.5).ValueOrDie();
+  std::vector<double> out(2);
+  ASSERT_TRUE(OptimalStratifiedInstrumentalInto(weights, lambda, pi, 0.0, 0.5,
+                                                std::span<double>(out))
+                  .ok());
+  EXPECT_EQ(out[0], reference[0]);
+  EXPECT_EQ(out[1], reference[1]);
+  EXPECT_DOUBLE_EQ(out[0] + out[1], 1.0);
+}
+
+TEST(IntoVariantsTest, OptimalStratifiedInstrumentalIntoRejectsBadOut) {
+  const std::vector<double> w{0.5, 0.5};
+  const std::vector<double> lambda{0.0, 1.0};
+  const std::vector<double> pi{0.1, 0.9};
+  std::vector<double> short_out(1);
+  EXPECT_FALSE(OptimalStratifiedInstrumentalInto(w, lambda, pi, 0.5, 0.5,
+                                                 std::span<double>(short_out))
+                   .ok());
+}
+
+TEST(IntoVariantsTest, EpsilonGreedyMixIntoMatchesAndSupportsAliasing) {
+  Rng rng(11);
+  const size_t k = 17;
+  std::vector<double> weights(k), v_star(k);
+  for (size_t i = 0; i < k; ++i) {
+    weights[i] = rng.NextDouble();
+    v_star[i] = rng.NextDouble();
+  }
+  const double epsilon = 0.05;
+  const std::vector<double> reference =
+      EpsilonGreedyMix(weights, v_star, epsilon).ValueOrDie();
+
+  std::vector<double> out(k);
+  ASSERT_TRUE(
+      EpsilonGreedyMixInto(weights, v_star, epsilon, std::span<double>(out)).ok());
+  for (size_t i = 0; i < k; ++i) EXPECT_EQ(out[i], reference[i]);
+
+  // In-place: out aliases v_star, the mode the hot path uses.
+  std::vector<double> in_place = v_star;
+  ASSERT_TRUE(EpsilonGreedyMixInto(weights, in_place, epsilon,
+                                   std::span<double>(in_place))
+                  .ok());
+  for (size_t i = 0; i < k; ++i) EXPECT_EQ(in_place[i], reference[i]);
+}
+
+TEST(IntoVariantsTest, PosteriorMeansIntoMatches) {
+  const std::vector<double> prior{0.1, 0.5, 0.9};
+  StratifiedBetaModel model =
+      StratifiedBetaModel::Create(prior, 6.0, /*decay_prior=*/true).ValueOrDie();
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    model.Observe(static_cast<size_t>(rng.NextBounded(3)), rng.NextBernoulli(0.4));
+  }
+  const std::vector<double> reference = model.PosteriorMeans();
+  std::vector<double> out(3);
+  ASSERT_TRUE(model.PosteriorMeansInto(std::span<double>(out)).ok());
+  for (size_t k = 0; k < 3; ++k) EXPECT_EQ(out[k], reference[k]);
+
+  std::vector<double> short_out(2);
+  EXPECT_FALSE(model.PosteriorMeansInto(std::span<double>(short_out)).ok());
+}
+
+// --- Fused vs allocating reference step path ------------------------------
+
+TEST(OasisStepPathTest, FusedMatchesAllocatingReferenceBitForBit) {
+  testutil::SyntheticPoolOptions pool_options;
+  pool_options.size = 4000;
+  pool_options.seed = 321;
+  const testutil::SyntheticPool pool = testutil::MakeSyntheticPool(pool_options);
+  GroundTruthOracle oracle(pool.truth);
+
+  OasisOptions fused_options;
+  fused_options.step_path = OasisStepPath::kFused;
+  OasisOptions reference_options;
+  reference_options.step_path = OasisStepPath::kAllocatingReference;
+
+  LabelCache fused_labels(&oracle);
+  LabelCache reference_labels(&oracle);
+  const uint64_t seed = 2026;
+  auto fused = OasisSampler::CreateWithCsf(&pool.scored, &fused_labels, 30,
+                                           fused_options, Rng(seed))
+                   .ValueOrDie();
+  auto reference = OasisSampler::CreateWithCsf(&pool.scored, &reference_labels,
+                                               30, reference_options, Rng(seed))
+                       .ValueOrDie();
+
+  for (int step = 0; step < 800; ++step) {
+    ASSERT_TRUE(fused->Step().ok());
+    ASSERT_TRUE(reference->Step().ok());
+    ExpectSnapshotsIdentical(fused->Estimate(), reference->Estimate());
+  }
+  EXPECT_EQ(fused->labels_consumed(), reference->labels_consumed());
+  EXPECT_EQ(fused->iterations(), reference->iterations());
+
+  // The incremental posterior caches must agree exactly with a full
+  // recomputation from the model.
+  const std::vector<double> fused_pi = fused->PosteriorMeans();
+  const std::vector<double> reference_pi = reference->PosteriorMeans();
+  ASSERT_EQ(fused_pi.size(), reference_pi.size());
+  for (size_t k = 0; k < fused_pi.size(); ++k) {
+    EXPECT_EQ(fused_pi[k], reference_pi[k]);
+  }
+}
+
+// --- StepBatch == n x Step, for every sampler -----------------------------
+
+/// Runs `total` iterations on two identically-seeded samplers, one per-step
+/// and one in uneven batches, and expects identical estimates and counters.
+void ExpectStepBatchMatchesStep(Sampler& stepwise, Sampler& batched, int total) {
+  int done = 0;
+  int batch = 1;
+  while (done < total) {
+    const int n = std::min(batch, total - done);
+    for (int i = 0; i < n; ++i) ASSERT_TRUE(stepwise.Step().ok());
+    ASSERT_TRUE(batched.StepBatch(n).ok());
+    ExpectSnapshotsIdentical(stepwise.Estimate(), batched.Estimate());
+    done += n;
+    batch = batch * 2 + 1;  // Uneven batch sizes: 1, 3, 7, 15, ...
+  }
+  EXPECT_EQ(stepwise.iterations(), batched.iterations());
+  EXPECT_EQ(stepwise.labels_consumed(), batched.labels_consumed());
+}
+
+class StepBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testutil::SyntheticPoolOptions pool_options;
+    pool_options.size = 3000;
+    pool_options.seed = 99;
+    pool_ = testutil::MakeSyntheticPool(pool_options);
+    oracle_ = std::make_unique<GroundTruthOracle>(pool_.truth);
+    strata_ = std::make_shared<const Strata>(
+        StratifyCsf(pool_.scored.scores, 20, false).ValueOrDie());
+  }
+
+  testutil::SyntheticPool pool_;
+  std::unique_ptr<GroundTruthOracle> oracle_;
+  std::shared_ptr<const Strata> strata_;
+};
+
+TEST_F(StepBatchTest, PassiveMatches) {
+  LabelCache labels_a(oracle_.get());
+  LabelCache labels_b(oracle_.get());
+  auto a = PassiveSampler::Create(&pool_.scored, &labels_a, 0.5, Rng(5)).ValueOrDie();
+  auto b = PassiveSampler::Create(&pool_.scored, &labels_b, 0.5, Rng(5)).ValueOrDie();
+  ExpectStepBatchMatchesStep(*a, *b, 500);
+}
+
+TEST_F(StepBatchTest, ImportanceMatchesBothBackends) {
+  for (const SamplingBackend backend :
+       {SamplingBackend::kAliasTable, SamplingBackend::kLinearScan}) {
+    ImportanceOptions options;
+    options.backend = backend;
+    LabelCache labels_a(oracle_.get());
+    LabelCache labels_b(oracle_.get());
+    auto a = ImportanceSampler::Create(&pool_.scored, &labels_a, options, Rng(6))
+                 .ValueOrDie();
+    auto b = ImportanceSampler::Create(&pool_.scored, &labels_b, options, Rng(6))
+                 .ValueOrDie();
+    ExpectStepBatchMatchesStep(*a, *b, 500);
+  }
+}
+
+TEST_F(StepBatchTest, StratifiedMatches) {
+  LabelCache labels_a(oracle_.get());
+  LabelCache labels_b(oracle_.get());
+  auto a = StratifiedSampler::Create(&pool_.scored, &labels_a, strata_, 0.5, Rng(8))
+               .ValueOrDie();
+  auto b = StratifiedSampler::Create(&pool_.scored, &labels_b, strata_, 0.5, Rng(8))
+               .ValueOrDie();
+  ExpectStepBatchMatchesStep(*a, *b, 500);
+}
+
+TEST_F(StepBatchTest, OasisMatches) {
+  LabelCache labels_a(oracle_.get());
+  LabelCache labels_b(oracle_.get());
+  auto a = OasisSampler::Create(&pool_.scored, &labels_a, strata_, OasisOptions{},
+                                Rng(9))
+               .ValueOrDie();
+  auto b = OasisSampler::Create(&pool_.scored, &labels_b, strata_, OasisOptions{},
+                                Rng(9))
+               .ValueOrDie();
+  ExpectStepBatchMatchesStep(*a, *b, 500);
+}
+
+TEST_F(StepBatchTest, RejectsNegativeAndAcceptsZero) {
+  LabelCache labels(oracle_.get());
+  auto sampler =
+      PassiveSampler::Create(&pool_.scored, &labels, 0.5, Rng(5)).ValueOrDie();
+  EXPECT_FALSE(sampler->StepBatch(-1).ok());
+  EXPECT_TRUE(sampler->StepBatch(0).ok());
+  EXPECT_EQ(sampler->iterations(), 0);
+}
+
+// --- Batched trajectory vs the original per-step driver -------------------
+
+TEST_F(StepBatchTest, TrajectoryMatchesPerStepReferenceLoop) {
+  TrajectoryOptions options;
+  options.budget = 400;
+  options.checkpoint_every = 30;
+
+  LabelCache labels_a(oracle_.get());
+  auto batched_sampler = OasisSampler::Create(&pool_.scored, &labels_a, strata_,
+                                              OasisOptions{}, Rng(12))
+                             .ValueOrDie();
+  const Trajectory batched =
+      RunTrajectory(*batched_sampler, options).ValueOrDie();
+
+  // Reference: the seed implementation's per-step loop.
+  LabelCache labels_b(oracle_.get());
+  auto stepwise_sampler = OasisSampler::Create(&pool_.scored, &labels_b, strata_,
+                                               OasisOptions{}, Rng(12))
+                              .ValueOrDie();
+  Trajectory reference;
+  for (int64_t b = options.checkpoint_every; b <= options.budget;
+       b += options.checkpoint_every) {
+    reference.budgets.push_back(b);
+  }
+  size_t next_checkpoint = 0;
+  while (stepwise_sampler->labels_consumed() < options.budget) {
+    ASSERT_TRUE(stepwise_sampler->Step().ok());
+    const int64_t consumed = stepwise_sampler->labels_consumed();
+    const EstimateSnapshot snap = stepwise_sampler->Estimate();
+    if (reference.first_defined_budget < 0 && snap.f_defined) {
+      reference.first_defined_budget = consumed;
+    }
+    while (next_checkpoint < reference.budgets.size() &&
+           consumed >= reference.budgets[next_checkpoint]) {
+      reference.snapshots.push_back(snap);
+      ++next_checkpoint;
+    }
+  }
+
+  EXPECT_EQ(batched.first_defined_budget, reference.first_defined_budget);
+  EXPECT_EQ(batched.labels_consumed, options.budget);
+  ASSERT_EQ(batched.snapshots.size(), reference.snapshots.size());
+  for (size_t i = 0; i < reference.snapshots.size(); ++i) {
+    ExpectSnapshotsIdentical(batched.snapshots[i], reference.snapshots[i]);
+  }
+  EXPECT_EQ(batched.total_iterations, stepwise_sampler->iterations());
+}
+
+// --- Zero allocations on the fused hot path -------------------------------
+
+TEST_F(StepBatchTest, FusedStepPerformsZeroHeapAllocations) {
+  LabelCache labels(oracle_.get());
+  auto sampler = OasisSampler::Create(&pool_.scored, &labels, strata_,
+                                      OasisOptions{}, Rng(21))
+                     .ValueOrDie();
+  // Warm up so any lazily-sized state is in place.
+  ASSERT_TRUE(sampler->StepBatch(32).ok());
+
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  const Status step_status = sampler->StepBatch(1000);
+  g_count_allocations.store(false);
+  ASSERT_TRUE(step_status.ok());
+  EXPECT_EQ(g_allocation_count.load(), 0);
+
+  // The allocating reference path really does allocate per step — the
+  // baseline the benchmark compares against is not accidentally fused too.
+  OasisOptions reference_options;
+  reference_options.step_path = OasisStepPath::kAllocatingReference;
+  LabelCache reference_labels(oracle_.get());
+  auto reference = OasisSampler::Create(&pool_.scored, &reference_labels,
+                                        strata_, reference_options, Rng(21))
+                       .ValueOrDie();
+  ASSERT_TRUE(reference->StepBatch(32).ok());
+  g_allocation_count.store(0);
+  g_count_allocations.store(true);
+  const Status reference_status = reference->StepBatch(1000);
+  g_count_allocations.store(false);
+  ASSERT_TRUE(reference_status.ok());
+  EXPECT_GT(g_allocation_count.load(), 0);
+}
+
+}  // namespace
+}  // namespace oasis
