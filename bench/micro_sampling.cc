@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "common/alias_table.h"
+#include "common/fenwick_tree.h"
 #include "common/random.h"
 #include "core/oasis.h"
 #include "oracle/ground_truth_oracle.h"
@@ -72,6 +73,39 @@ void BM_LinearScanSample(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearScanSample)->Arg(1000)->Arg(100000)->Arg(1000000);
 
+/// O(log n) Fenwick inverse-CDF draw — the dynamic middle ground between the
+/// O(1)-draw/O(n)-rebuild alias table and the O(n) linear scan.
+void BM_FenwickSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.NextDouble() + 1e-6;
+  FenwickTree tree = FenwickTree::Build(weights).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FenwickSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+/// O(log n) Fenwick point update — the cost of keeping the distribution
+/// current after a single-coordinate change (alias tables pay O(n) here).
+void BM_FenwickUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = rng.NextDouble() + 1e-6;
+  FenwickTree tree = FenwickTree::Build(weights).ValueOrDie();
+  size_t i = 0;
+  for (auto _ : state) {
+    tree.Update(i, 0.5 + 0.25 * static_cast<double>(i % 7));
+    benchmark::DoNotOptimize(tree);
+    i = (i + 7919) % n;  // Prime stride: touch varied tree paths.
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FenwickUpdate)->Arg(1000)->Arg(100000)->Arg(1000000);
+
 void BM_AliasTableBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(3);
@@ -100,7 +134,13 @@ void BM_OasisStep(benchmark::State& state) {
   state.counters["K"] = static_cast<double>(sampler->strata().num_strata());
   state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()));
 }
-BENCHMARK(BM_OasisStep)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+BENCHMARK(BM_OasisStep)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(1000)
+    ->Arg(10000);
 
 /// One OASIS iteration through the original allocating path, kept as the
 /// baseline the fused path is compared against.
@@ -121,7 +161,41 @@ void BM_OasisStepAllocating(benchmark::State& state) {
   state.counters["K"] = static_cast<double>(sampler->strata().num_strata());
   state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()));
 }
-BENCHMARK(BM_OasisStepAllocating)->Arg(10)->Arg(30)->Arg(60)->Arg(120);
+BENCHMARK(BM_OasisStepAllocating)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(1000)
+    ->Arg(10000);
+
+/// One OASIS iteration through the Fenwick-tree path: O(log K) draw +
+/// single-stratum update, with O(K) mass rebuilds only on F-hat drift. The
+/// point of comparison for BM_OasisStep (fused O(K)) as K grows.
+void BM_OasisStepFenwick(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  OasisOptions options;
+  options.step_path = OasisStepPath::kFenwick;
+  auto sampler =
+      OasisSampler::CreateWithCsf(&pool->scored, &labels, k, options, Rng(4))
+          .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["K"] = static_cast<double>(sampler->strata().num_strata());
+  state.SetLabel("K=" + std::to_string(sampler->strata().num_strata()));
+}
+BENCHMARK(BM_OasisStepFenwick)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(1000)
+    ->Arg(10000);
 
 /// Batched OASIS stepping: each bench iteration performs range(1) fused
 /// steps through StepBatch, amortising dispatch and validation.

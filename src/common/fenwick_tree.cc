@@ -1,0 +1,92 @@
+#include "common/fenwick_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+Status FenwickTree::ValidateMass(double mass) {
+  if (std::isnan(mass) || std::isinf(mass) || mass < 0.0) {
+    return Status::InvalidArgument("FenwickTree: mass must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+void FenwickTree::InitTree() {
+  const size_t n = values_.size();
+  for (size_t i = 1; i <= n; ++i) tree_[i] = values_[i - 1];
+  // Bottom-up accumulation: each node folds into its parent exactly once, so
+  // the whole build is O(n).
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t parent = i + (i & (~i + 1));
+    if (parent <= n) tree_[parent] += tree_[i];
+  }
+  top_bit_ = 1;
+  while (top_bit_ * 2 <= n) top_bit_ *= 2;
+}
+
+Result<FenwickTree> FenwickTree::Build(std::span<const double> masses) {
+  if (masses.empty()) {
+    return Status::InvalidArgument("FenwickTree: empty mass vector");
+  }
+  for (double m : masses) OASIS_RETURN_NOT_OK(ValidateMass(m));
+  FenwickTree tree;
+  tree.values_.assign(masses.begin(), masses.end());
+  tree.tree_.assign(masses.size() + 1, 0.0);
+  tree.InitTree();
+  return tree;
+}
+
+Status FenwickTree::Rebuild(std::span<const double> masses) {
+  if (masses.size() != values_.size()) {
+    return Status::InvalidArgument("FenwickTree: Rebuild size mismatch");
+  }
+  for (double m : masses) OASIS_RETURN_NOT_OK(ValidateMass(m));
+  std::copy(masses.begin(), masses.end(), values_.begin());
+  InitTree();
+  return Status::OK();
+}
+
+void FenwickTree::Update(size_t i, double mass) {
+  OASIS_DCHECK(i < values_.size());
+  OASIS_DCHECK(!std::isnan(mass) && !std::isinf(mass) && mass >= 0.0);
+  const double delta = mass - values_[i];
+  values_[i] = mass;
+  for (size_t j = i + 1; j <= values_.size(); j += j & (~j + 1)) {
+    tree_[j] += delta;
+  }
+}
+
+double FenwickTree::PrefixSum(size_t count) const {
+  OASIS_DCHECK(count <= values_.size());
+  double sum = 0.0;
+  for (size_t j = count; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+  return sum;
+}
+
+size_t FenwickTree::FindQuantile(double target) const {
+  const size_t n = values_.size();
+  OASIS_DCHECK(n > 0);
+  // Binary-lifting descent: after the loop `idx` is the largest count whose
+  // prefix sum is <= target, so index `idx` (0-based) is the inverse-CDF
+  // answer. The <= comparison steps *past* zero-mass runs, so indices with
+  // value(i) == 0 are never selected for any target < Total().
+  size_t idx = 0;
+  double remaining = target;
+  for (size_t step = top_bit_; step > 0; step >>= 1) {
+    const size_t next = idx + step;
+    if (next <= n && tree_[next] <= remaining) {
+      remaining -= tree_[next];
+      idx = next;
+    }
+  }
+  if (idx >= n) idx = n - 1;  // target >= Total(): clamp into range.
+  // Guard against landing on a zero mass through the clamp above or
+  // floating-point edge cases: back off to the nearest positive mass.
+  while (idx > 0 && values_[idx] <= 0.0) --idx;
+  return idx;
+}
+
+}  // namespace oasis

@@ -1,0 +1,92 @@
+#ifndef OASIS_COMMON_FENWICK_TREE_H_
+#define OASIS_COMMON_FENWICK_TREE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace oasis {
+
+/// Fenwick (binary-indexed) tree over non-negative masses, used as a
+/// dynamically-updatable discrete sampler.
+///
+/// This is the incremental sibling of AliasTable: the alias table draws in
+/// O(1) but must be rebuilt in O(n) after *any* weight change, so it serves
+/// static distributions (the stratum-weight mix component, the static IS
+/// instrumental). The Fenwick tree supports
+///
+///  * `Update`     — single-mass change in O(log n),
+///  * `Sample`     — inverse-CDF draw in O(log n),
+///  * `Rebuild`    — full refresh in O(n) without allocating,
+///  * `PrefixSum` / `Total` — cumulative mass queries in O(log n),
+///
+/// which makes it the right backend for distributions that drift one
+/// coordinate at a time — exactly the shape of the OASIS instrumental v(t),
+/// where one oracle label changes one stratum's posterior (Eqn. 10) and the
+/// remaining K-1 masses are untouched while F-hat holds still.
+///
+/// Masses are stored unnormalised; sampling normalises implicitly by drawing
+/// a uniform target in [0, Total()). Zero-mass indices are valid and are
+/// never returned by Sample/FindQuantile (except in the degenerate all-zero
+/// tree, which Sample forbids via its precondition).
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+
+  /// Builds the tree over `masses` in O(n). Fails with InvalidArgument when
+  /// `masses` is empty or contains a negative/NaN/infinite entry.
+  static Result<FenwickTree> Build(std::span<const double> masses);
+
+  /// Replaces every mass in O(n) without allocating. `masses` must have
+  /// exactly size() entries and satisfy the same validity rules as Build.
+  /// This also resets any floating-point drift accumulated by repeated
+  /// Update deltas, so callers that rebuild periodically keep the internal
+  /// partial sums exact.
+  Status Rebuild(std::span<const double> masses);
+
+  /// Point-assigns mass `i` to `mass` in O(log n). `i` must be < size();
+  /// `mass` must be finite and non-negative (debug-checked).
+  void Update(size_t i, double mass);
+
+  /// Current mass of index `i` (O(1); `i` must be < size()).
+  double value(size_t i) const { return values_[i]; }
+
+  /// Sum of the first `count` masses (count <= size()), in O(log n).
+  double PrefixSum(size_t count) const;
+
+  /// Sum of all masses, in O(log n). Computed from the tree nodes so it is
+  /// exactly the quantity Sample/FindQuantile partition.
+  double Total() const { return PrefixSum(values_.size()); }
+
+  /// Smallest index i whose cumulative mass prefix(i+1) exceeds `target`
+  /// (i.e. the inverse CDF at `target`), in O(log n) via binary-lifting
+  /// descent. `target` in [0, Total()) selects index i with probability
+  /// value(i)/Total(); targets at or above Total() clamp to the last
+  /// positive-mass index. Zero-mass indices are never returned. Precondition:
+  /// at least one mass is positive.
+  size_t FindQuantile(double target) const;
+
+  /// Draws an index with probability value(i)/Total() in O(log n), consuming
+  /// one uniform deviate. Precondition: Total() > 0.
+  size_t Sample(Rng& rng) const { return FindQuantile(rng.NextDouble() * Total()); }
+
+  /// Number of masses n.
+  size_t size() const { return values_.size(); }
+
+ private:
+  /// Validates one mass entry (finite and non-negative).
+  static Status ValidateMass(double mass);
+  /// O(n) bottom-up (re)initialisation of tree_ from values_.
+  void InitTree();
+
+  std::vector<double> values_;  // Current masses, 0-based.
+  std::vector<double> tree_;    // 1-based Fenwick partial sums; tree_[0] unused.
+  size_t top_bit_ = 0;          // Largest power of two <= size(), for descent.
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_COMMON_FENWICK_TREE_H_

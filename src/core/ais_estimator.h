@@ -19,6 +19,8 @@ namespace oasis {
 /// alpha=1 and alpha=0 specialisations of the same statistic.
 class AisEstimator {
  public:
+  /// `alpha` is the F-measure weight the F_alpha snapshot reports (the sums
+  /// themselves are alpha-free; see MultiAlphaEstimator for pricing a grid).
   explicit AisEstimator(double alpha);
 
   /// Folds one weighted observation (w_t, l_t, l-hat_t) into the sums.
@@ -32,9 +34,13 @@ class AisEstimator {
   /// instrumental-distribution update with fallback = F-hat(0).
   double FAlphaOr(double fallback) const;
 
+  /// Number of observations folded in so far.
   int64_t observations() const { return observations_; }
+  /// Raw weighted sum num = sum_t w_t l_t l-hat_t.
   double numerator() const { return num_; }
+  /// Raw weighted sum den_pred = sum_t w_t l-hat_t.
   double denominator_predicted() const { return den_pred_; }
+  /// Raw weighted sum den_true = sum_t w_t l_t.
   double denominator_true() const { return den_true_; }
 
  private:

@@ -45,9 +45,14 @@ class StratifiedBetaModel {
   /// does not call this per step.)
   Status PosteriorMeansInto(std::span<double> out) const;
 
+  /// Number of strata K the model covers.
   size_t num_strata() const { return prior_match_.size(); }
+  /// Labels observed in `stratum` so far (equivalently: how often the OASIS
+  /// sampler visited it, since each step observes exactly one label).
   int64_t labels_observed(size_t stratum) const { return observed_total_[stratum]; }
+  /// Positive labels observed in `stratum` so far.
   int64_t matches_observed(size_t stratum) const { return observed_match_[stratum]; }
+  /// Whether Remark-4 retroactive prior decay is active.
   bool decay_prior() const { return decay_prior_; }
 
  private:

@@ -38,7 +38,9 @@ class MultiAlphaEstimator {
   };
   std::vector<GridEstimate> Estimates() const;
 
+  /// The alpha evaluation grid, as passed to Create.
   const std::vector<double>& alphas() const { return alphas_; }
+  /// Number of observations folded in so far.
   int64_t observations() const { return observations_; }
 
  private:

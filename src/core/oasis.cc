@@ -55,6 +55,12 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::Create(
         "OasisSampler: epsilon must lie in (0, 1] (Remark 5: epsilon = 0 "
         "forfeits consistency)");
   }
+  if (std::isnan(options.fenwick_rebuild_tol) ||
+      std::isinf(options.fenwick_rebuild_tol) ||
+      options.fenwick_rebuild_tol < 0.0) {
+    return Status::InvalidArgument(
+        "OasisSampler: fenwick_rebuild_tol must be finite and >= 0");
+  }
   if (static_cast<int64_t>(strata->num_items()) != pool->size()) {
     return Status::InvalidArgument("OasisSampler: strata/pool size mismatch");
   }
@@ -74,9 +80,13 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::Create(
       StratifiedBetaModel::Create(init.pi, resolved.prior_strength,
                                   resolved.decay_prior));
 
-  return std::unique_ptr<OasisSampler>(
+  std::unique_ptr<OasisSampler> sampler(
       new OasisSampler(pool, labels, std::move(strata), resolved, rng,
                        std::move(model), std::move(init.lambda), init.f_alpha));
+  if (resolved.step_path == OasisStepPath::kFenwick) {
+    OASIS_RETURN_NOT_OK(sampler->InitFenwick());
+  }
+  return sampler;
 }
 
 Result<std::unique_ptr<OasisSampler>> OasisSampler::CreateWithCsf(
@@ -90,6 +100,84 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::CreateWithCsf(
       StratifyCsf(pool->scores, target_strata, pool->scores_are_probabilities));
   return Create(pool, labels, std::make_shared<const Strata>(std::move(strata)),
                 options, rng);
+}
+
+double OasisSampler::FenwickMixtureProbability(size_t k, double total) const {
+  const double omega_k = strata_->weight(k);
+  return total > 0.0 ? options_.epsilon * omega_k +
+                           (1.0 - options_.epsilon) *
+                               (v_star_tree_.value(k) / total)
+                     : omega_k;
+}
+
+double OasisSampler::StratumMass(size_t k, double f) const {
+  const double pi = pi_cache_[k];
+  const double not_pred = c_not_pred_[k] * f * sqrt_pi_cache_[k];
+  const double pred =
+      lambda_[k] * std::sqrt(alpha_sq_ * f * f * (1.0 - pi) +
+                             (1.0 - f) * (1.0 - f) * pi);
+  return strata_->weight(k) * (not_pred + pred);
+}
+
+void OasisSampler::RebuildFenwickMasses(double f) {
+  const size_t num_strata = strata_->num_strata();
+  for (size_t k = 0; k < num_strata; ++k) {
+    v_scratch_[k] = StratumMass(k, f);
+  }
+  OASIS_CHECK_OK(v_star_tree_.Rebuild(v_scratch_));
+  tree_f_ = f;
+}
+
+Status OasisSampler::InitFenwick() {
+  OASIS_ASSIGN_OR_RETURN(weights_alias_, AliasTable::Build(strata_->weights()));
+  OASIS_ASSIGN_OR_RETURN(v_star_tree_,
+                         FenwickTree::Build(strata_->weights()));  // Sized; masses set below.
+  RebuildFenwickMasses(Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0));
+  return Status::OK();
+}
+
+Status OasisSampler::StepFenwick() {
+  // Line 3 analogue: keep the maintained masses while F-hat stays within
+  // fenwick_rebuild_tol of the value they were built with; otherwise refresh
+  // them all at O(K). The per-stratum posterior drift is already folded in by
+  // the Update at the end of each step, so between rebuilds the tree is
+  // exactly v*(pi(t), tree_f_).
+  const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
+  if (std::fabs(f - tree_f_) > options_.fenwick_rebuild_tol) {
+    RebuildFenwickMasses(f);
+  }
+
+  // Lines 4-5: the epsilon-greedy mix is sampled as a literal two-component
+  // mixture — with probability epsilon a stratum ~ omega from the O(1) alias
+  // table, otherwise ~ v*/total from the O(log K) Fenwick inverse CDF — then
+  // an item uniform within the stratum. When every mass degenerates to zero
+  // both components collapse to omega (same fallback as the other paths).
+  const double total = v_star_tree_.Total();
+  size_t k;
+  if (total <= 0.0 || rng().NextDouble() < options_.epsilon) {
+    k = weights_alias_.Sample(rng());
+  } else {
+    k = v_star_tree_.FindQuantile(rng().NextDouble() * total);
+  }
+  const int64_t item = strata_->SampleItem(k, rng());
+
+  // Line 6: w_t = omega_k / v_k with v_k of the distribution the draw above
+  // actually used — this is what keeps the estimator consistent for any
+  // rebuild tolerance (full support comes from the epsilon component).
+  const double weight = strata_->weight(k) / FenwickMixtureProbability(k, total);
+
+  // Lines 7-8: query oracle, read prediction.
+  const bool label = QueryLabel(item);
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+
+  // Lines 9-11: posterior update and AIS sums. Only stratum k's posterior
+  // mean moved, so one O(log K) point update keeps the tree exact under the
+  // build-point F.
+  ObserveLabel(k, label);
+  v_star_tree_.Update(k, StratumMass(k, tree_f_));
+  estimator_.Add(weight, label, prediction);
+  if (observer_) observer_(weight, label, prediction);
+  return Status::OK();
 }
 
 void OasisSampler::ObserveLabel(size_t stratum, bool label) {
@@ -199,8 +287,13 @@ Status OasisSampler::StepAllocatingReference() {
 }
 
 Status OasisSampler::Step() {
-  if (options_.step_path == OasisStepPath::kAllocatingReference) {
-    return StepAllocatingReference();
+  switch (options_.step_path) {
+    case OasisStepPath::kAllocatingReference:
+      return StepAllocatingReference();
+    case OasisStepPath::kFenwick:
+      return StepFenwick();
+    case OasisStepPath::kFused:
+      break;
   }
   return StepFused();
 }
@@ -209,11 +302,26 @@ Status OasisSampler::StepBatch(int64_t n) {
   if (n < 0) {
     return Status::InvalidArgument("StepBatch: n must be non-negative");
   }
-  if (options_.step_path == OasisStepPath::kAllocatingReference) {
-    for (int64_t i = 0; i < n; ++i) {
-      OASIS_RETURN_NOT_OK(StepAllocatingReference());
-    }
-    return Status::OK();
+  // OASIS is sequentially adaptive: the instrumental distribution for step
+  // t + 1 depends on the oracle label observed at step t, so — unlike the
+  // static samplers — a batch cannot pre-draw its items and amortise oracle
+  // round-trips through LabelCache::QueryBatch without changing the
+  // algorithm. The batch win here is hoisting the path dispatch out of the
+  // loop; label-level batching for the static samplers lives in their own
+  // StepBatch overrides.
+  switch (options_.step_path) {
+    case OasisStepPath::kAllocatingReference:
+      for (int64_t i = 0; i < n; ++i) {
+        OASIS_RETURN_NOT_OK(StepAllocatingReference());
+      }
+      return Status::OK();
+    case OasisStepPath::kFenwick:
+      for (int64_t i = 0; i < n; ++i) {
+        OASIS_RETURN_NOT_OK(StepFenwick());
+      }
+      return Status::OK();
+    case OasisStepPath::kFused:
+      break;
   }
   for (int64_t i = 0; i < n; ++i) {
     OASIS_RETURN_NOT_OK(StepFused());
@@ -225,6 +333,20 @@ EstimateSnapshot OasisSampler::Estimate() const { return estimator_.Snapshot(); 
 
 std::string OasisSampler::name() const {
   return "OASIS-" + std::to_string(strata_->num_strata());
+}
+
+Result<std::vector<double>> OasisSampler::FenwickInstrumental() const {
+  if (options_.step_path != OasisStepPath::kFenwick) {
+    return Status::FailedPrecondition(
+        "FenwickInstrumental: sampler does not run the kFenwick step path");
+  }
+  const size_t num_strata = strata_->num_strata();
+  const double total = v_star_tree_.Total();
+  std::vector<double> v(num_strata);
+  for (size_t k = 0; k < num_strata; ++k) {
+    v[k] = FenwickMixtureProbability(k, total);
+  }
+  return v;
 }
 
 Result<std::vector<double>> OasisSampler::CurrentInstrumental() const {

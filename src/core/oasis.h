@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/alias_table.h"
+#include "common/fenwick_tree.h"
 #include "core/ais_estimator.h"
 #include "core/bayesian_model.h"
 #include "sampling/sampler.h"
@@ -14,17 +16,33 @@
 
 namespace oasis {
 
-/// Which Step() implementation OasisSampler runs. Both produce bit-identical
-/// sampling sequences from the same seed; the fused path is simply faster.
+/// Which Step() implementation OasisSampler runs. kFused and
+/// kAllocatingReference produce bit-identical sampling sequences from the
+/// same seed (the fused path is simply faster); kFenwick samples from the
+/// same instrumental distribution up to a configurable F-staleness tolerance
+/// but consumes the RNG differently, so it is equivalent in distribution
+/// rather than bit-for-bit (tests/fenwick_step_path_test.cc verifies both
+/// the distributional match and estimator consistency).
 enum class OasisStepPath {
-  /// Zero-allocation fused scan over precomputed per-stratum constants and an
-  /// incrementally-maintained posterior-mean cache. The default.
+  /// Zero-allocation fused O(K) scan over precomputed per-stratum constants
+  /// and an incrementally-maintained posterior-mean cache. The default.
   kFused,
   /// The original allocating path (PosteriorMeans + OptimalStratified-
   /// Instrumental + EpsilonGreedyMix, one vector each per step). Kept as the
   /// reference implementation for equivalence tests and as the benchmark
   /// baseline the fused path is measured against.
   kAllocatingReference,
+  /// Sub-linear draws: an incrementally-maintained Fenwick tree over the
+  /// unnormalised v* masses gives O(log K) single-stratum updates and
+  /// O(log K) inverse-CDF draws, with the epsilon-greedy mix realised as a
+  /// two-component mixture (a static alias table over the stratum weights
+  /// for the epsilon branch). Only the observed stratum's mass is refreshed
+  /// per step; a full O(K) rebuild happens only when F-hat has drifted more
+  /// than OasisOptions::fenwick_rebuild_tol since the masses were last
+  /// computed. Because F-hat converges (Theorem 3), rebuilds become rare and
+  /// the amortised per-step cost is O(log K) — the path to prefer when K is
+  /// large (roughly K >= 1000; see docs/ARCHITECTURE.md).
+  kFenwick,
 };
 
 /// Tunables of Algorithm 3. Defaults follow the paper's experiments
@@ -42,6 +60,16 @@ struct OasisOptions {
   bool decay_prior = true;
   /// Hot-path selection; see OasisStepPath.
   OasisStepPath step_path = OasisStepPath::kFused;
+  /// kFenwick only: how far |F-hat| may drift from the value the Fenwick
+  /// masses were computed with before a full O(K) rebuild is forced. 0 means
+  /// rebuild whenever F-hat changed at all (the exact v(t) at O(K) whenever F
+  /// moves, which it does on almost every step early on); larger values trade
+  /// a bounded staleness of the instrumental for O(log K) steps. Estimates
+  /// stay consistent for ANY tolerance because importance weights always use
+  /// the distribution actually sampled from, which keeps full support via the
+  /// epsilon mix — the tolerance only affects how close the instrumental is
+  /// to the optimum (variance), never correctness. Must be finite and >= 0.
+  double fenwick_rebuild_tol = 1e-2;
 };
 
 /// OASIS — Optimal Asymptotic Sequential Importance Sampling (Algorithm 3).
@@ -70,9 +98,14 @@ class OasisSampler : public Sampler {
       const ScoredPool* pool, LabelCache* labels, size_t target_strata,
       const OasisOptions& options, Rng rng);
 
+  /// One Algorithm-3 iteration through the configured step_path.
   Status Step() override;
+  /// `n` iterations with the path dispatch hoisted out of the loop; exactly
+  /// equivalent to `n` calls to Step().
   Status StepBatch(int64_t n) override;
+  /// Current F_alpha / precision / recall snapshot of the AIS estimator.
   EstimateSnapshot Estimate() const override;
+  /// "OASIS-<K>" with K the realised stratum count.
   std::string name() const override;
 
   /// Streams every weighted observation (w_t, l_t, l-hat_t) to a consumer in
@@ -88,14 +121,33 @@ class OasisSampler : public Sampler {
   /// Current posterior means pi-hat(t).
   std::vector<double> PosteriorMeans() const { return model_.PosteriorMeans(); }
 
-  /// Current epsilon-greedy instrumental distribution v(t) (normalised).
+  /// Current epsilon-greedy instrumental distribution v(t) (normalised),
+  /// recomputed from the live posterior and F estimate — the *ideal* v(t)
+  /// every step path tracks.
   Result<std::vector<double>> CurrentInstrumental() const;
+
+  /// kFenwick only: the distribution the next Fenwick draw would actually
+  /// use, i.e. epsilon * omega + (1 - epsilon) * (Fenwick mass / total) with
+  /// the masses as maintained (possibly computed under an F within
+  /// fenwick_rebuild_tol of the live one, and before any rebuild the next
+  /// step might trigger). Fails when the sampler does not run the kFenwick
+  /// path. Used by the equivalence tests to bound the staleness gap against
+  /// CurrentInstrumental().
+  Result<std::vector<double>> FenwickInstrumental() const;
+
+  /// Read access to the stratified beta posterior (diagnostics/tests: e.g.
+  /// per-stratum visit counts via labels_observed()).
+  const StratifiedBetaModel& model() const { return model_; }
 
   /// Per-stratum mean predictions lambda (fixed by the pool).
   const std::vector<double>& lambda() const { return lambda_; }
 
+  /// The stratification the sampler draws over.
   const Strata& strata() const { return *strata_; }
+  /// Resolved options (prior_strength filled in when the caller left it 0).
   const OasisOptions& options() const { return options_; }
+  /// Algorithm-2 initial F-measure guess F-hat(0), used until Eqn. (3) is
+  /// defined.
   double initial_f() const { return initial_f_; }
 
  private:
@@ -109,6 +161,22 @@ class OasisSampler : public Sampler {
   /// The original allocating iteration, kept as reference and benchmark
   /// baseline (OasisStepPath::kAllocatingReference).
   Status StepAllocatingReference();
+  /// The O(log K) Fenwick-tree iteration (OasisStepPath::kFenwick).
+  Status StepFenwick();
+  /// One-time kFenwick setup: the weights alias table and the initial mass
+  /// build. Called from Create() so construction can still fail cleanly.
+  Status InitFenwick();
+  /// Unnormalised v* mass of stratum k under F estimate `f`, with exactly the
+  /// factor grouping of the fused scan.
+  double StratumMass(size_t k, double f) const;
+  /// Probability of stratum k under the epsilon-greedy mixture the Fenwick
+  /// draw actually samples from (`total` = v_star_tree_.Total(), <= 0 selects
+  /// the degenerate omega fallback). Single source of truth shared by
+  /// StepFenwick's importance weight and FenwickInstrumental.
+  double FenwickMixtureProbability(size_t k, double total) const;
+  /// Recomputes every Fenwick mass under `f` in O(K) (no allocation) and
+  /// records `f` as the build point for the drift check.
+  void RebuildFenwickMasses(double f);
   /// Records the label in the beta posterior and refreshes the incremental
   /// caches for the observed stratum (the only one whose mean can change).
   void ObserveLabel(size_t stratum, bool label);
@@ -136,6 +204,16 @@ class OasisSampler : public Sampler {
   std::vector<double> c_not_pred_;
   // alpha^2, precomputed once.
   double alpha_sq_ = 0.0;
+  // --- Fenwick-path state ------------------------------------------------
+  // Unnormalised v* masses, maintained incrementally: Update for the one
+  // observed stratum per step, Rebuild only when F-hat drifts past
+  // fenwick_rebuild_tol. Empty unless step_path == kFenwick.
+  FenwickTree v_star_tree_;
+  // Static O(1) sampler over the stratum weights omega — the epsilon branch
+  // of the mixture and the degenerate all-zero-mass fallback.
+  AliasTable weights_alias_;
+  // F-hat the Fenwick masses were last (re)built with; < 0 until InitFenwick.
+  double tree_f_ = -1.0;
 };
 
 }  // namespace oasis

@@ -19,6 +19,17 @@ bool GroundTruthOracle::Label(int64_t item, Rng& rng) {
   return truth_[static_cast<size_t>(item)] != 0;
 }
 
+void GroundTruthOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
+                                   std::span<uint8_t> out) {
+  (void)rng;  // Deterministic: the RNG is part of the Oracle contract only.
+  OASIS_DCHECK(items.size() == out.size());
+  const uint8_t* truth = truth_.data();
+  for (size_t i = 0; i < items.size(); ++i) {
+    OASIS_DCHECK(items[i] >= 0 && items[i] < num_items());
+    out[i] = truth[static_cast<size_t>(items[i])] != 0 ? 1 : 0;
+  }
+}
+
 double GroundTruthOracle::TrueProbability(int64_t item) const {
   OASIS_DCHECK(item >= 0 && item < num_items());
   return truth_[static_cast<size_t>(item)] != 0 ? 1.0 : 0.0;

@@ -15,9 +15,20 @@ class GroundTruthOracle : public Oracle {
   /// Takes ownership of the 0/1 truth vector (one entry per pool item).
   explicit GroundTruthOracle(std::vector<uint8_t> truth);
 
+  /// Returns the ground-truth label; never consumes the RNG.
   bool Label(int64_t item, Rng& rng) override;
+  /// Vectorised truth lookup: one virtual call for the whole batch, no RNG
+  /// consumption (the oracle is deterministic).
+  void LabelBatch(std::span<const int64_t> items, Rng& rng,
+                  std::span<uint8_t> out) override;
+  /// Exactly 0 or 1: the stored truth bit.
   double TrueProbability(int64_t item) const override;
+  /// Always true; LabelCache caches and replays labels for free.
   bool deterministic() const override { return true; }
+  /// Labelling is a pure lookup — never touches the caller's RNG, so batched
+  /// callers may reorder draws relative to queries freely.
+  bool labelling_consumes_rng() const override { return false; }
+  /// Size of the truth vector.
   int64_t num_items() const override { return static_cast<int64_t>(truth_.size()); }
 
   /// Total number of true matches (used by dataset statistics tables).

@@ -33,6 +33,64 @@ bool LabelCache::Query(int64_t item, Rng& rng) {
   return oracle_->Label(item, rng);
 }
 
+Status LabelCache::QueryBatch(std::span<const int64_t> items, Rng& rng,
+                              std::span<uint8_t> out_labels) {
+  if (items.size() != out_labels.size()) {
+    return Status::InvalidArgument(
+        "LabelCache::QueryBatch: items/out_labels length mismatch");
+  }
+  total_queries_ += static_cast<int64_t>(items.size());
+  if (items.empty()) return Status::OK();
+
+  if (!oracle_->deterministic()) {
+    // Noisy oracle: every query is a fresh charged draw; the batched oracle
+    // call consumes the RNG in item order, i.e. on the identical stream the
+    // sequential Query loop would use (the bookkeeping between draws never
+    // touches the RNG).
+    for (int64_t item : items) {
+      OASIS_DCHECK(item >= 0 && item < oracle_->num_items());
+      uint8_t& slot = cache_[static_cast<size_t>(item)];
+      if (slot == 0) {
+        slot = 3;
+        ++distinct_items_;
+      }
+    }
+    labels_consumed_ += static_cast<int64_t>(items.size());
+    oracle_->LabelBatch(items, rng, out_labels);
+    return Status::OK();
+  }
+
+  // Deterministic oracle. Pass 1: collect the batch's cache misses in
+  // first-occurrence order (duplicates after the first occurrence behave as
+  // free replays, exactly as in the sequential loop), marking them pending so
+  // a duplicate is not queried twice.
+  miss_items_.clear();
+  for (int64_t item : items) {
+    OASIS_DCHECK(item >= 0 && item < oracle_->num_items());
+    uint8_t& slot = cache_[static_cast<size_t>(item)];
+    if (slot == 0) {
+      slot = 4;  // Pending: resolved by the single round-trip below.
+      miss_items_.push_back(item);
+    }
+  }
+  // One oracle round-trip for every miss (deterministic oracles ignore the
+  // RNG, so batching does not perturb the seeded stream).
+  if (!miss_items_.empty()) {
+    miss_labels_.resize(miss_items_.size());
+    oracle_->LabelBatch(miss_items_, rng, miss_labels_);
+    for (size_t i = 0; i < miss_items_.size(); ++i) {
+      cache_[static_cast<size_t>(miss_items_[i])] = miss_labels_[i] ? 2 : 1;
+    }
+    labels_consumed_ += static_cast<int64_t>(miss_items_.size());
+    distinct_items_ += static_cast<int64_t>(miss_items_.size());
+  }
+  // Pass 2: answer everything from the (now fully populated) cache.
+  for (size_t i = 0; i < items.size(); ++i) {
+    out_labels[i] = cache_[static_cast<size_t>(items[i])] == 2 ? 1 : 0;
+  }
+  return Status::OK();
+}
+
 bool LabelCache::IsLabelled(int64_t item) const {
   OASIS_DCHECK(item >= 0 && item < oracle_->num_items());
   return cache_[static_cast<size_t>(item)] != 0;

@@ -2,8 +2,10 @@
 #define OASIS_ORACLE_LABEL_CACHE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "oracle/oracle.h"
 
 namespace oasis {
@@ -25,6 +27,18 @@ class LabelCache {
   /// Returns a label for `item`, charging the budget per the policy above.
   bool Query(int64_t item, Rng& rng);
 
+  /// Labels a whole batch with semantics exactly equal to calling Query()
+  /// once per item of `items` in order — same labels, same budget counters
+  /// (including free replays of items already cached, and of duplicates
+  /// *within* the batch after their first occurrence), and the same RNG
+  /// stream — but with at most ONE Oracle::LabelBatch round-trip for all of
+  /// the batch's cache misses. This is what lets Sampler::StepBatch amortise
+  /// oracle round-trips rather than just virtual dispatch. `out_labels` must
+  /// have items.size() entries (each receives 0 or 1); an empty batch is a
+  /// no-op. Fails with InvalidArgument on a size mismatch.
+  Status QueryBatch(std::span<const int64_t> items, Rng& rng,
+                    std::span<uint8_t> out_labels);
+
   /// Labels charged to the budget so far.
   int64_t labels_consumed() const { return labels_consumed_; }
 
@@ -38,12 +52,19 @@ class LabelCache {
   /// returns meaningful values; noisy mode also tracks first-touch).
   bool IsLabelled(int64_t item) const;
 
+  /// The wrapped oracle (e.g. to check deterministic() or num_items()).
   const Oracle& oracle() const { return *oracle_; }
 
  private:
   Oracle* oracle_;
-  // 0 = never queried, 1 = cached label 0, 2 = cached label 1.
+  // 0 = never queried, 1 = cached label 0, 2 = cached label 1, 3 = noisy
+  // first-touch marker, 4 = transient QueryBatch miss-pending marker (never
+  // persists past a QueryBatch call).
   std::vector<uint8_t> cache_;
+  // Scratch for QueryBatch (first-occurrence cache misses and their labels),
+  // reused across calls so steady-state batches do not allocate.
+  std::vector<int64_t> miss_items_;
+  std::vector<uint8_t> miss_labels_;
   int64_t labels_consumed_ = 0;
   int64_t total_queries_ = 0;
   int64_t distinct_items_ = 0;

@@ -50,6 +50,17 @@ bool NoisyOracle::Label(int64_t item, Rng& rng) {
   return rng.NextBernoulli(probabilities_[static_cast<size_t>(item)]);
 }
 
+void NoisyOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
+                             std::span<uint8_t> out) {
+  OASIS_DCHECK(items.size() == out.size());
+  const double* probabilities = probabilities_.data();
+  for (size_t i = 0; i < items.size(); ++i) {
+    OASIS_DCHECK(items[i] >= 0 && items[i] < num_items());
+    out[i] =
+        rng.NextBernoulli(probabilities[static_cast<size_t>(items[i])]) ? 1 : 0;
+  }
+}
+
 double NoisyOracle::TrueProbability(int64_t item) const {
   OASIS_DCHECK(item >= 0 && item < num_items());
   return probabilities_[static_cast<size_t>(item)];

@@ -23,9 +23,18 @@ class NoisyOracle : public Oracle {
   static Result<NoisyOracle> FromTruthWithFlipNoise(
       const std::vector<uint8_t>& truth, double flip_rate);
 
+  /// One fresh Bernoulli(p(1|item)) draw from the caller's RNG.
   bool Label(int64_t item, Rng& rng) override;
+  /// Vectorised Bernoulli draws: one virtual call for the whole batch, with
+  /// the RNG consumed in `items` order (same stream as sequential Label()).
+  void LabelBatch(std::span<const int64_t> items, Rng& rng,
+                  std::span<uint8_t> out) override;
+  /// The configured p(1|item).
   double TrueProbability(int64_t item) const override;
+  /// True only when every probability is exactly 0 or 1 (then label caching
+  /// is sound and LabelCache applies it).
   bool deterministic() const override { return deterministic_; }
+  /// Size of the probability vector.
   int64_t num_items() const override {
     return static_cast<int64_t>(probabilities_.size());
   }

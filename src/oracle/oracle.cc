@@ -1,8 +1,15 @@
 #include "oracle/oracle.h"
 
+#include "common/logging.h"
+
 namespace oasis {
 
-// Oracle is an interface; the out-of-line key function lives here so the
-// vtable has a home translation unit.
+void Oracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
+                        std::span<uint8_t> out) {
+  OASIS_DCHECK(items.size() == out.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = Label(items[i], rng) ? 1 : 0;
+  }
+}
 
 }  // namespace oasis

@@ -2,6 +2,7 @@
 #define OASIS_ORACLE_ORACLE_H_
 
 #include <cstdint>
+#include <span>
 
 #include "common/random.h"
 
@@ -21,6 +22,16 @@ class Oracle {
   /// complete experiment is reproducible from a single seed.
   virtual bool Label(int64_t item, Rng& rng) = 0;
 
+  /// Draws labels for a batch of items in one round-trip. Exactly equivalent
+  /// to calling Label() once per item in `items` order — in particular the
+  /// RNG is consumed in the same sequence, so a batched caller stays on the
+  /// same seeded stream as a sequential one. `out` must have items.size()
+  /// entries; each receives 0 or 1. The base implementation loops over
+  /// Label(); concrete oracles override it to amortise the per-item virtual
+  /// dispatch (and, for remote/crowd oracles, the round-trip itself).
+  virtual void LabelBatch(std::span<const int64_t> items, Rng& rng,
+                          std::span<uint8_t> out);
+
   /// True oracle probability p(1|item). Exposed for constructing ground-truth
   /// reference values in benches/tests; estimators never call this.
   virtual double TrueProbability(int64_t item) const = 0;
@@ -29,6 +40,15 @@ class Oracle {
   /// oracles admit label caching (paper footnote 5: a pair is charged to the
   /// budget only the first time).
   virtual bool deterministic() const = 0;
+
+  /// Whether Label()/LabelBatch() draw from the caller's RNG. True for any
+  /// oracle that realises labels by sampling (NoisyOracle always burns one
+  /// deviate per label, even when its probabilities are degenerate); false
+  /// only when labelling is a pure lookup (GroundTruthOracle). Samplers use
+  /// this — not deterministic() — to decide whether pre-drawing a batch of
+  /// items and querying them afterwards preserves the exact sequential RNG
+  /// stream. The conservative default is true.
+  virtual bool labelling_consumes_rng() const { return true; }
 
   /// Number of items the oracle covers.
   virtual int64_t num_items() const = 0;

@@ -1,5 +1,6 @@
 #include "sampling/importance.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/transforms.h"
@@ -93,11 +94,31 @@ Status ImportanceSampler::StepBatch(int64_t n) {
   if (n < 0) {
     return Status::InvalidArgument("StepBatch: n must be non-negative");
   }
-  // The single draw/query/tally sequence; the backend branch and the
-  // predictions/weights base pointers are hoisted out of the loop.
   const bool use_alias = options_.backend == SamplingBackend::kAliasTable;
   const uint8_t* predictions = pool().predictions.data();
   const double* weights = weights_.data();
+
+  if (CanBatchQueries()) {
+    // The instrumental distribution is static, so item draws are independent
+    // of the labels and the chunked pre-draw + batched-query scaffold
+    // replays the exact sequential sequence.
+    return BatchedSteps(
+        n,
+        [&](int64_t) {
+          return static_cast<int64_t>(use_alias ? alias_.Sample(rng())
+                                                : rng().NextDiscreteLinear(q_));
+        },
+        [&](int64_t, int64_t item_index, bool label) {
+          const size_t item = static_cast<size_t>(item_index);
+          const bool prediction = predictions[item] != 0;
+          const double w = weights[item];
+          if (label && prediction) num_ += w;
+          if (prediction) den_pred_ += w;
+          if (label) den_true_ += w;
+        });
+  }
+
+  // RNG-consuming oracle: preserve the exact sequential interleaving.
   for (int64_t i = 0; i < n; ++i) {
     const size_t item = use_alias ? alias_.Sample(rng()) : rng().NextDiscreteLinear(q_);
     const bool label = QueryLabel(static_cast<int64_t>(item));

@@ -1,5 +1,7 @@
 #include "sampling/passive.h"
 
+#include <algorithm>
+
 namespace oasis {
 
 PassiveSampler::PassiveSampler(const ScoredPool* pool, LabelCache* labels,
@@ -25,10 +27,26 @@ Status PassiveSampler::StepBatch(int64_t n) {
   if (n < 0) {
     return Status::InvalidArgument("StepBatch: n must be non-negative");
   }
-  // The single draw/query/tally sequence, with the pool invariants hoisted
-  // out of the loop and no virtual dispatch per iteration.
   const uint64_t size = static_cast<uint64_t>(pool().size());
   const uint8_t* predictions = pool().predictions.data();
+
+  if (CanBatchQueries()) {
+    // Uniform draws are independent of the labels, so the chunked pre-draw +
+    // batched-query scaffold replays the exact sequential sequence.
+    return BatchedSteps(
+        n,
+        [&](int64_t) { return static_cast<int64_t>(rng().NextBounded(size)); },
+        [&](int64_t, int64_t item, bool label) {
+          const bool prediction = predictions[static_cast<size_t>(item)] != 0;
+          if (label && prediction) tp_ += 1.0;
+          if (prediction) predicted_pos_ += 1.0;
+          if (label) actual_pos_ += 1.0;
+        });
+  }
+
+  // RNG-consuming oracle: labelling draws deviates between item draws, so
+  // batching would change the stream; keep the exact sequential loop (still
+  // with invariants hoisted and no per-iteration virtual dispatch).
   for (int64_t i = 0; i < n; ++i) {
     const int64_t item = static_cast<int64_t>(rng().NextBounded(size));
     const bool label = QueryLabel(item);

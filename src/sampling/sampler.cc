@@ -45,6 +45,12 @@ bool Sampler::QueryLabel(int64_t item) {
   return labels_->Query(item, rng_);
 }
 
+Status Sampler::QueryLabels(std::span<const int64_t> items,
+                            std::span<uint8_t> out_labels) {
+  iterations_ += static_cast<int64_t>(items.size());
+  return labels_->QueryBatch(items, rng_, out_labels);
+}
+
 Status Sampler::StepBatch(int64_t n) {
   if (n < 0) {
     return Status::InvalidArgument("StepBatch: n must be non-negative");

@@ -1,7 +1,9 @@
 #ifndef OASIS_SAMPLING_SAMPLER_H_
 #define OASIS_SAMPLING_SAMPLER_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,11 +95,67 @@ class Sampler {
   double alpha() const { return alpha_; }
 
  protected:
+  /// Chunk size used by the batched StepBatch overrides: items are drawn and
+  /// queried in groups of at most this many, bounding scratch memory while
+  /// still amortising the oracle round-trip.
+  static constexpr int64_t kQueryBatchChunk = 512;
+
   /// `pool` and `labels` must outlive the sampler.
   Sampler(const ScoredPool* pool, LabelCache* labels, double alpha, Rng rng);
 
   /// Queries the oracle for `item` and bumps the iteration counter.
   bool QueryLabel(int64_t item);
+
+  /// Queries the oracle for a batch of items in one LabelCache::QueryBatch
+  /// round-trip and bumps the iteration counter by the batch size. Exactly
+  /// equivalent to calling QueryLabel() per item in order (same labels,
+  /// counters and RNG stream). `out_labels` must match `items` in length.
+  Status QueryLabels(std::span<const int64_t> items, std::span<uint8_t> out_labels);
+
+  /// Whether pre-drawing a chunk of items and batch-querying them preserves
+  /// exact sequential equivalence: true iff labelling never consumes the
+  /// caller's RNG, so the item-draw deviates cannot interleave with label
+  /// deviates. Note this is deliberately NOT Oracle::deterministic() — a
+  /// NoisyOracle with degenerate {0,1} probabilities is deterministic yet
+  /// still burns one deviate per labelled miss, which would reorder the
+  /// stream. Samplers with static instrumental distributions gate their
+  /// batched StepBatch fast path on this and fall back to the per-step loop
+  /// otherwise.
+  bool CanBatchQueries() const {
+    return !labels_->oracle().labelling_consumes_rng();
+  }
+
+  /// Shared scaffold of the batched StepBatch fast paths: runs `n`
+  /// iterations in chunks of kQueryBatchChunk, pre-drawing each chunk's
+  /// items via `draw` and resolving them in ONE LabelCache::QueryBatch
+  /// round-trip before tallying. Only valid when CanBatchQueries() — the
+  /// pre-draw reorders item draws relative to label queries, which is
+  /// stream-preserving exactly when labelling is RNG-free, making this the
+  /// identical item/label/counter sequence as `n` sequential Step() calls.
+  ///
+  /// `draw(i)` returns the item for chunk position i (and may record side
+  /// state, e.g. the stratum it drew — i is always < kQueryBatchChunk);
+  /// `tally(i, item, label)` folds the resolved observation into the
+  /// estimator. Scratch buffers are reused, so steady-state batches do not
+  /// allocate.
+  template <typename DrawFn, typename TallyFn>
+  Status BatchedSteps(int64_t n, DrawFn&& draw, TallyFn&& tally) {
+    for (int64_t done = 0; done < n;) {
+      const int64_t chunk = std::min(kQueryBatchChunk, n - done);
+      batch_items_.resize(static_cast<size_t>(chunk));
+      batch_labels_.resize(static_cast<size_t>(chunk));
+      for (int64_t i = 0; i < chunk; ++i) {
+        batch_items_[static_cast<size_t>(i)] = draw(i);
+      }
+      OASIS_RETURN_NOT_OK(QueryLabels(batch_items_, batch_labels_));
+      for (int64_t i = 0; i < chunk; ++i) {
+        tally(i, batch_items_[static_cast<size_t>(i)],
+              batch_labels_[static_cast<size_t>(i)] != 0);
+      }
+      done += chunk;
+    }
+    return Status::OK();
+  }
 
   Rng& rng() { return rng_; }
 
@@ -107,6 +165,8 @@ class Sampler {
   double alpha_;
   Rng rng_;
   int64_t iterations_ = 0;
+  std::vector<int64_t> batch_items_;
+  std::vector<uint8_t> batch_labels_;
 };
 
 }  // namespace oasis

@@ -1,5 +1,6 @@
 #include "sampling/stratified.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace oasis {
@@ -44,6 +45,29 @@ Status StratifiedSampler::StepBatch(int64_t n) {
   // invariant loads hoisted out of the loop.
   const std::vector<double>& omega = strata_->weights();
   const uint8_t* predictions = pool().predictions.data();
+
+  if (CanBatchQueries()) {
+    // The proportional allocation never depends on observed labels, so the
+    // stratum/item draws of a whole chunk can happen up front; the draw
+    // callback records each position's stratum for the tally.
+    batch_strata_.resize(static_cast<size_t>(std::min(n, kQueryBatchChunk)));
+    return BatchedSteps(
+        n,
+        [&](int64_t i) {
+          const size_t k = rng().NextDiscreteLinear(omega);
+          batch_strata_[static_cast<size_t>(i)] = k;
+          return static_cast<int64_t>(strata_->SampleItem(k, rng()));
+        },
+        [&](int64_t i, int64_t item, bool label) {
+          const size_t k = batch_strata_[static_cast<size_t>(i)];
+          const bool prediction = predictions[static_cast<size_t>(item)] != 0;
+          samples_[k] += 1.0;
+          if (label && prediction) tp_sum_[k] += 1.0;
+          if (label) pos_sum_[k] += 1.0;
+        });
+  }
+
+  // RNG-consuming oracle: preserve the exact sequential interleaving.
   for (int64_t i = 0; i < n; ++i) {
     const size_t k = rng().NextDiscreteLinear(omega);
     const int64_t item = strata_->SampleItem(k, rng());

@@ -1,0 +1,173 @@
+// FenwickTree unit tests: construction/validation, prefix-sum and total
+// queries against naive reference sums, point updates, O(n) rebuild, the
+// inverse-CDF descent (boundaries, zero-mass skipping, single-element
+// degenerate case), and a chi-squared goodness-of-fit check that Sample()
+// actually draws from the normalised mass distribution.
+
+#include "common/fenwick_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace oasis {
+namespace {
+
+TEST(FenwickTreeTest, BuildRejectsInvalidMasses) {
+  EXPECT_FALSE(FenwickTree::Build({}).ok());
+  const std::vector<double> negative{1.0, -0.5, 2.0};
+  EXPECT_FALSE(FenwickTree::Build(negative).ok());
+  const std::vector<double> nan_mass{1.0, std::nan(""), 2.0};
+  EXPECT_FALSE(FenwickTree::Build(nan_mass).ok());
+  const std::vector<double> inf_mass{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(FenwickTree::Build(inf_mass).ok());
+  // All-zero masses are structurally valid (Sample is simply forbidden).
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_TRUE(FenwickTree::Build(zeros).ok());
+}
+
+TEST(FenwickTreeTest, PrefixSumsMatchNaiveReference) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.NextBounded(200));
+    std::vector<double> masses(n);
+    for (double& m : masses) {
+      // Mix in exact zeros so the zero-run handling is exercised too.
+      m = rng.NextBernoulli(0.3) ? 0.0 : rng.NextDouble();
+    }
+    FenwickTree tree = FenwickTree::Build(masses).ValueOrDie();
+    ASSERT_EQ(tree.size(), n);
+    double naive = 0.0;
+    for (size_t count = 0; count <= n; ++count) {
+      EXPECT_NEAR(tree.PrefixSum(count), naive, 1e-12);
+      if (count < n) {
+        EXPECT_EQ(tree.value(count), masses[count]);
+        naive += masses[count];
+      }
+    }
+    EXPECT_NEAR(tree.Total(), naive, 1e-12);
+  }
+}
+
+TEST(FenwickTreeTest, UpdateAdjustsAllAffectedSums) {
+  Rng rng(43);
+  std::vector<double> masses(37);
+  for (double& m : masses) m = rng.NextDouble();
+  FenwickTree tree = FenwickTree::Build(masses).ValueOrDie();
+
+  for (int edit = 0; edit < 200; ++edit) {
+    const size_t i = static_cast<size_t>(rng.NextBounded(masses.size()));
+    const double mass = rng.NextBernoulli(0.2) ? 0.0 : 3.0 * rng.NextDouble();
+    masses[i] = mass;
+    tree.Update(i, mass);
+    EXPECT_EQ(tree.value(i), mass);
+  }
+  double naive = 0.0;
+  for (size_t count = 0; count <= masses.size(); ++count) {
+    EXPECT_NEAR(tree.PrefixSum(count), naive, 1e-9);
+    if (count < masses.size()) naive += masses[count];
+  }
+}
+
+TEST(FenwickTreeTest, RebuildMatchesFreshBuildAndRejectsMismatch) {
+  Rng rng(47);
+  std::vector<double> initial(64), replacement(64);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    initial[i] = rng.NextDouble();
+    replacement[i] = rng.NextDouble();
+  }
+  FenwickTree tree = FenwickTree::Build(initial).ValueOrDie();
+  // Perturb through updates first so Rebuild also has drift to discard.
+  for (int i = 0; i < 32; ++i) {
+    tree.Update(static_cast<size_t>(rng.NextBounded(64)), rng.NextDouble());
+  }
+  ASSERT_TRUE(tree.Rebuild(replacement).ok());
+
+  const FenwickTree fresh = FenwickTree::Build(replacement).ValueOrDie();
+  for (size_t count = 0; count <= replacement.size(); ++count) {
+    EXPECT_EQ(tree.PrefixSum(count), fresh.PrefixSum(count));
+  }
+
+  const std::vector<double> wrong_size(63, 1.0);
+  EXPECT_FALSE(tree.Rebuild(wrong_size).ok());
+  const std::vector<double> negative(64, -1.0);
+  EXPECT_FALSE(tree.Rebuild(negative).ok());
+}
+
+TEST(FenwickTreeTest, FindQuantileBoundariesAndZeroSkipping) {
+  // Index layout: zero-mass entries at the ends and in the middle must never
+  // be selected; boundary targets land on the neighbouring positive masses.
+  const std::vector<double> masses{0.0, 2.0, 0.0, 0.0, 3.0, 0.0};
+  FenwickTree tree = FenwickTree::Build(masses).ValueOrDie();
+  EXPECT_DOUBLE_EQ(tree.Total(), 5.0);
+  EXPECT_EQ(tree.FindQuantile(0.0), 1u);
+  EXPECT_EQ(tree.FindQuantile(1.999), 1u);
+  EXPECT_EQ(tree.FindQuantile(2.0), 4u);  // CDF is right-open at each mass.
+  EXPECT_EQ(tree.FindQuantile(4.999), 4u);
+  // At/above Total(): clamps to the last positive-mass index.
+  EXPECT_EQ(tree.FindQuantile(5.0), 4u);
+  EXPECT_EQ(tree.FindQuantile(100.0), 4u);
+}
+
+TEST(FenwickTreeTest, SingleElementAlwaysSampled) {
+  const std::vector<double> one{0.7};
+  FenwickTree tree = FenwickTree::Build(one).ValueOrDie();
+  Rng rng(51);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(tree.Sample(rng), 0u);
+  }
+}
+
+TEST(FenwickTreeTest, ZeroMassIndicesNeverSampled) {
+  Rng rng(53);
+  std::vector<double> masses(50, 0.0);
+  for (size_t i = 0; i < masses.size(); i += 3) masses[i] = rng.NextDouble() + 0.1;
+  FenwickTree tree = FenwickTree::Build(masses).ValueOrDie();
+  for (int draw = 0; draw < 50000; ++draw) {
+    const size_t idx = tree.Sample(rng);
+    ASSERT_GT(masses[idx], 0.0) << "sampled zero-mass index " << idx;
+  }
+}
+
+TEST(FenwickTreeTest, SampleMatchesDistributionChiSquared) {
+  // Goodness of fit of 200k draws against the normalised masses. With
+  // df = 7 the 99.9th chi-squared percentile is 24.32; a healthy sampler
+  // fails this with probability 0.1%.
+  const std::vector<double> masses{5.0, 1.0, 0.5, 8.0, 2.0, 0.25, 3.0, 4.0};
+  FenwickTree tree = FenwickTree::Build(masses).ValueOrDie();
+  const double total = tree.Total();
+
+  Rng rng(57);
+  const int kDraws = 200000;
+  std::vector<int64_t> counts(masses.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[tree.Sample(rng)];
+
+  double chi_sq = 0.0;
+  for (size_t k = 0; k < masses.size(); ++k) {
+    const double expected = kDraws * masses[k] / total;
+    const double diff = static_cast<double>(counts[k]) - expected;
+    chi_sq += diff * diff / expected;
+  }
+  EXPECT_LT(chi_sq, 24.32) << "chi-squared " << chi_sq << " at df=7";
+}
+
+TEST(FenwickTreeTest, SampleTracksUpdatedMasses) {
+  // After shifting all mass onto one index via updates, every draw lands
+  // there — the descent must see the updated sums, not the build-time ones.
+  std::vector<double> masses{1.0, 1.0, 1.0, 1.0};
+  FenwickTree tree = FenwickTree::Build(masses).ValueOrDie();
+  tree.Update(0, 0.0);
+  tree.Update(1, 0.0);
+  tree.Update(3, 0.0);
+  Rng rng(59);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(tree.Sample(rng), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace oasis

@@ -1,0 +1,243 @@
+// QueryBatch ≡ n × Query equivalence tests for the batched oracle layer:
+//  * Oracle::LabelBatch (base default, GroundTruthOracle and NoisyOracle
+//    overrides) equals the per-item Label() loop on the same RNG stream;
+//  * LabelCache::QueryBatch produces the same labels AND the same budget
+//    accounting (labels_consumed / total_queries / distinct_items_labelled)
+//    as a sequential Query loop — including free replays of already-cached
+//    items and of duplicates within one batch;
+//  * argument validation (size mismatch, empty batch).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "oracle/ground_truth_oracle.h"
+#include "oracle/label_cache.h"
+#include "oracle/noisy_oracle.h"
+#include "sampling/passive.h"
+
+namespace oasis {
+namespace {
+
+/// Minimal noisy oracle WITHOUT a LabelBatch override, so the Oracle base
+/// class's default loop implementation is what gets exercised.
+class BaseLoopOracle : public Oracle {
+ public:
+  explicit BaseLoopOracle(std::vector<double> probabilities)
+      : probabilities_(std::move(probabilities)) {}
+
+  bool Label(int64_t item, Rng& rng) override {
+    return rng.NextBernoulli(probabilities_[static_cast<size_t>(item)]);
+  }
+  double TrueProbability(int64_t item) const override {
+    return probabilities_[static_cast<size_t>(item)];
+  }
+  bool deterministic() const override { return false; }
+  int64_t num_items() const override {
+    return static_cast<int64_t>(probabilities_.size());
+  }
+
+ private:
+  std::vector<double> probabilities_;
+};
+
+std::vector<int64_t> MakeItems(Rng& rng, int64_t pool_size, size_t n) {
+  std::vector<int64_t> items(n);
+  for (int64_t& item : items) {
+    item = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(pool_size)));
+  }
+  return items;
+}
+
+TEST(OracleLabelBatchTest, DefaultImplementationMatchesLabelLoop) {
+  const std::vector<double> probs{0.1, 0.5, 0.9, 0.3, 0.7};
+  BaseLoopOracle batch_oracle(probs);
+  BaseLoopOracle loop_oracle(probs);
+
+  Rng items_rng(71);
+  const std::vector<int64_t> items = MakeItems(items_rng, 5, 200);
+  std::vector<uint8_t> batch_out(items.size());
+
+  Rng batch_rng(72);
+  Rng loop_rng(72);
+  batch_oracle.LabelBatch(items, batch_rng, batch_out);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(batch_out[i] != 0, loop_oracle.Label(items[i], loop_rng))
+        << "mismatch at position " << i;
+  }
+  // Same stream afterwards: the batch consumed exactly the loop's draws.
+  EXPECT_EQ(batch_rng.NextUint64(), loop_rng.NextUint64());
+}
+
+TEST(OracleLabelBatchTest, NoisyOverrideMatchesLabelLoop) {
+  NoisyOracle batch_oracle =
+      NoisyOracle::FromProbabilities({0.2, 0.8, 0.5, 0.35}).ValueOrDie();
+  NoisyOracle loop_oracle =
+      NoisyOracle::FromProbabilities({0.2, 0.8, 0.5, 0.35}).ValueOrDie();
+
+  Rng items_rng(73);
+  const std::vector<int64_t> items = MakeItems(items_rng, 4, 300);
+  std::vector<uint8_t> batch_out(items.size());
+
+  Rng batch_rng(74);
+  Rng loop_rng(74);
+  batch_oracle.LabelBatch(items, batch_rng, batch_out);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(batch_out[i] != 0, loop_oracle.Label(items[i], loop_rng));
+  }
+  EXPECT_EQ(batch_rng.NextUint64(), loop_rng.NextUint64());
+}
+
+TEST(OracleLabelBatchTest, GroundTruthOverrideReturnsTruth) {
+  GroundTruthOracle oracle({1, 0, 0, 1, 1});
+  const std::vector<int64_t> items{4, 0, 2, 1, 3, 0};
+  std::vector<uint8_t> out(items.size());
+  Rng rng(75);
+  oracle.LabelBatch(items, rng, out);
+  const std::vector<uint8_t> expected{1, 1, 0, 0, 1, 1};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(QueryBatchTest, DeterministicMatchesSequentialIncludingAccounting) {
+  Rng truth_rng(81);
+  std::vector<uint8_t> truth(500);
+  for (auto& t : truth) t = truth_rng.NextBernoulli(0.3) ? 1 : 0;
+
+  GroundTruthOracle batch_oracle(truth);
+  GroundTruthOracle seq_oracle(truth);
+  LabelCache batch_cache(&batch_oracle);
+  LabelCache seq_cache(&seq_oracle);
+
+  Rng items_rng(82);
+  Rng batch_rng(83);
+  Rng seq_rng(83);
+  // Several batches over a small pool so later batches are dominated by
+  // cache hits, and duplicates within one batch are common.
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<int64_t> items = MakeItems(items_rng, 500, 137);
+    std::vector<uint8_t> batch_out(items.size());
+    ASSERT_TRUE(batch_cache.QueryBatch(items, batch_rng, batch_out).ok());
+    for (size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(batch_out[i] != 0, seq_cache.Query(items[i], seq_rng))
+          << "round " << round << " position " << i;
+    }
+    EXPECT_EQ(batch_cache.labels_consumed(), seq_cache.labels_consumed());
+    EXPECT_EQ(batch_cache.total_queries(), seq_cache.total_queries());
+    EXPECT_EQ(batch_cache.distinct_items_labelled(),
+              seq_cache.distinct_items_labelled());
+  }
+  // Spot-check the invariants directly: every query was counted, budget was
+  // charged once per distinct item only.
+  EXPECT_EQ(batch_cache.total_queries(), 10 * 137);
+  EXPECT_EQ(batch_cache.labels_consumed(), batch_cache.distinct_items_labelled());
+  EXPECT_LT(batch_cache.labels_consumed(), batch_cache.total_queries());
+}
+
+TEST(QueryBatchTest, DuplicateWithinBatchChargedOnce) {
+  GroundTruthOracle oracle({1, 0, 1});
+  LabelCache cache(&oracle);
+  Rng rng(84);
+  const std::vector<int64_t> items{2, 2, 0, 2, 0};
+  std::vector<uint8_t> out(items.size());
+  ASSERT_TRUE(cache.QueryBatch(items, rng, out).ok());
+  // Two distinct items charged; five queries counted; duplicates replay the
+  // first occurrence's label for free.
+  EXPECT_EQ(cache.labels_consumed(), 2);
+  EXPECT_EQ(cache.total_queries(), 5);
+  EXPECT_EQ(cache.distinct_items_labelled(), 2);
+  const std::vector<uint8_t> expected{1, 1, 1, 1, 1};
+  EXPECT_EQ(out, expected);
+  // The transient pending marker never persists.
+  EXPECT_TRUE(cache.IsLabelled(0));
+  EXPECT_TRUE(cache.IsLabelled(2));
+  EXPECT_FALSE(cache.IsLabelled(1));
+}
+
+TEST(QueryBatchTest, NoisyMatchesSequentialStreamAndAccounting) {
+  NoisyOracle batch_oracle =
+      NoisyOracle::FromTruthWithFlipNoise({1, 0, 1, 0, 1, 1, 0, 0}, 0.2)
+          .ValueOrDie();
+  NoisyOracle seq_oracle =
+      NoisyOracle::FromTruthWithFlipNoise({1, 0, 1, 0, 1, 1, 0, 0}, 0.2)
+          .ValueOrDie();
+  LabelCache batch_cache(&batch_oracle);
+  LabelCache seq_cache(&seq_oracle);
+
+  Rng items_rng(85);
+  Rng batch_rng(86);
+  Rng seq_rng(86);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<int64_t> items = MakeItems(items_rng, 8, 64);
+    std::vector<uint8_t> batch_out(items.size());
+    ASSERT_TRUE(batch_cache.QueryBatch(items, batch_rng, batch_out).ok());
+    for (size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(batch_out[i] != 0, seq_cache.Query(items[i], seq_rng));
+    }
+    // Noisy: every query is charged; accounting must agree with sequential.
+    EXPECT_EQ(batch_cache.labels_consumed(), seq_cache.labels_consumed());
+    EXPECT_EQ(batch_cache.total_queries(), seq_cache.total_queries());
+    EXPECT_EQ(batch_cache.distinct_items_labelled(),
+              seq_cache.distinct_items_labelled());
+  }
+  EXPECT_EQ(batch_cache.labels_consumed(), batch_cache.total_queries());
+  // Identical residual stream: the batched path consumed the same draws.
+  EXPECT_EQ(batch_rng.NextUint64(), seq_rng.NextUint64());
+}
+
+TEST(QueryBatchTest, DegenerateNoisyOracleStepBatchStaysSequentialEquivalent) {
+  // A NoisyOracle whose probabilities are all exactly 0/1 reports
+  // deterministic() == true, yet its Label() still burns one RNG deviate per
+  // labelled miss — so the samplers' pre-draw-then-batch fast path (which
+  // reorders item draws relative to label draws) must NOT engage for it.
+  // Regression test: StepBatch must stay bit-equivalent to n x Step.
+  Rng truth_rng(91);
+  ScoredPool pool;
+  std::vector<uint8_t> truth(400);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = truth_rng.NextBernoulli(0.2) ? 1 : 0;
+    pool.scores.push_back(truth[i] != 0 ? 1.0 : -1.0);
+    pool.predictions.push_back(truth[i]);
+  }
+  NoisyOracle oracle_a =
+      NoisyOracle::FromTruthWithFlipNoise(truth, 0.0).ValueOrDie();
+  NoisyOracle oracle_b =
+      NoisyOracle::FromTruthWithFlipNoise(truth, 0.0).ValueOrDie();
+  ASSERT_TRUE(oracle_a.deterministic());
+  ASSERT_TRUE(oracle_a.labelling_consumes_rng());
+
+  LabelCache labels_a(&oracle_a);
+  LabelCache labels_b(&oracle_b);
+  auto stepwise =
+      PassiveSampler::Create(&pool, &labels_a, 0.5, Rng(92)).ValueOrDie();
+  auto batched =
+      PassiveSampler::Create(&pool, &labels_b, 0.5, Rng(92)).ValueOrDie();
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(stepwise->Step().ok());
+  ASSERT_TRUE(batched->StepBatch(300).ok());
+
+  const EstimateSnapshot a = stepwise->Estimate();
+  const EstimateSnapshot b = batched->Estimate();
+  EXPECT_EQ(a.f_defined, b.f_defined);
+  EXPECT_EQ(a.f_alpha, b.f_alpha);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(stepwise->labels_consumed(), batched->labels_consumed());
+}
+
+TEST(QueryBatchTest, ValidatesArguments) {
+  GroundTruthOracle oracle({1, 0});
+  LabelCache cache(&oracle);
+  Rng rng(87);
+  const std::vector<int64_t> items{0, 1};
+  std::vector<uint8_t> short_out(1);
+  EXPECT_FALSE(cache.QueryBatch(items, rng, short_out).ok());
+
+  std::vector<uint8_t> empty_out;
+  EXPECT_TRUE(cache.QueryBatch({}, rng, empty_out).ok());
+  EXPECT_EQ(cache.total_queries(), 0);
+  EXPECT_EQ(cache.labels_consumed(), 0);
+}
+
+}  // namespace
+}  // namespace oasis

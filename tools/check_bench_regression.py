@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_micro.json artifacts.
+
+Compares the steps/sec of the current run against a committed baseline
+snapshot and fails (exit 1) when any gated benchmark drops below
+--min-ratio times its baseline throughput (default 0.8, i.e. a >20% drop).
+
+Only benchmarks whose name matches --filter (default: the OASIS step paths,
+``BM_OasisStep``) are gated; other entries in either file are ignored, so the
+baseline can be regenerated from a filtered run.
+
+Because absolute steps/sec vary across machines, --calibrate NAME rescales
+the baseline by the throughput ratio of a calibration benchmark present in
+both files (e.g. ``BM_PassiveStep``): baseline values are multiplied by
+current(NAME)/baseline(NAME) before comparison, so the gate measures
+regressions relative to overall machine speed rather than absolute numbers.
+
+Usage:
+  python3 tools/check_bench_regression.py BENCH_micro.json \
+      bench/baselines/BENCH_micro_baseline.json \
+      [--min-ratio 0.8] [--filter BM_OasisStep] [--calibrate BM_PassiveStep]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    results = {}
+    for entry in doc.get("results", []):
+        name = entry.get("name")
+        steps = entry.get("steps_per_sec", 0.0)
+        if name and steps > 0.0:
+            results[name] = steps
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_micro.json from this run")
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="fail when current/baseline < this (default 0.8)")
+    parser.add_argument("--filter", default="BM_OasisStep",
+                        help="gate only benchmarks whose name starts with this")
+    parser.add_argument("--calibrate", default=None,
+                        help="benchmark name used to rescale the baseline for "
+                             "machine-speed differences")
+    args = parser.parse_args()
+
+    current = load_results(args.current)
+    baseline = load_results(args.baseline)
+
+    scale = 1.0
+    if args.calibrate:
+        cur_cal = current.get(args.calibrate)
+        base_cal = baseline.get(args.calibrate)
+        if cur_cal and base_cal:
+            scale = cur_cal / base_cal
+            print(f"calibration {args.calibrate}: current {cur_cal:.3e} / "
+                  f"baseline {base_cal:.3e} -> scale {scale:.3f}")
+        else:
+            print(f"warning: calibration benchmark {args.calibrate!r} missing "
+                  "from current or baseline; comparing absolute steps/sec",
+                  file=sys.stderr)
+
+    gated = sorted(name for name in baseline if name.startswith(args.filter))
+    if not gated:
+        print(f"error: no baseline entries match filter {args.filter!r}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    for name in gated:
+        if name not in current:
+            # A renamed/removed bench is a baseline-refresh task, not a perf
+            # regression; report it but do not fail the gate on it.
+            print(f"  skip  {name}: not present in current run")
+            continue
+        compared += 1
+        expected = baseline[name] * scale
+        ratio = current[name] / expected
+        verdict = "ok" if ratio >= args.min_ratio else "FAIL"
+        print(f"  {verdict:>4}  {name}: {current[name]:.3e} steps/s vs "
+              f"expected {expected:.3e} (ratio {ratio:.2f})")
+        if ratio < args.min_ratio:
+            failures.append(name)
+
+    if compared == 0:
+        print("error: no gated benchmark present in both runs", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} benchmark(s) dropped more than "
+              f"{(1 - args.min_ratio) * 100:.0f}% vs baseline: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nall {compared} gated benchmarks within "
+          f"{(1 - args.min_ratio) * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
