@@ -39,6 +39,7 @@ int main() {
   experiments::RunnerOptions options;
   options.repeats = bench::Repeats();
   options.base_seed = bench::Seed();
+  options.num_threads = bench::Threads();
   options.trajectory.budget = 10000;
   options.trajectory.checkpoint_every = 1000;
 

@@ -34,6 +34,7 @@ int main() {
   experiments::RunnerOptions options;
   options.repeats = bench::Repeats();
   options.base_seed = bench::Seed();
+  options.num_threads = bench::Threads();
   options.trajectory.budget = 5000;
   options.trajectory.checkpoint_every = 5000;
 

@@ -33,6 +33,11 @@ inline int Repeats(int fallback = 50) { return EnvInt("OASIS_REPEATS", fallback)
 /// Deterministic base seed for the whole harness; override with OASIS_SEED.
 inline uint64_t Seed() { return static_cast<uint64_t>(EnvInt("OASIS_SEED", 20170626)); }
 
+/// Worker threads for the experiment runners' repeat fan-out; 0 (default)
+/// means hardware concurrency. Override with OASIS_THREADS — results are
+/// bit-identical for any value, only wall-clock changes.
+inline int Threads() { return EnvInt("OASIS_THREADS", 0); }
+
 /// Prints the standard harness banner.
 inline void Banner(const char* experiment, const char* description) {
   std::printf("================================================================\n");
@@ -71,6 +76,11 @@ class JsonBenchWriter {
   void Add(JsonBenchResult result) { results_.push_back(std::move(result)); }
 
   size_t size() const { return results_.size(); }
+
+  /// Collected results, mutable so callers can attach derived metrics that
+  /// need to see several rows at once (e.g. speedup ratios across a thread
+  /// sweep) before serialising.
+  std::vector<JsonBenchResult>& mutable_results() { return results_; }
 
   /// Serialises all collected results. Numbers use printf %.17g so reading
   /// them back is lossless.

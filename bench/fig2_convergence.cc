@@ -78,6 +78,7 @@ int main() {
     experiments::RunnerOptions options;
     options.repeats = bench::Repeats();
     options.base_seed = bench::Seed();
+    options.num_threads = bench::Threads();
     options.trajectory.budget = BudgetFor(profile.name);
     options.trajectory.checkpoint_every = options.trajectory.budget / 20;
 

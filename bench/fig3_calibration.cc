@@ -43,6 +43,7 @@ int main() {
       experiments::RunnerOptions options;
       options.repeats = bench::Repeats();
       options.base_seed = bench::Seed();
+      options.num_threads = bench::Threads();
       options.trajectory.budget = budget;
       options.trajectory.checkpoint_every = budget / 20;
 

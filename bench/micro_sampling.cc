@@ -21,6 +21,7 @@
 #include "common/fenwick_tree.h"
 #include "common/random.h"
 #include "core/oasis.h"
+#include "experiments/runner.h"
 #include "oracle/ground_truth_oracle.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
@@ -285,6 +286,45 @@ void BM_ImportanceStepLinear(benchmark::State& state) {
 }
 BENCHMARK(BM_ImportanceStepLinear)->Arg(10000)->Arg(100000)->Arg(300000);
 
+/// Whole-experiment fan-out: one iteration = one RunErrorCurve of 32 OASIS
+/// repeats sharded over range(0) worker threads. Items/sec counts labels
+/// (repeats x budget), so the speedup at t threads is the ratio of this
+/// row's steps/sec to the threads=1 row — main() also folds that ratio into
+/// BENCH_micro.json as a `speedup_vs_1thread` metric per row.
+void BM_RunnerParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  static BenchPool* pool = new BenchPool(MakePool(20000));
+  static GroundTruthOracle* oracle = new GroundTruthOracle(pool->truth);
+  static auto* strata = new std::shared_ptr<const Strata>(
+      std::make_shared<const Strata>(
+          StratifyCsf(pool->scored.scores, 30).ValueOrDie()));
+
+  experiments::RunnerOptions options;
+  options.repeats = 32;
+  options.num_threads = threads;
+  options.trajectory.budget = 2000;
+  options.trajectory.checkpoint_every = 500;
+  const experiments::MethodSpec spec =
+      experiments::MakeOasisSpec(OasisOptions{}, *strata);
+  for (auto _ : state) {
+    auto curve = experiments::RunErrorCurve(spec, pool->scored, *oracle,
+                                            /*true_f=*/0.5, options);
+    benchmark::DoNotOptimize(curve.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * options.repeats *
+                          options.trajectory.budget);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["repeats"] = static_cast<double>(options.repeats);
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_RunnerParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_CsfStratify(benchmark::State& state) {
   const int64_t n = state.range(0);
   BenchPool pool = MakePool(n);
@@ -337,6 +377,36 @@ int main(int argc, char** argv) {
   oasis::bench::JsonBenchWriter writer("micro_sampling");
   oasis::JsonCaptureReporter reporter(&writer);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Derived metric: each BM_RunnerParallel row gets its speedup over the
+  // threads=1 row of the same sweep, so the JSON artifact carries the
+  // scaling curve directly instead of leaving the division to the reader.
+  {
+    auto& results = writer.mutable_results();
+    // Only plain per-run rows participate: with --benchmark_repetitions the
+    // reporter also emits .../real_time_mean, _median, _stddev, _cv rows
+    // whose "throughput" is a dispersion statistic, not a rate.
+    const auto is_sweep_row = [](const oasis::bench::JsonBenchResult& r) {
+      return r.name.rfind("BM_RunnerParallel/", 0) == 0 &&
+             r.name.size() >= 10 &&
+             r.name.compare(r.name.size() - 10, 10, "/real_time") == 0;
+    };
+    double base_steps_per_sec = 0.0;
+    for (const auto& r : results) {
+      // First-wins so repeated repetition rows don't silently shift the base.
+      if (base_steps_per_sec == 0.0 && r.steps_per_sec > 0 &&
+          r.name == "BM_RunnerParallel/1/real_time") {
+        base_steps_per_sec = r.steps_per_sec;
+      }
+    }
+    if (base_steps_per_sec > 0.0) {
+      for (auto& r : results) {
+        if (is_sweep_row(r)) {
+          r.metrics["speedup_vs_1thread"] = r.steps_per_sec / base_steps_per_sec;
+        }
+      }
+    }
+  }
 
   const std::string path = oasis::bench::BenchJsonPath("micro");
   if (!writer.WriteToFile(path)) {

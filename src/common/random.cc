@@ -127,6 +127,14 @@ size_t Rng::NextDiscreteLinear(std::span<const double> weights) {
   return weights.size() - 1;
 }
 
+Rng Rng::Fork(uint64_t seed, uint64_t stream) {
+  // Odd multiplier => (stream + 1) * kGolden is injective mod 2^64, so two
+  // distinct stream indices can never alias to the same child seed. The Rng
+  // constructor then runs the combined seed through SplitMix64, which is the
+  // actual stream separator.
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+}
+
 Rng Rng::Split() {
   // Derive the child from two fresh outputs so parent and child streams do
   // not overlap in practice.

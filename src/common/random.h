@@ -54,6 +54,14 @@ class Rng {
   /// Derives an independent child generator; advances this generator.
   Rng Split();
 
+  /// Counter-derived stream: a pure function of (seed, stream), so any
+  /// worker can reconstruct stream `i` without touching shared RNG state —
+  /// this is what makes multi-threaded experiment repeats bit-identical
+  /// regardless of scheduling order. Distinct streams of the same seed never
+  /// collide (the derivation is injective in `stream`), and the constructor's
+  /// SplitMix64 seeding decorrelates neighbouring streams.
+  static Rng Fork(uint64_t seed, uint64_t stream);
+
   /// Fisher–Yates shuffles `items` in place.
   template <typename T>
   void Shuffle(std::vector<T>& items) {

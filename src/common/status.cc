@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

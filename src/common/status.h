@@ -16,6 +16,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kAlreadyExists,
+  kCancelled,
   kInternal,
 };
 
@@ -50,6 +51,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,178 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+namespace {
+/// Identifies the pool (and worker slot) owning the current thread, so a
+/// nested ParallelFor can tell "I am worker k of this pool — keep executing
+/// chunks while I wait" apart from an external caller, which must block
+/// instead of becoming an unaccounted extra executor.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back(&ThreadPool::WorkerLoop, this, static_cast<size_t>(i));
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::ExecuteTask(const Task& task) {
+  LoopState& state = *task.state;
+  for (int64_t i = task.lo; i < task.hi; ++i) {
+    if (state.abort.load(std::memory_order_acquire)) break;
+    if (state.cancel != nullptr && state.cancel->cancelled()) {
+      state.saw_cancel.store(true, std::memory_order_release);
+      state.abort.store(true, std::memory_order_release);
+      break;
+    }
+    try {
+      (*state.body)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(state.exception_mutex);
+        if (!state.first_exception) {
+          state.first_exception = std::current_exception();
+        }
+      }
+      state.abort.store(true, std::memory_order_release);
+      break;
+    }
+  }
+  if (state.pending_chunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last chunk: wake the caller blocked in ParallelFor. Taking the lock
+    // orders this notify after the caller's predicate check, avoiding the
+    // lost-wakeup race.
+    std::lock_guard<std::mutex> lock(state.done_mutex);
+    state.done_cv.notify_all();
+  }
+}
+
+bool ThreadPool::TryRunOneTask(int self) {
+  const size_t n = workers_.size();
+  // Own queue first (back = most recently pushed, cache-warm)...
+  if (self >= 0) {
+    Worker& own = *workers_[static_cast<size_t>(self)];
+    std::unique_lock<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      Task task = std::move(own.queue.back());
+      own.queue.pop_back();
+      lock.unlock();
+      queued_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+      ExecuteTask(task);
+      return true;
+    }
+  }
+  // ...then steal the oldest task from a sibling.
+  const size_t start = self >= 0 ? static_cast<size_t>(self) + 1 : 0;
+  for (size_t offset = 0; offset < n; ++offset) {
+    Worker& victim = *workers_[(start + offset) % n];
+    std::unique_lock<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) continue;
+    Task task = std::move(victim.queue.front());
+    victim.queue.pop_front();
+    lock.unlock();
+    queued_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+    ExecuteTask(task);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_pool = this;
+  tls_worker_index = static_cast<int>(worker_index);
+  for (;;) {
+    if (TryRunOneTask(static_cast<int>(worker_index))) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_tasks_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+bool ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& body,
+                             const CancellationToken* cancel) {
+  OASIS_CHECK(!stop_.load(std::memory_order_acquire));
+  if (begin >= end) return true;
+  if (cancel != nullptr && cancel->cancelled()) return false;
+
+  auto state = std::make_shared<LoopState>();
+  state->body = &body;
+  state->cancel = cancel;
+
+  // Chunking: enough chunks that stealing can rebalance uneven iteration
+  // costs, but no finer than one index per chunk.
+  const int64_t total = end - begin;
+  const int64_t target_chunks =
+      std::min<int64_t>(total, static_cast<int64_t>(workers_.size()) * 4);
+  const int64_t chunk_size = (total + target_chunks - 1) / target_chunks;
+  int64_t num_chunks = 0;
+  for (int64_t lo = begin; lo < end; lo += chunk_size) ++num_chunks;
+  state->pending_chunks.store(num_chunks, std::memory_order_release);
+
+  for (int64_t lo = begin; lo < end; lo += chunk_size) {
+    Task task;
+    task.state = state;
+    task.lo = lo;
+    task.hi = std::min(end, lo + chunk_size);
+    const size_t target =
+        push_cursor_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    {
+      std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+      workers_[target]->queue.push_back(std::move(task));
+    }
+    queued_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    // Pairing the notify with the wake mutex orders it after any worker's
+    // predicate check, so no worker sleeps through the new tasks.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_all();
+
+  // A nested call from one of this pool's workers keeps executing queued
+  // chunks (possibly other loops', which is what keeps nesting live); an
+  // external caller blocks so the pool never runs more than num_threads()
+  // bodies concurrently.
+  const bool is_pool_worker = (tls_pool == this);
+  while (state->pending_chunks.load(std::memory_order_acquire) > 0) {
+    if (is_pool_worker && TryRunOneTask(tls_worker_index)) continue;
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->pending_chunks.load(std::memory_order_acquire) <= 0;
+    });
+  }
+
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+  return !state->saw_cancel.load(std::memory_order_acquire);
+}
+
+}  // namespace oasis

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "stats/confidence.h"
 #include "stats/running_stats.h"
 
@@ -63,64 +63,60 @@ MethodSpec MakeOasisSpec(const OasisOptions& options,
 
 namespace {
 
-/// Per-checkpoint accumulators for one worker thread.
-struct CurveAccumulator {
-  std::vector<RunningStats> abs_error;
-  std::vector<RunningStats> estimate;
-  std::vector<int64_t> defined_count;
-  int64_t repeats = 0;
+/// Raw per-checkpoint outcome of one repeat, written by the worker that ran
+/// it into a preallocated slot. Keeping raw estimates (rather than partially
+/// reduced statistics) is what makes the final reduction independent of
+/// which worker ran which repeat: the fold happens later, in repeat order.
+struct RepeatSlots {
+  /// f_alpha per (repeat, checkpoint), flattened repeat-major.
+  std::vector<double> f_alpha;
+  /// 1 when F-hat was defined at that (repeat, checkpoint).
+  std::vector<uint8_t> defined;
+  size_t checkpoints = 0;
 
-  explicit CurveAccumulator(size_t checkpoints)
-      : abs_error(checkpoints), estimate(checkpoints), defined_count(checkpoints, 0) {}
+  RepeatSlots(size_t repeats, size_t num_checkpoints)
+      : f_alpha(repeats * num_checkpoints, 0.0),
+        defined(repeats * num_checkpoints, 0),
+        checkpoints(num_checkpoints) {}
 
-  void Merge(const CurveAccumulator& other) {
-    for (size_t i = 0; i < abs_error.size(); ++i) {
-      abs_error[i].Merge(other.abs_error[i]);
-      estimate[i].Merge(other.estimate[i]);
-      defined_count[i] += other.defined_count[i];
-    }
-    repeats += other.repeats;
+  size_t index(size_t repeat, size_t checkpoint) const {
+    return repeat * checkpoints + checkpoint;
   }
 };
 
-/// Runs one repeat and folds its trajectory into the accumulator. Stepping
-/// goes through RunTrajectory and hence Sampler::StepBatch, so every repeat
-/// uses the samplers' amortised batch hot paths.
+/// Runs one repeat and writes its trajectory into the repeat's slots.
+/// Stepping goes through RunTrajectory and hence Sampler::StepBatch, so every
+/// repeat uses the samplers' amortised batch hot paths. Workers touch only
+/// shared-immutable state (pool, oracle, method) plus this repeat's slot
+/// range — the hot path takes no locks.
 Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
-                    Oracle& oracle, double true_f, const TrajectoryOptions& traj,
-                    Rng rng, CurveAccumulator* acc) {
+                    const Oracle& oracle, const TrajectoryOptions& traj,
+                    Rng rng, size_t repeat, RepeatSlots* slots) {
   LabelCache labels(&oracle);
   OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
                          method.factory(&pool, &labels, rng));
   OASIS_ASSIGN_OR_RETURN(Trajectory trajectory, RunTrajectory(*sampler, traj));
-  OASIS_CHECK_EQ(trajectory.snapshots.size(), acc->abs_error.size());
+  OASIS_CHECK_EQ(trajectory.snapshots.size(), slots->checkpoints);
   for (size_t i = 0; i < trajectory.snapshots.size(); ++i) {
     const EstimateSnapshot& snap = trajectory.snapshots[i];
-    if (!snap.f_defined) continue;
-    acc->abs_error[i].Add(std::abs(snap.f_alpha - true_f));
-    acc->estimate[i].Add(snap.f_alpha);
-    ++acc->defined_count[i];
+    const size_t slot = slots->index(repeat, i);
+    slots->f_alpha[slot] = snap.f_alpha;
+    slots->defined[slot] = snap.f_defined ? 1 : 0;
   }
-  ++acc->repeats;
   return Status::OK();
-}
-
-/// Derives the per-repeat RNG stream: independent of thread scheduling.
-Rng RepeatRng(uint64_t base_seed, int repeat) {
-  return Rng(base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(repeat + 1)));
 }
 
 }  // namespace
 
 Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& pool,
-                                 Oracle& oracle, double true_f,
+                                 const Oracle& oracle, double true_f,
                                  const RunnerOptions& options) {
   if (options.repeats <= 0) {
     return Status::InvalidArgument("RunErrorCurve: repeats must be positive");
   }
   OASIS_RETURN_NOT_OK(pool.Validate());
 
-  // Derive checkpoint count once, to shape all accumulators.
+  // Derive checkpoint count once, to shape the result slots.
   size_t num_checkpoints = 0;
   for (int64_t b = options.trajectory.checkpoint_every;
        b <= options.trajectory.budget; b += options.trajectory.checkpoint_every) {
@@ -130,49 +126,75 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
     return Status::InvalidArgument("RunErrorCurve: no checkpoints in budget");
   }
 
-  int num_threads = options.num_threads;
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 4;
-  }
-  num_threads = std::min(num_threads, options.repeats);
-
-  std::vector<CurveAccumulator> accumulators(
-      static_cast<size_t>(num_threads), CurveAccumulator(num_checkpoints));
-  std::atomic<int> next_repeat{0};
+  const size_t repeats = static_cast<size_t>(options.repeats);
+  RepeatSlots slots(repeats, num_checkpoints);
+  std::vector<Status> repeat_status(repeats);
+  std::atomic<int> completed{0};
   std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mutex;
+  // Internal token so a failing repeat also stops the fan-out early; user
+  // cancellation is folded into it inside the body (ParallelFor polls one
+  // token between chunks, the body polls the user's token per repeat).
+  CancellationToken abort_remaining;
 
-  auto worker = [&](int thread_index) {
-    CurveAccumulator& acc = accumulators[static_cast<size_t>(thread_index)];
-    for (;;) {
-      const int repeat = next_repeat.fetch_add(1);
-      if (repeat >= options.repeats || failed.load()) break;
-      const Status status =
-          RunOneRepeat(method, pool, oracle, true_f, options.trajectory,
-                       RepeatRng(options.base_seed, repeat), &acc);
-      if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = status;
-        failed.store(true);
-        break;
-      }
+  // Never spawn more workers than there are repeats to run — including on
+  // the default (hardware concurrency) path, where a small-repeat call on a
+  // many-core machine would otherwise create a stack of idle threads.
+  const int requested_threads = options.num_threads <= 0
+                                    ? ThreadPool::DefaultThreadCount()
+                                    : options.num_threads;
+  ThreadPool thread_pool(std::min(requested_threads, options.repeats));
+  thread_pool.ParallelFor(0, options.repeats, [&](int64_t repeat) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      abort_remaining.RequestCancel();
+      return;
     }
-  };
+    const Status status =
+        RunOneRepeat(method, pool, oracle, options.trajectory,
+                     Rng::Fork(options.base_seed, static_cast<uint64_t>(repeat)),
+                     static_cast<size_t>(repeat), &slots);
+    if (!status.ok()) {
+      repeat_status[static_cast<size_t>(repeat)] = status;
+      failed.store(true, std::memory_order_release);
+      abort_remaining.RequestCancel();
+      return;
+    }
+    if (options.progress) {
+      options.progress(completed.fetch_add(1, std::memory_order_acq_rel) + 1,
+                       options.repeats);
+    }
+  }, &abort_remaining);
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-  for (std::thread& t : threads) t.join();
-  if (failed.load()) return first_error;
+  if (failed.load(std::memory_order_acquire)) {
+    // Deterministic error selection: the lowest-indexed failing repeat wins,
+    // regardless of which worker hit its failure first.
+    for (const Status& status : repeat_status) {
+      if (!status.ok()) return status;
+    }
+  }
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return Status::Cancelled("RunErrorCurve: cancelled mid-run");
+  }
 
-  CurveAccumulator total(num_checkpoints);
-  for (const CurveAccumulator& acc : accumulators) total.Merge(acc);
+  // Deterministic reduction: fold raw per-repeat outcomes in repeat order.
+  // This reproduces the historical sequential runner's arithmetic exactly —
+  // same RunningStats::Add sequence — whatever the fan-out above did.
+  std::vector<RunningStats> abs_error(num_checkpoints);
+  std::vector<RunningStats> estimate(num_checkpoints);
+  std::vector<int64_t> defined_count(num_checkpoints, 0);
+  for (size_t r = 0; r < repeats; ++r) {
+    for (size_t i = 0; i < num_checkpoints; ++i) {
+      const size_t slot = slots.index(r, i);
+      if (slots.defined[slot] == 0) continue;
+      const double f = slots.f_alpha[slot];
+      abs_error[i].Add(std::abs(f - true_f));
+      estimate[i].Add(f);
+      ++defined_count[i];
+    }
+  }
 
   ErrorCurve curve;
   curve.method = method.name;
-  curve.repeats = static_cast<int>(total.repeats);
+  curve.repeats = options.repeats;
   for (int64_t b = options.trajectory.checkpoint_every;
        b <= options.trajectory.budget; b += options.trajectory.checkpoint_every) {
     curve.budgets.push_back(b);
@@ -182,19 +204,18 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
   curve.mean_estimate.resize(num_checkpoints);
   curve.frac_defined.resize(num_checkpoints);
   for (size_t i = 0; i < num_checkpoints; ++i) {
-    curve.mean_abs_error[i] = total.abs_error[i].mean();
-    curve.stddev[i] = total.estimate[i].stddev();
-    curve.mean_estimate[i] = total.estimate[i].mean();
-    curve.frac_defined[i] =
-        static_cast<double>(total.defined_count[i]) /
-        static_cast<double>(total.repeats);
+    curve.mean_abs_error[i] = abs_error[i].mean();
+    curve.stddev[i] = estimate[i].stddev();
+    curve.mean_estimate[i] = estimate[i].mean();
+    curve.frac_defined[i] = static_cast<double>(defined_count[i]) /
+                            static_cast<double>(options.repeats);
   }
   return curve;
 }
 
 Result<FinalErrorSummary> RunFinalError(const MethodSpec& method,
-                                        const ScoredPool& pool, Oracle& oracle,
-                                        double true_f,
+                                        const ScoredPool& pool,
+                                        const Oracle& oracle, double true_f,
                                         const RunnerOptions& options) {
   RunnerOptions final_options = options;
   // One checkpoint at the final budget is all we need.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/oasis.h"
 #include "oracle/oracle.h"
 #include "sampling/importance.h"
@@ -59,18 +60,36 @@ struct RunnerOptions {
   int repeats = 100;
   TrajectoryOptions trajectory;
   uint64_t base_seed = 0x0a515u;
-  /// 0 = hardware concurrency.
+  /// Worker threads for the repeat fan-out; 0 = hardware concurrency. The
+  /// aggregate is bit-identical for every value (per-repeat RNG streams are
+  /// counter-derived via Rng::Fork and results are reduced in repeat order).
   int num_threads = 0;
+  /// Optional progress hook, called once per finished repeat with
+  /// (completed, total). Invoked concurrently from worker threads — the
+  /// callback must be thread-safe and should be cheap; `completed` is a
+  /// running count, not an ordering guarantee.
+  std::function<void(int completed, int total)> progress;
+  /// Optional cooperative cancellation. When the token fires mid-run the
+  /// runner stops scheduling repeats and returns Status::Cancelled (partial
+  /// results are discarded). The token must outlive the call.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Runs `method` on the pool `options.repeats` times (fresh LabelCache and
-/// RNG stream per repeat, fanned out over threads) and aggregates estimate
-/// error statistics against the reference value `true_f`.
+/// counter-derived RNG stream per repeat, sharded across a work-stealing
+/// thread pool) and aggregates estimate error statistics against the
+/// reference value `true_f`.
 ///
-/// The oracle must be stateless across Label() calls (all oracles in this
-/// library are) since repeats share it concurrently.
+/// Determinism: repeat r always runs on Rng::Fork(base_seed, r) and per-repeat
+/// results are folded in repeat order after the fan-out, so the returned
+/// curve is bit-identical for any num_threads (and to the historical
+/// sequential runner). Errors are deterministic too: when several repeats
+/// fail, the status of the lowest-indexed failing repeat is returned.
+///
+/// The oracle is shared immutably across worker threads (Oracle::Label is
+/// const); each repeat owns its LabelCache, sampler, and RNG.
 Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& pool,
-                                 Oracle& oracle, double true_f,
+                                 const Oracle& oracle, double true_f,
                                  const RunnerOptions& options);
 
 /// Final-budget summary of a method (used by the Figure 5 harness):
@@ -85,8 +104,9 @@ struct FinalErrorSummary {
 
 /// Runs repeats and summarises only the final-budget error.
 Result<FinalErrorSummary> RunFinalError(const MethodSpec& method,
-                                        const ScoredPool& pool, Oracle& oracle,
-                                        double true_f, const RunnerOptions& options);
+                                        const ScoredPool& pool,
+                                        const Oracle& oracle, double true_f,
+                                        const RunnerOptions& options);
 
 }  // namespace experiments
 }  // namespace oasis

@@ -18,8 +18,8 @@ double CpuSecondsNow() {
 }  // namespace
 
 Result<TimingResult> TimeMethod(const MethodSpec& method, const ScoredPool& pool,
-                                Oracle& oracle, int64_t iterations, int repeats,
-                                uint64_t base_seed) {
+                                const Oracle& oracle, int64_t iterations,
+                                int repeats, uint64_t base_seed) {
   if (iterations <= 0 || repeats <= 0) {
     return Status::InvalidArgument("TimeMethod: iterations/repeats must be positive");
   }
@@ -34,7 +34,7 @@ Result<TimingResult> TimeMethod(const MethodSpec& method, const ScoredPool& pool
   double total_setup = 0.0;
   for (int repeat = 0; repeat < repeats; ++repeat) {
     LabelCache labels(&oracle);
-    Rng rng(base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(repeat + 1)));
+    Rng rng = Rng::Fork(base_seed, static_cast<uint64_t>(repeat));
 
     const double setup_start = CpuSecondsNow();
     OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,

@@ -28,8 +28,8 @@ struct TimingResult {
 /// (no budget cap, matching the paper's fixed-iteration timing protocol) and
 /// reports mean CPU times measured with std::clock.
 Result<TimingResult> TimeMethod(const MethodSpec& method, const ScoredPool& pool,
-                                Oracle& oracle, int64_t iterations, int repeats,
-                                uint64_t base_seed);
+                                const Oracle& oracle, int64_t iterations,
+                                int repeats, uint64_t base_seed);
 
 }  // namespace experiments
 }  // namespace oasis

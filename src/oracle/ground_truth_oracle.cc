@@ -13,14 +13,14 @@ GroundTruthOracle::GroundTruthOracle(std::vector<uint8_t> truth)
   }
 }
 
-bool GroundTruthOracle::Label(int64_t item, Rng& rng) {
+bool GroundTruthOracle::Label(int64_t item, Rng& rng) const {
   (void)rng;  // Deterministic: the RNG is part of the Oracle contract only.
   OASIS_DCHECK(item >= 0 && item < num_items());
   return truth_[static_cast<size_t>(item)] != 0;
 }
 
 void GroundTruthOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
-                                   std::span<uint8_t> out) {
+                                   std::span<uint8_t> out) const {
   (void)rng;  // Deterministic: the RNG is part of the Oracle contract only.
   OASIS_DCHECK(items.size() == out.size());
   const uint8_t* truth = truth_.data();

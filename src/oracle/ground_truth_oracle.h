@@ -16,11 +16,11 @@ class GroundTruthOracle : public Oracle {
   explicit GroundTruthOracle(std::vector<uint8_t> truth);
 
   /// Returns the ground-truth label; never consumes the RNG.
-  bool Label(int64_t item, Rng& rng) override;
+  bool Label(int64_t item, Rng& rng) const override;
   /// Vectorised truth lookup: one virtual call for the whole batch, no RNG
   /// consumption (the oracle is deterministic).
   void LabelBatch(std::span<const int64_t> items, Rng& rng,
-                  std::span<uint8_t> out) override;
+                  std::span<uint8_t> out) const override;
   /// Exactly 0 or 1: the stored truth bit.
   double TrueProbability(int64_t item) const override;
   /// Always true; LabelCache caches and replays labels for free.

@@ -4,7 +4,7 @@
 
 namespace oasis {
 
-LabelCache::LabelCache(Oracle* oracle) : oracle_(oracle) {
+LabelCache::LabelCache(const Oracle* oracle) : oracle_(oracle) {
   OASIS_CHECK(oracle != nullptr);
   cache_.assign(static_cast<size_t>(oracle->num_items()), 0);
 }

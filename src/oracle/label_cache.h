@@ -21,8 +21,10 @@ namespace oasis {
 class LabelCache {
  public:
   /// The oracle must outlive the cache. Caching behaviour follows
-  /// oracle->deterministic().
-  explicit LabelCache(Oracle* oracle);
+  /// oracle->deterministic(). The cache only ever reads from the oracle
+  /// (labelling is const), so many caches — one per experiment repeat,
+  /// possibly on different threads — can safely share one oracle.
+  explicit LabelCache(const Oracle* oracle);
 
   /// Returns a label for `item`, charging the budget per the policy above.
   bool Query(int64_t item, Rng& rng);
@@ -56,7 +58,7 @@ class LabelCache {
   const Oracle& oracle() const { return *oracle_; }
 
  private:
-  Oracle* oracle_;
+  const Oracle* oracle_;
   // 0 = never queried, 1 = cached label 0, 2 = cached label 1, 3 = noisy
   // first-touch marker, 4 = transient QueryBatch miss-pending marker (never
   // persists past a QueryBatch call).

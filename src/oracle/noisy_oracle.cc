@@ -45,13 +45,13 @@ Result<NoisyOracle> NoisyOracle::FromTruthWithFlipNoise(
   return NoisyOracle(std::move(probabilities));
 }
 
-bool NoisyOracle::Label(int64_t item, Rng& rng) {
+bool NoisyOracle::Label(int64_t item, Rng& rng) const {
   OASIS_DCHECK(item >= 0 && item < num_items());
   return rng.NextBernoulli(probabilities_[static_cast<size_t>(item)]);
 }
 
 void NoisyOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
-                             std::span<uint8_t> out) {
+                             std::span<uint8_t> out) const {
   OASIS_DCHECK(items.size() == out.size());
   const double* probabilities = probabilities_.data();
   for (size_t i = 0; i < items.size(); ++i) {

@@ -24,11 +24,11 @@ class NoisyOracle : public Oracle {
       const std::vector<uint8_t>& truth, double flip_rate);
 
   /// One fresh Bernoulli(p(1|item)) draw from the caller's RNG.
-  bool Label(int64_t item, Rng& rng) override;
+  bool Label(int64_t item, Rng& rng) const override;
   /// Vectorised Bernoulli draws: one virtual call for the whole batch, with
   /// the RNG consumed in `items` order (same stream as sequential Label()).
   void LabelBatch(std::span<const int64_t> items, Rng& rng,
-                  std::span<uint8_t> out) override;
+                  std::span<uint8_t> out) const override;
   /// The configured p(1|item).
   double TrueProbability(int64_t item) const override;
   /// True only when every probability is exactly 0 or 1 (then label caching

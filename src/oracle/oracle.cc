@@ -5,7 +5,7 @@
 namespace oasis {
 
 void Oracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
-                        std::span<uint8_t> out) {
+                        std::span<uint8_t> out) const {
   OASIS_DCHECK(items.size() == out.size());
   for (size_t i = 0; i < items.size(); ++i) {
     out[i] = Label(items[i], rng) ? 1 : 0;

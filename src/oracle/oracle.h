@@ -14,13 +14,20 @@ namespace oasis {
 /// p(1|z) is the oracle probability of item z being a match. A deterministic
 /// oracle has p(1|z) in {0, 1} (the regime of the paper's experiments); a
 /// noisy oracle models crowdsourced annotators.
+///
+/// Labelling is const: all randomness comes from the caller's RNG and all
+/// oracle state is immutable after construction. This is what lets the
+/// parallel experiment runner share ONE oracle instance across worker
+/// threads without synchronisation — implementations must keep Label() free
+/// of mutable members (add per-call state to the caller's Rng instead).
 class Oracle {
  public:
   virtual ~Oracle() = default;
 
   /// Draws one label for pool item `item` using the caller's RNG, so that the
-  /// complete experiment is reproducible from a single seed.
-  virtual bool Label(int64_t item, Rng& rng) = 0;
+  /// complete experiment is reproducible from a single seed. Thread-safe for
+  /// concurrent callers with distinct RNGs.
+  virtual bool Label(int64_t item, Rng& rng) const = 0;
 
   /// Draws labels for a batch of items in one round-trip. Exactly equivalent
   /// to calling Label() once per item in `items` order — in particular the
@@ -30,7 +37,7 @@ class Oracle {
   /// Label(); concrete oracles override it to amortise the per-item virtual
   /// dispatch (and, for remote/crowd oracles, the round-trip itself).
   virtual void LabelBatch(std::span<const int64_t> items, Rng& rng,
-                          std::span<uint8_t> out);
+                          std::span<uint8_t> out) const;
 
   /// True oracle probability p(1|item). Exposed for constructing ground-truth
   /// reference values in benches/tests; estimators never call this.

@@ -28,7 +28,7 @@ class BaseLoopOracle : public Oracle {
   explicit BaseLoopOracle(std::vector<double> probabilities)
       : probabilities_(std::move(probabilities)) {}
 
-  bool Label(int64_t item, Rng& rng) override {
+  bool Label(int64_t item, Rng& rng) const override {
     return rng.NextBernoulli(probabilities_[static_cast<size_t>(item)]);
   }
   double TrueProbability(int64_t item) const override {

@@ -156,6 +156,42 @@ TEST(RngTest, SampleWithoutReplacementFullSet) {
   EXPECT_EQ(unique.size(), 10u);
 }
 
+TEST(RngTest, ForkIsAPureFunctionOfSeedAndStream) {
+  // Same (seed, stream) always reproduces the same generator — no hidden
+  // state, which is what makes parallel experiment repeats bit-identical.
+  Rng a = Rng::Fork(123, 7);
+  Rng b = Rng::Fork(123, 7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng s0 = Rng::Fork(123, 0);
+  Rng s1 = Rng::Fork(123, 1);
+  Rng other_seed = Rng::Fork(124, 0);
+  int same01 = 0;
+  int same_seed = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t x0 = s0.NextUint64();
+    if (x0 == s1.NextUint64()) ++same01;
+    if (x0 == other_seed.NextUint64()) ++same_seed;
+  }
+  EXPECT_LT(same01, 2);
+  EXPECT_LT(same_seed, 2);
+}
+
+TEST(RngTest, ForkNeighbouringStreamsDecorrelated) {
+  // Low-bit correlation across adjacent streams would show up as matching
+  // parities; expect roughly half matches.
+  int parity_match = 0;
+  for (uint64_t stream = 0; stream < 256; ++stream) {
+    Rng a = Rng::Fork(9, stream);
+    Rng b = Rng::Fork(9, stream + 1);
+    if ((a.NextUint64() & 1) == (b.NextUint64() & 1)) ++parity_match;
+  }
+  EXPECT_GT(parity_match, 96);   // ~128 expected.
+  EXPECT_LT(parity_match, 160);
+}
+
 TEST(RngTest, SplitStreamsAreIndependentish) {
   Rng parent(59);
   Rng child = parent.Split();

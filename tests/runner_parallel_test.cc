@@ -1,0 +1,243 @@
+// Deterministic-parallelism contract of the experiment runner: the same
+// options must produce bit-identical ErrorCurves for every thread count, and
+// match the historical sequential runner exactly (golden values below were
+// captured from the pre-ThreadPool implementation at num_threads=1).
+
+#include "experiments/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "oracle/ground_truth_oracle.h"
+#include "strata/csf.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace experiments {
+namespace {
+
+using testutil::MakeSyntheticPool;
+using testutil::SyntheticPool;
+using testutil::SyntheticPoolOptions;
+
+SyntheticPool GoldenPool() {
+  SyntheticPoolOptions options;
+  options.size = 2000;
+  options.match_fraction = 0.05;
+  options.seed = 101;
+  return MakeSyntheticPool(options);
+}
+
+RunnerOptions GoldenOptions() {
+  RunnerOptions options;
+  options.repeats = 6;
+  options.trajectory.budget = 200;
+  options.trajectory.checkpoint_every = 50;
+  options.base_seed = 20170626;
+  return options;
+}
+
+/// Golden curve values captured from the pre-refactor sequential runner
+/// (hexfloat, so the comparison is bit-exact). One row per checkpoint:
+/// {mean_abs_error, stddev, mean_estimate, frac_defined}.
+constexpr double kGoldenTrueF = 0x1.59cf516a98c2cp-1;
+constexpr double kGoldenPassive[4][4] = {
+    {0x1.529fd4a7f52ap-4, 0x1.a01a8c5358c3dp-4, 0x1.7fa94fea53fa9p-1, 0x1p+0},
+    {0x1.da9da9da9daa3p-5, 0x1.30c73561d39f1p-4, 0x1.72ff2ff2ff2ffp-1, 0x1p+0},
+    {0x1.9e8e883277c6ap-4, 0x1.e27a6ae161699p-4, 0x1.5d2f1185018ebp-1, 0x1p+0},
+    {0x1.33abe95b0316ep-4, 0x1.90f5dd1ce1725p-4, 0x1.5b448cf430913p-1, 0x1p+0},
+};
+constexpr double kGoldenOasis10[4][4] = {
+    {0x1.52771f829df52p-4, 0x1.cb0131656c4d6p-4, 0x1.4c7648d1b1294p-1, 0x1p+0},
+    {0x1.71b8be9e6cea4p-4, 0x1.af67bed1307f1p-4, 0x1.57afb97611673p-1, 0x1p+0},
+    {0x1.51c441d093feap-4, 0x1.88ad0c108a759p-4, 0x1.4e59f26818edbp-1, 0x1p+0},
+    {0x1.78737a328fb3dp-5, 0x1.050df8dcbba92p-4, 0x1.50a266cf0b476p-1, 0x1p+0},
+};
+
+void ExpectCurveMatchesGolden(const ErrorCurve& curve,
+                              const double golden[4][4]) {
+  ASSERT_EQ(curve.budgets.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(curve.mean_abs_error[i], golden[i][0]) << "checkpoint " << i;
+    EXPECT_EQ(curve.stddev[i], golden[i][1]) << "checkpoint " << i;
+    EXPECT_EQ(curve.mean_estimate[i], golden[i][2]) << "checkpoint " << i;
+    EXPECT_EQ(curve.frac_defined[i], golden[i][3]) << "checkpoint " << i;
+  }
+}
+
+TEST(RunnerParallelTest, MatchesPreRefactorSequentialGolden) {
+  SyntheticPool pool = GoldenPool();
+  // Guards the golden values against synthetic-pool generation drift.
+  ASSERT_EQ(pool.true_measures.f_alpha, kGoldenTrueF);
+  GroundTruthOracle oracle(pool.truth);
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+
+  for (int threads : {1, 8}) {
+    RunnerOptions options = GoldenOptions();
+    options.num_threads = threads;
+    ErrorCurve passive =
+        RunErrorCurve(MakePassiveSpec(0.5), pool.scored, oracle,
+                      pool.true_measures.f_alpha, options)
+            .ValueOrDie();
+    ExpectCurveMatchesGolden(passive, kGoldenPassive);
+    ErrorCurve oasis =
+        RunErrorCurve(MakeOasisSpec(OasisOptions{}, strata), pool.scored,
+                      oracle, pool.true_measures.f_alpha, options)
+            .ValueOrDie();
+    EXPECT_EQ(oasis.method, "OASIS-10");
+    ExpectCurveMatchesGolden(oasis, kGoldenOasis10);
+  }
+}
+
+TEST(RunnerParallelTest, BitIdenticalAcrossThreadCounts) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+
+  for (const MethodSpec& spec :
+       {MakePassiveSpec(0.5), MakeOasisSpec(OasisOptions{}, strata)}) {
+    RunnerOptions options;
+    options.repeats = 12;
+    options.trajectory.budget = 300;
+    options.trajectory.checkpoint_every = 100;
+    options.base_seed = 4242;
+
+    options.num_threads = 1;
+    ErrorCurve reference = RunErrorCurve(spec, pool.scored, oracle,
+                                         pool.true_measures.f_alpha, options)
+                               .ValueOrDie();
+    for (int threads : {2, 8}) {
+      options.num_threads = threads;
+      ErrorCurve curve = RunErrorCurve(spec, pool.scored, oracle,
+                                       pool.true_measures.f_alpha, options)
+                             .ValueOrDie();
+      ASSERT_EQ(curve.budgets, reference.budgets) << spec.name;
+      for (size_t i = 0; i < reference.budgets.size(); ++i) {
+        // EXPECT_EQ (not NEAR): bit-identical is the contract.
+        EXPECT_EQ(curve.mean_abs_error[i], reference.mean_abs_error[i])
+            << spec.name << " threads=" << threads << " checkpoint " << i;
+        EXPECT_EQ(curve.stddev[i], reference.stddev[i])
+            << spec.name << " threads=" << threads << " checkpoint " << i;
+        EXPECT_EQ(curve.mean_estimate[i], reference.mean_estimate[i])
+            << spec.name << " threads=" << threads << " checkpoint " << i;
+        EXPECT_EQ(curve.frac_defined[i], reference.frac_defined[i])
+            << spec.name << " threads=" << threads << " checkpoint " << i;
+      }
+    }
+  }
+}
+
+TEST(RunnerParallelTest, ThrowingFactoryPropagatesToCaller) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  MethodSpec throwing;
+  throwing.name = "Throwing";
+  throwing.factory = [](const ScoredPool*, LabelCache*,
+                        Rng) -> Result<std::unique_ptr<Sampler>> {
+    throw std::runtime_error("factory exploded");
+  };
+  RunnerOptions options;
+  options.repeats = 16;
+  options.num_threads = 4;
+  options.trajectory.budget = 100;
+  options.trajectory.checkpoint_every = 50;
+  EXPECT_THROW(
+      (void)RunErrorCurve(throwing, pool.scored, oracle, 0.5, options),
+      std::runtime_error);
+}
+
+TEST(RunnerParallelTest, FailingFactoryReturnsErrorStatus) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  MethodSpec failing;
+  failing.name = "Failing";
+  failing.factory = [](const ScoredPool*, LabelCache*,
+                       Rng) -> Result<std::unique_ptr<Sampler>> {
+    return Status::Internal("no sampler for you");
+  };
+  RunnerOptions options;
+  options.repeats = 16;
+  options.num_threads = 4;
+  options.trajectory.budget = 100;
+  options.trajectory.checkpoint_every = 50;
+  auto result = RunErrorCurve(failing, pool.scored, oracle, 0.5, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.status().message(), "no sampler for you");
+}
+
+TEST(RunnerParallelTest, CancellationMidRunReturnsCancelled) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  CancellationToken token;
+  std::atomic<int> seen{0};
+  RunnerOptions options;
+  options.repeats = 64;
+  options.num_threads = 2;
+  options.trajectory.budget = 200;
+  options.trajectory.checkpoint_every = 100;
+  options.cancel = &token;
+  options.progress = [&](int completed, int) {
+    seen.fetch_add(1);
+    if (completed >= 2) token.RequestCancel();
+  };
+  auto result =
+      RunErrorCurve(MakePassiveSpec(0.5), pool.scored, oracle, 0.5, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // The run stopped early: nowhere near all repeats finished.
+  EXPECT_LT(seen.load(), 64);
+}
+
+TEST(RunnerParallelTest, PreCancelledTokenReturnsCancelledImmediately) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  CancellationToken token;
+  token.RequestCancel();
+  RunnerOptions options;
+  options.repeats = 8;
+  options.cancel = &token;
+  options.trajectory.budget = 100;
+  options.trajectory.checkpoint_every = 50;
+  auto result =
+      RunErrorCurve(MakePassiveSpec(0.5), pool.scored, oracle, 0.5, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(RunnerParallelTest, ProgressReportsEveryRepeatExactlyOnce) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  std::mutex mutex;
+  std::multiset<int> completions;
+  int total_seen = 0;
+  RunnerOptions options;
+  options.repeats = 20;
+  options.num_threads = 4;
+  options.trajectory.budget = 100;
+  options.trajectory.checkpoint_every = 50;
+  options.progress = [&](int completed, int total) {
+    std::lock_guard<std::mutex> lock(mutex);
+    completions.insert(completed);
+    total_seen = total;
+  };
+  ASSERT_TRUE(RunErrorCurve(MakePassiveSpec(0.5), pool.scored, oracle, 0.5,
+                            options)
+                  .ok());
+  EXPECT_EQ(total_seen, 20);
+  ASSERT_EQ(completions.size(), 20u);
+  // The running count hits each value in [1, repeats] exactly once.
+  int expected = 1;
+  for (int value : completions) EXPECT_EQ(value, expected++);
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace oasis

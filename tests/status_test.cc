@@ -27,6 +27,7 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
@@ -40,6 +41,7 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusCodeNameTest, CoversAllCodes) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
 }
 

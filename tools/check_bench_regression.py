@@ -9,6 +9,12 @@ Only benchmarks whose name matches --filter (default: the OASIS step paths,
 ``BM_OasisStep``) are gated; other entries in either file are ignored, so the
 baseline can be regenerated from a filtered run.
 
+A gated benchmark that exists in the baseline but is MISSING from the current
+run is a hard failure: a silently skipped benchmark reads as "no regression"
+when the benchmark may simply have stopped building. After an intentional
+rename/removal, refresh the committed baseline (see docs/BENCHMARKING.md) or
+pass --allow-missing for a one-off run.
+
 Because absolute steps/sec vary across machines, --calibrate NAME rescales
 the baseline by the throughput ratio of a calibration benchmark present in
 both files (e.g. ``BM_PassiveStep``): baseline values are multiplied by
@@ -18,7 +24,11 @@ regressions relative to overall machine speed rather than absolute numbers.
 Usage:
   python3 tools/check_bench_regression.py BENCH_micro.json \
       bench/baselines/BENCH_micro_baseline.json \
-      [--min-ratio 0.8] [--filter BM_OasisStep] [--calibrate BM_PassiveStep]
+      [--min-ratio 0.8] [--filter BM_OasisStep] [--calibrate BM_PassiveStep] \
+      [--allow-missing]
+
+Self test (also run in CI):
+  python3 tools/check_bench_regression.py --self-test
 """
 
 import argparse
@@ -38,10 +48,12 @@ def load_results(path):
     return results
 
 
-def main():
+def build_parser():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="BENCH_micro.json from this run")
-    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("current", nargs="?",
+                        help="BENCH_micro.json from this run")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline snapshot")
     parser.add_argument("--min-ratio", type=float, default=0.8,
                         help="fail when current/baseline < this (default 0.8)")
     parser.add_argument("--filter", default="BM_OasisStep",
@@ -49,8 +61,16 @@ def main():
     parser.add_argument("--calibrate", default=None,
                         help="benchmark name used to rescale the baseline for "
                              "machine-speed differences")
-    args = parser.parse_args()
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate gated baseline benchmarks absent from "
+                             "the current run (baseline-refresh escape hatch)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit tests and exit")
+    return parser
 
+
+def run_gate(args, out=sys.stdout, err=sys.stderr):
+    """The gate proper; returns the process exit code."""
     current = load_results(args.current)
     baseline = load_results(args.baseline)
 
@@ -61,46 +81,175 @@ def main():
         if cur_cal and base_cal:
             scale = cur_cal / base_cal
             print(f"calibration {args.calibrate}: current {cur_cal:.3e} / "
-                  f"baseline {base_cal:.3e} -> scale {scale:.3f}")
+                  f"baseline {base_cal:.3e} -> scale {scale:.3f}", file=out)
         else:
             print(f"warning: calibration benchmark {args.calibrate!r} missing "
                   "from current or baseline; comparing absolute steps/sec",
-                  file=sys.stderr)
+                  file=err)
 
     gated = sorted(name for name in baseline if name.startswith(args.filter))
     if not gated:
         print(f"error: no baseline entries match filter {args.filter!r}",
-              file=sys.stderr)
+              file=err)
         return 1
 
     failures = []
+    missing = []
     compared = 0
     for name in gated:
         if name not in current:
-            # A renamed/removed bench is a baseline-refresh task, not a perf
-            # regression; report it but do not fail the gate on it.
-            print(f"  skip  {name}: not present in current run")
+            missing.append(name)
+            verdict = "skip" if args.allow_missing else "MISS"
+            print(f"  {verdict:>4}  {name}: not present in current run",
+                  file=out)
             continue
         compared += 1
         expected = baseline[name] * scale
         ratio = current[name] / expected
         verdict = "ok" if ratio >= args.min_ratio else "FAIL"
         print(f"  {verdict:>4}  {name}: {current[name]:.3e} steps/s vs "
-              f"expected {expected:.3e} (ratio {ratio:.2f})")
+              f"expected {expected:.3e} (ratio {ratio:.2f})", file=out)
         if ratio < args.min_ratio:
             failures.append(name)
 
+    if missing and not args.allow_missing:
+        print(f"\nMISSING: {len(missing)} gated benchmark(s) present in the "
+              f"baseline but absent from the current run: "
+              + ", ".join(missing)
+              + "\nA benchmark that stopped running is not a passing "
+                "benchmark. If it was renamed or removed on purpose, refresh "
+                "the committed baseline (docs/BENCHMARKING.md) or pass "
+                "--allow-missing.", file=err)
+        return 1
     if compared == 0:
-        print("error: no gated benchmark present in both runs", file=sys.stderr)
+        print("error: no gated benchmark present in both runs", file=err)
         return 1
     if failures:
         print(f"\nREGRESSION: {len(failures)} benchmark(s) dropped more than "
               f"{(1 - args.min_ratio) * 100:.0f}% vs baseline: "
-              + ", ".join(failures), file=sys.stderr)
+              + ", ".join(failures), file=err)
         return 1
     print(f"\nall {compared} gated benchmarks within "
-          f"{(1 - args.min_ratio) * 100:.0f}% of baseline")
+          f"{(1 - args.min_ratio) * 100:.0f}% of baseline", file=out)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# --self-test: unit tests over synthetic result files, runnable anywhere
+# (CI invokes this before the real gate so a broken gate cannot silently
+# pass a broken benchmark run).
+# ---------------------------------------------------------------------------
+
+
+def _self_test():
+    import io
+    import os
+    import tempfile
+    import unittest
+
+    def write_doc(directory, filename, entries):
+        path = os.path.join(directory, filename)
+        doc = {"benchmark": "self_test", "seed": 0,
+               "results": [{"name": n, "steps_per_sec": s, "iterations": 1}
+                           for n, s in entries.items()]}
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    class GateTest(unittest.TestCase):
+        def run_gate_with(self, current, baseline, **overrides):
+            with tempfile.TemporaryDirectory() as tmp:
+                cur = write_doc(tmp, "current.json", current)
+                base = write_doc(tmp, "baseline.json", baseline)
+                argv = [cur, base]
+                for key, value in overrides.items():
+                    flag = "--" + key.replace("_", "-")
+                    if value is True:
+                        argv.append(flag)
+                    else:
+                        argv.extend([flag, str(value)])
+                args = build_parser().parse_args(argv)
+                out, err = io.StringIO(), io.StringIO()
+                code = run_gate(args, out=out, err=err)
+                return code, out.getvalue(), err.getvalue()
+
+        def test_pass_when_at_baseline(self):
+            code, out, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0}, {"BM_OasisStep/10": 100.0})
+            self.assertEqual(code, 0)
+            self.assertIn("ok", out)
+
+        def test_fail_on_regression(self):
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 50.0}, {"BM_OasisStep/10": 100.0})
+            self.assertEqual(code, 1)
+            self.assertIn("REGRESSION", err)
+
+        def test_small_drop_within_tolerance_passes(self):
+            code, _, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 85.0}, {"BM_OasisStep/10": 100.0})
+            self.assertEqual(code, 0)
+
+        def test_missing_benchmark_fails_with_clear_message(self):
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0},
+                {"BM_OasisStep/10": 100.0, "BM_OasisStep/30": 90.0})
+            self.assertEqual(code, 1)
+            self.assertIn("MISSING", err)
+            self.assertIn("BM_OasisStep/30", err)
+            self.assertNotIn("Traceback", err)
+
+        def test_allow_missing_downgrades_to_skip(self):
+            code, out, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0},
+                {"BM_OasisStep/10": 100.0, "BM_OasisStep/30": 90.0},
+                allow_missing=True)
+            self.assertEqual(code, 0)
+            self.assertIn("skip", out)
+
+        def test_all_gated_missing_fails_even_with_allow_missing(self):
+            code, _, err = self.run_gate_with(
+                {"BM_Other": 1.0}, {"BM_OasisStep/10": 100.0},
+                allow_missing=True)
+            self.assertEqual(code, 1)
+            self.assertIn("no gated benchmark", err)
+
+        def test_calibration_rescales_baseline(self):
+            # Machine is 2x slower overall (calibration 50 vs 100): an OASIS
+            # result at 60% of baseline is 120% of the rescaled expectation.
+            code, out, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 60.0, "BM_PassiveStep": 50.0},
+                {"BM_OasisStep/10": 100.0, "BM_PassiveStep": 100.0},
+                calibrate="BM_PassiveStep")
+            self.assertEqual(code, 0)
+            self.assertIn("scale 0.500", out)
+
+        def test_ungated_entries_are_ignored(self):
+            code, _, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0, "BM_Unrelated": 1.0},
+                {"BM_OasisStep/10": 100.0, "BM_Unrelated": 100.0})
+            self.assertEqual(code, 0)
+
+        def test_empty_filter_match_fails(self):
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0}, {"BM_OasisStep/10": 100.0},
+                filter="BM_Nonexistent")
+            self.assertEqual(code, 1)
+            self.assertIn("no baseline entries match", err)
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(GateTest)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main():
+    args = build_parser().parse_args()
+    if args.self_test:
+        return _self_test()
+    if not args.current or not args.baseline:
+        build_parser().error("current and baseline are required "
+                             "(or use --self-test)")
+    return run_gate(args)
 
 
 if __name__ == "__main__":
