@@ -41,7 +41,90 @@ ThreadPool::~ThreadPool() {
   for (std::thread& thread : threads_) thread.join();
 }
 
+/// Lifecycle of one Submit()ed task. `phase` moves 0 (queued) -> 1 (claimed,
+/// running) -> 2 (done); the 0->1 transition is a CAS so exactly one thread —
+/// the dequeuing worker or a Wait()ing caller — runs the function.
+struct ThreadPool::TaskHandle::SubmitState {
+  std::function<void()> fn;
+  std::atomic<int> phase{0};
+  std::exception_ptr exception;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  /// Claims and runs the task if it is still unclaimed; no-op otherwise.
+  void TryRun() {
+    int expected = 0;
+    if (!phase.compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+      return;
+    }
+    try {
+      fn();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    fn = nullptr;  // Release captured resources eagerly.
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      phase.store(2, std::memory_order_release);
+    }
+    done_cv.notify_all();
+  }
+};
+
+void ThreadPool::TaskHandle::Wait() {
+  if (state_ == nullptr) return;
+  // Claim-or-block: running an unclaimed task inline keeps submit-then-wait
+  // live even when all workers (including the caller's own worker slot) are
+  // occupied.
+  state_->TryRun();
+  if (state_->phase.load(std::memory_order_acquire) != 2) {
+    std::unique_lock<std::mutex> lock(state_->done_mutex);
+    state_->done_cv.wait(lock, [&] {
+      return state_->phase.load(std::memory_order_acquire) == 2;
+    });
+  }
+  // `exception` is written before the phase-2 release store and only read
+  // here after the acquire, so concurrent waiters all see it safely.
+  if (state_->exception) std::rethrow_exception(state_->exception);
+}
+
+bool ThreadPool::TaskHandle::done() const {
+  return state_ == nullptr ||
+         state_->phase.load(std::memory_order_acquire) == 2;
+}
+
+ThreadPool::TaskHandle ThreadPool::Submit(std::function<void()> fn) {
+  OASIS_CHECK(!stop_.load(std::memory_order_acquire));
+  OASIS_CHECK(fn != nullptr);
+  TaskHandle handle;
+  handle.state_ = std::make_shared<TaskHandle::SubmitState>();
+  handle.state_->fn = std::move(fn);
+
+  Task task;
+  task.submit = handle.state_;
+  const size_t target =
+      push_cursor_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  queued_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Pairing the notify with the wake mutex orders it after any worker's
+    // predicate check, so no worker sleeps through the new task.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+  return handle;
+}
+
 void ThreadPool::ExecuteTask(const Task& task) {
+  if (task.submit != nullptr) {
+    // Single submitted task; a Wait()ing caller may have claimed it already,
+    // in which case TryRun is a no-op.
+    task.submit->TryRun();
+    return;
+  }
   LoopState& state = *task.state;
   for (int64_t i = task.lo; i < task.hi; ++i) {
     if (state.abort.load(std::memory_order_acquire)) break;
@@ -113,7 +196,16 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       return stop_.load(std::memory_order_acquire) ||
              queued_tasks_.load(std::memory_order_acquire) > 0;
     });
-    if (stop_.load(std::memory_order_acquire)) return;
+    if (stop_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      // Drain on shutdown: a Submit()ed task still queued when the pool is
+      // destroyed runs here rather than being silently dropped, so its
+      // TaskHandle always completes (ParallelFor chunks cannot reach this
+      // point — the destructor contract forbids in-flight loops).
+      while (TryRunOneTask(static_cast<int>(worker_index))) {
+      }
+      return;
+    }
   }
 }
 

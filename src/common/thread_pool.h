@@ -62,8 +62,11 @@ class ThreadPool {
   explicit ThreadPool(int num_threads = 0);
 
   /// Joins all workers. Must not be called while a ParallelFor is in flight
-  /// on another thread (normal usage — pool outlives its loops — satisfies
-  /// this trivially).
+  /// on another thread, or concurrently with Submit() (normal usage — pool
+  /// outlives its loops and handles — satisfies this trivially). Submitted
+  /// tasks still queued at destruction are executed by the exiting workers,
+  /// so every TaskHandle completes; prefer Wait()ing on handles before the
+  /// pool dies.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -74,6 +77,45 @@ class ThreadPool {
 
   /// Hardware concurrency, clamped to at least 1.
   static int DefaultThreadCount();
+
+  /// Handle to one task enqueued with Submit(). Default-constructed handles
+  /// are empty; Wait() on them is a no-op. Handles are cheap shared
+  /// references: copies observe the same task.
+  class TaskHandle {
+   public:
+    TaskHandle() = default;
+
+    /// Blocks until the task has run. If no worker has picked the task up
+    /// yet, the caller claims and executes it inline — so Wait() makes
+    /// progress even when every worker is busy (or the pool has one thread
+    /// and the caller *is* that thread's current task), and submit-then-wait
+    /// can never deadlock. Rethrows the task's exception, if any (every
+    /// Wait() call on the handle rethrows it).
+    void Wait();
+
+    /// Whether the task has finished running (does not block).
+    bool done() const;
+
+    /// True when the handle refers to a task (i.e. came from Submit()).
+    bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class ThreadPool;
+    struct SubmitState;
+    std::shared_ptr<SubmitState> state_;
+  };
+
+  /// Enqueues one task for asynchronous execution on the pool's workers and
+  /// returns immediately. The task runs exactly once: on whichever worker
+  /// dequeues it first, or inline on the thread that calls
+  /// TaskHandle::Wait() before any worker got to it. Exceptions thrown by
+  /// `fn` are captured and rethrown from Wait().
+  ///
+  /// This is the single-task sibling of ParallelFor, intended for
+  /// producer/consumer pipelining (e.g. prefetching the next oracle label
+  /// batch while the caller consumes the current one) rather than data
+  /// parallelism.
+  TaskHandle Submit(std::function<void()> fn);
 
   /// Runs `body(i)` for every i in [begin, end), fanned out across the
   /// pool's workers, and blocks until the loop finishes. The calling thread
@@ -113,9 +155,11 @@ class ThreadPool {
     std::condition_variable done_cv;
   };
 
-  /// One contiguous index chunk [lo, hi) of a ParallelFor.
+  /// One unit of queued work: either a contiguous index chunk [lo, hi) of a
+  /// ParallelFor (`state` set) or a single submitted task (`submit` set).
   struct Task {
     std::shared_ptr<LoopState> state;
+    std::shared_ptr<TaskHandle::SubmitState> submit;
     int64_t lo = 0;
     int64_t hi = 0;
   };

@@ -34,36 +34,37 @@ std::unique_ptr<classify::Classifier> MakeClassifier(ClassifierKind kind);
 /// paper's Tables 1-2. The `paper_*` fields record the published reference
 /// values so harnesses can print paper-vs-reproduced side by side.
 struct DatasetProfile {
-  std::string name;
-  Domain domain = Domain::kECommerce;
-  bool dedup = false;
+  std::string name;                    ///< Profile name ("DBLP-ACM", ...).
+  Domain domain = Domain::kECommerce;  ///< Entity domain of the records.
+  bool dedup = false;                  ///< Deduplication (one-source) dataset.
   /// tweets100k: scores are generated directly from a latent-margin model
   /// (not an ER dataset; included, as in the paper, to test the balanced
   /// regime).
   bool direct_scores = false;
 
   // Full-dataset shape (Table 1).
-  size_t left_size = 0;
-  size_t right_size = 0;
-  size_t full_matches = 0;      // Two-source: number of shared entities.
-  size_t dedup_entities = 0;    // Dedup: entity count...
-  size_t dedup_min_cluster = 1; // ...and duplicate-cluster size range.
-  size_t dedup_max_cluster = 1;
+  size_t left_size = 0;          ///< Records in the left source.
+  size_t right_size = 0;         ///< Records in the right source.
+  size_t full_matches = 0;       ///< Two-source: number of shared entities.
+  size_t dedup_entities = 0;     ///< Dedup: entity count...
+  size_t dedup_min_cluster = 1;  ///< ...and duplicate-cluster size range
+  size_t dedup_max_cluster = 1;  ///< (min/max records per entity).
 
   // Pool shape (Table 2).
-  int64_t pool_size = 0;
-  int64_t pool_matches = 0;
+  int64_t pool_size = 0;     ///< Evaluation-pool size |Z|.
+  int64_t pool_matches = 0;  ///< True matches in the pool.
 
-  // Generation knobs controlling classifier quality.
+  /// Corruption for source-exclusive entities and easy matches (the knob
+  /// controlling classifier quality).
   CorruptionOptions corruption;
   /// Bimodal match difficulty: fraction of matched entities corrupted with
   /// `hard_corruption` instead of `corruption` (two-source profiles only).
   CorruptionOptions hard_corruption;
-  double hard_match_fraction = 0.0;
-  double hard_negative_fraction = 0.1;
-  int64_t train_matches = 300;
-  int64_t train_nonmatches = 3000;
-  double train_hard_fraction = 0.3;
+  double hard_match_fraction = 0.0;    ///< Share of matches in the hard class.
+  double hard_negative_fraction = 0.1; ///< Share of near-collision non-matches.
+  int64_t train_matches = 300;         ///< Training pairs: matches.
+  int64_t train_nonmatches = 3000;     ///< Training pairs: non-matches.
+  double train_hard_fraction = 0.3;    ///< Hard-negative share in training.
   /// The matcher's operating point: the decision threshold is set so that
   /// the number of predicted positives is round(factor * pool_matches) —
   /// i.e. factor ~ recall/precision of the intended operating point.
@@ -72,14 +73,14 @@ struct DatasetProfile {
   double direct_margin = 0.77;
 
   // Published reference values (Tables 1-2).
-  int64_t paper_full_size = 0;
-  int64_t paper_full_matches = 0;
-  double paper_imbalance = 0.0;
-  int64_t paper_pool_size = 0;
-  int64_t paper_pool_matches = 0;
-  double paper_precision = 0.0;
-  double paper_recall = 0.0;
-  double paper_f = 0.0;
+  int64_t paper_full_size = 0;     ///< Published |Z| of the full dataset.
+  int64_t paper_full_matches = 0;  ///< Published |R|.
+  double paper_imbalance = 0.0;    ///< Published non-match : match ratio.
+  int64_t paper_pool_size = 0;     ///< Published pool size.
+  int64_t paper_pool_matches = 0;  ///< Published pool matches.
+  double paper_precision = 0.0;    ///< Published classifier precision.
+  double paper_recall = 0.0;       ///< Published classifier recall.
+  double paper_f = 0.0;            ///< Published classifier F-measure.
 };
 
 /// The six standard profiles, in the paper's Table 1 order (decreasing class
@@ -94,11 +95,11 @@ Result<DatasetProfile> ProfileByName(const std::string& name);
 /// ground truth, and the pool-level true measures the estimators are judged
 /// against.
 struct BenchmarkPool {
-  std::string profile_name;
-  ScoredPool scored;
+  std::string profile_name;  ///< Profile the pool was generated from.
+  ScoredPool scored;         ///< Scores + predictions (the estimator's view).
   /// Ground truth per pool item (feeds oracles; estimators never touch it).
   std::vector<uint8_t> truth;
-  int64_t pool_matches = 0;
+  int64_t pool_matches = 0;  ///< True matches in the pool.
   /// True pool-level precision / recall / F_1/2 (computed with full truth).
   Measures true_measures;
 };

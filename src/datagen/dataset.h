@@ -19,12 +19,12 @@ namespace datagen {
 /// `right` mirrors `left`; the pair space is then the n(n-1)/2 unordered
 /// pairs of one database.
 struct ErDataset {
-  er::Database left;
-  er::Database right;
+  er::Database left;   ///< First source database.
+  er::Database right;  ///< Second source; mirrors `left` for dedup datasets.
   /// Ground-truth matching pairs (left index, right index); for dedup
   /// datasets both index `left` and satisfy left < right.
   std::vector<er::RecordPair> matches;
-  bool dedup = false;
+  bool dedup = false;  ///< Whether this is a deduplication dataset.
 
   /// |Z| = n1 * n2, or n(n-1)/2 for dedup.
   int64_t TotalPairs() const;
@@ -43,8 +43,8 @@ struct ErDataset {
 /// This bimodality is what produces the paper's precision/recall operating
 /// points (e.g. Abt-Buy's P=.92/R=.44).
 struct TwoSourceConfig {
-  size_t left_size = 1000;
-  size_t right_size = 1000;
+  size_t left_size = 1000;   ///< Records in the left source.
+  size_t right_size = 1000;  ///< Records in the right source.
   /// Number of entities present in both sources (= |R| when each shared
   /// entity contributes exactly one record per source, as here).
   size_t num_matches = 100;
@@ -70,8 +70,8 @@ struct DedupConfig {
   /// records of one entity is a matching pair, so cluster sizes drive |R|
   /// quadratically.
   size_t min_cluster = 1;
-  size_t max_cluster = 3;
-  CorruptionOptions corruption;
+  size_t max_cluster = 3;  ///< Upper end of the cluster-size range above.
+  CorruptionOptions corruption;  ///< Per-record corruption strength.
 };
 
 /// Generates a single-database deduplication dataset with clustered

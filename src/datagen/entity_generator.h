@@ -22,6 +22,7 @@ enum class Domain { kECommerce, kRestaurant, kCitation };
 /// canonical record (see corruptor.h).
 class EntityGenerator {
  public:
+  /// Creates a generator for `domain`, seeded by `rng`.
   EntityGenerator(Domain domain, Rng rng);
 
   /// Schema of the generated records:
@@ -32,6 +33,7 @@ class EntityGenerator {
   ///  - kCitation: title (short), authors (short), venue (short),
   ///    year (numeric)
   const er::Schema& schema() const { return schema_; }
+  /// The domain the generator was created for.
   Domain domain() const { return domain_; }
 
   /// Canonical record for a brand-new entity.

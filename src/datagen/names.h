@@ -8,6 +8,10 @@
 #include "common/random.h"
 
 namespace oasis {
+
+/// \namespace oasis::datagen
+/// Synthetic dataset generation: entity/corruption generators and the
+/// paper's benchmark dataset recipes (Tables 1-2).
 namespace datagen {
 
 /// Deterministic pronounceable-word generator used to synthesise entity
@@ -17,6 +21,7 @@ namespace datagen {
 /// datasets realistic similarity-score distributions.
 class WordGenerator {
  public:
+  /// Creates a generator seeded by `rng`.
   explicit WordGenerator(Rng rng);
 
   /// One pronounceable word with the given syllable count range.

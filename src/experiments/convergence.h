@@ -18,11 +18,11 @@ namespace experiments {
 ///  (c) mean |v_k(t) - v*_k| over strata;
 ///  (d) KL(v* || v(t)).
 struct ConvergenceTrace {
-  std::vector<int64_t> budgets;
-  std::vector<double> f_abs_error;
-  std::vector<double> pi_abs_error;
-  std::vector<double> v_abs_error;
-  std::vector<double> kl_divergence;
+  std::vector<int64_t> budgets;       ///< Checkpoint label budgets (x axis).
+  std::vector<double> f_abs_error;    ///< Panel (a): |F-hat - F|.
+  std::vector<double> pi_abs_error;   ///< Panel (b): mean |pi-hat_k - pi_k|.
+  std::vector<double> v_abs_error;    ///< Panel (c): mean |v_k(t) - v*_k|.
+  std::vector<double> kl_divergence;  ///< Panel (d): KL(v* || v(t)).
 };
 
 /// Runs `sampler` until `budget` labels are consumed, recording diagnostics

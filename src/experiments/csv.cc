@@ -117,12 +117,31 @@ Status WriteCurvesCsv(const std::string& path,
   if (!out) {
     return Status::Internal("WriteCurvesCsv: cannot open '" + path + "'");
   }
-  out << "method,labels,mean_abs_error,stddev,mean_estimate,frac_defined\n";
+  // Cost-curve output format: when any curve was priced through a remote
+  // oracle, three extra columns carry the mean cumulative round trips,
+  // simulated latency (seconds) and monetary label cost at each checkpoint;
+  // curves without cost data leave those cells empty. Without remote data
+  // the header and rows are the historical six columns, unchanged.
+  bool any_remote = false;
+  for (const ErrorCurve& curve : curves) any_remote |= curve.has_remote_cost;
+  out << "method,labels,mean_abs_error,stddev,mean_estimate,frac_defined";
+  if (any_remote) out << ",round_trips,sim_seconds,label_cost";
+  out << '\n';
   for (const ErrorCurve& curve : curves) {
     for (size_t i = 0; i < curve.budgets.size(); ++i) {
       out << curve.method << ',' << curve.budgets[i] << ','
           << curve.mean_abs_error[i] << ',' << curve.stddev[i] << ','
-          << curve.mean_estimate[i] << ',' << curve.frac_defined[i] << '\n';
+          << curve.mean_estimate[i] << ',' << curve.frac_defined[i];
+      if (any_remote) {
+        if (curve.has_remote_cost) {
+          out << ',' << curve.mean_round_trips[i] << ','
+              << curve.mean_simulated_seconds[i] << ','
+              << curve.mean_label_cost[i];
+        } else {
+          out << ",,,";
+        }
+      }
+      out << '\n';
     }
   }
   if (!out) {

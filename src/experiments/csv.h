@@ -19,9 +19,9 @@ Status WritePoolCsv(const std::string& path, const ScoredPool& pool,
 
 /// Parsed pool file: the pool plus the truth column when present.
 struct LoadedPool {
-  ScoredPool pool;
-  std::vector<uint8_t> truth;  // Empty when the file has no truth column.
-  bool has_truth = false;
+  ScoredPool pool;             ///< Scores and predictions.
+  std::vector<uint8_t> truth;  ///< Empty when the file has no truth column.
+  bool has_truth = false;      ///< Whether a truth column was present.
 };
 
 /// Reads a pool from a CSV written by WritePoolCsv (or any file with a
@@ -31,6 +31,10 @@ Result<LoadedPool> ReadPoolCsv(const std::string& path);
 
 /// Writes error curves in long format:
 /// `method,labels,mean_abs_error,stddev,mean_estimate,frac_defined`.
+/// When any curve carries remote-oracle cost columns (ErrorCurve::
+/// has_remote_cost), three columns `round_trips,sim_seconds,label_cost` are
+/// appended — the mean cumulative cost of reaching each checkpoint — with
+/// empty cells for curves that were not priced (see docs/ORACLES.md).
 Status WriteCurvesCsv(const std::string& path,
                       const std::vector<ErrorCurve>& curves);
 

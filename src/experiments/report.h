@@ -14,6 +14,7 @@ namespace experiments {
 /// rows the paper's tables report).
 class TextTable {
  public:
+  /// Creates a table with one column per header.
   explicit TextTable(std::vector<std::string> headers);
 
   /// Adds a row; short rows are padded with empty cells.
@@ -22,6 +23,7 @@ class TextTable {
   /// Renders with column alignment and a header rule.
   std::string ToString() const;
 
+  /// Writes ToString() to the stream.
   void Print(std::ostream& os) const;
 
  private:

@@ -72,12 +72,23 @@ struct RepeatSlots {
   std::vector<double> f_alpha;
   /// 1 when F-hat was defined at that (repeat, checkpoint).
   std::vector<uint8_t> defined;
+  /// Remote-oracle cost per (repeat, checkpoint); allocated only when the
+  /// run prices labels (RunnerOptions::remote_oracle).
+  std::vector<double> round_trips;
+  std::vector<double> simulated_seconds;
+  std::vector<double> label_cost;
   size_t checkpoints = 0;
 
-  RepeatSlots(size_t repeats, size_t num_checkpoints)
+  RepeatSlots(size_t repeats, size_t num_checkpoints, bool remote)
       : f_alpha(repeats * num_checkpoints, 0.0),
         defined(repeats * num_checkpoints, 0),
-        checkpoints(num_checkpoints) {}
+        checkpoints(num_checkpoints) {
+    if (remote) {
+      round_trips.assign(repeats * num_checkpoints, 0.0);
+      simulated_seconds.assign(repeats * num_checkpoints, 0.0);
+      label_cost.assign(repeats * num_checkpoints, 0.0);
+    }
+  }
 
   size_t index(size_t repeat, size_t checkpoint) const {
     return repeat * checkpoints + checkpoint;
@@ -89,19 +100,46 @@ struct RepeatSlots {
 /// repeat uses the samplers' amortised batch hot paths. Workers touch only
 /// shared-immutable state (pool, oracle, method) plus this repeat's slot
 /// range — the hot path takes no locks.
+///
+/// With options.remote_oracle set, the shared oracle is wrapped in a
+/// per-repeat RemoteOracle (jitter stream forked per repeat), so the cost
+/// accounting — like the LabelCache — is owned by the repeat and therefore
+/// deterministic whatever the fan-out does. `store` (nullable) is the
+/// run-wide SharedLabelStore of remote_share_labels.
 Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
-                    const Oracle& oracle, const TrajectoryOptions& traj,
-                    Rng rng, size_t repeat, RepeatSlots* slots) {
-  LabelCache labels(&oracle);
+                    const Oracle& oracle, const RunnerOptions& options,
+                    Rng rng, size_t repeat, RepeatSlots* slots,
+                    SharedLabelStore* store) {
+  const Oracle* labelled_oracle = &oracle;
+  std::optional<RemoteOracle> remote;
+  if (options.remote_oracle.has_value()) {
+    RemoteOracleOptions remote_options = *options.remote_oracle;
+    // Decorrelate jitter across repeats while keeping each repeat's clock a
+    // pure function of (options, repeat): identical trip contents in two
+    // repeats should not draw identical service times.
+    remote_options.jitter_seed =
+        Rng::Fork(remote_options.jitter_seed, static_cast<uint64_t>(repeat))
+            .NextUint64();
+    remote.emplace(&oracle, remote_options, store);
+    labelled_oracle = &*remote;
+  }
+  LabelCache labels(labelled_oracle);
   OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
                          method.factory(&pool, &labels, rng));
-  OASIS_ASSIGN_OR_RETURN(Trajectory trajectory, RunTrajectory(*sampler, traj));
+  OASIS_ASSIGN_OR_RETURN(Trajectory trajectory,
+                         RunTrajectory(*sampler, options.trajectory));
   OASIS_CHECK_EQ(trajectory.snapshots.size(), slots->checkpoints);
   for (size_t i = 0; i < trajectory.snapshots.size(); ++i) {
     const EstimateSnapshot& snap = trajectory.snapshots[i];
     const size_t slot = slots->index(repeat, i);
     slots->f_alpha[slot] = snap.f_alpha;
     slots->defined[slot] = snap.f_defined ? 1 : 0;
+    if (trajectory.has_remote_stats && !slots->round_trips.empty()) {
+      slots->round_trips[slot] =
+          static_cast<double>(trajectory.remote_round_trips[i]);
+      slots->simulated_seconds[slot] = trajectory.remote_seconds[i];
+      slots->label_cost[slot] = trajectory.remote_cost[i];
+    }
   }
   return Status::OK();
 }
@@ -127,7 +165,15 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
   }
 
   const size_t repeats = static_cast<size_t>(options.repeats);
-  RepeatSlots slots(repeats, num_checkpoints);
+  const bool remote = options.remote_oracle.has_value();
+  RepeatSlots slots(repeats, num_checkpoints, remote);
+  // Run-wide shared label store: any repeat's fetched label answers every
+  // later request for that item, from any repeat (sound only for
+  // deterministic RNG-free oracles; RemoteOracle enforces the gate).
+  std::unique_ptr<SharedLabelStore> store;
+  if (remote && options.remote_share_labels) {
+    store = std::make_unique<SharedLabelStore>(oracle.num_items());
+  }
   std::vector<Status> repeat_status(repeats);
   std::atomic<int> completed{0};
   std::atomic<bool> failed{false};
@@ -149,9 +195,9 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
       return;
     }
     const Status status =
-        RunOneRepeat(method, pool, oracle, options.trajectory,
+        RunOneRepeat(method, pool, oracle, options,
                      Rng::Fork(options.base_seed, static_cast<uint64_t>(repeat)),
-                     static_cast<size_t>(repeat), &slots);
+                     static_cast<size_t>(repeat), &slots, store.get());
     if (!status.ok()) {
       repeat_status[static_cast<size_t>(repeat)] = status;
       failed.store(true, std::memory_order_release);
@@ -181,9 +227,19 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
   std::vector<RunningStats> abs_error(num_checkpoints);
   std::vector<RunningStats> estimate(num_checkpoints);
   std::vector<int64_t> defined_count(num_checkpoints, 0);
+  // Cost columns fold over ALL repeats (a repeat pays for its labels whether
+  // or not its estimate is defined yet), also in repeat order.
+  std::vector<RunningStats> round_trips(remote ? num_checkpoints : 0);
+  std::vector<RunningStats> simulated_seconds(remote ? num_checkpoints : 0);
+  std::vector<RunningStats> label_cost(remote ? num_checkpoints : 0);
   for (size_t r = 0; r < repeats; ++r) {
     for (size_t i = 0; i < num_checkpoints; ++i) {
       const size_t slot = slots.index(r, i);
+      if (remote) {
+        round_trips[i].Add(slots.round_trips[slot]);
+        simulated_seconds[i].Add(slots.simulated_seconds[slot]);
+        label_cost[i].Add(slots.label_cost[slot]);
+      }
       if (slots.defined[slot] == 0) continue;
       const double f = slots.f_alpha[slot];
       abs_error[i].Add(std::abs(f - true_f));
@@ -209,6 +265,17 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
     curve.mean_estimate[i] = estimate[i].mean();
     curve.frac_defined[i] = static_cast<double>(defined_count[i]) /
                             static_cast<double>(options.repeats);
+  }
+  if (remote) {
+    curve.has_remote_cost = true;
+    curve.mean_round_trips.resize(num_checkpoints);
+    curve.mean_simulated_seconds.resize(num_checkpoints);
+    curve.mean_label_cost.resize(num_checkpoints);
+    for (size_t i = 0; i < num_checkpoints; ++i) {
+      curve.mean_round_trips[i] = round_trips[i].mean();
+      curve.mean_simulated_seconds[i] = simulated_seconds[i].mean();
+      curve.mean_label_cost[i] = label_cost[i].mean();
+    }
   }
   return curve;
 }

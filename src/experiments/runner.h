@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/oasis.h"
 #include "oracle/oracle.h"
+#include "oracle/remote_oracle.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
 #include "sampling/sampler.h"
@@ -19,6 +21,11 @@
 #include "strata/strata.h"
 
 namespace oasis {
+
+/// \namespace oasis::experiments
+/// Experiment harness layer: repeated-trajectory runners, convergence
+/// diagnostics, CSV/report output and timing — everything behind the paper's
+/// figures and tables.
 namespace experiments {
 
 /// Factory that instantiates one fresh sampler per repeated run. The runner
@@ -28,37 +35,60 @@ using SamplerFactory = std::function<Result<std::unique_ptr<Sampler>>(
 
 /// A named estimation method for experiment harnesses.
 struct MethodSpec {
-  std::string name;
-  SamplerFactory factory;
+  std::string name;        ///< Display name ("Passive", "OASIS-30", ...).
+  SamplerFactory factory;  ///< Builds one sampler per repeat.
 };
 
-/// Standard method constructors matching the paper's comparison set.
+/// Passive (uniform) sampling method spec.
 MethodSpec MakePassiveSpec(double alpha);
+/// Proportional stratified sampling method spec over a shared stratification.
 MethodSpec MakeStratifiedSpec(double alpha, std::shared_ptr<const Strata> strata);
+/// Static importance sampling method spec.
 MethodSpec MakeImportanceSpec(const ImportanceOptions& options);
+/// OASIS (adaptive importance sampling) method spec over a shared
+/// stratification.
 MethodSpec MakeOasisSpec(const OasisOptions& options,
                          std::shared_ptr<const Strata> strata);
 
 /// Aggregated error statistics of one method on one pool, indexed by label
 /// budget — the data behind each curve of the paper's Figure 2.
 struct ErrorCurve {
+  /// Method name ("Passive", "OASIS-30", ...).
   std::string method;
+  /// Checkpoint label budgets (the curve's x axis).
   std::vector<int64_t> budgets;
   /// E|F-hat - F| over repeats whose estimate was defined at the checkpoint.
   std::vector<double> mean_abs_error;
   /// Standard deviation of the estimates across (defined) repeats.
   std::vector<double> stddev;
+  /// Mean estimate across (defined) repeats.
   std::vector<double> mean_estimate;
   /// Fraction of repeats whose estimate was defined at the checkpoint; the
   /// paper starts plotting once this exceeds 0.95.
   std::vector<double> frac_defined;
+  /// Number of repeats aggregated.
   int repeats = 0;
+
+  /// True when the run priced labels through RunnerOptions::remote_oracle:
+  /// the three cost series below are populated (same length as budgets) and
+  /// give alternative x axes — error against simulated round trips, hours,
+  /// or dollars instead of bare label counts.
+  bool has_remote_cost = false;
+  /// Mean (over repeats) cumulative round trips at each checkpoint.
+  std::vector<double> mean_round_trips;
+  /// Mean (over repeats) cumulative simulated latency, seconds.
+  std::vector<double> mean_simulated_seconds;
+  /// Mean (over repeats) cumulative monetary label cost.
+  std::vector<double> mean_label_cost;
 };
 
 /// Controls for repeated trajectory runs.
 struct RunnerOptions {
+  /// Number of independent repeats to aggregate.
   int repeats = 100;
+  /// Budget/checkpoint schedule of each repeat.
   TrajectoryOptions trajectory;
+  /// Base seed; repeat r runs on Rng::Fork(base_seed, r).
   uint64_t base_seed = 0x0a515u;
   /// Worker threads for the repeat fan-out; 0 = hardware concurrency. The
   /// aggregate is bit-identical for every value (per-repeat RNG streams are
@@ -73,6 +103,23 @@ struct RunnerOptions {
   /// runner stops scheduling repeats and returns Status::Cancelled (partial
   /// results are discarded). The token must outlive the call.
   const CancellationToken* cancel = nullptr;
+  /// When set, every repeat's labels are priced through a per-repeat
+  /// RemoteOracle wrapping the caller's oracle under this latency/cost
+  /// model, and the resulting ErrorCurve carries per-checkpoint cost columns
+  /// (has_remote_cost). Labels themselves are unchanged — the error
+  /// statistics are bit-identical to an unwrapped run at any num_threads.
+  /// Jitter streams are forked per repeat off `jitter_seed`, keeping each
+  /// repeat's simulated clock a pure function of (options, repeat index).
+  std::optional<RemoteOracleOptions> remote_oracle;
+  /// With remote_oracle set and a deterministic RNG-free oracle: route all
+  /// repeats' fetches through one SharedLabelStore, so an item labelled in
+  /// ANY repeat is never re-fetched over the simulated wire — the runner's
+  /// cross-repeat answer to within-repeat LabelCache dedup. Error statistics
+  /// are unaffected; the cost columns drop (later repeats ride earlier
+  /// repeats' round trips), but their exact values become scheduling-
+  /// dependent at num_threads > 1 (see SharedLabelStore). Default off so the
+  /// default cost curves are bit-identical at any thread count.
+  bool remote_share_labels = false;
 };
 
 /// Runs `method` on the pool `options.repeats` times (fresh LabelCache and
@@ -95,11 +142,11 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
 /// Final-budget summary of a method (used by the Figure 5 harness):
 /// mean +- CI of |F-hat - F| after the full budget.
 struct FinalErrorSummary {
-  std::string method;
-  double mean_abs_error = 0.0;
-  double ci_half_width = 0.0;  // 95% normal CI on the mean.
-  double frac_defined = 0.0;
-  int repeats = 0;
+  std::string method;           ///< Method name.
+  double mean_abs_error = 0.0;  ///< Mean |F-hat - F| at the final budget.
+  double ci_half_width = 0.0;   ///< 95% normal CI half-width on the mean.
+  double frac_defined = 0.0;    ///< Fraction of repeats with a defined F-hat.
+  int repeats = 0;              ///< Number of repeats aggregated.
 };
 
 /// Runs repeats and summarises only the final-budget error.

@@ -13,15 +13,15 @@ namespace experiments {
 /// CPU-time measurement of one estimation method — the data behind the
 /// paper's Table 3 (average CPU time per run and per iteration).
 struct TimingResult {
-  std::string method;
-  double cpu_seconds_per_run = 0.0;
-  double cpu_seconds_per_iteration = 0.0;
+  std::string method;                      ///< Method name.
+  double cpu_seconds_per_run = 0.0;        ///< Mean CPU time of one full run.
+  double cpu_seconds_per_iteration = 0.0;  ///< Mean CPU time per iteration.
   /// Sampler construction time (instrumental-distribution setup etc.),
   /// excluded from the per-run figure, as the paper excludes strata
   /// precomputation.
   double cpu_setup_seconds = 0.0;
-  int64_t iterations_per_run = 0;
-  int repeats = 0;
+  int64_t iterations_per_run = 0;  ///< Iterations timed per run.
+  int repeats = 0;                 ///< Number of timed runs averaged.
 };
 
 /// Runs the method `repeats` times for `iterations` sampling iterations each

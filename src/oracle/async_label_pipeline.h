@@ -1,0 +1,79 @@
+#ifndef OASIS_ORACLE_ASYNC_LABEL_PIPELINE_H_
+#define OASIS_ORACLE_ASYNC_LABEL_PIPELINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "oracle/label_cache.h"
+
+namespace oasis {
+
+/// Depth-1 asynchronous front-end to `LabelCache::QueryBatch`: while the
+/// caller tallies batch t, a ThreadPool worker resolves batch t+1's labels —
+/// so a genuinely remote oracle's round trip overlaps the sampler's own
+/// draw/tally work instead of serialising with it.
+///
+/// Soundness gate: prefetching reorders label *resolution* relative to the
+/// caller's item draws, which preserves the exact sequential RNG stream only
+/// when labelling never consumes the caller's RNG
+/// (`!Oracle::labelling_consumes_rng()` — the same gate as the samplers'
+/// batched fast path, see Sampler::CanBatchQueries()). Prefetch() fails with
+/// FailedPrecondition for RNG-consuming oracles.
+///
+/// Sequential equivalence: batches resolve strictly in submission order (at
+/// most one is in flight, and Collect() must separate two Prefetch() calls),
+/// so the LabelCache observes the identical QueryBatch call sequence — same
+/// labels, same footnote-5 budget counters — as an unpipelined caller. The
+/// overlap changes wall-clock only. This is what static samplers
+/// (passive / importance / stratified) exploit via Sampler::SetPrefetchPool;
+/// OASIS cannot: its next draw depends on the last label (docs/ORACLES.md).
+///
+/// Ownership/lifetime: the caller keeps `items` and `out_labels` alive and
+/// untouched from Prefetch() to the matching Collect(). The pipeline itself
+/// is single-consumer: one thread calls Prefetch/Collect.
+class AsyncLabelPipeline {
+ public:
+  /// Binds the pipeline to a cache and a pool; both must outlive it.
+  AsyncLabelPipeline(LabelCache* labels, ThreadPool* pool);
+
+  /// Drains any in-flight batch (its status is discarded) so the buffers it
+  /// references can die safely.
+  ~AsyncLabelPipeline();
+
+  /// Non-copyable: the handle to the in-flight batch is single-owner.
+  AsyncLabelPipeline(const AsyncLabelPipeline&) = delete;
+  /// Non-assignable (see the copy constructor).
+  AsyncLabelPipeline& operator=(const AsyncLabelPipeline&) = delete;
+
+  /// Begins resolving `items` into `out_labels` asynchronously (one
+  /// LabelCache::QueryBatch call on a pool worker, passing `*rng` through —
+  /// which the gated-on RNG-free oracle never touches). Fails with
+  /// FailedPrecondition when a batch is already in flight or the cache's
+  /// oracle consumes RNG; such failures leave nothing in flight.
+  Status Prefetch(std::span<const int64_t> items, Rng* rng,
+                  std::span<uint8_t> out_labels);
+
+  /// Blocks until the in-flight batch has resolved and returns its
+  /// QueryBatch status. Fails with FailedPrecondition when nothing is in
+  /// flight. After Collect() returns, `out_labels` of the matching
+  /// Prefetch() is fully written (on OK) and a new Prefetch() may begin.
+  Status Collect();
+
+  /// Whether a batch is between Prefetch() and Collect().
+  bool in_flight() const { return in_flight_; }
+
+ private:
+  LabelCache* labels_;
+  ThreadPool* pool_;
+  ThreadPool::TaskHandle handle_;
+  // Written by the worker task before the handle completes; reading after
+  // TaskHandle::Wait() is release/acquire-ordered by the handle.
+  Status batch_status_;
+  bool in_flight_ = false;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_ASYNC_LABEL_PIPELINE_H_

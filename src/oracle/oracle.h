@@ -6,6 +6,9 @@
 
 #include "common/random.h"
 
+/// \namespace oasis
+/// Root namespace of the OASIS reproduction: samplers, oracles, strata,
+/// estimators and the supporting infrastructure.
 namespace oasis {
 
 /// Randomised labelling oracle (Definition 4 of the paper).
@@ -22,7 +25,7 @@ namespace oasis {
 /// of mutable members (add per-call state to the caller's Rng instead).
 class Oracle {
  public:
-  virtual ~Oracle() = default;
+  virtual ~Oracle() = default;  ///< Oracles are deleted via the interface.
 
   /// Draws one label for pool item `item` using the caller's RNG, so that the
   /// complete experiment is reproducible from a single seed. Thread-safe for

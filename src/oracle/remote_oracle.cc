@@ -1,0 +1,147 @@
+#include "oracle/remote_oracle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+namespace {
+
+/// Order-sensitive 64-bit fingerprint of a trip's items (FNV-1a over the
+/// item ids). Keys the jitter stream: the same trip content always draws the
+/// same jitter, whichever thread sends it and in whatever global order.
+uint64_t FingerprintItems(std::span<const int64_t> items) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int64_t item : items) {
+    h ^= static_cast<uint64_t>(item);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+RemoteOracle::RemoteOracle(const Oracle* inner, const RemoteOracleOptions& options,
+                           SharedLabelStore* store)
+    : inner_(inner), options_(options), store_(store) {
+  OASIS_CHECK(inner != nullptr);
+  OASIS_CHECK(options.round_trip_seconds >= 0.0);
+  OASIS_CHECK(options.per_item_seconds >= 0.0);
+  OASIS_CHECK(options.cost_per_label >= 0.0);
+  OASIS_CHECK(options.jitter_fraction >= 0.0 && options.jitter_fraction < 1.0);
+  OASIS_CHECK(options.max_items_per_round_trip >= 0);
+  // Sharing fetched labels is only sound when a replay is indistinguishable
+  // from a fresh query: deterministic labels that never consume the caller's
+  // RNG. Otherwise the store is ignored (documented on SharedLabelStore).
+  if (store_ != nullptr &&
+      (!inner_->deterministic() || inner_->labelling_consumes_rng())) {
+    store_ = nullptr;
+  }
+  if (store_ != nullptr) {
+    OASIS_CHECK(store_->num_items() >= inner_->num_items());
+  }
+}
+
+int64_t RemoteOracle::TripLatencyNs(std::span<const int64_t> trip) const {
+  double seconds = options_.round_trip_seconds +
+                   static_cast<double>(trip.size()) * options_.per_item_seconds;
+  if (options_.jitter_fraction > 0.0) {
+    Rng jitter_rng = Rng::Fork(options_.jitter_seed, FingerprintItems(trip));
+    seconds *= 1.0 + options_.jitter_fraction * jitter_rng.NextDouble();
+  }
+  return static_cast<int64_t>(std::llround(seconds * 1e9));
+}
+
+int64_t RemoteOracle::AccountFetch(std::span<const int64_t> fetched) const {
+  if (fetched.empty()) return 0;
+  const int64_t n = static_cast<int64_t>(fetched.size());
+  const int64_t per_trip = options_.max_items_per_round_trip > 0
+                               ? options_.max_items_per_round_trip
+                               : n;
+  int64_t latency_ns = 0;
+  int64_t trips = 0;
+  for (int64_t lo = 0; lo < n; lo += per_trip) {
+    const int64_t hi = std::min(n, lo + per_trip);
+    latency_ns += TripLatencyNs(fetched.subspan(static_cast<size_t>(lo),
+                                                static_cast<size_t>(hi - lo)));
+    ++trips;
+  }
+  round_trips_.fetch_add(trips, std::memory_order_relaxed);
+  labels_fetched_.fetch_add(n, std::memory_order_relaxed);
+  simulated_latency_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
+  return latency_ns;
+}
+
+void RemoteOracle::MaybeRealize(int64_t latency_ns) const {
+  if (!options_.realize_latency || latency_ns <= 0) return;
+  const double scaled_ns =
+      static_cast<double>(latency_ns) * options_.realize_scale;
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(scaled_ns)));
+}
+
+bool RemoteOracle::Label(int64_t item, Rng& rng) const {
+  uint8_t label = 0;
+  const int64_t items[1] = {item};
+  LabelBatch(items, rng, std::span<uint8_t>(&label, 1));
+  return label != 0;
+}
+
+void RemoteOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
+                              std::span<uint8_t> out) const {
+  OASIS_DCHECK(items.size() == out.size());
+  if (items.empty()) return;
+  queries_.fetch_add(static_cast<int64_t>(items.size()),
+                     std::memory_order_relaxed);
+  if (store_ == nullptr) {
+    MaybeRealize(AccountFetch(items));
+    inner_->LabelBatch(items, rng, out);
+    return;
+  }
+  // Shared store: only globally-novel items touch the wire; everything else
+  // is a free replay. The store holds its lock across the fetch, so each
+  // item is fetched exactly once however many repeats race for it. The inner
+  // oracle is RNG-free here (store gate), so the fetch never consumes `rng`
+  // and the caller's stream is identical with or without the store. Any
+  // realized sleep happens after the store released its lock — a sleeping
+  // repeat must not serialise every other repeat's fetch behind it.
+  int64_t fetched_latency_ns = 0;
+  const int64_t hits = store_->FetchThrough(
+      items, out, [&](std::span<const int64_t> novel, std::span<uint8_t> novel_out) {
+        fetched_latency_ns = AccountFetch(novel);
+        inner_->LabelBatch(novel, rng, novel_out);
+      });
+  store_hits_.fetch_add(hits, std::memory_order_relaxed);
+  MaybeRealize(fetched_latency_ns);
+}
+
+double RemoteOracle::TrueProbability(int64_t item) const {
+  return inner_->TrueProbability(item);
+}
+
+bool RemoteOracle::deterministic() const { return inner_->deterministic(); }
+
+bool RemoteOracle::labelling_consumes_rng() const {
+  return inner_->labelling_consumes_rng();
+}
+
+int64_t RemoteOracle::num_items() const { return inner_->num_items(); }
+
+RemoteOracleStats RemoteOracle::stats() const {
+  RemoteOracleStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.round_trips = round_trips_.load(std::memory_order_relaxed);
+  stats.labels_fetched = labels_fetched_.load(std::memory_order_relaxed);
+  stats.store_hits = store_hits_.load(std::memory_order_relaxed);
+  stats.simulated_latency_ns =
+      simulated_latency_ns_.load(std::memory_order_relaxed);
+  stats.label_cost =
+      static_cast<double>(stats.labels_fetched) * options_.cost_per_label;
+  return stats;
+}
+
+}  // namespace oasis

@@ -1,0 +1,75 @@
+#include "oracle/shared_label_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+SharedLabelStore::SharedLabelStore(int64_t num_items) {
+  OASIS_CHECK(num_items >= 0);
+  // The max<> keeps the sign conversion provably non-negative for the
+  // optimizer (CHECK alone does not narrow the range).
+  state_.assign(static_cast<size_t>(std::max<int64_t>(num_items, 0)), 0);
+}
+
+int64_t SharedLabelStore::FetchThrough(std::span<const int64_t> items,
+                                       std::span<uint8_t> out,
+                                       const FetchFn& fetch) {
+  OASIS_CHECK_EQ(items.size(), out.size());
+  if (items.empty()) return 0;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Pass 1: partition into stored items and first-request novelties. A novel
+  // item is marked pending (3) immediately so an in-batch duplicate is
+  // fetched once; the mark is resolved below before the lock is released, so
+  // other threads never observe it.
+  novel_items_.clear();
+  int64_t hits = 0;
+  for (int64_t item : items) {
+    OASIS_DCHECK(item >= 0 && item < num_items());
+    uint8_t& slot = state_[static_cast<size_t>(item)];
+    if (slot == 0) {
+      slot = 3;
+      novel_items_.push_back(item);
+    } else if (slot != 3) {
+      ++hits;
+    }
+  }
+  if (!novel_items_.empty()) {
+    novel_labels_.resize(novel_items_.size());
+    try {
+      fetch(novel_items_, novel_labels_);
+    } catch (...) {
+      // Roll the pending markers back to absent so a failed fetch leaves the
+      // store exactly as before the call — a later caller re-fetches instead
+      // of reading a phantom label.
+      for (int64_t item : novel_items_) {
+        state_[static_cast<size_t>(item)] = 0;
+      }
+      throw;
+    }
+    for (size_t i = 0; i < novel_items_.size(); ++i) {
+      state_[static_cast<size_t>(novel_items_[i])] = novel_labels_[i] ? 2 : 1;
+    }
+    items_stored_ += static_cast<int64_t>(novel_items_.size());
+  }
+  // Pass 2: answer everything from the (now fully populated) store.
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = state_[static_cast<size_t>(items[i])] == 2 ? 1 : 0;
+  }
+  total_hits_ += hits;
+  return hits;
+}
+
+int64_t SharedLabelStore::items_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_stored_;
+}
+
+int64_t SharedLabelStore::total_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_hits_;
+}
+
+}  // namespace oasis

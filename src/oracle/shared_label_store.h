@@ -1,0 +1,88 @@
+#ifndef OASIS_ORACLE_SHARED_LABEL_STORE_H_
+#define OASIS_ORACLE_SHARED_LABEL_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace oasis {
+
+/// Cross-caller label store that lets many `RemoteOracle` instances — one per
+/// experiment repeat, possibly on different threads — share fetched labels so
+/// that no pool item is ever sent over the (simulated) wire twice.
+///
+/// Motivation: `LabelCache` deduplicates queries *within* one repeat, but the
+/// experiment runner's repeats are independent observers and each keeps its
+/// own cache — so 100 repeats of a Figure-2 curve would fetch the same
+/// popular pool items from a remote oracle up to 100 times. For a
+/// deterministic, RNG-free oracle the label of an item is a pure lookup, so
+/// replaying a label fetched by *any* repeat is exactly equivalent to
+/// re-fetching it; the store turns repeated cross-repeat misses into shared
+/// round-trips (the first requester pays, everyone else replays for free).
+///
+/// Soundness: sharing is only valid when the wrapped oracle is deterministic
+/// AND never consumes the caller's RNG (`Oracle::deterministic()` &&
+/// `!Oracle::labelling_consumes_rng()`); a noisy oracle must produce a fresh
+/// draw per query. `RemoteOracle` enforces the gate — it silently bypasses a
+/// store it was given when the inner oracle does not qualify.
+///
+/// Determinism: labels, the *set* of items fetched remotely, and therefore
+/// the aggregate per-label monetary cost are scheduling-independent (each
+/// repeat's miss sequence depends only on its own RNG stream, and FetchThrough
+/// resolves each item exactly once globally under one lock). How misses
+/// *cluster into round trips* is not: which repeat first requests a given
+/// item depends on thread interleaving, so shared-mode round-trip and latency
+/// totals are reproducible only under a single-threaded runner (they are
+/// always bounded above by the unshared totals). See docs/ORACLES.md.
+///
+/// Thread-safety: all methods are safe for concurrent callers; FetchThrough
+/// holds one mutex across partition + fetch + insert so each item is fetched
+/// exactly once (the fetch callback must therefore be cheap or the callers
+/// tolerant of serialisation — for simulated remote oracles the inner fetch
+/// is a local memory lookup).
+class SharedLabelStore {
+ public:
+  /// Creates an empty store covering items [0, num_items).
+  explicit SharedLabelStore(int64_t num_items);
+
+  /// Callback that resolves the store's misses: receives the novel items (in
+  /// first-request order, duplicates removed) and must write one 0/1 label
+  /// per item into the output span.
+  using FetchFn =
+      std::function<void(std::span<const int64_t> novel, std::span<uint8_t> out)>;
+
+  /// Resolves `items` through the store: already-stored labels are copied
+  /// into `out`; the rest are resolved via ONE `fetch` call (omitted when
+  /// every item is stored) and recorded for future callers. In-batch
+  /// duplicates are fetched once. Returns the number of items answered from
+  /// the store (the caller's round-trip saving). `items` and `out` must have
+  /// equal lengths.
+  int64_t FetchThrough(std::span<const int64_t> items, std::span<uint8_t> out,
+                       const FetchFn& fetch);
+
+  /// Number of distinct items fetched (and stored) so far.
+  int64_t items_stored() const;
+
+  /// Total store hits served across all FetchThrough calls.
+  int64_t total_hits() const;
+
+  /// Items the store covers.
+  int64_t num_items() const { return static_cast<int64_t>(state_.size()); }
+
+ private:
+  // 0 = absent, 1 = stored label 0, 2 = stored label 1.
+  std::vector<uint8_t> state_;
+  mutable std::mutex mutex_;
+  int64_t items_stored_ = 0;
+  int64_t total_hits_ = 0;
+  // Scratch for FetchThrough (novel items and their labels), reused across
+  // calls; guarded by mutex_.
+  std::vector<int64_t> novel_items_;
+  std::vector<uint8_t> novel_labels_;
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_SHARED_LABEL_STORE_H_

@@ -44,8 +44,9 @@ class StratifiedSampler : public Sampler {
   std::vector<double> pos_sum_;   // sum of l
   // Known exactly from the pool: per-stratum mean prediction lambda_k.
   std::vector<double> lambda_;
-  // Scratch: stratum index of each item drawn in the current StepBatch chunk
-  // (the base class holds the item/label scratch), reused across batches.
+  // Scratch: stratum index per StepBatch draw position (the base class holds
+  // the item/label scratch), reused across batches; sized for two chunks so
+  // the pipelined scaffold's double-buffered positions fit.
   std::vector<size_t> batch_strata_;
 };
 

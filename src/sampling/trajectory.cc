@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "oracle/remote_oracle.h"
+
 namespace oasis {
+
+namespace {
+
+/// Captures a RemoteOracle's cumulative activity relative to a baseline
+/// snapshot taken at RunTrajectory start, so reused oracles (several
+/// trajectories against one wrapper) chart each run from zero.
+void AppendRemoteCheckpoint(const RemoteOracle& remote,
+                            const RemoteOracleStats& start, Trajectory* out) {
+  const RemoteOracleStats now = remote.stats();
+  out->remote_round_trips.push_back(now.round_trips - start.round_trips);
+  out->remote_seconds.push_back(
+      static_cast<double>(now.simulated_latency_ns - start.simulated_latency_ns) *
+      1e-9);
+  out->remote_cost.push_back(now.label_cost - start.label_cost);
+}
+
+}  // namespace
 
 Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& options) {
   if (options.budget <= 0) {
@@ -20,6 +39,20 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
     out.budgets.push_back(b);
   }
   out.snapshots.reserve(out.budgets.size());
+
+  // Cost-model capture: when the labels flow through a RemoteOracle, chart
+  // its cumulative round trips / simulated latency / monetary cost alongside
+  // every estimate checkpoint.
+  const RemoteOracle* remote =
+      dynamic_cast<const RemoteOracle*>(&sampler.labels().oracle());
+  RemoteOracleStats remote_start;
+  if (remote != nullptr) {
+    out.has_remote_stats = true;
+    remote_start = remote->stats();
+    out.remote_round_trips.reserve(out.budgets.size());
+    out.remote_seconds.reserve(out.budgets.size());
+    out.remote_cost.reserve(out.budgets.size());
+  }
 
   // Batched stepping through Sampler::StepBatch, exactly equivalent to the
   // original per-step loop:
@@ -60,6 +93,7 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
     while (next_checkpoint < out.budgets.size() &&
            consumed >= out.budgets[next_checkpoint]) {
       out.snapshots.push_back(snap);
+      if (remote != nullptr) AppendRemoteCheckpoint(*remote, remote_start, &out);
       ++next_checkpoint;
     }
   }
@@ -68,6 +102,7 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
   const EstimateSnapshot final_snap = sampler.Estimate();
   while (next_checkpoint < out.budgets.size()) {
     out.snapshots.push_back(final_snap);
+    if (remote != nullptr) AppendRemoteCheckpoint(*remote, remote_start, &out);
     ++next_checkpoint;
   }
   out.total_iterations = sampler.iterations();

@@ -31,11 +31,25 @@ struct Trajectory {
   std::vector<EstimateSnapshot> snapshots;
   /// Budget consumed when F first became defined; -1 when it never did.
   int64_t first_defined_budget = -1;
+  /// Sampling iterations the run performed in total.
   int64_t total_iterations = 0;
+  /// Labels charged to the budget by the run.
   int64_t labels_consumed = 0;
   /// True when the run hit max_iterations before exhausting the budget
   /// (trailing checkpoints are filled with the final estimate).
   bool truncated = false;
+
+  /// True when the sampler's oracle was a RemoteOracle: the three per-
+  /// checkpoint cost series below are populated (same length as budgets),
+  /// measuring this run's cumulative remote activity at each checkpoint —
+  /// the x-axes of cost-vs-error curves (docs/ORACLES.md).
+  bool has_remote_stats = false;
+  /// Cumulative simulated round trips at each checkpoint.
+  std::vector<int64_t> remote_round_trips;
+  /// Cumulative simulated latency (seconds) at each checkpoint.
+  std::vector<double> remote_seconds;
+  /// Cumulative monetary label cost at each checkpoint.
+  std::vector<double> remote_cost;
 };
 
 /// Runs `sampler` until the label budget is exhausted (or the iteration cap

@@ -1,0 +1,234 @@
+#include "oracle/async_label_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "oracle/ground_truth_oracle.h"
+#include "oracle/label_cache.h"
+#include "oracle/noisy_oracle.h"
+#include "oracle/remote_oracle.h"
+#include "sampling/importance.h"
+#include "sampling/passive.h"
+#include "sampling/stratified.h"
+#include "sampling/trajectory.h"
+#include "strata/csf.h"
+#include "tests/test_util.h"
+
+namespace oasis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pipeline unit semantics.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncLabelPipelineTest, ResolvesABatchAsynchronously) {
+  GroundTruthOracle oracle({1, 0, 1, 0, 1});
+  LabelCache cache(&oracle);
+  ThreadPool pool(2);
+  AsyncLabelPipeline pipeline(&cache, &pool);
+  EXPECT_FALSE(pipeline.in_flight());
+
+  const std::vector<int64_t> items = {0, 1, 2, 3, 4};
+  std::vector<uint8_t> out(items.size(), 255);
+  Rng rng(1);
+  ASSERT_TRUE(pipeline.Prefetch(items, &rng, out).ok());
+  EXPECT_TRUE(pipeline.in_flight());
+  ASSERT_TRUE(pipeline.Collect().ok());
+  EXPECT_FALSE(pipeline.in_flight());
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 0, 1, 0, 1}));
+  EXPECT_EQ(cache.labels_consumed(), 5);
+}
+
+TEST(AsyncLabelPipelineTest, EnforcesDepthOneProtocol) {
+  GroundTruthOracle oracle({1, 0});
+  LabelCache cache(&oracle);
+  ThreadPool pool(1);
+  AsyncLabelPipeline pipeline(&cache, &pool);
+
+  // Collect with nothing in flight fails.
+  EXPECT_EQ(pipeline.Collect().code(), StatusCode::kFailedPrecondition);
+
+  const std::vector<int64_t> items = {0, 1};
+  std::vector<uint8_t> out(2);
+  Rng rng(1);
+  ASSERT_TRUE(pipeline.Prefetch(items, &rng, out).ok());
+  // A second prefetch before Collect fails and leaves the first in flight.
+  EXPECT_EQ(pipeline.Prefetch(items, &rng, out).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(pipeline.in_flight());
+  EXPECT_TRUE(pipeline.Collect().ok());
+}
+
+TEST(AsyncLabelPipelineTest, PropagatesQueryBatchStatus) {
+  GroundTruthOracle oracle({1, 0, 1});
+  LabelCache cache(&oracle);
+  ThreadPool pool(1);
+  AsyncLabelPipeline pipeline(&cache, &pool);
+
+  // Mismatched spans make QueryBatch fail on the worker; Collect returns it.
+  const std::vector<int64_t> items = {0, 1, 2};
+  std::vector<uint8_t> out(2);
+  Rng rng(1);
+  ASSERT_TRUE(
+      pipeline.Prefetch(items, &rng, std::span<uint8_t>(out.data(), 2)).ok());
+  EXPECT_EQ(pipeline.Collect().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AsyncLabelPipelineTest, RejectsRngConsumingOracles) {
+  NoisyOracle oracle = NoisyOracle::FromProbabilities({0.5, 0.5}).ValueOrDie();
+  LabelCache cache(&oracle);
+  ThreadPool pool(1);
+  AsyncLabelPipeline pipeline(&cache, &pool);
+
+  const std::vector<int64_t> items = {0, 1};
+  std::vector<uint8_t> out(2);
+  Rng rng(1);
+  const Status status = pipeline.Prefetch(items, &rng, out);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(pipeline.in_flight());
+}
+
+TEST(AsyncLabelPipelineTest, DestructorDrainsInFlightBatch) {
+  GroundTruthOracle oracle(std::vector<uint8_t>(2048, 1));
+  LabelCache cache(&oracle);
+  ThreadPool pool(2);
+  std::vector<int64_t> items(2048);
+  for (int64_t i = 0; i < 2048; ++i) items[static_cast<size_t>(i)] = i;
+  std::vector<uint8_t> out(items.size());
+  Rng rng(1);
+  {
+    AsyncLabelPipeline pipeline(&cache, &pool);
+    ASSERT_TRUE(pipeline.Prefetch(items, &rng, out).ok());
+    // Destroyed while in flight: must block until the worker is done with
+    // the buffers (ASan would catch a use-after-scope otherwise).
+  }
+  EXPECT_EQ(cache.labels_consumed(), 2048);
+}
+
+// ---------------------------------------------------------------------------
+// Exact sequential equivalence of prefetched static-sampler trajectories.
+// ---------------------------------------------------------------------------
+
+struct SamplerRun {
+  Trajectory trajectory;
+  int64_t labels_consumed = 0;
+  int64_t iterations = 0;
+  EstimateSnapshot final_estimate;
+};
+
+/// Builds the named sampler over a fresh LabelCache and runs one trajectory,
+/// optionally with label prefetching on `prefetch_pool`.
+SamplerRun RunOne(const std::string& kind, const testutil::SyntheticPool& pool,
+                  const Oracle& oracle, ThreadPool* prefetch_pool) {
+  LabelCache labels(&oracle);
+  std::unique_ptr<Sampler> sampler;
+  if (kind == "passive") {
+    sampler = PassiveSampler::Create(&pool.scored, &labels, 0.5, Rng(42))
+                  .ValueOrDie();
+  } else if (kind == "importance") {
+    sampler = ImportanceSampler::Create(&pool.scored, &labels,
+                                        ImportanceOptions{}, Rng(42))
+                  .ValueOrDie();
+  } else {
+    auto strata = std::make_shared<const Strata>(
+        StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+    sampler = StratifiedSampler::Create(&pool.scored, &labels, strata, 0.5,
+                                        Rng(42))
+                  .ValueOrDie();
+  }
+  if (prefetch_pool != nullptr) sampler->SetPrefetchPool(prefetch_pool);
+
+  TrajectoryOptions options;
+  // A budget spanning several kQueryBatchChunk-sized chunks per StepBatch so
+  // the pipelined path really engages.
+  options.budget = 1500;
+  options.checkpoint_every = 1500;
+  SamplerRun run;
+  run.trajectory = RunTrajectory(*sampler, options).ValueOrDie();
+  run.labels_consumed = sampler->labels_consumed();
+  run.iterations = sampler->iterations();
+  run.final_estimate = sampler->Estimate();
+  return run;
+}
+
+TEST(AsyncLabelPipelineTest, PrefetchedTrajectoriesAreBitIdentical) {
+  const testutil::SyntheticPool pool =
+      testutil::MakeSyntheticPool({.size = 4000, .seed = 77});
+  GroundTruthOracle oracle(pool.truth);
+
+  for (const std::string kind : {"passive", "importance", "stratified"}) {
+    const SamplerRun reference = RunOne(kind, pool, oracle, nullptr);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool prefetch_pool(threads);
+      const SamplerRun run = RunOne(kind, pool, oracle, &prefetch_pool);
+      EXPECT_EQ(run.labels_consumed, reference.labels_consumed)
+          << kind << " threads=" << threads;
+      EXPECT_EQ(run.iterations, reference.iterations);
+      ASSERT_EQ(run.trajectory.snapshots.size(),
+                reference.trajectory.snapshots.size());
+      for (size_t i = 0; i < reference.trajectory.snapshots.size(); ++i) {
+        EXPECT_EQ(run.trajectory.snapshots[i].f_alpha,
+                  reference.trajectory.snapshots[i].f_alpha)
+            << kind << " threads=" << threads << " checkpoint " << i;
+      }
+      EXPECT_EQ(run.final_estimate.f_alpha, reference.final_estimate.f_alpha);
+      EXPECT_EQ(run.final_estimate.precision, reference.final_estimate.precision);
+      EXPECT_EQ(run.final_estimate.recall, reference.final_estimate.recall);
+    }
+  }
+}
+
+TEST(AsyncLabelPipelineTest, PrefetchOverARemoteOracleKeepsAccountingExact) {
+  const testutil::SyntheticPool pool =
+      testutil::MakeSyntheticPool({.size = 3000, .seed = 5});
+  GroundTruthOracle inner(pool.truth);
+  RemoteOracleOptions options;
+  options.round_trip_seconds = 10.0;
+  options.per_item_seconds = 1.0;
+  options.cost_per_label = 0.1;
+  options.jitter_fraction = 0.0;
+
+  RemoteOracle unprefetched(&inner, options);
+  const SamplerRun reference = RunOne("importance", pool, unprefetched, nullptr);
+
+  ThreadPool prefetch_pool(2);
+  RemoteOracle prefetched(&inner, options);
+  const SamplerRun run = RunOne("importance", pool, prefetched, &prefetch_pool);
+
+  // Identical labels AND identical wire accounting: prefetching overlaps the
+  // round trips with tallying, it never changes what is fetched.
+  EXPECT_EQ(run.labels_consumed, reference.labels_consumed);
+  const RemoteOracleStats a = unprefetched.stats();
+  const RemoteOracleStats b = prefetched.stats();
+  EXPECT_EQ(b.queries, a.queries);
+  EXPECT_EQ(b.round_trips, a.round_trips);
+  EXPECT_EQ(b.labels_fetched, a.labels_fetched);
+  EXPECT_EQ(b.simulated_latency_ns, a.simulated_latency_ns);
+  ASSERT_TRUE(run.trajectory.has_remote_stats);
+  ASSERT_TRUE(reference.trajectory.has_remote_stats);
+  EXPECT_EQ(run.trajectory.remote_round_trips,
+            reference.trajectory.remote_round_trips);
+}
+
+TEST(AsyncLabelPipelineTest, PrefetchPoolIsIgnoredWhenBatchingIsUnsound) {
+  // A noisy oracle consumes RNG: samplers must fall back to the exact
+  // sequential loop even with a prefetch pool set.
+  const testutil::SyntheticPool pool =
+      testutil::MakeSyntheticPool({.size = 1000, .seed = 9});
+  NoisyOracle oracle =
+      NoisyOracle::FromTruthWithFlipNoise(pool.truth, 0.1).ValueOrDie();
+
+  const SamplerRun reference = RunOne("passive", pool, oracle, nullptr);
+  ThreadPool prefetch_pool(4);
+  const SamplerRun run = RunOne("passive", pool, oracle, &prefetch_pool);
+  EXPECT_EQ(run.final_estimate.f_alpha, reference.final_estimate.f_alpha);
+  EXPECT_EQ(run.labels_consumed, reference.labels_consumed);
+  EXPECT_EQ(run.iterations, reference.iterations);
+}
+
+}  // namespace
+}  // namespace oasis

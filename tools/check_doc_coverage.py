@@ -1,0 +1,420 @@
+#!/usr/bin/env python3
+"""Documentation-coverage gate for public headers.
+
+Enforces the repo's API-docs contract on the fully documented subdirectories
+(src/oracle, src/experiments, src/datagen): every public declaration in a
+header — class, struct, enum, alias, function, or public data member — must
+carry a Doxygen comment: a `///` block directly above it, or a trailing
+`///<` on the same line.
+
+This is the dependency-free twin of the CMake `docs_strict` target (Doxygen
+with WARN_IF_UNDOCUMENTED + WARN_AS_ERROR over the same directories): CI runs
+both, and this one also runs anywhere Python does, so a missing comment is
+caught before a Doxygen-equipped CI leg ever sees it.
+
+Deliberately out of scope (mirrors the Doxygen configuration):
+  * private/protected members (EXTRACT_PRIVATE is off);
+  * namespace declarations (documented once per project, not per header);
+  * enum values (documented at the enum, individually optional);
+  * everything in .cc files.
+
+Usage:
+    python3 tools/check_doc_coverage.py src/oracle src/experiments src/datagen
+    python3 tools/check_doc_coverage.py --self-test
+
+Exit status 0 when every public declaration is documented, 1 otherwise (one
+`file:line: undocumented ...` diagnostic per finding).
+"""
+
+import os
+import re
+import sys
+
+# Statement openers that never need their own doc comment.
+_SKIP_PREFIXES = (
+    "public:",
+    "private:",
+    "protected:",
+    "namespace",
+    "using namespace",
+    "friend ",
+    "}",
+    "{",
+    "OASIS_",  # Macro invocations at class/namespace scope.
+    "static_assert",
+    "extern \"C\"",
+)
+
+
+def _strip_comments_and_strings(line, in_block_comment):
+    """Returns (code, had_doc_line, trailing_doc, still_in_block_comment).
+
+    `code` is the line with comments and string/char literals blanked out;
+    `had_doc_line` is True when the line is (only) a /// comment line;
+    `trailing_doc` is True when the line carries a ///< trailing comment.
+    """
+    code = []
+    i = 0
+    had_doc_line = False
+    trailing_doc = "///<" in line
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(code), had_doc_line, trailing_doc, True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            if line[i : i + 3] == "///" and not line[i : i + 4] == "///<":
+                if not "".join(code).strip():
+                    had_doc_line = True
+            break  # Rest of line is a comment.
+        if ch == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch in "\"'":
+            quote = ch
+            code.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            if i < n:
+                code.append(quote)
+                i += 1
+            continue
+        code.append(ch)
+        i += 1
+    return "".join(code), had_doc_line, trailing_doc, in_block_comment
+
+
+class _Scope:
+    """One brace scope: 'namespace', 'class' (with access), 'enum', 'block'."""
+
+    def __init__(self, kind, access="private"):
+        self.kind = kind
+        self.access = access
+
+
+def check_header(path, lines):
+    """Returns a list of (line_number, message) findings for one header."""
+    findings = []
+    scopes = []  # Innermost last; file scope is implicit.
+    in_block_comment = False
+    prev_was_doc = False
+    pending = False  # Inside a multi-line declaration already checked.
+    pending_doc_ok = False
+    pending_first_line = 0
+    pending_text = ""
+
+    def documentable_scope():
+        for scope in reversed(scopes):
+            if scope.kind == "block" or scope.kind == "enum":
+                return False
+            if scope.kind == "class":
+                return scope.access == "public"
+        return True  # Namespace / file scope.
+
+    for lineno, raw in enumerate(lines, start=1):
+        code, had_doc_line, trailing_doc, in_block_comment = (
+            _strip_comments_and_strings(raw, in_block_comment)
+        )
+        stripped = code.strip()
+        if not stripped:
+            if had_doc_line:
+                prev_was_doc = True
+            continue
+        if stripped.startswith("#"):  # Preprocessor.
+            continue
+
+        # Access labels switch the innermost class scope.
+        access_label = re.match(r"^(public|private|protected)\s*:", stripped)
+        if access_label and scopes and scopes[-1].kind == "class":
+            scopes[-1].access = access_label.group(1)
+            prev_was_doc = False
+            continue
+
+        # Closing lines ('}', '};', '} // namespace x') pop scopes whether or
+        # not they carry a statement terminator — a bare '}' ending an inline
+        # function body must not leave its block scope stuck on the stack.
+        if stripped.startswith("}") and not pending:
+            net_closes = code.count("}") - code.count("{")
+            for _ in range(max(net_closes, 0)):
+                if scopes:
+                    scopes.pop()
+            prev_was_doc = False
+            continue
+
+        starts_statement = not pending
+        if starts_statement:
+            is_skippable = stripped.startswith(_SKIP_PREFIXES) or stripped in (
+                ");",
+                ") {",
+            )
+            needs_doc = (
+                documentable_scope()
+                and not is_skippable
+                and not had_doc_line
+            )
+            if needs_doc:
+                pending_doc_ok = prev_was_doc or trailing_doc
+                pending_first_line = lineno
+                pending_text = stripped
+            else:
+                pending_doc_ok = True
+                pending_first_line = lineno
+                pending_text = stripped
+        else:
+            pending_doc_ok = pending_doc_ok or trailing_doc
+            pending_text += " " + stripped
+
+        # A `template <...>` header is part of the declaration that follows.
+        terminator = ";" in code or "{" in code
+        pending = not terminator
+        if not terminator:
+            prev_was_doc = False
+            continue
+
+        # Statement complete: report if it needed a doc and has none.
+        if not pending_doc_ok and documentable_scope():
+            first = pending_text.split("(")[0].strip()
+            findings.append(
+                (
+                    pending_first_line,
+                    "undocumented public declaration: '%s'"
+                    % (first[:60] + ("..." if len(first) > 60 else "")),
+                )
+            )
+        pending = False
+        pending_doc_ok = False
+
+        # Maintain the scope stack from this statement's braces.
+        opens = code.count("{")
+        closes = code.count("}")
+        if opens > closes:
+            text = pending_text
+            if re.search(r"\benum\b", text):
+                scopes.append(_Scope("enum"))
+            elif re.search(r"\b(class|struct|union)\b", text) and not re.search(
+                r"[)=]", text.split("{")[0]
+            ):
+                access = "public" if re.search(r"\b(struct|union)\b", text) else "private"
+                scopes.append(_Scope("class", access))
+            elif re.match(r"^(inline\s+)?namespace\b", text):
+                scopes.append(_Scope("namespace"))
+            else:
+                scopes.append(_Scope("block"))
+            for _ in range(opens - closes - 1):
+                scopes.append(_Scope("block"))
+        elif closes > opens:
+            for _ in range(closes - opens):
+                if scopes:
+                    scopes.pop()
+        prev_was_doc = False
+        pending_text = ""
+
+    return findings
+
+
+def check_paths(paths):
+    """Checks every .h under the given files/directories; returns findings as
+    (path, line, message) tuples."""
+    findings = []
+    headers = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, files in os.walk(path):
+                headers.extend(
+                    os.path.join(root, f) for f in sorted(files) if f.endswith(".h")
+                )
+        elif path.endswith(".h"):
+            headers.append(path)
+    for header in headers:
+        with open(header, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for lineno, message in check_header(header, lines):
+            findings.append((header, lineno, message))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test.
+# ---------------------------------------------------------------------------
+
+_SELF_TEST_CASES = [
+    # (name, header text, expected undocumented line numbers)
+    (
+        "documented members pass",
+        """\
+namespace demo {
+
+/// A documented class.
+class Widget {
+ public:
+  /// Documented method.
+  int Size() const;
+
+  /// Documented field.
+  int size = 0;
+
+ private:
+  int hidden_;  // Private: not checked.
+};
+
+}  // namespace demo
+""",
+        [],
+    ),
+    (
+        "undocumented public member flagged",
+        """\
+namespace demo {
+
+/// A documented class.
+class Widget {
+ public:
+  int Size() const;
+};
+
+}  // namespace demo
+""",
+        [6],
+    ),
+    (
+        "undocumented free function and struct flagged",
+        """\
+namespace demo {
+
+int Area(int w, int h);
+
+struct Box {
+  /// ok
+  int w = 0;
+  int h = 0;
+};
+
+}  // namespace demo
+""",
+        [3, 5, 8],
+    ),
+    (
+        "trailing doc and multi-line declarations pass",
+        """\
+namespace demo {
+
+/// Documented struct.
+struct Box {
+  int w = 0;  ///< Width.
+
+  /// Long signature spanning lines.
+  int Resize(int width,
+             int height);
+};
+
+}  // namespace demo
+""",
+        [],
+    ),
+    (
+        "function bodies and enums are skipped",
+        """\
+namespace demo {
+
+/// Documented function with a body.
+inline int Twice(int x) {
+  int local = x;
+  return local + x;
+}
+
+/// Documented enum; values are optional.
+enum class Color {
+  kRed,
+  kBlue,
+};
+
+}  // namespace demo
+""",
+        [],
+    ),
+    (
+        "own-line closing braces do not leak scopes",
+        """\
+namespace demo {
+
+/// Documented function with a brace-on-own-line body.
+inline int Twice(int x) {
+  return x + x;
+}
+
+int Undocumented(int x);
+
+struct AlsoUndocumented {
+  /// ok
+  int w = 0;
+};
+
+}  // namespace demo
+""",
+        [8, 10],
+    ),
+    (
+        "template declarations need one doc above the template line",
+        """\
+namespace demo {
+
+/// Documented template.
+template <typename T>
+T Identity(T value);
+
+template <typename T>
+T Broken(T value);
+
+}  // namespace demo
+""",
+        [7],
+    ),
+]
+
+
+def self_test():
+    failures = 0
+    for name, text, expected in _SELF_TEST_CASES:
+        found = [line for line, _ in check_header("<self-test>", text.splitlines())]
+        if found != expected:
+            print("self-test FAILED: %s: expected %r, got %r" % (name, expected, found))
+            failures += 1
+        else:
+            print("self-test ok: %s" % name)
+    return failures
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        failures = self_test()
+        if failures:
+            return 1
+        print("all self-tests passed")
+        return 0
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    findings = check_paths(argv[1:])
+    for path, lineno, message in findings:
+        print("%s:%d: %s" % (path, lineno, message))
+    if findings:
+        print("%d undocumented public declaration(s)" % len(findings))
+        return 1
+    print("doc coverage OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
