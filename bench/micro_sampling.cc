@@ -23,8 +23,10 @@
 #include "common/thread_pool.h"
 #include "core/oasis.h"
 #include "experiments/runner.h"
+#include "oracle/fault_injecting_oracle.h"
 #include "oracle/ground_truth_oracle.h"
 #include "oracle/remote_oracle.h"
+#include "oracle/retry_policy.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
 #include "strata/csf.h"
@@ -411,6 +413,58 @@ void BM_RemoteOraclePrefetch(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoteOraclePrefetch)->Arg(2048);
 
+/// Happy-path cost of the fault-tolerant oracle stack: an ImportanceSampler
+/// labels kRetryLabels items in 256-item batches against three stacks of
+/// increasing depth — range(0) = 0: bare GroundTruthOracle (infallible fast
+/// path), 1: + FaultInjectingOracle with all rates zero (fallible path, no
+/// faults fired), 2: + RetryingOracle on top (full retry/breaker machinery,
+/// single attempt per batch). The gap between rows is pure decorator
+/// overhead — no fault ever fires, no retry ever happens — and bounds what
+/// `RunnerOptions::retry_policy` costs a fault-free experiment. main()
+/// derives `retry_stack_overhead_pct` from rows 0 and 2.
+void BM_RetryOverhead(benchmark::State& state) {
+  const int64_t depth = state.range(0);
+  constexpr int64_t kRetryLabels = 4096;
+  constexpr int64_t kBatch = 256;
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  static GroundTruthOracle* inner = new GroundTruthOracle(pool->truth);
+  // All-zero rates: the schedule RNG still advances per attempt (that is the
+  // determinism contract), but every batch resolves on the first try.
+  const FaultInjectionOptions calm;
+  RetryPolicy policy;
+
+  int64_t attempts = 0;
+  for (auto _ : state) {
+    FaultInjectingOracle chaos(inner, calm);
+    RetryingOracle retrying(&chaos, policy);
+    const Oracle* oracle = inner;
+    if (depth == 1) oracle = &chaos;
+    if (depth >= 2) oracle = &retrying;
+    LabelCache cache(oracle);
+    auto sampler = ImportanceSampler::Create(&pool->scored, &cache,
+                                             ImportanceOptions{}, Rng(12))
+                       .ValueOrDie();
+    for (int64_t done = 0; done < kRetryLabels; done += kBatch) {
+      benchmark::DoNotOptimize(
+          sampler->StepBatch(std::min(kBatch, kRetryLabels - done)).ok());
+    }
+    if (depth >= 2) attempts += retrying.stats().attempts;
+  }
+  state.SetItemsProcessed(state.iterations() * kRetryLabels);
+  state.counters["stack_depth"] = static_cast<double>(depth);
+  if (depth >= 2) {
+    state.counters["attempts_per_iter"] =
+        state.iterations() > 0
+            ? static_cast<double>(attempts) /
+                  static_cast<double>(state.iterations())
+            : 0.0;
+  }
+  state.SetLabel(depth == 0   ? "bare"
+                 : depth == 1 ? "fault-inject(calm)"
+                              : "retry+fault-inject(calm)");
+}
+BENCHMARK(BM_RetryOverhead)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_CsfStratify(benchmark::State& state) {
   const int64_t n = state.range(0);
   BenchPool pool = MakePool(n);
@@ -517,6 +571,29 @@ int main(int argc, char** argv) {
             r.metrics["round_trips_saved_vs_perquery"] =
                 per_query_trips / it->second;
           }
+        }
+      }
+    }
+  }
+
+  // Derived metric: the full retry stack's happy-path overhead over the bare
+  // oracle, as a percentage — the number docs/FAULT_MODEL.md quotes for
+  // "what does arming retry_policy cost a fault-free run".
+  {
+    auto& results = writer.mutable_results();
+    double bare_steps_per_sec = 0.0;
+    for (const auto& r : results) {
+      if (r.name == "BM_RetryOverhead/0") {
+        bare_steps_per_sec = r.steps_per_sec;
+        break;
+      }
+    }
+    if (bare_steps_per_sec > 0.0) {
+      for (auto& r : results) {
+        if (r.name.rfind("BM_RetryOverhead/", 0) == 0 &&
+            r.name != "BM_RetryOverhead/0" && r.steps_per_sec > 0.0) {
+          r.metrics["retry_stack_overhead_pct"] =
+              100.0 * (bare_steps_per_sec / r.steps_per_sec - 1.0);
         }
       }
     }

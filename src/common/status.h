@@ -18,6 +18,8 @@ enum class StatusCode {
   kAlreadyExists,
   kCancelled,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -57,6 +59,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -22,7 +22,9 @@ OasisSampler::OasisSampler(const ScoredPool* pool, LabelCache* labels,
       model_(std::move(model)),
       lambda_(std::move(lambda)),
       initial_f_(initial_f),
-      estimator_(options.alpha) {
+      estimator_(options.alpha),
+      monitor_(options.degeneracy),
+      active_epsilon_(options.epsilon) {
   const size_t num_strata = strata_->num_strata();
   v_scratch_.resize(num_strata);
   // Seed the incremental posterior caches and the per-stratum constants of
@@ -60,6 +62,12 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::Create(
       options.fenwick_rebuild_tol < 0.0) {
     return Status::InvalidArgument(
         "OasisSampler: fenwick_rebuild_tol must be finite and >= 0");
+  }
+  if (options.degrade_on_degeneracy &&
+      (std::isnan(options.degraded_epsilon) || options.degraded_epsilon <= 0.0 ||
+       options.degraded_epsilon > 1.0)) {
+    return Status::InvalidArgument(
+        "OasisSampler: degraded_epsilon must lie in (0, 1]");
   }
   if (static_cast<int64_t>(strata->num_items()) != pool->size()) {
     return Status::InvalidArgument("OasisSampler: strata/pool size mismatch");
@@ -104,8 +112,8 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::CreateWithCsf(
 
 double OasisSampler::FenwickMixtureProbability(size_t k, double total) const {
   const double omega_k = strata_->weight(k);
-  return total > 0.0 ? options_.epsilon * omega_k +
-                           (1.0 - options_.epsilon) *
+  return total > 0.0 ? active_epsilon_ * omega_k +
+                           (1.0 - active_epsilon_) *
                                (v_star_tree_.value(k) / total)
                      : omega_k;
 }
@@ -154,7 +162,7 @@ Status OasisSampler::StepFenwick() {
   // both components collapse to omega (same fallback as the other paths).
   const double total = v_star_tree_.Total();
   size_t k;
-  if (total <= 0.0 || rng().NextDouble() < options_.epsilon) {
+  if (total <= 0.0 || rng().NextDouble() < active_epsilon_) {
     k = weights_alias_.Sample(rng());
   } else {
     k = v_star_tree_.FindQuantile(rng().NextDouble() * total);
@@ -167,7 +175,7 @@ Status OasisSampler::StepFenwick() {
   const double weight = strata_->weight(k) / FenwickMixtureProbability(k, total);
 
   // Lines 7-8: query oracle, read prediction.
-  const bool label = QueryLabel(item);
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
   const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
 
   // Lines 9-11: posterior update and AIS sums. Only stratum k's posterior
@@ -177,6 +185,8 @@ Status OasisSampler::StepFenwick() {
   v_star_tree_.Update(k, StratumMass(k, tree_f_));
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
+  monitor_.Observe(weight);
+  MaybeDegrade();
   return Status::OK();
 }
 
@@ -213,7 +223,7 @@ Status OasisSampler::StepFused() {
     v[i] = weights[i] * (not_pred + pred);
     total += v[i];
   }
-  const double epsilon = options_.epsilon;
+  const double epsilon = active_epsilon_;
   if (total <= 0.0) {
     // Degenerate estimates: fall back to the (already normalised by
     // invariant, renormalised here for exact reference parity) stratum
@@ -240,13 +250,15 @@ Status OasisSampler::StepFused() {
   const double weight = strata_->weight(k) / v_scratch_[k];
 
   // Lines 7-8: query oracle, read prediction.
-  const bool label = QueryLabel(item);
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
   const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
 
   // Lines 9-11: posterior update and AIS sums.
   ObserveLabel(k, label);
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
+  monitor_.Observe(weight);
+  MaybeDegrade();
   return Status::OK();
 }
 
@@ -264,7 +276,7 @@ Status OasisSampler::StepAllocatingReference() {
         OptimalStratifiedInstrumental(strata_->weights(), lambda_, pi, f_current,
                                       options_.alpha));
     OASIS_ASSIGN_OR_RETURN(
-        v_scratch_, EpsilonGreedyMix(strata_->weights(), v_star, options_.epsilon));
+        v_scratch_, EpsilonGreedyMix(strata_->weights(), v_star, active_epsilon_));
   }
 
   // Lines 4-5: stratum ~ v(t), item uniform within the stratum.
@@ -276,17 +288,78 @@ Status OasisSampler::StepAllocatingReference() {
   const double weight = strata_->weight(k) / v_scratch_[k];
 
   // Lines 7-8: query oracle, read prediction.
-  const bool label = QueryLabel(item);
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
   const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
 
   // Lines 9-11: posterior update and AIS sums.
   ObserveLabel(k, label);
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
+  monitor_.Observe(weight);
+  MaybeDegrade();
+  return Status::OK();
+}
+
+void OasisSampler::MaybeDegrade() {
+  if (!options_.degrade_on_degeneracy || degraded_ || !monitor_.degenerate()) {
+    return;
+  }
+  // Graceful degradation: the weight history says the adaptive instrumental
+  // has collapsed onto a vanishing subset of draws. Boost the exploration
+  // floor — bounding every future weight by 1/active_epsilon_ — and
+  // optionally stop chasing the (evidently misleading) posterior. Estimates
+  // remain consistent: from here on the sampler still draws from a fixed,
+  // fully-supported distribution and weights against THAT distribution, so
+  // the AIS estimator keeps averaging unbiased per-draw ratios (see
+  // docs/FAULT_MODEL.md for the argument and its Delyon–Portier framing).
+  degraded_ = true;
+  active_epsilon_ = std::max(options_.epsilon, options_.degraded_epsilon);
+  if (options_.freeze_instrumental_on_degrade) {
+    CaptureFrozenInstrumental();
+    frozen_ = true;
+  }
+}
+
+void OasisSampler::CaptureFrozenInstrumental() {
+  const size_t num_strata = strata_->num_strata();
+  const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
+  frozen_v_.resize(num_strata);
+  double total = 0.0;
+  for (size_t k = 0; k < num_strata; ++k) {
+    frozen_v_[k] = StratumMass(k, f);
+    total += frozen_v_[k];
+  }
+  if (total <= 0.0) {
+    std::copy(strata_->weights().begin(), strata_->weights().end(),
+              frozen_v_.begin());
+    NormalizeInPlace(frozen_v_);
+  } else {
+    for (size_t k = 0; k < num_strata; ++k) frozen_v_[k] /= total;
+  }
+  for (size_t k = 0; k < num_strata; ++k) {
+    frozen_v_[k] = active_epsilon_ * strata_->weight(k) +
+                   (1.0 - active_epsilon_) * frozen_v_[k];
+  }
+}
+
+Status OasisSampler::StepFrozen() {
+  // Degraded mode: a fixed, fully-supported instrumental. The posterior and
+  // the monitor keep updating (diagnostics and a possible recovery analysis),
+  // but the sampling distribution no longer adapts.
+  const size_t k = rng().NextDiscreteLinear(frozen_v_);
+  const int64_t item = strata_->SampleItem(k, rng());
+  const double weight = strata_->weight(k) / frozen_v_[k];
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+  ObserveLabel(k, label);
+  estimator_.Add(weight, label, prediction);
+  if (observer_) observer_(weight, label, prediction);
+  monitor_.Observe(weight);
   return Status::OK();
 }
 
 Status OasisSampler::Step() {
+  if (frozen_) return StepFrozen();
   switch (options_.step_path) {
     case OasisStepPath::kAllocatingReference:
       return StepAllocatingReference();
@@ -309,6 +382,15 @@ Status OasisSampler::StepBatch(int64_t n) {
   // algorithm. The batch win here is hoisting the path dispatch out of the
   // loop; label-level batching for the static samplers lives in their own
   // StepBatch overrides.
+  if (options_.degrade_on_degeneracy) {
+    // The degradation hook can flip the step path mid-batch; take the
+    // dispatching loop so the transition lands on the exact step the monitor
+    // fired (identical to n sequential Step() calls by construction).
+    for (int64_t i = 0; i < n; ++i) {
+      OASIS_RETURN_NOT_OK(Step());
+    }
+    return Status::OK();
+  }
   switch (options_.step_path) {
     case OasisStepPath::kAllocatingReference:
       for (int64_t i = 0; i < n; ++i) {
@@ -356,7 +438,7 @@ Result<std::vector<double>> OasisSampler::CurrentInstrumental() const {
       std::vector<double> v_star,
       OptimalStratifiedInstrumental(strata_->weights(), lambda_, pi, f_current,
                                     options_.alpha));
-  return EpsilonGreedyMix(strata_->weights(), v_star, options_.epsilon);
+  return EpsilonGreedyMix(strata_->weights(), v_star, active_epsilon_);
 }
 
 }  // namespace oasis

@@ -11,6 +11,7 @@
 #include "core/ais_estimator.h"
 #include "core/bayesian_model.h"
 #include "sampling/sampler.h"
+#include "stats/degeneracy.h"
 #include "strata/csf.h"
 #include "strata/strata.h"
 
@@ -70,6 +71,28 @@ struct OasisOptions {
   /// epsilon mix — the tolerance only affects how close the instrumental is
   /// to the optimum (variance), never correctness. Must be finite and >= 0.
   double fenwick_rebuild_tol = 1e-2;
+  /// Thresholds of the always-on importance-weight health monitor (see
+  /// DegeneracyMonitor; diagnostics are collected regardless of
+  /// degrade_on_degeneracy).
+  DegeneracyOptions degeneracy;
+  /// When true, a degenerate weight history (ESS collapse or one weight
+  /// dominating the mass) flips the sampler into a degraded mode: the
+  /// epsilon-greedy floor is boosted to degraded_epsilon and — when
+  /// freeze_instrumental_on_degrade — the instrumental distribution is
+  /// frozen at its current shape. Estimates remain consistent in either mode
+  /// because every importance weight is computed against the distribution
+  /// the draw ACTUALLY came from, which keeps full support through the
+  /// (boosted) epsilon mix — degrading trades asymptotic variance for
+  /// robustness, never correctness (see docs/FAULT_MODEL.md). Off by
+  /// default; the default path is bit-identical with the monitor running.
+  bool degrade_on_degeneracy = false;
+  /// Epsilon floor used once degraded (must lie in (0, 1] when
+  /// degrade_on_degeneracy; values below `epsilon` are clamped up to it).
+  double degraded_epsilon = 0.5;
+  /// Whether degrading also freezes the instrumental distribution (stops
+  /// adapting v(t) to the — evidently untrustworthy — posterior; the
+  /// posterior itself keeps updating for diagnostics).
+  bool freeze_instrumental_on_degrade = true;
 };
 
 /// OASIS — Optimal Asymptotic Sequential Importance Sampling (Algorithm 3).
@@ -150,6 +173,20 @@ class OasisSampler : public Sampler {
   /// defined.
   double initial_f() const { return initial_f_; }
 
+  /// The importance-weight health monitor (always collecting; see
+  /// OasisOptions::degeneracy).
+  const DegeneracyMonitor* degeneracy_monitor() const override {
+    return &monitor_;
+  }
+
+  /// Whether the graceful-degradation hook has fired (see
+  /// OasisOptions::degrade_on_degeneracy).
+  bool degraded() const { return degraded_; }
+
+  /// The epsilon floor currently in force (== options().epsilon until the
+  /// sampler degrades).
+  double active_epsilon() const { return active_epsilon_; }
+
  private:
   OasisSampler(const ScoredPool* pool, LabelCache* labels,
                std::shared_ptr<const Strata> strata, const OasisOptions& options,
@@ -163,6 +200,16 @@ class OasisSampler : public Sampler {
   Status StepAllocatingReference();
   /// The O(log K) Fenwick-tree iteration (OasisStepPath::kFenwick).
   Status StepFenwick();
+  /// The degraded-mode iteration: draw from the frozen instrumental
+  /// distribution, weight against it (full support — consistency holds),
+  /// keep posterior and diagnostics updating.
+  Status StepFrozen();
+  /// Fires the graceful degradation once the monitor reports a degenerate
+  /// weight history (no-op unless OasisOptions::degrade_on_degeneracy).
+  void MaybeDegrade();
+  /// Snapshots the current epsilon-greedy instrumental into frozen_v_ (under
+  /// the boosted floor) for StepFrozen.
+  void CaptureFrozenInstrumental();
   /// One-time kFenwick setup: the weights alias table and the initial mass
   /// build. Called from Create() so construction can still fail cleanly.
   Status InitFenwick();
@@ -188,6 +235,17 @@ class OasisSampler : public Sampler {
   double initial_f_;
   AisEstimator estimator_;
   Observer observer_;
+  // --- Degeneracy state --------------------------------------------------
+  // Always-on weight health monitor; MaybeDegrade consults it per step.
+  DegeneracyMonitor monitor_;
+  // Epsilon floor in force: options_.epsilon until degradation boosts it.
+  // Every step path and CurrentInstrumental read this, never options_.epsilon
+  // directly, so the boost applies uniformly.
+  double active_epsilon_ = 0.0;
+  bool degraded_ = false;
+  // When true, Step() routes to StepFrozen() over frozen_v_.
+  bool frozen_ = false;
+  std::vector<double> frozen_v_;
   // Scratch buffer reused across iterations to avoid per-step allocation.
   std::vector<double> v_scratch_;
   // --- Fused-path state --------------------------------------------------

@@ -120,12 +120,23 @@ Status WriteCurvesCsv(const std::string& path,
   // Cost-curve output format: when any curve was priced through a remote
   // oracle, three extra columns carry the mean cumulative round trips,
   // simulated latency (seconds) and monetary label cost at each checkpoint;
-  // curves without cost data leave those cells empty. Without remote data
-  // the header and rows are the historical six columns, unchanged.
+  // curves without cost data leave those cells empty. Fault-tolerant runs
+  // (RunnerOptions::retry_policy) add mean cumulative retries/give_ups
+  // columns the same way, and samplers with a degeneracy monitor add a mean
+  // per-checkpoint ESS column. Without any of those, the header and rows are
+  // the historical six columns, unchanged.
   bool any_remote = false;
-  for (const ErrorCurve& curve : curves) any_remote |= curve.has_remote_cost;
+  bool any_fault = false;
+  bool any_degeneracy = false;
+  for (const ErrorCurve& curve : curves) {
+    any_remote |= curve.has_remote_cost;
+    any_fault |= curve.has_fault_stats;
+    any_degeneracy |= curve.has_degeneracy_stats;
+  }
   out << "method,labels,mean_abs_error,stddev,mean_estimate,frac_defined";
   if (any_remote) out << ",round_trips,sim_seconds,label_cost";
+  if (any_fault) out << ",retries,give_ups";
+  if (any_degeneracy) out << ",ess";
   out << '\n';
   for (const ErrorCurve& curve : curves) {
     for (size_t i = 0; i < curve.budgets.size(); ++i) {
@@ -139,6 +150,20 @@ Status WriteCurvesCsv(const std::string& path,
               << curve.mean_label_cost[i];
         } else {
           out << ",,,";
+        }
+      }
+      if (any_fault) {
+        if (curve.has_fault_stats) {
+          out << ',' << curve.mean_retries[i] << ',' << curve.mean_give_ups[i];
+        } else {
+          out << ",,";
+        }
+      }
+      if (any_degeneracy) {
+        if (curve.has_degeneracy_stats) {
+          out << ',' << curve.mean_ess[i];
+        } else {
+          out << ',';
         }
       }
       out << '\n';

@@ -35,6 +35,9 @@ Result<LoadedPool> ReadPoolCsv(const std::string& path);
 /// has_remote_cost), three columns `round_trips,sim_seconds,label_cost` are
 /// appended — the mean cumulative cost of reaching each checkpoint — with
 /// empty cells for curves that were not priced (see docs/ORACLES.md).
+/// Fault-tolerant runs append `retries,give_ups` (ErrorCurve::
+/// has_fault_stats) and weight-monitored samplers append `ess`
+/// (has_degeneracy_stats) the same way (see docs/FAULT_MODEL.md).
 Status WriteCurvesCsv(const std::string& path,
                       const std::vector<ErrorCurve>& curves);
 

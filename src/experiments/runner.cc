@@ -77,16 +77,28 @@ struct RepeatSlots {
   std::vector<double> round_trips;
   std::vector<double> simulated_seconds;
   std::vector<double> label_cost;
+  /// Retry recovery per (repeat, checkpoint); allocated only when the run
+  /// retries failures (RunnerOptions::retry_policy).
+  std::vector<double> retries;
+  std::vector<double> give_ups;
+  /// Effective sample size per (repeat, checkpoint); always allocated (cheap)
+  /// since whether the sampler monitors weights is only known once built.
+  std::vector<double> ess;
   size_t checkpoints = 0;
 
-  RepeatSlots(size_t repeats, size_t num_checkpoints, bool remote)
+  RepeatSlots(size_t repeats, size_t num_checkpoints, bool remote, bool fault)
       : f_alpha(repeats * num_checkpoints, 0.0),
         defined(repeats * num_checkpoints, 0),
+        ess(repeats * num_checkpoints, 0.0),
         checkpoints(num_checkpoints) {
     if (remote) {
       round_trips.assign(repeats * num_checkpoints, 0.0);
       simulated_seconds.assign(repeats * num_checkpoints, 0.0);
       label_cost.assign(repeats * num_checkpoints, 0.0);
+    }
+    if (fault) {
+      retries.assign(repeats * num_checkpoints, 0.0);
+      give_ups.assign(repeats * num_checkpoints, 0.0);
     }
   }
 
@@ -106,11 +118,30 @@ struct RepeatSlots {
 /// accounting — like the LabelCache — is owned by the repeat and therefore
 /// deterministic whatever the fan-out does. `store` (nullable) is the
 /// run-wide SharedLabelStore of remote_share_labels.
+///
+/// Fault tolerance composes around that, still per repeat: fault_injection
+/// splices a FaultInjectingOracle UNDER the remote layer (its schedule
+/// forked per repeat, so repeats see decorrelated but fully deterministic
+/// chaos) and retry_policy tops the stack with a RetryingOracle — the layer
+/// the LabelCache actually talks to. `degeneracy_seen` is flipped when the
+/// sampler exposed a weight monitor (only known once the sampler is built).
 Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
                     const Oracle& oracle, const RunnerOptions& options,
                     Rng rng, size_t repeat, RepeatSlots* slots,
-                    SharedLabelStore* store) {
+                    SharedLabelStore* store,
+                    std::atomic<bool>* degeneracy_seen) {
   const Oracle* labelled_oracle = &oracle;
+  std::optional<FaultInjectingOracle> faulty;
+  if (options.fault_injection.has_value()) {
+    FaultInjectionOptions fault_options = *options.fault_injection;
+    // Decorrelate fault schedules across repeats while keeping each one a
+    // pure function of (options, repeat index).
+    fault_options.seed =
+        Rng::Fork(fault_options.seed, static_cast<uint64_t>(repeat))
+            .NextUint64();
+    faulty.emplace(&oracle, fault_options);
+    labelled_oracle = &*faulty;
+  }
   std::optional<RemoteOracle> remote;
   if (options.remote_oracle.has_value()) {
     RemoteOracleOptions remote_options = *options.remote_oracle;
@@ -120,8 +151,13 @@ Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
     remote_options.jitter_seed =
         Rng::Fork(remote_options.jitter_seed, static_cast<uint64_t>(repeat))
             .NextUint64();
-    remote.emplace(&oracle, remote_options, store);
+    remote.emplace(labelled_oracle, remote_options, store);
     labelled_oracle = &*remote;
+  }
+  std::optional<RetryingOracle> retrying;
+  if (options.retry_policy.has_value()) {
+    retrying.emplace(labelled_oracle, *options.retry_policy);
+    labelled_oracle = &*retrying;
   }
   LabelCache labels(labelled_oracle);
   OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
@@ -140,6 +176,16 @@ Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
       slots->simulated_seconds[slot] = trajectory.remote_seconds[i];
       slots->label_cost[slot] = trajectory.remote_cost[i];
     }
+    if (trajectory.has_fault_stats && !slots->retries.empty()) {
+      slots->retries[slot] = static_cast<double>(trajectory.oracle_retries[i]);
+      slots->give_ups[slot] = static_cast<double>(trajectory.oracle_give_ups[i]);
+    }
+    if (trajectory.has_degeneracy_stats) {
+      slots->ess[slot] = trajectory.ess[i];
+    }
+  }
+  if (trajectory.has_degeneracy_stats) {
+    degeneracy_seen->store(true, std::memory_order_release);
   }
   return Status::OK();
 }
@@ -166,7 +212,9 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
 
   const size_t repeats = static_cast<size_t>(options.repeats);
   const bool remote = options.remote_oracle.has_value();
-  RepeatSlots slots(repeats, num_checkpoints, remote);
+  const bool fault = options.retry_policy.has_value();
+  RepeatSlots slots(repeats, num_checkpoints, remote, fault);
+  std::atomic<bool> degeneracy_seen{false};
   // Run-wide shared label store: any repeat's fetched label answers every
   // later request for that item, from any repeat (sound only for
   // deterministic RNG-free oracles; RemoteOracle enforces the gate).
@@ -197,7 +245,8 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
     const Status status =
         RunOneRepeat(method, pool, oracle, options,
                      Rng::Fork(options.base_seed, static_cast<uint64_t>(repeat)),
-                     static_cast<size_t>(repeat), &slots, store.get());
+                     static_cast<size_t>(repeat), &slots, store.get(),
+                     &degeneracy_seen);
     if (!status.ok()) {
       repeat_status[static_cast<size_t>(repeat)] = status;
       failed.store(true, std::memory_order_release);
@@ -232,6 +281,10 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
   std::vector<RunningStats> round_trips(remote ? num_checkpoints : 0);
   std::vector<RunningStats> simulated_seconds(remote ? num_checkpoints : 0);
   std::vector<RunningStats> label_cost(remote ? num_checkpoints : 0);
+  const bool degeneracy = degeneracy_seen.load(std::memory_order_acquire);
+  std::vector<RunningStats> retries(fault ? num_checkpoints : 0);
+  std::vector<RunningStats> give_ups(fault ? num_checkpoints : 0);
+  std::vector<RunningStats> ess(degeneracy ? num_checkpoints : 0);
   for (size_t r = 0; r < repeats; ++r) {
     for (size_t i = 0; i < num_checkpoints; ++i) {
       const size_t slot = slots.index(r, i);
@@ -239,6 +292,13 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
         round_trips[i].Add(slots.round_trips[slot]);
         simulated_seconds[i].Add(slots.simulated_seconds[slot]);
         label_cost[i].Add(slots.label_cost[slot]);
+      }
+      if (fault) {
+        retries[i].Add(slots.retries[slot]);
+        give_ups[i].Add(slots.give_ups[slot]);
+      }
+      if (degeneracy) {
+        ess[i].Add(slots.ess[slot]);
       }
       if (slots.defined[slot] == 0) continue;
       const double f = slots.f_alpha[slot];
@@ -275,6 +335,22 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
       curve.mean_round_trips[i] = round_trips[i].mean();
       curve.mean_simulated_seconds[i] = simulated_seconds[i].mean();
       curve.mean_label_cost[i] = label_cost[i].mean();
+    }
+  }
+  if (fault) {
+    curve.has_fault_stats = true;
+    curve.mean_retries.resize(num_checkpoints);
+    curve.mean_give_ups.resize(num_checkpoints);
+    for (size_t i = 0; i < num_checkpoints; ++i) {
+      curve.mean_retries[i] = retries[i].mean();
+      curve.mean_give_ups[i] = give_ups[i].mean();
+    }
+  }
+  if (degeneracy) {
+    curve.has_degeneracy_stats = true;
+    curve.mean_ess.resize(num_checkpoints);
+    for (size_t i = 0; i < num_checkpoints; ++i) {
+      curve.mean_ess[i] = ess[i].mean();
     }
   }
   return curve;

@@ -11,8 +11,10 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/oasis.h"
+#include "oracle/fault_injecting_oracle.h"
 #include "oracle/oracle.h"
 #include "oracle/remote_oracle.h"
+#include "oracle/retry_policy.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
 #include "sampling/sampler.h"
@@ -80,6 +82,22 @@ struct ErrorCurve {
   std::vector<double> mean_simulated_seconds;
   /// Mean (over repeats) cumulative monetary label cost.
   std::vector<double> mean_label_cost;
+
+  /// True when the run retried oracle failures (RunnerOptions::retry_policy):
+  /// the two recovery series below are populated (same length as budgets) —
+  /// how much repair work the fault-tolerant stack did to deliver the error
+  /// statistics above (docs/FAULT_MODEL.md).
+  bool has_fault_stats = false;
+  /// Mean (over repeats) cumulative retry attempts at each checkpoint.
+  std::vector<double> mean_retries;
+  /// Mean (over repeats) cumulative gave-up oracle calls at each checkpoint.
+  std::vector<double> mean_give_ups;
+
+  /// True when the method's sampler exposes a DegeneracyMonitor: `mean_ess`
+  /// is populated (same length as budgets).
+  bool has_degeneracy_stats = false;
+  /// Mean (over repeats) effective sample size at each checkpoint.
+  std::vector<double> mean_ess;
 };
 
 /// Controls for repeated trajectory runs.
@@ -120,6 +138,21 @@ struct RunnerOptions {
   /// dependent at num_threads > 1 (see SharedLabelStore). Default off so the
   /// default cost curves are bit-identical at any thread count.
   bool remote_share_labels = false;
+  /// When set, a per-repeat FaultInjectingOracle is spliced UNDER the
+  /// remote-oracle layer (base <- faults <- remote <- retries), injecting
+  /// transient failures / timeouts / partial batches from a deterministic
+  /// schedule forked per repeat off its seed. Pair with retry_policy so the
+  /// run recovers: with transient-only faults and retries on, the error
+  /// statistics are bit-identical to a fault-free run at any num_threads
+  /// (cost columns differ — retried trips are real trips). Without
+  /// retry_policy, injected failures propagate out of RunErrorCurve as the
+  /// lowest failing repeat's status.
+  std::optional<FaultInjectionOptions> fault_injection;
+  /// When set, every repeat's oracle stack is topped with a per-repeat
+  /// RetryingOracle under this policy (backoff charged into the repeat's
+  /// remote clock when remote_oracle is also set), and the ErrorCurve
+  /// carries per-checkpoint retries/give_ups columns (has_fault_stats).
+  std::optional<RetryPolicy> retry_policy;
 };
 
 /// Runs `method` on the pool `options.repeats` times (fresh LabelCache and

@@ -1,0 +1,141 @@
+#ifndef OASIS_ORACLE_FAULT_INJECTING_ORACLE_H_
+#define OASIS_ORACLE_FAULT_INJECTING_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "oracle/oracle.h"
+
+namespace oasis {
+
+/// Deterministic chaos schedule of a FaultInjectingOracle. Every fault
+/// decision of attempt number a is drawn from Rng::Fork(seed, a) — never from
+/// the caller's RNG — so a chaos run is bit-reproducible from (options,
+/// attempt sequence) and the labels that DO get through are bit-identical to
+/// a fault-free run (see docs/FAULT_MODEL.md).
+struct FaultInjectionOptions {
+  /// Probability that a whole TryLabelBatch attempt fails transiently
+  /// (kUnavailable, nothing resolved) — a crashed worker, a dropped
+  /// connection.
+  double transient_failure_rate = 0.0;
+
+  /// Probability that a whole attempt times out (kDeadlineExceeded, nothing
+  /// resolved) — the service never answered within the caller's patience.
+  /// Evaluated after the transient-failure draw on the same attempt stream.
+  double timeout_rate = 0.0;
+
+  /// Per-item probability that an otherwise-successful attempt omits the
+  /// item from its response (resolved 0, status OK) — a crowd task page with
+  /// some judgements missing. The caller must re-request the missing items.
+  double item_drop_rate = 0.0;
+
+  /// When >= 0: every attempt with index >= this value fails with
+  /// kUnavailable — a permanent outage after a grace period (0 = down from
+  /// the start). -1 disables the outage.
+  int64_t outage_after_attempts = -1;
+
+  /// Seed of the per-attempt fault streams (see struct comment).
+  uint64_t seed = 0xfa17ULL;
+};
+
+/// Counters of the chaos actually injected so far (see
+/// FaultInjectingOracle::stats()).
+struct FaultInjectionStats {
+  int64_t attempts = 0;            ///< TryLabelBatch attempts observed.
+  int64_t injected_failures = 0;   ///< Whole-attempt transient failures.
+  int64_t injected_timeouts = 0;   ///< Whole-attempt timeouts.
+  int64_t dropped_items = 0;       ///< Items omitted from partial batches.
+  int64_t outage_failures = 0;     ///< Attempts refused by the outage.
+};
+
+/// Decorator that injects failures into any Oracle's fallible labelling path,
+/// from a deterministic seeded schedule. Composable under or over
+/// RemoteOracle: under it, every retried trip is re-priced by the latency
+/// model; over it, faults hit before any latency is charged.
+///
+/// Failure taxonomy per TryLabelBatch attempt (docs/FAULT_MODEL.md):
+///  1. permanent outage (outage_after_attempts) -> kUnavailable forever;
+///  2. transient failure (transient_failure_rate) -> kUnavailable, retryable;
+///  3. timeout (timeout_rate) -> kDeadlineExceeded, retryable;
+///  4. partial batch (item_drop_rate) -> OK with some items unresolved.
+/// Labels that do resolve are delegated verbatim to the inner oracle —
+/// injection changes *when* a label arrives, never its value — which is what
+/// makes a fully-recovered chaos run bit-identical to a fault-free one.
+///
+/// The infallible Label()/LabelBatch() entry points delegate straight to the
+/// inner oracle with no injection: they have no way to report failure, and
+/// every fault-aware caller goes through TryLabelBatch (LabelCache routes on
+/// fallible()).
+///
+/// Thread-safety: labelling is const and the attempt counter/stats are
+/// atomic, so the decorator is shareable like any Oracle; the attempt
+/// numbering (and hence the fault schedule) is deterministic whenever each
+/// instance has a single caller — the per-repeat arrangement the experiment
+/// runner uses.
+class FaultInjectingOracle : public Oracle {
+ public:
+  /// Wraps `inner` (non-null, must outlive this decorator) under the given
+  /// chaos schedule. Checks rates lie in [0, 1].
+  FaultInjectingOracle(const Oracle* inner,
+                       const FaultInjectionOptions& options);
+
+  /// Delegates to the inner oracle unchanged (no injection; see class
+  /// comment).
+  bool Label(int64_t item, Rng& rng) const override;
+
+  /// Delegates to the inner oracle unchanged (no injection; see class
+  /// comment).
+  void LabelBatch(std::span<const int64_t> items, Rng& rng,
+                  std::span<uint8_t> out) const override;
+
+  /// The fallible path: applies the fault taxonomy above to this attempt,
+  /// delegating whatever survives to the inner oracle's TryLabelBatch.
+  Status TryLabelBatch(std::span<const int64_t> items, Rng& rng,
+                       std::span<uint8_t> out,
+                       std::span<uint8_t> resolved) const override;
+
+  /// The inner oracle's true probability (faults change availability, not
+  /// ground truth).
+  double TrueProbability(int64_t item) const override;
+
+  /// Forwards the inner oracle's determinism (footnote-5 charging policy is
+  /// unchanged by wrapping).
+  bool deterministic() const override;
+
+  /// Forwards the inner oracle's RNG discipline — fault decisions come from
+  /// the decorator's own forked streams, never the caller's RNG.
+  bool labelling_consumes_rng() const override;
+
+  /// Always true: this decorator exists to make labelling fallible.
+  bool fallible() const override { return true; }
+
+  /// The inner oracle's item count.
+  int64_t num_items() const override;
+
+  /// The wrapped oracle (used by stack-walking helpers, e.g.
+  /// FindRemoteOracle).
+  const Oracle& inner() const { return *inner_; }
+
+  /// The chaos schedule in force.
+  const FaultInjectionOptions& options() const { return options_; }
+
+  /// Snapshot of the injected chaos so far (per-counter atomic).
+  FaultInjectionStats stats() const;
+
+ private:
+  /// Whether any fault can ever fire (false => zero-overhead delegation).
+  bool AnyFaultsConfigured() const;
+
+  const Oracle* inner_;
+  FaultInjectionOptions options_;
+  mutable std::atomic<int64_t> next_attempt_{0};
+  mutable std::atomic<int64_t> injected_failures_{0};
+  mutable std::atomic<int64_t> injected_timeouts_{0};
+  mutable std::atomic<int64_t> dropped_items_{0};
+  mutable std::atomic<int64_t> outage_failures_{0};
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_ORACLE_FAULT_INJECTING_ORACLE_H_

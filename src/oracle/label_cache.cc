@@ -33,6 +33,17 @@ bool LabelCache::Query(int64_t item, Rng& rng) {
   return oracle_->Label(item, rng);
 }
 
+Result<bool> LabelCache::TryQuery(int64_t item, Rng& rng) {
+  if (!oracle_->fallible()) {
+    return Query(item, rng);  // Reliable stack: the zero-overhead hot path.
+  }
+  const int64_t batch[1] = {item};
+  uint8_t label = 0;
+  OASIS_RETURN_NOT_OK(QueryBatch(std::span<const int64_t>(batch, 1), rng,
+                                 std::span<uint8_t>(&label, 1)));
+  return label != 0;
+}
+
 Status LabelCache::QueryBatch(std::span<const int64_t> items, Rng& rng,
                               std::span<uint8_t> out_labels) {
   if (items.size() != out_labels.size()) {
@@ -41,6 +52,7 @@ Status LabelCache::QueryBatch(std::span<const int64_t> items, Rng& rng,
   }
   total_queries_ += static_cast<int64_t>(items.size());
   if (items.empty()) return Status::OK();
+  if (oracle_->fallible()) return QueryBatchFallible(items, rng, out_labels);
 
   if (!oracle_->deterministic()) {
     // Noisy oracle: every query is a fresh charged draw; the batched oracle
@@ -85,6 +97,101 @@ Status LabelCache::QueryBatch(std::span<const int64_t> items, Rng& rng,
     distinct_items_ += static_cast<int64_t>(miss_items_.size());
   }
   // Pass 2: answer everything from the (now fully populated) cache.
+  for (size_t i = 0; i < items.size(); ++i) {
+    out_labels[i] = cache_[static_cast<size_t>(items[i])] == 2 ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+Status LabelCache::QueryBatchFallible(std::span<const int64_t> items, Rng& rng,
+                                      std::span<uint8_t> out_labels) {
+  if (!oracle_->deterministic()) {
+    // Noisy + fallible: every RESOLVED draw is charged (footnote-5 noisy
+    // regime); an unresolved position is re-requested — a fresh draw, which
+    // is exactly what a sequential re-Query would have produced — and
+    // charged only when its label arrives. First-touch accounting happens at
+    // first resolution, so a batch that fails outright changes no counter
+    // except total_queries_.
+    pending_positions_.resize(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      OASIS_DCHECK(items[i] >= 0 && items[i] < oracle_->num_items());
+      pending_positions_[i] = i;
+    }
+    while (!pending_positions_.empty()) {
+      miss_items_.clear();
+      for (size_t pos : pending_positions_) miss_items_.push_back(items[pos]);
+      miss_labels_.assign(miss_items_.size(), 0);
+      miss_resolved_.assign(miss_items_.size(), 0);
+      const Status status =
+          oracle_->TryLabelBatch(miss_items_, rng, miss_labels_, miss_resolved_);
+      size_t kept = 0;
+      int64_t newly = 0;
+      for (size_t j = 0; j < pending_positions_.size(); ++j) {
+        const size_t pos = pending_positions_[j];
+        if (miss_resolved_[j] != 0) {
+          out_labels[pos] = miss_labels_[j] ? 1 : 0;
+          uint8_t& slot = cache_[static_cast<size_t>(items[pos])];
+          if (slot == 0) {
+            slot = 3;
+            ++distinct_items_;
+          }
+          ++labels_consumed_;
+          ++newly;
+        } else {
+          pending_positions_[kept++] = pos;
+        }
+      }
+      pending_positions_.resize(kept);
+      OASIS_RETURN_NOT_OK(status);
+      if (newly == 0 && !pending_positions_.empty()) {
+        return Status::Unavailable(
+            "LabelCache::QueryBatch: oracle made no progress on partial batch");
+      }
+    }
+    return Status::OK();
+  }
+
+  // Deterministic + fallible. Same two-pass structure as the reliable path,
+  // but the miss round-trip becomes a re-request loop over whatever is still
+  // missing. Each miss is charged exactly once, when its label resolves.
+  miss_items_.clear();
+  for (int64_t item : items) {
+    OASIS_DCHECK(item >= 0 && item < oracle_->num_items());
+    uint8_t& slot = cache_[static_cast<size_t>(item)];
+    if (slot == 0) {
+      slot = 4;  // Pending: resolved (or rolled back) below.
+      miss_items_.push_back(item);
+    }
+  }
+  while (!miss_items_.empty()) {
+    miss_labels_.assign(miss_items_.size(), 0);
+    miss_resolved_.assign(miss_items_.size(), 0);
+    const Status status =
+        oracle_->TryLabelBatch(miss_items_, rng, miss_labels_, miss_resolved_);
+    size_t kept = 0;
+    int64_t newly = 0;
+    for (size_t i = 0; i < miss_items_.size(); ++i) {
+      if (miss_resolved_[i] != 0) {
+        cache_[static_cast<size_t>(miss_items_[i])] = miss_labels_[i] ? 2 : 1;
+        ++newly;
+      } else {
+        miss_items_[kept++] = miss_items_[i];
+      }
+    }
+    miss_items_.resize(kept);
+    labels_consumed_ += newly;
+    distinct_items_ += newly;
+    if (!status.ok() || (newly == 0 && !miss_items_.empty())) {
+      // Roll the pending markers back to "never queried" so a later call
+      // re-attempts (and only then charges) them. Labels that DID resolve
+      // stay cached and charged — they were delivered and paid for.
+      for (int64_t item : miss_items_) cache_[static_cast<size_t>(item)] = 0;
+      if (!status.ok()) return status;
+      return Status::Unavailable(
+          "LabelCache::QueryBatch: oracle made no progress on partial batch");
+    }
+  }
+  // Everything resolved: answer the whole batch from the cache.
   for (size_t i = 0; i < items.size(); ++i) {
     out_labels[i] = cache_[static_cast<size_t>(items[i])] == 2 ? 1 : 0;
   }

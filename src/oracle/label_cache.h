@@ -29,6 +29,13 @@ class LabelCache {
   /// Returns a label for `item`, charging the budget per the policy above.
   bool Query(int64_t item, Rng& rng);
 
+  /// Fallible single-item query: over a reliable oracle this is exactly
+  /// Query() (same code path, zero overhead); over a fallible stack (see
+  /// Oracle::fallible()) it is a one-item QueryBatch, so a failure is
+  /// reported as a Status instead of crashing and NOTHING is charged for the
+  /// failed item (budget counters move only when a label actually arrives).
+  Result<bool> TryQuery(int64_t item, Rng& rng);
+
   /// Labels a whole batch with semantics exactly equal to calling Query()
   /// once per item of `items` in order — same labels, same budget counters
   /// (including free replays of items already cached, and of duplicates
@@ -38,6 +45,17 @@ class LabelCache {
   /// oracle round-trips rather than just virtual dispatch. `out_labels` must
   /// have items.size() entries (each receives 0 or 1); an empty batch is a
   /// no-op. Fails with InvalidArgument on a size mismatch.
+  ///
+  /// Over a fallible oracle stack (Oracle::fallible()), the miss round-trip
+  /// may fail or resolve only a subset; the cache then re-requests ONLY the
+  /// still-missing items until everything resolves, the stack reports an
+  /// error, or a round makes no progress (reported as kUnavailable). Each
+  /// miss is charged to the budget exactly once, at the moment its label
+  /// actually arrives — retries and re-requests never double-charge, and a
+  /// failed call charges nothing for the items that never resolved (their
+  /// labels stay cached-and-paid if a LATER call succeeds). On a non-OK
+  /// return `out_labels` is unspecified and no caller-visible label was
+  /// consumed for the unresolved items.
   Status QueryBatch(std::span<const int64_t> items, Rng& rng,
                     std::span<uint8_t> out_labels);
 
@@ -58,6 +76,11 @@ class LabelCache {
   const Oracle& oracle() const { return *oracle_; }
 
  private:
+  /// The re-request loop behind QueryBatch when the oracle stack is fallible
+  /// (see QueryBatch's fallible contract).
+  Status QueryBatchFallible(std::span<const int64_t> items, Rng& rng,
+                            std::span<uint8_t> out_labels);
+
   const Oracle* oracle_;
   // 0 = never queried, 1 = cached label 0, 2 = cached label 1, 3 = noisy
   // first-touch marker, 4 = transient QueryBatch miss-pending marker (never
@@ -67,6 +90,10 @@ class LabelCache {
   // reused across calls so steady-state batches do not allocate.
   std::vector<int64_t> miss_items_;
   std::vector<uint8_t> miss_labels_;
+  // Extra scratch for the fallible paths: per-request resolution flags and
+  // (noisy mode) the batch positions still awaiting a label.
+  std::vector<uint8_t> miss_resolved_;
+  std::vector<size_t> pending_positions_;
   int64_t labels_consumed_ = 0;
   int64_t total_queries_ = 0;
   int64_t distinct_items_ = 0;

@@ -12,4 +12,14 @@ void Oracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
   }
 }
 
+Status Oracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
+                             std::span<uint8_t> out,
+                             std::span<uint8_t> resolved) const {
+  OASIS_DCHECK(items.size() == out.size());
+  OASIS_DCHECK(items.size() == resolved.size());
+  LabelBatch(items, rng, out);
+  for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 1;
+  return Status::OK();
+}
+
 }  // namespace oasis

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/random.h"
+#include "common/status.h"
 
 /// \namespace oasis
 /// Root namespace of the OASIS reproduction: samplers, oracles, strata,
@@ -59,6 +60,28 @@ class Oracle {
   /// items and querying them afterwards preserves the exact sequential RNG
   /// stream. The conservative default is true.
   virtual bool labelling_consumes_rng() const { return true; }
+
+  /// Whether labelling can FAIL (timeouts, outages, dropped items). False for
+  /// every in-process oracle; decorators that model failure — FaultInjecting-
+  /// Oracle, RetryingOracle, and RemoteOracle over a fallible inner — return
+  /// true, which routes LabelCache through the fallible TryLabelBatch() path
+  /// below instead of the infallible LabelBatch(). See docs/FAULT_MODEL.md.
+  virtual bool fallible() const { return false; }
+
+  /// Fallible batched labelling. On return, resolved[i] != 0 iff out[i] holds
+  /// a valid label for items[i]; every entry of `resolved` is written (0 or
+  /// 1). A non-OK status reports why the attempt stopped — entries resolved
+  /// before the failure are still valid and MAY be committed by the caller
+  /// (this is what lets a retrying caller re-request only the missing items
+  /// of a partial batch). An OK status with unresolved entries is a *partial
+  /// batch* (e.g. a crowd platform returning a subset); the caller decides
+  /// whether to re-request the rest. `items`, `out` and `resolved` must have
+  /// equal lengths. The base implementation delegates to the infallible
+  /// LabelBatch() and resolves everything — correct for every oracle with
+  /// fallible() == false.
+  virtual Status TryLabelBatch(std::span<const int64_t> items, Rng& rng,
+                               std::span<uint8_t> out,
+                               std::span<uint8_t> resolved) const;
 
   /// Number of items the oracle covers.
   virtual int64_t num_items() const = 0;

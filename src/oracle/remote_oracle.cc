@@ -36,9 +36,11 @@ RemoteOracle::RemoteOracle(const Oracle* inner, const RemoteOracleOptions& optio
   OASIS_CHECK(options.max_items_per_round_trip >= 0);
   // Sharing fetched labels is only sound when a replay is indistinguishable
   // from a fresh query: deterministic labels that never consume the caller's
-  // RNG. Otherwise the store is ignored (documented on SharedLabelStore).
+  // RNG, from an inner oracle that cannot fail mid-fetch. Otherwise the
+  // store is ignored (documented on SharedLabelStore).
   if (store_ != nullptr &&
-      (!inner_->deterministic() || inner_->labelling_consumes_rng())) {
+      (!inner_->deterministic() || inner_->labelling_consumes_rng() ||
+       inner_->fallible())) {
     store_ = nullptr;
   }
   if (store_ != nullptr) {
@@ -117,6 +119,57 @@ void RemoteOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
       });
   store_hits_.fetch_add(hits, std::memory_order_relaxed);
   MaybeRealize(fetched_latency_ns);
+}
+
+Status RemoteOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
+                                   std::span<uint8_t> out,
+                                   std::span<uint8_t> resolved) const {
+  OASIS_DCHECK(items.size() == out.size());
+  OASIS_DCHECK(items.size() == resolved.size());
+  if (!inner_->fallible()) {
+    LabelBatch(items, rng, out);
+    for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 1;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
+  if (items.empty()) return Status::OK();
+  queries_.fetch_add(static_cast<int64_t>(items.size()),
+                     std::memory_order_relaxed);
+  // Page into round trips exactly like AccountFetch, but attempt each trip
+  // separately: a failing trip still costs its latency (the wire time was
+  // spent), while only delivered items are billed per label.
+  const int64_t n = static_cast<int64_t>(items.size());
+  const int64_t per_trip =
+      options_.max_items_per_round_trip > 0 ? options_.max_items_per_round_trip
+                                            : n;
+  for (int64_t lo = 0; lo < n; lo += per_trip) {
+    const int64_t hi = std::min(n, lo + per_trip);
+    const size_t trip_lo = static_cast<size_t>(lo);
+    const size_t trip_len = static_cast<size_t>(hi - lo);
+    const std::span<const int64_t> trip = items.subspan(trip_lo, trip_len);
+    const int64_t latency_ns = TripLatencyNs(trip);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
+    simulated_latency_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
+    MaybeRealize(latency_ns);
+    const Status status = inner_->TryLabelBatch(
+        trip, rng, out.subspan(trip_lo, trip_len),
+        resolved.subspan(trip_lo, trip_len));
+    int64_t delivered = 0;
+    for (size_t i = 0; i < trip_len; ++i) {
+      delivered += resolved[trip_lo + i] != 0 ? 1 : 0;
+    }
+    labels_fetched_.fetch_add(delivered, std::memory_order_relaxed);
+    OASIS_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+bool RemoteOracle::fallible() const { return inner_->fallible(); }
+
+void RemoteOracle::ChargeAuxiliaryLatencyNs(int64_t ns) const {
+  if (ns <= 0) return;
+  simulated_latency_ns_.fetch_add(ns, std::memory_order_relaxed);
+  MaybeRealize(ns);
 }
 
 double RemoteOracle::TrueProbability(int64_t item) const {

@@ -136,6 +136,28 @@ class RemoteOracle : public Oracle {
   void LabelBatch(std::span<const int64_t> items, Rng& rng,
                   std::span<uint8_t> out) const override;
 
+  /// Fallible path: with an infallible inner oracle this is the LabelBatch
+  /// accounting with everything resolved; with a fallible inner (e.g. a
+  /// FaultInjectingOracle underneath) the batch is paged into round trips
+  /// and each trip's TryLabelBatch is delegated separately — every attempted
+  /// trip is charged its full latency whether or not it succeeds (the wire
+  /// time is spent either way), while label_cost is charged only for items
+  /// actually delivered. A failing trip stops the call; later pages are left
+  /// unresolved and uncharged.
+  Status TryLabelBatch(std::span<const int64_t> items, Rng& rng,
+                       std::span<uint8_t> out,
+                       std::span<uint8_t> resolved) const override;
+
+  /// Forwards the wrapped oracle's fallibility: a RemoteOracle over a
+  /// fault-injecting inner is itself fallible (and the shared store is
+  /// disabled — replaying possibly-failed fetches is unsound).
+  bool fallible() const override;
+
+  /// Charges `ns` of simulated latency that did NOT come from a round trip —
+  /// a retrying caller's backoff waits, so cost-vs-error curves price the
+  /// time lost to failures, not just the trips (see RetryingOracle).
+  void ChargeAuxiliaryLatencyNs(int64_t ns) const;
+
   /// The wrapped oracle's true probability (the decorator changes cost, not
   /// ground truth).
   double TrueProbability(int64_t item) const override;

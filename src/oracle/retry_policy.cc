@@ -1,0 +1,263 @@
+#include "oracle/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "oracle/fault_injecting_oracle.h"
+#include "oracle/remote_oracle.h"
+
+namespace oasis {
+
+const RemoteOracle* FindRemoteOracle(const Oracle* oracle) {
+  while (oracle != nullptr) {
+    if (const auto* remote = dynamic_cast<const RemoteOracle*>(oracle)) {
+      return remote;
+    }
+    if (const auto* retrying = dynamic_cast<const RetryingOracle*>(oracle)) {
+      oracle = &retrying->inner();
+      continue;
+    }
+    if (const auto* fault =
+            dynamic_cast<const FaultInjectingOracle*>(oracle)) {
+      oracle = &fault->inner();
+      continue;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+CircuitBreaker::CircuitBreaker(int failure_threshold, int64_t cooldown_calls)
+    : failure_threshold_(failure_threshold),
+      cooldown_calls_(std::max<int64_t>(1, cooldown_calls)) {}
+
+bool CircuitBreaker::Admit() {
+  if (failure_threshold_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      // One probe at a time; further calls keep failing fast until the
+      // probe's outcome closes or re-opens the breaker.
+      return false;
+    case State::kOpen:
+      if (rejected_since_open_ >= cooldown_calls_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      ++rejected_since_open_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (failure_threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  rejected_since_open_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (failure_threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen || consecutive_failures_ >= failure_threshold_) {
+    state_ = State::kOpen;
+    rejected_since_open_ = 0;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+RetryingOracle::RetryingOracle(const Oracle* inner, const RetryPolicy& policy)
+    : inner_(inner),
+      policy_(policy),
+      clock_(FindRemoteOracle(inner)),
+      breaker_(policy.breaker_failure_threshold, policy.breaker_cooldown_calls) {
+  OASIS_CHECK(inner != nullptr);
+  OASIS_CHECK(policy.max_attempts >= 1);
+  OASIS_CHECK(policy.initial_backoff_seconds >= 0.0);
+  OASIS_CHECK(policy.backoff_multiplier >= 1.0);
+  OASIS_CHECK(policy.max_backoff_seconds >= 0.0);
+  OASIS_CHECK(policy.jitter_fraction >= 0.0 && policy.jitter_fraction < 1.0);
+  OASIS_CHECK(policy.per_attempt_timeout_seconds >= 0.0);
+  OASIS_CHECK(policy.overall_deadline_seconds >= 0.0);
+}
+
+bool RetryingOracle::Label(int64_t item, Rng& rng) const {
+  return inner_->Label(item, rng);
+}
+
+void RetryingOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
+                                std::span<uint8_t> out) const {
+  inner_->LabelBatch(items, rng, out);
+}
+
+int64_t RetryingOracle::BackoffNs(int retry_number) const {
+  double seconds = policy_.initial_backoff_seconds;
+  for (int i = 1; i < retry_number; ++i) seconds *= policy_.backoff_multiplier;
+  seconds = std::min(seconds, policy_.max_backoff_seconds);
+  if (policy_.jitter_fraction > 0.0 && seconds > 0.0) {
+    Rng jitter = Rng::Fork(policy_.jitter_seed,
+                           backoff_draws_.fetch_add(1, std::memory_order_relaxed));
+    seconds *= 1.0 + policy_.jitter_fraction * jitter.NextDouble();
+  }
+  return static_cast<int64_t>(std::llround(seconds * 1e9));
+}
+
+Status RetryingOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
+                                     std::span<uint8_t> out,
+                                     std::span<uint8_t> resolved) const {
+  OASIS_DCHECK(items.size() == out.size());
+  OASIS_DCHECK(items.size() == resolved.size());
+  if (!inner_->fallible()) {
+    // No-op decorator over a reliable stack: nothing to retry, nothing to
+    // account, and in particular zero overhead beyond this branch.
+    inner_->LabelBatch(items, rng, out);
+    for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 1;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
+  if (items.empty()) return Status::OK();
+  if (!breaker_.Admit()) {
+    breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("RetryingOracle: circuit breaker open");
+  }
+
+  const int64_t per_attempt_timeout_ns = static_cast<int64_t>(
+      std::llround(policy_.per_attempt_timeout_seconds * 1e9));
+  const int64_t deadline_ns = static_cast<int64_t>(
+      std::llround(policy_.overall_deadline_seconds * 1e9));
+  int64_t spent_ns = 0;
+  Status last_failure = Status::OK();
+  // Positions of `items` still unresolved; scratch for subset re-requests.
+  std::vector<size_t> pending;
+  std::vector<int64_t> sub_items;
+  std::vector<uint8_t> sub_out;
+  std::vector<uint8_t> sub_resolved;
+
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 1) retries_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t clock_before =
+        clock_ != nullptr ? clock_->stats().simulated_latency_ns : 0;
+    Status status;
+    int64_t newly_resolved = 0;
+    if (attempt == 1) {
+      // First attempt writes straight into the caller's buffers.
+      status = inner_->TryLabelBatch(items, rng, out, resolved);
+      const int64_t attempt_ns =
+          clock_ != nullptr ? clock_->stats().simulated_latency_ns - clock_before
+                            : 0;
+      spent_ns += attempt_ns;
+      if (per_attempt_timeout_ns > 0 && attempt_ns > per_attempt_timeout_ns) {
+        // The response arrived after the caller stopped waiting: discard its
+        // labels (the wire time stays charged) and retry.
+        for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
+        status = Status::DeadlineExceeded("RetryingOracle: per-attempt timeout");
+      } else {
+        for (size_t i = 0; i < resolved.size(); ++i) {
+          newly_resolved += resolved[i] != 0 ? 1 : 0;
+        }
+      }
+    } else {
+      // Retry: re-request ONLY the still-missing items.
+      sub_items.clear();
+      sub_items.reserve(pending.size());
+      for (size_t p : pending) sub_items.push_back(items[p]);
+      sub_out.assign(pending.size(), 0);
+      sub_resolved.assign(pending.size(), 0);
+      status = inner_->TryLabelBatch(sub_items, rng, sub_out, sub_resolved);
+      const int64_t attempt_ns =
+          clock_ != nullptr ? clock_->stats().simulated_latency_ns - clock_before
+                            : 0;
+      spent_ns += attempt_ns;
+      if (per_attempt_timeout_ns > 0 && attempt_ns > per_attempt_timeout_ns) {
+        status = Status::DeadlineExceeded("RetryingOracle: per-attempt timeout");
+      } else {
+        for (size_t j = 0; j < pending.size(); ++j) {
+          if (sub_resolved[j] == 0) continue;
+          out[pending[j]] = sub_out[j];
+          resolved[pending[j]] = 1;
+          ++newly_resolved;
+        }
+        items_recovered_.fetch_add(newly_resolved, std::memory_order_relaxed);
+      }
+    }
+
+    pending.clear();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (resolved[i] == 0) pending.push_back(i);
+    }
+    if (status.ok() && pending.empty()) {
+      breaker_.RecordSuccess();
+      return Status::OK();
+    }
+    // A partial-but-progressing OK response means the service is alive — it
+    // resets the breaker; anything else counts as a consecutive failure.
+    if (status.ok() && newly_resolved > 0) {
+      breaker_.RecordSuccess();
+    } else {
+      breaker_.RecordFailure();
+    }
+    last_failure = status.ok()
+                       ? Status::Unavailable(
+                             "RetryingOracle: partial batch never completed")
+                       : status;
+    if (attempt == policy_.max_attempts) break;
+
+    const int64_t wait_ns = BackoffNs(attempt);
+    if (deadline_ns > 0 && spent_ns + wait_ns > deadline_ns) {
+      give_ups_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "RetryingOracle: overall deadline exceeded after " +
+          std::to_string(attempt) + " attempts (" +
+          std::to_string(pending.size()) + " items unresolved)");
+    }
+    if (clock_ != nullptr) clock_->ChargeAuxiliaryLatencyNs(wait_ns);
+    backoff_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    spent_ns += wait_ns;
+  }
+
+  give_ups_.fetch_add(1, std::memory_order_relaxed);
+  return Status(last_failure.code(),
+                last_failure.message() + " [gave up after " +
+                    std::to_string(policy_.max_attempts) + " attempts]");
+}
+
+double RetryingOracle::TrueProbability(int64_t item) const {
+  return inner_->TrueProbability(item);
+}
+
+bool RetryingOracle::deterministic() const { return inner_->deterministic(); }
+
+bool RetryingOracle::labelling_consumes_rng() const {
+  return inner_->labelling_consumes_rng();
+}
+
+bool RetryingOracle::fallible() const { return inner_->fallible(); }
+
+int64_t RetryingOracle::num_items() const { return inner_->num_items(); }
+
+RetryStats RetryingOracle::stats() const {
+  RetryStats stats;
+  stats.attempts = attempts_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.give_ups = give_ups_.load(std::memory_order_relaxed);
+  stats.breaker_fast_fails =
+      breaker_fast_fails_.load(std::memory_order_relaxed);
+  stats.backoff_ns = backoff_ns_.load(std::memory_order_relaxed);
+  stats.items_recovered = items_recovered_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace oasis

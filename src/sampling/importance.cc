@@ -115,18 +115,21 @@ Status ImportanceSampler::StepBatch(int64_t n) {
           if (label && prediction) num_ += w;
           if (prediction) den_pred_ += w;
           if (label) den_true_ += w;
+          monitor_.Observe(w);
         });
   }
 
   // RNG-consuming oracle: preserve the exact sequential interleaving.
   for (int64_t i = 0; i < n; ++i) {
     const size_t item = use_alias ? alias_.Sample(rng()) : rng().NextDiscreteLinear(q_);
-    const bool label = QueryLabel(static_cast<int64_t>(item));
+    OASIS_ASSIGN_OR_RETURN(const bool label,
+                           QueryLabel(static_cast<int64_t>(item)));
     const bool prediction = predictions[item] != 0;
     const double w = weights[item];
     if (label && prediction) num_ += w;
     if (prediction) den_pred_ += w;
     if (label) den_true_ += w;
+    monitor_.Observe(w);
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 
 #include "common/alias_table.h"
 #include "sampling/sampler.h"
+#include "stats/degeneracy.h"
 
 namespace oasis {
 
@@ -60,6 +61,14 @@ class ImportanceSampler : public Sampler {
   /// Score-based initial guess of F_alpha used to build the distribution.
   double initial_f_guess() const { return f_guess_; }
 
+  /// The importance-weight health monitor. Static IS cannot degrade
+  /// gracefully (there is nothing to adapt), but the diagnostics make its
+  /// weight collapse under mis-calibrated scores observable per checkpoint —
+  /// exactly the failure mode Figure 3 quantifies.
+  const DegeneracyMonitor* degeneracy_monitor() const override {
+    return &monitor_;
+  }
+
  private:
   ImportanceSampler(const ScoredPool* pool, LabelCache* labels,
                     const ImportanceOptions& options, Rng rng);
@@ -71,6 +80,7 @@ class ImportanceSampler : public Sampler {
   std::vector<double> weights_; // Importance weight (1/N)/q per item.
   AliasTable alias_;
   double f_guess_ = 0.0;
+  DegeneracyMonitor monitor_;
 
   // Running weighted sums of Eqn. (3).
   double num_ = 0.0;        // sum w * l * l-hat

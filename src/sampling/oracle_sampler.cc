@@ -63,7 +63,7 @@ Status OracleOptimalSampler::Step() {
   const size_t k = rng().NextDiscreteLinear(v_);
   const int64_t item = strata_->SampleItem(k, rng());
   const double weight = strata_->weight(k) / v_[k];
-  const bool label = QueryLabel(item);
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
   const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
   if (label && prediction) num_ += weight;
   if (prediction) den_pred_ += weight;

@@ -49,7 +49,7 @@ Status PassiveSampler::StepBatch(int64_t n) {
   // with invariants hoisted and no per-iteration virtual dispatch).
   for (int64_t i = 0; i < n; ++i) {
     const int64_t item = static_cast<int64_t>(rng().NextBounded(size));
-    const bool label = QueryLabel(item);
+    OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
     const bool prediction = predictions[static_cast<size_t>(item)] != 0;
     if (label && prediction) tp_ += 1.0;
     if (prediction) predicted_pos_ += 1.0;

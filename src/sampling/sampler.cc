@@ -40,15 +40,17 @@ Sampler::Sampler(const ScoredPool* pool, LabelCache* labels, double alpha, Rng r
   OASIS_CHECK_EQ(pool->size(), labels->oracle().num_items());
 }
 
-bool Sampler::QueryLabel(int64_t item) {
+Result<bool> Sampler::QueryLabel(int64_t item) {
+  OASIS_ASSIGN_OR_RETURN(const bool label, labels_->TryQuery(item, rng_));
   ++iterations_;
-  return labels_->Query(item, rng_);
+  return label;
 }
 
 Status Sampler::QueryLabels(std::span<const int64_t> items,
                             std::span<uint8_t> out_labels) {
+  OASIS_RETURN_NOT_OK(labels_->QueryBatch(items, rng_, out_labels));
   iterations_ += static_cast<int64_t>(items.size());
-  return labels_->QueryBatch(items, rng_, out_labels);
+  return Status::OK();
 }
 
 Status Sampler::StepBatch(int64_t n) {

@@ -14,6 +14,8 @@
 
 namespace oasis {
 
+class DegeneracyMonitor;
+
 /// The evaluation view of a record-pair pool: one similarity score and one
 /// predicted label per pair (Definition 4). Ground truth lives behind the
 /// Oracle, never here — estimators can only see it one label at a time.
@@ -84,6 +86,14 @@ class Sampler {
   /// Short method name used in reports ("Passive", "OASIS-30", ...).
   virtual std::string name() const = 0;
 
+  /// The sampler's importance-weight degeneracy monitor, when it has one
+  /// (OASIS and the importance sampler do), else nullptr. Harnesses use it to
+  /// thread per-checkpoint ESS diagnostics into trajectories and CSV output
+  /// (see docs/FAULT_MODEL.md).
+  virtual const DegeneracyMonitor* degeneracy_monitor() const {
+    return nullptr;
+  }
+
   /// Enables asynchronous label prefetching on `pool` for the batched
   /// StepBatch fast path: while one chunk's observations are tallied, the
   /// next chunk's labels resolve on a pool worker (AsyncLabelPipeline), so a
@@ -119,13 +129,17 @@ class Sampler {
   /// `pool` and `labels` must outlive the sampler.
   Sampler(const ScoredPool* pool, LabelCache* labels, double alpha, Rng rng);
 
-  /// Queries the oracle for `item` and bumps the iteration counter.
-  bool QueryLabel(int64_t item);
+  /// Queries the oracle for `item` and bumps the iteration counter — AFTER
+  /// the label arrives, so a failed query (fallible oracle stack) leaves the
+  /// sampler's counters untouched and the step can be reported as never
+  /// having happened (exception safety of Step/StepBatch).
+  Result<bool> QueryLabel(int64_t item);
 
   /// Queries the oracle for a batch of items in one LabelCache::QueryBatch
   /// round-trip and bumps the iteration counter by the batch size. Exactly
   /// equivalent to calling QueryLabel() per item in order (same labels,
   /// counters and RNG stream). `out_labels` must match `items` in length.
+  /// Like QueryLabel, the iteration counter moves only on success.
   Status QueryLabels(std::span<const int64_t> items, std::span<uint8_t> out_labels);
 
   /// Whether pre-drawing a chunk of items and batch-querying them preserves
@@ -211,9 +225,13 @@ class Sampler {
         items[static_cast<size_t>(i)] = draw(base + i);
       }
       // Collect-before-prefetch keeps the (single-threaded) LabelCache's
-      // QueryBatch calls strictly sequenced in chunk order.
-      if (prev >= 0) OASIS_RETURN_NOT_OK(pipeline.Collect());
-      iterations_ += chunk;
+      // QueryBatch calls strictly sequenced in chunk order. Iterations are
+      // credited only once a chunk's labels actually arrived, so a failed
+      // chunk (fallible oracle stack) is never counted as sampled.
+      if (prev >= 0) {
+        OASIS_RETURN_NOT_OK(pipeline.Collect());
+        iterations_ += prev_len;
+      }
       OASIS_RETURN_NOT_OK(pipeline.Prefetch(items, &rng_, labels));
       if (prev >= 0) {
         const int64_t prev_base = static_cast<int64_t>(prev) * kQueryBatchChunk;
@@ -226,6 +244,7 @@ class Sampler {
       prev_len = chunk;
     }
     OASIS_RETURN_NOT_OK(pipeline.Collect());
+    iterations_ += prev_len;
     const int64_t prev_base = static_cast<int64_t>(prev) * kQueryBatchChunk;
     for (int64_t i = 0; i < prev_len; ++i) {
       tally(prev_base + i, batch_items_[prev][static_cast<size_t>(i)],

@@ -72,7 +72,7 @@ Status StratifiedSampler::StepBatch(int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
     const size_t k = rng().NextDiscreteLinear(omega);
     const int64_t item = strata_->SampleItem(k, rng());
-    const bool label = QueryLabel(item);
+    OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
     const bool prediction = predictions[static_cast<size_t>(item)] != 0;
     samples_[k] += 1.0;
     if (label && prediction) tp_sum_[k] += 1.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "oracle/remote_oracle.h"
+#include "oracle/retry_policy.h"
+#include "stats/degeneracy.h"
 
 namespace oasis {
 
@@ -19,6 +21,14 @@ void AppendRemoteCheckpoint(const RemoteOracle& remote,
       static_cast<double>(now.simulated_latency_ns - start.simulated_latency_ns) *
       1e-9);
   out->remote_cost.push_back(now.label_cost - start.label_cost);
+}
+
+/// Same baseline-relative capture for a RetryingOracle's recovery counters.
+void AppendRetryCheckpoint(const RetryingOracle& retrying,
+                           const RetryStats& start, Trajectory* out) {
+  const RetryStats now = retrying.stats();
+  out->oracle_retries.push_back(now.retries - start.retries);
+  out->oracle_give_ups.push_back(now.give_ups - start.give_ups);
 }
 
 }  // namespace
@@ -40,11 +50,11 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
   }
   out.snapshots.reserve(out.budgets.size());
 
-  // Cost-model capture: when the labels flow through a RemoteOracle, chart
-  // its cumulative round trips / simulated latency / monetary cost alongside
-  // every estimate checkpoint.
-  const RemoteOracle* remote =
-      dynamic_cast<const RemoteOracle*>(&sampler.labels().oracle());
+  // Cost-model capture: when the labels flow through a RemoteOracle —
+  // directly or wrapped inside retry/fault decorators — chart its cumulative
+  // round trips / simulated latency / monetary cost alongside every estimate
+  // checkpoint.
+  const RemoteOracle* remote = FindRemoteOracle(&sampler.labels().oracle());
   RemoteOracleStats remote_start;
   if (remote != nullptr) {
     out.has_remote_stats = true;
@@ -52,6 +62,26 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
     out.remote_round_trips.reserve(out.budgets.size());
     out.remote_seconds.reserve(out.budgets.size());
     out.remote_cost.reserve(out.budgets.size());
+  }
+
+  // Recovery capture: with a RetryingOracle on top of the stack, chart its
+  // cumulative retries and give-ups per checkpoint.
+  const RetryingOracle* retrying =
+      dynamic_cast<const RetryingOracle*>(&sampler.labels().oracle());
+  RetryStats retry_start;
+  if (retrying != nullptr) {
+    out.has_fault_stats = true;
+    retry_start = retrying->stats();
+    out.oracle_retries.reserve(out.budgets.size());
+    out.oracle_give_ups.reserve(out.budgets.size());
+  }
+
+  // Degeneracy capture: samplers with a weight-health monitor chart their
+  // effective sample size per checkpoint.
+  const DegeneracyMonitor* monitor = sampler.degeneracy_monitor();
+  if (monitor != nullptr) {
+    out.has_degeneracy_stats = true;
+    out.ess.reserve(out.budgets.size());
   }
 
   // Batched stepping through Sampler::StepBatch, exactly equivalent to the
@@ -94,6 +124,8 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
            consumed >= out.budgets[next_checkpoint]) {
       out.snapshots.push_back(snap);
       if (remote != nullptr) AppendRemoteCheckpoint(*remote, remote_start, &out);
+      if (retrying != nullptr) AppendRetryCheckpoint(*retrying, retry_start, &out);
+      if (monitor != nullptr) out.ess.push_back(monitor->ess());
       ++next_checkpoint;
     }
   }
@@ -103,6 +135,8 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
   while (next_checkpoint < out.budgets.size()) {
     out.snapshots.push_back(final_snap);
     if (remote != nullptr) AppendRemoteCheckpoint(*remote, remote_start, &out);
+    if (retrying != nullptr) AppendRetryCheckpoint(*retrying, retry_start, &out);
+    if (monitor != nullptr) out.ess.push_back(monitor->ess());
     ++next_checkpoint;
   }
   out.total_iterations = sampler.iterations();

@@ -39,7 +39,8 @@ struct Trajectory {
   /// (trailing checkpoints are filled with the final estimate).
   bool truncated = false;
 
-  /// True when the sampler's oracle was a RemoteOracle: the three per-
+  /// True when the sampler's oracle was a RemoteOracle (possibly wrapped
+  /// inside retry/fault decorators — the stack is walked): the three per-
   /// checkpoint cost series below are populated (same length as budgets),
   /// measuring this run's cumulative remote activity at each checkpoint —
   /// the x-axes of cost-vs-error curves (docs/ORACLES.md).
@@ -50,6 +51,23 @@ struct Trajectory {
   std::vector<double> remote_seconds;
   /// Cumulative monetary label cost at each checkpoint.
   std::vector<double> remote_cost;
+
+  /// True when the sampler's oracle stack was topped by a RetryingOracle:
+  /// the per-checkpoint recovery series below are populated (same length as
+  /// budgets), charting this run's cumulative retry activity — the CSV's
+  /// retries/give_ups columns (docs/FAULT_MODEL.md).
+  bool has_fault_stats = false;
+  /// Cumulative retry attempts (beyond each call's first) at each checkpoint.
+  std::vector<int64_t> oracle_retries;
+  /// Cumulative gave-up oracle calls at each checkpoint.
+  std::vector<int64_t> oracle_give_ups;
+
+  /// True when the sampler exposes a DegeneracyMonitor: `ess` is populated
+  /// (same length as budgets) with the Kish effective sample size at each
+  /// checkpoint.
+  bool has_degeneracy_stats = false;
+  /// Effective sample size of the importance weights at each checkpoint.
+  std::vector<double> ess;
 };
 
 /// Runs `sampler` until the label budget is exhausted (or the iteration cap

@@ -1,0 +1,16 @@
+#include "stats/degeneracy.h"
+
+#include <cstdio>
+
+namespace oasis {
+
+std::string DegeneracyMonitor::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "ess=%.1f/%lld (%.1f%%) max_share=%.2f%s", ess(),
+                static_cast<long long>(observations_), 100.0 * ess_fraction(),
+                max_weight_share(), degenerate() ? " degenerate" : "");
+  return std::string(buf);
+}
+
+}  // namespace oasis

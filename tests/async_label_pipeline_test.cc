@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "oracle/fault_injecting_oracle.h"
 #include "oracle/ground_truth_oracle.h"
 #include "oracle/label_cache.h"
 #include "oracle/noisy_oracle.h"
 #include "oracle/remote_oracle.h"
+#include "oracle/retry_policy.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
 #include "sampling/stratified.h"
@@ -107,6 +109,63 @@ TEST(AsyncLabelPipelineTest, DestructorDrainsInFlightBatch) {
     // the buffers (ASan would catch a use-after-scope otherwise).
   }
   EXPECT_EQ(cache.labels_consumed(), 2048);
+}
+
+TEST(AsyncLabelPipelineTest, FailingPrefetchPropagatesOracleStatus) {
+  // A fallible stack that fails every attempt: the worker's QueryBatch fails
+  // and Collect surfaces the oracle's status — with the cache's accounting
+  // fully rolled back (no pending markers, nothing charged).
+  GroundTruthOracle inner({1, 0, 1, 0});
+  FaultInjectionOptions faults;
+  faults.transient_failure_rate = 1.0;
+  FaultInjectingOracle oracle(&inner, faults);
+  LabelCache cache(&oracle);
+  ThreadPool pool(1);
+  AsyncLabelPipeline pipeline(&cache, &pool);
+
+  const std::vector<int64_t> items = {0, 1, 2, 3};
+  std::vector<uint8_t> out(items.size());
+  Rng rng(1);
+  ASSERT_TRUE(pipeline.Prefetch(items, &rng, out).ok());
+  EXPECT_EQ(pipeline.Collect().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(pipeline.in_flight());
+  EXPECT_EQ(cache.labels_consumed(), 0);
+  for (int64_t item : items) EXPECT_FALSE(cache.IsLabelled(item));
+
+  // The pipeline stays usable: a later prefetch over a recovered service
+  // (retry wrapper over the same chaos) succeeds with exact accounting.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  FaultInjectionOptions calm;  // Zero rates: retries unnecessary but armed.
+  FaultInjectingOracle calm_oracle(&inner, calm);
+  RetryingOracle retrying(&calm_oracle, policy);
+  LabelCache retry_cache(&retrying);
+  AsyncLabelPipeline retry_pipeline(&retry_cache, &pool);
+  ASSERT_TRUE(retry_pipeline.Prefetch(items, &rng, out).ok());
+  ASSERT_TRUE(retry_pipeline.Collect().ok());
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 0, 1, 0}));
+  EXPECT_EQ(retry_cache.labels_consumed(), 4);
+}
+
+TEST(AsyncLabelPipelineTest, FailingPrefetchDoesNotDeadlockDestructorDrain) {
+  GroundTruthOracle inner(std::vector<uint8_t>(1024, 1));
+  FaultInjectionOptions faults;
+  faults.transient_failure_rate = 1.0;
+  FaultInjectingOracle oracle(&inner, faults);
+  LabelCache cache(&oracle);
+  ThreadPool pool(2);
+  std::vector<int64_t> items(1024);
+  for (int64_t i = 0; i < 1024; ++i) items[static_cast<size_t>(i)] = i;
+  std::vector<uint8_t> out(items.size());
+  Rng rng(1);
+  {
+    AsyncLabelPipeline pipeline(&cache, &pool);
+    ASSERT_TRUE(pipeline.Prefetch(items, &rng, out).ok());
+    // Destroyed with a FAILING batch in flight: the drain must still join
+    // the worker (and swallow the failure status) rather than deadlock or
+    // leave it touching the dead buffers.
+  }
+  EXPECT_EQ(cache.labels_consumed(), 0);
 }
 
 // ---------------------------------------------------------------------------

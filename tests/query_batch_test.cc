@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "common/random.h"
+#include "oracle/fault_injecting_oracle.h"
 #include "oracle/ground_truth_oracle.h"
 #include "oracle/label_cache.h"
 #include "oracle/noisy_oracle.h"
+#include "oracle/retry_policy.h"
 #include "sampling/passive.h"
 
 namespace oasis {
@@ -223,6 +225,155 @@ TEST(QueryBatchTest, DegenerateNoisyOracleStepBatchStaysSequentialEquivalent) {
   EXPECT_EQ(a.precision, b.precision);
   EXPECT_EQ(a.recall, b.recall);
   EXPECT_EQ(stepwise->labels_consumed(), batched->labels_consumed());
+}
+
+// --- Fallible-oracle accounting (footnote 5 under retries) ----------------
+
+/// Fallible oracle that fails its first `fail_calls` TryLabelBatch calls
+/// with kUnavailable, then resolves everything — the smallest reproducible
+/// transient outage.
+class FlakyOnceOracle : public Oracle {
+ public:
+  FlakyOnceOracle(std::vector<uint8_t> truth, int fail_calls)
+      : truth_(std::move(truth)), fail_calls_(fail_calls) {}
+
+  bool Label(int64_t item, Rng&) const override {
+    return truth_[static_cast<size_t>(item)] != 0;
+  }
+  double TrueProbability(int64_t item) const override {
+    return truth_[static_cast<size_t>(item)] != 0 ? 1.0 : 0.0;
+  }
+  bool deterministic() const override { return true; }
+  bool labelling_consumes_rng() const override { return false; }
+  bool fallible() const override { return true; }
+  int64_t num_items() const override {
+    return static_cast<int64_t>(truth_.size());
+  }
+  Status TryLabelBatch(std::span<const int64_t> items, Rng&,
+                       std::span<uint8_t> out,
+                       std::span<uint8_t> resolved) const override {
+    for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
+    if (calls_++ < fail_calls_) {
+      return Status::Unavailable("flaky: transient outage");
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      out[i] = truth_[static_cast<size_t>(items[i])];
+      resolved[i] = 1;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<uint8_t> truth_;
+  int fail_calls_;
+  mutable int calls_ = 0;
+};
+
+TEST(QueryBatchTest, FailedFallibleBatchRollsBackPendingMarkers) {
+  FlakyOnceOracle oracle({1, 0, 1, 0}, /*fail_calls=*/1);
+  LabelCache cache(&oracle);
+  Rng rng(91);
+  const std::vector<int64_t> items{0, 1, 2};
+  std::vector<uint8_t> out(items.size());
+
+  // First call hits the outage: nothing is charged and — critically — the
+  // transient pending markers are rolled back, so the items are re-chargeable.
+  EXPECT_EQ(cache.QueryBatch(items, rng, out).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cache.labels_consumed(), 0);
+  EXPECT_EQ(cache.distinct_items_labelled(), 0);
+  for (int64_t item : items) EXPECT_FALSE(cache.IsLabelled(item));
+
+  // Second call succeeds: every miss is charged exactly once, and the failed
+  // round still counted its queries (queries are requests, not deliveries).
+  ASSERT_TRUE(cache.QueryBatch(items, rng, out).ok());
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 0, 1}));
+  EXPECT_EQ(cache.labels_consumed(), 3);
+  EXPECT_EQ(cache.distinct_items_labelled(), 3);
+  EXPECT_EQ(cache.total_queries(), 6);
+}
+
+TEST(QueryBatchTest, RetriedPartialBatchesChargeEachMissOnce) {
+  // Chaos stack (drops + transient failures, healed by retries) against the
+  // plain sequential cache: labels AND footnote-5 accounting must be
+  // identical — a retried item costs one round-trip-miss exactly once, no
+  // matter how many attempts it took to arrive.
+  Rng truth_rng(93);
+  std::vector<uint8_t> truth(300);
+  for (auto& t : truth) t = truth_rng.NextBernoulli(0.35) ? 1 : 0;
+
+  GroundTruthOracle inner(truth);
+  FaultInjectionOptions faults;
+  faults.transient_failure_rate = 0.2;
+  faults.item_drop_rate = 0.5;
+  FaultInjectingOracle chaotic(&inner, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 30;
+  policy.initial_backoff_seconds = 0.0;
+  RetryingOracle retrying(&chaotic, policy);
+
+  GroundTruthOracle seq_oracle(truth);
+  LabelCache chaos_cache(&retrying);
+  LabelCache seq_cache(&seq_oracle);
+
+  Rng items_rng(94);
+  Rng chaos_rng(95);
+  Rng seq_rng(95);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<int64_t> items = MakeItems(items_rng, 300, 97);
+    std::vector<uint8_t> chaos_out(items.size());
+    ASSERT_TRUE(chaos_cache.QueryBatch(items, chaos_rng, chaos_out).ok());
+    for (size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(chaos_out[i] != 0, seq_cache.Query(items[i], seq_rng))
+          << "round " << round << " position " << i;
+    }
+    EXPECT_EQ(chaos_cache.labels_consumed(), seq_cache.labels_consumed());
+    EXPECT_EQ(chaos_cache.total_queries(), seq_cache.total_queries());
+    EXPECT_EQ(chaos_cache.distinct_items_labelled(),
+              seq_cache.distinct_items_labelled());
+  }
+  // The equivalence above was achieved THROUGH repair work, not by luck.
+  EXPECT_GT(retrying.stats().items_recovered, 0);
+  EXPECT_GT(retrying.stats().retries, 0);
+  EXPECT_EQ(retrying.stats().give_ups, 0);
+}
+
+TEST(QueryBatchTest, NoisyFallibleWholeBatchRetriesKeepRngStreamExact) {
+  // Whole-attempt transient failures never reach the noisy inner oracle, so
+  // a retried noisy batch consumes the caller's RNG exactly like the
+  // fault-free sequential loop — labels, accounting, and residual stream all
+  // match. (Partial batches DO reorder noisy draws, which is why the noisy
+  // path charges per delivery; here we pin the whole-batch case.)
+  const std::vector<uint8_t> truth{1, 0, 1, 0, 1, 1, 0, 0};
+  NoisyOracle noisy_a =
+      NoisyOracle::FromTruthWithFlipNoise(truth, 0.25).ValueOrDie();
+  NoisyOracle noisy_b =
+      NoisyOracle::FromTruthWithFlipNoise(truth, 0.25).ValueOrDie();
+  FaultInjectionOptions faults;
+  faults.transient_failure_rate = 0.3;
+  faults.timeout_rate = 0.2;
+  FaultInjectingOracle chaotic(&noisy_a, faults);
+  RetryPolicy policy;
+  policy.max_attempts = 40;
+  policy.initial_backoff_seconds = 0.0;
+  RetryingOracle retrying(&chaotic, policy);
+
+  LabelCache chaos_cache(&retrying);
+  LabelCache seq_cache(&noisy_b);
+  Rng items_rng(96);
+  Rng chaos_rng(97);
+  Rng seq_rng(97);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<int64_t> items = MakeItems(items_rng, 8, 48);
+    std::vector<uint8_t> chaos_out(items.size());
+    ASSERT_TRUE(chaos_cache.QueryBatch(items, chaos_rng, chaos_out).ok());
+    for (size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(chaos_out[i] != 0, seq_cache.Query(items[i], seq_rng));
+    }
+    EXPECT_EQ(chaos_cache.labels_consumed(), seq_cache.labels_consumed());
+    EXPECT_EQ(chaos_cache.total_queries(), seq_cache.total_queries());
+  }
+  EXPECT_EQ(chaos_rng.NextUint64(), seq_rng.NextUint64());
+  EXPECT_EQ(retrying.stats().give_ups, 0);
 }
 
 TEST(QueryBatchTest, ValidatesArguments) {

@@ -29,6 +29,8 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -43,6 +45,16 @@ TEST(StatusCodeNameTest, CoversAllCodes) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, ToStringCoversRetryableCodes) {
+  EXPECT_EQ(Status::Unavailable("oracle down").ToString(),
+            "Unavailable: oracle down");
+  EXPECT_EQ(Status::DeadlineExceeded("slow trip").ToString(),
+            "DeadlineExceeded: slow trip");
 }
 
 TEST(ResultTest, HoldsValue) {

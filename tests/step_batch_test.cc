@@ -294,6 +294,114 @@ TEST_F(StepBatchTest, RejectsNegativeAndAcceptsZero) {
   EXPECT_EQ(sampler->iterations(), 0);
 }
 
+// --- Exception safety: mid-batch oracle failure ---------------------------
+
+/// Fallible deterministic oracle that fails every TryLabelBatch call with a
+/// (0-based) call index in [fail_from, fail_to) and answers truthfully
+/// otherwise — a precisely placed transient outage.
+class FailWindowOracle : public Oracle {
+ public:
+  FailWindowOracle(std::vector<uint8_t> truth, int fail_from, int fail_to)
+      : truth_(std::move(truth)), fail_from_(fail_from), fail_to_(fail_to) {}
+
+  bool Label(int64_t item, Rng&) const override {
+    return truth_[static_cast<size_t>(item)] != 0;
+  }
+  double TrueProbability(int64_t item) const override {
+    return truth_[static_cast<size_t>(item)] != 0 ? 1.0 : 0.0;
+  }
+  bool deterministic() const override { return true; }
+  bool labelling_consumes_rng() const override { return false; }
+  bool fallible() const override { return true; }
+  int64_t num_items() const override {
+    return static_cast<int64_t>(truth_.size());
+  }
+  Status TryLabelBatch(std::span<const int64_t> items, Rng&,
+                       std::span<uint8_t> out,
+                       std::span<uint8_t> resolved) const override {
+    for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
+    const int call = calls_++;
+    if (call >= fail_from_ && call < fail_to_) {
+      return Status::Unavailable("FailWindowOracle: scheduled outage");
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+      out[i] = truth_[static_cast<size_t>(items[i])];
+      resolved[i] = 1;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<uint8_t> truth_;
+  int fail_from_;
+  int fail_to_;
+  mutable int calls_ = 0;
+};
+
+TEST_F(StepBatchTest, PassiveMidBatchFailureLeavesNoHalfAppliedState) {
+  // The oracle fails exactly the second QueryBatch round-trip: the first
+  // StepBatch lands, the second fails as a whole chunk.
+  FailWindowOracle flaky(pool_.truth, /*fail_from=*/1, /*fail_to=*/2);
+  LabelCache labels(&flaky);
+  auto sampler =
+      PassiveSampler::Create(&pool_.scored, &labels, 0.5, Rng(33)).ValueOrDie();
+  ASSERT_TRUE(sampler->StepBatch(50).ok());
+  const Status failed = sampler->StepBatch(100);
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  // No half-applied state: the failed batch moved neither the iteration
+  // counter nor the label budget, and the estimator is bit-identical to a
+  // twin that stopped cleanly at the last completed step.
+  EXPECT_EQ(sampler->iterations(), 50);
+  GroundTruthOracle reliable(pool_.truth);
+  LabelCache reference_labels(&reliable);
+  auto reference = PassiveSampler::Create(&pool_.scored, &reference_labels, 0.5,
+                                          Rng(33))
+                       .ValueOrDie();
+  ASSERT_TRUE(reference->StepBatch(50).ok());
+  ExpectSnapshotsIdentical(sampler->Estimate(), reference->Estimate());
+  EXPECT_EQ(sampler->labels_consumed(), reference->labels_consumed());
+
+  // The sampler is not poisoned: once the oracle recovers, stepping resumes.
+  ASSERT_TRUE(sampler->StepBatch(100).ok());
+  EXPECT_EQ(sampler->iterations(), 150);
+  EXPECT_TRUE(sampler->Estimate().f_defined);
+}
+
+TEST_F(StepBatchTest, OasisMidBatchFailureLeavesNoHalfAppliedState) {
+  // OASIS queries per step (cache hits skip the oracle), so the outage is
+  // placed on the 11th oracle round-trip — somewhere inside the big batch.
+  FailWindowOracle flaky(pool_.truth, /*fail_from=*/10, /*fail_to=*/11);
+  LabelCache labels(&flaky);
+  auto sampler = OasisSampler::Create(&pool_.scored, &labels, strata_,
+                                      OasisOptions{}, Rng(44))
+                     .ValueOrDie();
+  const Status failed = sampler->StepBatch(200);
+  ASSERT_EQ(failed.code(), StatusCode::kUnavailable);
+  const int64_t completed = sampler->iterations();
+  EXPECT_GE(completed, 10);
+  EXPECT_LT(completed, 200);
+
+  // Invariant: the estimator AND the Bayesian posterior correspond to
+  // exactly `completed` fully-applied steps — the failing step contributed
+  // nothing (its only trace is the RNG draws it consumed).
+  GroundTruthOracle reliable(pool_.truth);
+  LabelCache reference_labels(&reliable);
+  auto reference = OasisSampler::Create(&pool_.scored, &reference_labels,
+                                        strata_, OasisOptions{}, Rng(44))
+                       .ValueOrDie();
+  for (int64_t i = 0; i < completed; ++i) ASSERT_TRUE(reference->Step().ok());
+  ExpectSnapshotsIdentical(sampler->Estimate(), reference->Estimate());
+  EXPECT_EQ(sampler->labels_consumed(), reference->labels_consumed());
+  const std::vector<double> pi = sampler->PosteriorMeans();
+  const std::vector<double> reference_pi = reference->PosteriorMeans();
+  ASSERT_EQ(pi.size(), reference_pi.size());
+  for (size_t k = 0; k < pi.size(); ++k) EXPECT_EQ(pi[k], reference_pi[k]);
+
+  // Recovery: the outage window is spent, stepping resumes cleanly.
+  ASSERT_TRUE(sampler->StepBatch(50).ok());
+  EXPECT_EQ(sampler->iterations(), completed + 50);
+}
+
 // --- Batched trajectory vs the original per-step driver -------------------
 
 TEST_F(StepBatchTest, TrajectoryMatchesPerStepReferenceLoop) {
