@@ -1,0 +1,69 @@
+#include "apps/app_util.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "experiments/config.h"
+
+namespace oasis {
+namespace apps {
+
+ParsedArgs ParseArgs(int argc, char** argv) {
+  ParsedArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.flags[arg.substr(2)] = "";
+      } else {
+        args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+Status CheckKnownFlags(const ParsedArgs& args,
+                       const std::vector<std::string>& known) {
+  for (const auto& [name, value] : args.flags) {
+    bool found = false;
+    for (const std::string& candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown option '--" + name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<datagen::ScenarioSpec> ResolveScenario(const std::string& reference) {
+  const bool looks_like_path =
+      reference.find('/') != std::string::npos ||
+      (reference.size() > 4 &&
+       reference.compare(reference.size() - 4, 4, ".cfg") == 0);
+  if (!looks_like_path) {
+    Result<datagen::ScenarioSpec> by_name = datagen::ScenarioByName(reference);
+    if (by_name.ok()) return by_name;
+    // Fall through: maybe it is a bare file name in the working directory.
+    std::ifstream probe(reference);
+    if (!probe) return by_name.status();
+  }
+  OASIS_ASSIGN_OR_RETURN(const experiments::ConfigMap config,
+                         experiments::ConfigMap::ParseFile(reference));
+  return datagen::ScenarioSpec::FromConfig(config);
+}
+
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return kExitError;
+}
+
+}  // namespace apps
+}  // namespace oasis

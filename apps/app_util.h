@@ -1,0 +1,60 @@
+// Shared plumbing of the oasis_* command-line apps: minimal argument
+// parsing, scenario-reference resolution (catalogue name vs spec file), and
+// uniform Status-to-exit-code handling. Exit code contract across the suite:
+//   0  success (for oasis_verify: every check passed)
+//   1  operational error (bad usage, unreadable file, failed run)
+//   2  verification failure (checks ran and at least one failed)
+#ifndef OASIS_APPS_APP_UTIL_H_
+#define OASIS_APPS_APP_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/scenario.h"
+
+namespace oasis {
+namespace apps {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitVerifyFailed = 2;
+
+// Parsed command line: positional operands plus --key=value / --flag options.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;  // --flag (no value) maps to "".
+
+  bool HasFlag(const std::string& name) const {
+    return flags.count(name) != 0;
+  }
+  std::string FlagOr(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+// Splits argv into positionals and --options. Unknown options are the
+// caller's problem (each app validates against its own set).
+ParsedArgs ParseArgs(int argc, char** argv);
+
+// Fails when `args` carries an option outside `known` — the CLI-level twin
+// of ConfigMap::CheckAllKeysUsed.
+Status CheckKnownFlags(const ParsedArgs& args,
+                       const std::vector<std::string>& known);
+
+// Resolves a scenario reference: a catalogue name ("stripe-f90", ...) or a
+// path to a serialised ScenarioSpec config file. Anything containing a '/'
+// or ending in ".cfg" is treated as a path; otherwise the catalogue is
+// consulted first and the filesystem second.
+Result<datagen::ScenarioSpec> ResolveScenario(const std::string& reference);
+
+// Prints "error: <status>" to stderr and returns kExitError — the uniform
+// tail of every app's main() error path. Never ignores a Status.
+int FailWith(const Status& status);
+
+}  // namespace apps
+}  // namespace oasis
+
+#endif  // OASIS_APPS_APP_UTIL_H_

@@ -1,0 +1,160 @@
+// oasis_sweep — a scenarios x methods x budgets cross-product of scenario
+// runs with one unified report.
+//
+// Usage: oasis_sweep <sweep-config> <out-dir>
+//
+// Config keys:
+//   scenarios = stripe-f90, imbalance-1e3   # or "all" for the catalogue
+//   methods = passive, is, oasis            # any of passive|stratified|is|oasis
+//   budgets = 500, 2000
+//   repeats / checkpoint_every / run_seed / threads / strata  # shared knobs
+//   verify = true                           # verify each run inline
+//
+// Each cell writes <out-dir>/<scenario>__<method>__<budget>.{curves.csv,
+// summary.json}; the aggregate table lands in <out-dir>/sweep_report.txt and
+// on stdout. With verify = true the process exits 2 when any cell fails its
+// checks (the CI smoke job runs exactly that mode).
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/app_util.h"
+#include "datagen/scenario.h"
+#include "experiments/config.h"
+#include "experiments/csv.h"
+#include "experiments/report.h"
+#include "experiments/scenario_run.h"
+#include "experiments/summary.h"
+#include "experiments/verify.h"
+
+namespace oasis {
+namespace apps {
+namespace {
+
+struct SweepOutcome {
+  bool any_verify_failed = false;
+  std::string report_text;
+};
+
+Result<SweepOutcome> RunSweep(const std::string& config_path,
+                              const std::string& out_dir) {
+  OASIS_ASSIGN_OR_RETURN(const experiments::ConfigMap config,
+                         experiments::ConfigMap::ParseFile(config_path));
+
+  std::vector<std::string> scenario_names = config.GetStringList("scenarios");
+  if (scenario_names.size() == 1 && scenario_names[0] == "all") {
+    scenario_names.clear();
+    for (const datagen::ScenarioSpec& spec : datagen::ScenarioCatalog()) {
+      scenario_names.push_back(spec.name);
+    }
+  }
+  if (scenario_names.empty()) {
+    return Status::InvalidArgument("sweep config: 'scenarios' is required");
+  }
+  std::vector<std::string> methods = config.GetStringList("methods");
+  if (methods.empty()) methods = {"oasis"};
+  const std::vector<std::string> budget_strings = config.GetStringList("budgets");
+  std::vector<int64_t> budgets;
+  for (const std::string& budget : budget_strings) {
+    budgets.push_back(std::strtoll(budget.c_str(), nullptr, 10));
+    if (budgets.back() <= 0) {
+      return Status::InvalidArgument("sweep config: bad budget '" + budget + "'");
+    }
+  }
+  OASIS_ASSIGN_OR_RETURN(experiments::ScenarioRunOptions base_options,
+                         experiments::ScenarioRunOptions::FromConfig(config));
+  if (budgets.empty()) budgets = {base_options.budget};
+  OASIS_ASSIGN_OR_RETURN(const bool verify, config.GetBoolOr("verify", false));
+  OASIS_RETURN_NOT_OK(config.CheckAllKeysUsed());
+
+  // The sweep owns the whole directory (unlike the single-run apps, whose
+  // out-prefix may deliberately target an existing tree), so create it.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create out-dir '" + out_dir +
+                            "': " + ec.message());
+  }
+
+  SweepOutcome outcome;
+  experiments::TextTable table({"scenario", "method", "budget", "true F",
+                                "mean F-hat", "|err|", "stddev", "defined",
+                                "verify"});
+  for (const std::string& scenario_name : scenario_names) {
+    OASIS_ASSIGN_OR_RETURN(const datagen::ScenarioSpec spec,
+                           datagen::ScenarioByName(scenario_name));
+    OASIS_ASSIGN_OR_RETURN(const datagen::ScenarioPool pool,
+                           datagen::GenerateScenario(spec));
+    for (const std::string& method : methods) {
+      for (const int64_t budget : budgets) {
+        experiments::ScenarioRunOptions options = base_options;
+        options.method = method;
+        options.budget = budget;
+        if (options.checkpoint_every > budget) options.checkpoint_every = budget;
+        OASIS_ASSIGN_OR_RETURN(const experiments::ScenarioRunResult result,
+                               experiments::RunScenario(pool, options));
+        const std::string prefix = out_dir + "/" + scenario_name + "__" +
+                                   method + "__" + std::to_string(budget);
+        OASIS_RETURN_NOT_OK(experiments::WriteCurvesCsv(prefix + ".curves.csv",
+                                                        {result.curve}));
+        OASIS_RETURN_NOT_OK(experiments::WriteRunSummaryJson(
+            prefix + ".summary.json", result.summary));
+
+        std::string verdict = "-";
+        if (verify) {
+          OASIS_ASSIGN_OR_RETURN(
+              const experiments::VerifyReport report,
+              experiments::VerifyRun(result.summary, &result.curve,
+                                     experiments::VerifyOptions()));
+          verdict = report.passed ? "pass" : "FAIL";
+          if (!report.passed) {
+            outcome.any_verify_failed = true;
+            outcome.report_text += report.Render();
+          }
+        }
+        const experiments::RunSummary& s = result.summary;
+        table.AddRow({scenario_name, s.method, std::to_string(budget),
+                      experiments::FormatDouble(s.true_f),
+                      experiments::FormatDouble(s.final_mean_estimate),
+                      experiments::FormatDouble(s.final_mean_abs_error),
+                      experiments::FormatDouble(s.final_stddev),
+                      experiments::FormatDouble(s.final_frac_defined, 2),
+                      verdict});
+      }
+    }
+  }
+  outcome.report_text = table.ToString() + outcome.report_text;
+
+  const std::string report_path = out_dir + "/sweep_report.txt";
+  std::ofstream out(report_path);
+  out << outcome.report_text;
+  if (!out) {
+    return Status::Internal("cannot write '" + report_path + "'");
+  }
+  return outcome;
+}
+
+int Main(int argc, char** argv) {
+  const ParsedArgs args = ParseArgs(argc, argv);
+  const Status flags_ok = CheckKnownFlags(args, {});
+  if (!flags_ok.ok()) return FailWith(flags_ok);
+  if (args.positional.size() != 2) {
+    std::fprintf(stderr, "usage: oasis_sweep <sweep-config> <out-dir>\n");
+    return kExitError;
+  }
+  Result<SweepOutcome> outcome =
+      RunSweep(args.positional[0], args.positional[1]);
+  if (!outcome.ok()) return FailWith(outcome.status());
+  std::printf("%s", outcome.ValueOrDie().report_text.c_str());
+  return outcome.ValueOrDie().any_verify_failed ? kExitVerifyFailed : kExitOk;
+}
+
+}  // namespace
+}  // namespace apps
+}  // namespace oasis
+
+int main(int argc, char** argv) { return oasis::apps::Main(argc, argv); }

@@ -1,0 +1,89 @@
+// oasis_verify — statistical validation of finished runs.
+//
+// Usage: oasis_verify <out-prefix>... [--tolerance=X] [--coverage-min=X]
+//                     [--no-decay]
+//
+// For each prefix, reads <prefix>.summary.json (required) and
+// <prefix>.curves.csv (optional — enables the error-decay check) and replays
+// the statistical checks from the raw artifacts: aggregate consistency,
+// estimate tolerance against the constructed truth, nominal CI coverage
+// across repeats, banded error decay, and the degeneracy-flag expectation.
+//
+// Exit codes: 0 all runs verified, 1 operational error, 2 >= 1 check failed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "apps/app_util.h"
+#include "experiments/csv.h"
+#include "experiments/summary.h"
+#include "experiments/verify.h"
+
+namespace oasis {
+namespace apps {
+namespace {
+
+int Main(int argc, char** argv) {
+  const ParsedArgs args = ParseArgs(argc, argv);
+  const Status flags_ok =
+      CheckKnownFlags(args, {"tolerance", "coverage-min", "no-decay"});
+  if (!flags_ok.ok()) return FailWith(flags_ok);
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: oasis_verify <out-prefix>... [--tolerance=X] "
+                 "[--coverage-min=X] [--no-decay]\n");
+    return kExitError;
+  }
+
+  experiments::VerifyOptions options;
+  if (args.HasFlag("tolerance")) {
+    options.tolerance_override =
+        std::strtod(args.FlagOr("tolerance", "0").c_str(), nullptr);
+  }
+  if (args.HasFlag("coverage-min")) {
+    options.coverage_min =
+        std::strtod(args.FlagOr("coverage-min", "0.8").c_str(), nullptr);
+  }
+  const bool check_decay = !args.HasFlag("no-decay");
+
+  bool all_passed = true;
+  for (const std::string& prefix : args.positional) {
+    Result<experiments::RunSummary> summary_or =
+        experiments::ReadRunSummaryJson(prefix + ".summary.json");
+    if (!summary_or.ok()) return FailWith(summary_or.status());
+
+    // The curve is optional input; when present it must parse.
+    std::vector<experiments::ErrorCurve> curves;
+    const experiments::ErrorCurve* curve = nullptr;
+    if (check_decay) {
+      const std::string curves_path = prefix + ".curves.csv";
+      if (std::ifstream(curves_path).good()) {
+        Result<std::vector<experiments::ErrorCurve>> curves_or =
+            experiments::ReadCurvesCsv(curves_path);
+        if (!curves_or.ok()) return FailWith(curves_or.status());
+        curves = std::move(curves_or).ValueOrDie();
+        if (curves.size() != 1) {
+          return FailWith(Status::InvalidArgument(
+              "'" + curves_path + "' holds " + std::to_string(curves.size()) +
+              " curves; expected exactly one run"));
+        }
+        curve = &curves[0];
+      }
+    }
+
+    Result<experiments::VerifyReport> report_or =
+        experiments::VerifyRun(summary_or.ValueOrDie(), curve, options);
+    if (!report_or.ok()) return FailWith(report_or.status());
+    const experiments::VerifyReport& report = report_or.ValueOrDie();
+    std::printf("%s", report.Render().c_str());
+    all_passed = all_passed && report.passed;
+  }
+  return all_passed ? kExitOk : kExitVerifyFailed;
+}
+
+}  // namespace
+}  // namespace apps
+}  // namespace oasis
+
+int main(int argc, char** argv) { return oasis::apps::Main(argc, argv); }

@@ -22,6 +22,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/oasis.h"
+#include "datagen/scenario.h"
 #include "experiments/runner.h"
 #include "oracle/fault_injecting_oracle.h"
 #include "oracle/ground_truth_oracle.h"
@@ -464,6 +465,27 @@ void BM_RetryOverhead(benchmark::State& state) {
                               : "retry+fault-inject(calm)");
 }
 BENCHMARK(BM_RetryOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+/// Known-truth scenario-pool generation (datagen/scenario.h): the fixed cost
+/// every oasis_gen / oasis_run invocation and scenario test pays before a
+/// single label is drawn. range(0) indexes kGenScenarios, spanning the cheap
+/// stripe construction, a 50k-item imbalance pool, the cluster sampler, and
+/// the SIS-breaker inversion layout. Items/sec counts pool items.
+const char* const kGenScenarios[] = {"stripe-f90", "imbalance-1e3",
+                                     "clustered", "sis-inversion"};
+
+void BM_ScenarioGen(benchmark::State& state) {
+  const datagen::ScenarioSpec spec =
+      datagen::ScenarioByName(kGenScenarios[state.range(0)]).ValueOrDie();
+  for (auto _ : state) {
+    auto pool = datagen::GenerateScenario(spec);
+    benchmark::DoNotOptimize(pool);
+  }
+  state.SetItemsProcessed(state.iterations() * spec.pool_size);
+  state.counters["N"] = static_cast<double>(spec.pool_size);
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_ScenarioGen)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_CsfStratify(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -90,8 +91,13 @@ int main() {
     pool.scores.push_back(margin);
     pool.predictions.push_back(margin >= 0.0 ? 1 : 0);
   }
-  const Measures exact =
-      ComputeMeasures(CountConfusion(truth, pool.predictions).ValueOrDie(), 0.5);
+  auto counts = CountConfusion(truth, pool.predictions);
+  if (!counts.ok()) {
+    std::fprintf(stderr, "confusion count failed: %s\n",
+                 counts.status().ToString().c_str());
+    return 1;
+  }
+  const Measures exact = ComputeMeasures(counts.ValueOrDie(), 0.5);
   std::printf("pool: %lld pairs, true F = %.4f\n\n",
               static_cast<long long>(pool_size), exact.f_alpha);
 
@@ -106,9 +112,14 @@ int main() {
   for (const int64_t batch : {int64_t{1}, int64_t{64}, int64_t{512}}) {
     RemoteOracle remote(&expert, CrowdPlatform());
     LabelCache labels(&remote);
-    auto sampler =
-        ImportanceSampler::Create(&pool, &labels, ImportanceOptions{}, Rng(4))
-            .ValueOrDie();
+    auto sampler_result =
+        ImportanceSampler::Create(&pool, &labels, ImportanceOptions{}, Rng(4));
+    if (!sampler_result.ok()) {
+      std::fprintf(stderr, "sampler creation failed: %s\n",
+                   sampler_result.status().ToString().c_str());
+      return 1;
+    }
+    auto sampler = std::move(sampler_result).ValueOrDie();
     RunToBudget(*sampler, labels, 2000, batch);
     const RemoteOracleStats stats = remote.stats();
     table.AddRow({batch == 1 ? "per-query" : "batch=" + std::to_string(batch),
@@ -130,9 +141,14 @@ int main() {
     ThreadPool prefetch_pool(2);
     RemoteOracle remote(&expert, CrowdPlatform());
     LabelCache labels(&remote);
-    auto sampler =
-        ImportanceSampler::Create(&pool, &labels, ImportanceOptions{}, Rng(4))
-            .ValueOrDie();
+    auto sampler_result =
+        ImportanceSampler::Create(&pool, &labels, ImportanceOptions{}, Rng(4));
+    if (!sampler_result.ok()) {
+      std::fprintf(stderr, "sampler creation failed: %s\n",
+                   sampler_result.status().ToString().c_str());
+      return 1;
+    }
+    auto sampler = std::move(sampler_result).ValueOrDie();
     sampler->SetPrefetchPool(&prefetch_pool);
     RunToBudget(*sampler, labels, 2000, 2000);
     std::printf(
@@ -158,13 +174,23 @@ int main() {
                                       "|err| (shared)", "cost (shared)",
                                       "round trips (shared)"});
   const experiments::MethodSpec method = experiments::MakePassiveSpec(0.5);
-  const experiments::ErrorCurve solo =
-      experiments::RunErrorCurve(method, pool, expert, exact.f_alpha, options)
-          .ValueOrDie();
+  auto solo_result =
+      experiments::RunErrorCurve(method, pool, expert, exact.f_alpha, options);
+  if (!solo_result.ok()) {
+    std::fprintf(stderr, "solo curve failed: %s\n",
+                 solo_result.status().ToString().c_str());
+    return 1;
+  }
+  const experiments::ErrorCurve solo = std::move(solo_result).ValueOrDie();
   options.remote_share_labels = true;
-  const experiments::ErrorCurve shared =
-      experiments::RunErrorCurve(method, pool, expert, exact.f_alpha, options)
-          .ValueOrDie();
+  auto shared_result =
+      experiments::RunErrorCurve(method, pool, expert, exact.f_alpha, options);
+  if (!shared_result.ok()) {
+    std::fprintf(stderr, "shared curve failed: %s\n",
+                 shared_result.status().ToString().c_str());
+    return 1;
+  }
+  const experiments::ErrorCurve shared = std::move(shared_result).ValueOrDie();
   for (size_t i = 0; i < solo.budgets.size(); ++i) {
     curve_table.AddRow(
         {experiments::FormatCount(solo.budgets[i]),

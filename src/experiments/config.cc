@@ -1,0 +1,188 @@
+#include "experiments/config.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace oasis {
+namespace experiments {
+
+std::string TrimWhitespace(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<ConfigMap> ConfigMap::Parse(const std::string& text) {
+  ConfigMap config;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = TrimWhitespace(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("ConfigMap: line " +
+                                     std::to_string(line_number) +
+                                     " is not 'key = value': '" + line + "'");
+    }
+    Entry entry;
+    entry.key = TrimWhitespace(line.substr(0, eq));
+    entry.value = TrimWhitespace(line.substr(eq + 1));
+    if (entry.key.empty()) {
+      return Status::InvalidArgument("ConfigMap: empty key at line " +
+                                     std::to_string(line_number));
+    }
+    if (config.Find(entry.key) != nullptr) {
+      return Status::InvalidArgument("ConfigMap: duplicate key '" + entry.key +
+                                     "' at line " + std::to_string(line_number));
+    }
+    config.entries_.push_back(std::move(entry));
+  }
+  return config;
+}
+
+Result<ConfigMap> ConfigMap::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("ConfigMap: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  OASIS_ASSIGN_OR_RETURN(ConfigMap config, Parse(buffer.str()));
+  return config;
+}
+
+const ConfigMap::Entry* ConfigMap::Find(const std::string& key) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+bool ConfigMap::Has(const std::string& key) const { return Find(key) != nullptr; }
+
+Result<std::string> ConfigMap::GetString(const std::string& key) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) {
+    return Status::NotFound("ConfigMap: missing key '" + key + "'");
+  }
+  entry->used = true;
+  return entry->value;
+}
+
+std::string ConfigMap::GetStringOr(const std::string& key,
+                                   const std::string& fallback) const {
+  const Entry* entry = Find(key);
+  if (entry == nullptr) return fallback;
+  entry->used = true;
+  return entry->value;
+}
+
+Result<int64_t> ConfigMap::GetInt64(const std::string& key) const {
+  OASIS_ASSIGN_OR_RETURN(std::string raw, GetString(key));
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("ConfigMap: key '" + key +
+                                   "' is not an integer: '" + raw + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<int64_t> ConfigMap::GetInt64Or(const std::string& key,
+                                      int64_t fallback) const {
+  if (!Has(key)) return fallback;
+  return GetInt64(key);
+}
+
+Result<double> ConfigMap::GetDouble(const std::string& key) const {
+  OASIS_ASSIGN_OR_RETURN(std::string raw, GetString(key));
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("ConfigMap: key '" + key +
+                                   "' is not a number: '" + raw + "'");
+  }
+  return value;
+}
+
+Result<double> ConfigMap::GetDoubleOr(const std::string& key,
+                                      double fallback) const {
+  if (!Has(key)) return fallback;
+  return GetDouble(key);
+}
+
+Result<bool> ConfigMap::GetBool(const std::string& key) const {
+  OASIS_ASSIGN_OR_RETURN(std::string raw, GetString(key));
+  std::string lowered;
+  for (char c : raw) lowered.push_back(static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c))));
+  if (lowered == "true" || lowered == "1") return true;
+  if (lowered == "false" || lowered == "0") return false;
+  return Status::InvalidArgument("ConfigMap: key '" + key +
+                                 "' is not a bool: '" + raw + "'");
+}
+
+Result<bool> ConfigMap::GetBoolOr(const std::string& key, bool fallback) const {
+  if (!Has(key)) return fallback;
+  return GetBool(key);
+}
+
+std::vector<std::string> ConfigMap::GetStringList(const std::string& key) const {
+  std::vector<std::string> items;
+  const Entry* entry = Find(key);
+  if (entry == nullptr) return items;
+  entry->used = true;
+  std::string current;
+  for (char c : entry->value) {
+    if (c == ',') {
+      const std::string trimmed = TrimWhitespace(current);
+      if (!trimmed.empty()) items.push_back(trimmed);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const std::string trimmed = TrimWhitespace(current);
+  if (!trimmed.empty()) items.push_back(trimmed);
+  return items;
+}
+
+Status ConfigMap::CheckAllKeysUsed() const {
+  std::string unused;
+  for (const Entry& entry : entries_) {
+    if (!entry.used) {
+      if (!unused.empty()) unused += ", ";
+      unused += "'" + entry.key + "'";
+    }
+  }
+  if (!unused.empty()) {
+    return Status::InvalidArgument("ConfigMap: unknown key(s): " + unused);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ConfigMap::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& entry : entries_) keys.push_back(entry.key);
+  return keys;
+}
+
+}  // namespace experiments
+}  // namespace oasis

@@ -1,0 +1,94 @@
+#ifndef OASIS_EXPERIMENTS_CONFIG_H_
+#define OASIS_EXPERIMENTS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Minimal `key = value` configuration file shared by the apps/ CLI layer
+/// (oasis_gen / oasis_run / oasis_sweep / oasis_verify) and the scenario
+/// serialisation in src/datagen/scenario.h.
+///
+/// Format: one `key = value` pair per line; `#` starts a comment (full-line
+/// or trailing); blank lines are ignored; keys and values are trimmed of
+/// surrounding whitespace. Keys are unique — a duplicate key is a parse
+/// error, not a silent override. Values keep internal whitespace (lists are
+/// comma-separated by convention, see GetStringList).
+///
+/// The map records which keys were read so callers can reject typos: after
+/// pulling every expected key, CheckAllKeysUsed() fails loudly on leftovers
+/// instead of silently ignoring a misspelled option.
+class ConfigMap {
+ public:
+  /// Parses `text` (the contents of a config file). Fails on malformed lines
+  /// (no '='), empty keys, or duplicate keys.
+  static Result<ConfigMap> Parse(const std::string& text);
+
+  /// Reads and parses the file at `path`.
+  static Result<ConfigMap> ParseFile(const std::string& path);
+
+  /// Whether `key` is present.
+  bool Has(const std::string& key) const;
+
+  /// The raw value of `key`; fails with NotFound when absent.
+  Result<std::string> GetString(const std::string& key) const;
+
+  /// The value of `key`, or `fallback` when absent.
+  std::string GetStringOr(const std::string& key, const std::string& fallback) const;
+
+  /// The value parsed as int64; fails on absence or on trailing garbage.
+  Result<int64_t> GetInt64(const std::string& key) const;
+
+  /// Integer value with a default for absent keys (parse errors still fail).
+  Result<int64_t> GetInt64Or(const std::string& key, int64_t fallback) const;
+
+  /// The value parsed as double; fails on absence or non-numeric text.
+  Result<double> GetDouble(const std::string& key) const;
+
+  /// Double value with a default for absent keys (parse errors still fail).
+  Result<double> GetDoubleOr(const std::string& key, double fallback) const;
+
+  /// The value parsed as bool ("true"/"false"/"1"/"0", case-insensitive).
+  Result<bool> GetBool(const std::string& key) const;
+
+  /// Bool value with a default for absent keys (parse errors still fail).
+  Result<bool> GetBoolOr(const std::string& key, bool fallback) const;
+
+  /// The value split on commas with each element trimmed; empty elements are
+  /// dropped. Absent key -> empty list.
+  std::vector<std::string> GetStringList(const std::string& key) const;
+
+  /// Fails with InvalidArgument naming every key that was never read by any
+  /// getter — the typo guard every app runs after consuming its options.
+  Status CheckAllKeysUsed() const;
+
+  /// All keys in file order (diagnostics and serialisation round-trips).
+  std::vector<std::string> Keys() const;
+
+ private:
+  struct Entry {
+    /// The key as written in the file (trimmed).
+    std::string key;
+    /// The raw value (trimmed; list splitting happens in GetStringList).
+    std::string value;
+    /// Set by every getter; CheckAllKeysUsed reports entries never read.
+    mutable bool used = false;
+  };
+
+  const Entry* Find(const std::string& key) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Strips leading and trailing whitespace (shared with the CSV/JSON readers).
+std::string TrimWhitespace(const std::string& text);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_CONFIG_H_

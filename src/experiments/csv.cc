@@ -175,5 +175,137 @@ Status WriteCurvesCsv(const std::string& path,
   return Status::OK();
 }
 
+namespace {
+
+Result<double> ParseCsvDouble(const std::string& cell, size_t line_number) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("ReadCurvesCsv: bad number '" + cell +
+                                   "' at line " + std::to_string(line_number));
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<ErrorCurve>> ReadCurvesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("ReadCurvesCsv: cannot open '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("ReadCurvesCsv: empty file");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  const std::vector<std::string> required = {
+      "method", "labels", "mean_abs_error", "stddev", "mean_estimate",
+      "frac_defined"};
+  if (header.size() < required.size()) {
+    return Status::InvalidArgument("ReadCurvesCsv: short header");
+  }
+  for (size_t i = 0; i < required.size(); ++i) {
+    if (header[i] != required[i]) {
+      return Status::InvalidArgument("ReadCurvesCsv: expected column '" +
+                                     required[i] + "', found '" + header[i] +
+                                     "'");
+    }
+  }
+  // Optional column groups appear in WriteCurvesCsv order; resolve each
+  // group's starting index from the header rather than assuming which groups
+  // are present.
+  size_t next = required.size();
+  size_t remote_at = 0;
+  bool has_remote = false;
+  if (next + 3 <= header.size() && header[next] == "round_trips") {
+    has_remote = true;
+    remote_at = next;
+    next += 3;
+  }
+  size_t fault_at = 0;
+  bool has_fault = false;
+  if (next + 2 <= header.size() && header[next] == "retries") {
+    has_fault = true;
+    fault_at = next;
+    next += 2;
+  }
+  size_t ess_at = 0;
+  bool has_ess = false;
+  if (next < header.size() && header[next] == "ess") {
+    has_ess = true;
+    ess_at = next;
+    next += 1;
+  }
+  if (next != header.size()) {
+    return Status::InvalidArgument("ReadCurvesCsv: unexpected column '" +
+                                   header[next] + "'");
+  }
+
+  std::vector<ErrorCurve> curves;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument("ReadCurvesCsv: row width mismatch at line " +
+                                     std::to_string(line_number));
+    }
+    if (curves.empty() || curves.back().method != cells[0]) {
+      curves.emplace_back();
+      curves.back().method = cells[0];
+    }
+    ErrorCurve& curve = curves.back();
+    OASIS_ASSIGN_OR_RETURN(const double labels,
+                           ParseCsvDouble(cells[1], line_number));
+    curve.budgets.push_back(static_cast<int64_t>(labels));
+    OASIS_ASSIGN_OR_RETURN(const double mean_abs_error,
+                           ParseCsvDouble(cells[2], line_number));
+    curve.mean_abs_error.push_back(mean_abs_error);
+    OASIS_ASSIGN_OR_RETURN(const double stddev,
+                           ParseCsvDouble(cells[3], line_number));
+    curve.stddev.push_back(stddev);
+    OASIS_ASSIGN_OR_RETURN(const double mean_estimate,
+                           ParseCsvDouble(cells[4], line_number));
+    curve.mean_estimate.push_back(mean_estimate);
+    OASIS_ASSIGN_OR_RETURN(const double frac_defined,
+                           ParseCsvDouble(cells[5], line_number));
+    curve.frac_defined.push_back(frac_defined);
+    if (has_remote && !cells[remote_at].empty()) {
+      curve.has_remote_cost = true;
+      OASIS_ASSIGN_OR_RETURN(const double trips,
+                             ParseCsvDouble(cells[remote_at], line_number));
+      curve.mean_round_trips.push_back(trips);
+      OASIS_ASSIGN_OR_RETURN(const double seconds,
+                             ParseCsvDouble(cells[remote_at + 1], line_number));
+      curve.mean_simulated_seconds.push_back(seconds);
+      OASIS_ASSIGN_OR_RETURN(const double cost,
+                             ParseCsvDouble(cells[remote_at + 2], line_number));
+      curve.mean_label_cost.push_back(cost);
+    }
+    if (has_fault && !cells[fault_at].empty()) {
+      curve.has_fault_stats = true;
+      OASIS_ASSIGN_OR_RETURN(const double retries,
+                             ParseCsvDouble(cells[fault_at], line_number));
+      curve.mean_retries.push_back(retries);
+      OASIS_ASSIGN_OR_RETURN(const double give_ups,
+                             ParseCsvDouble(cells[fault_at + 1], line_number));
+      curve.mean_give_ups.push_back(give_ups);
+    }
+    if (has_ess && !cells[ess_at].empty()) {
+      curve.has_degeneracy_stats = true;
+      OASIS_ASSIGN_OR_RETURN(const double ess,
+                             ParseCsvDouble(cells[ess_at], line_number));
+      curve.mean_ess.push_back(ess);
+    }
+  }
+  if (curves.empty()) {
+    return Status::InvalidArgument("ReadCurvesCsv: no data rows");
+  }
+  return curves;
+}
+
 }  // namespace experiments
 }  // namespace oasis

@@ -41,6 +41,14 @@ Result<LoadedPool> ReadPoolCsv(const std::string& path);
 Status WriteCurvesCsv(const std::string& path,
                       const std::vector<ErrorCurve>& curves);
 
+/// Reads curves back from a CSV written by WriteCurvesCsv: consecutive rows
+/// with the same method name form one curve, and the optional cost / fault /
+/// ess columns are restored when (and only when) the header carries them.
+/// The per-repeat fields that never travel through the CSV (repeats,
+/// final_estimates) come back empty — oasis_verify reads those from the run
+/// summary JSON instead.
+Result<std::vector<ErrorCurve>> ReadCurvesCsv(const std::string& path);
+
 /// Splits one CSV line on commas (no quoting support — the pool format
 /// is purely numeric). Exposed for tests.
 std::vector<std::string> SplitCsvLine(const std::string& line);

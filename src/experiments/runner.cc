@@ -353,6 +353,15 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
       curve.mean_ess[i] = ess[i].mean();
     }
   }
+  // Raw final-checkpoint estimates in repeat order, for dispersion/coverage
+  // consumers that need more than the aggregates above.
+  curve.final_estimates.resize(repeats);
+  curve.final_defined.resize(repeats);
+  for (size_t r = 0; r < repeats; ++r) {
+    const size_t slot = slots.index(r, num_checkpoints - 1);
+    curve.final_estimates[r] = slots.f_alpha[slot];
+    curve.final_defined[r] = slots.defined[slot];
+  }
   return curve;
 }
 

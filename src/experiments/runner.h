@@ -98,6 +98,15 @@ struct ErrorCurve {
   bool has_degeneracy_stats = false;
   /// Mean (over repeats) effective sample size at each checkpoint.
   std::vector<double> mean_ess;
+
+  /// Per-repeat F-hat at the FINAL checkpoint, in repeat order (length ==
+  /// repeats). The raw material behind cross-repeat dispersion statistics —
+  /// empirical CI coverage in particular (src/experiments/verify.h) needs
+  /// the individual estimates, not just their mean/stddev above.
+  std::vector<double> final_estimates;
+  /// 1 where the corresponding final_estimates entry was defined, else 0
+  /// (and the estimate value is meaningless). Same length as final_estimates.
+  std::vector<uint8_t> final_defined;
 };
 
 /// Controls for repeated trajectory runs.

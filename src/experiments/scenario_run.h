@@ -1,0 +1,74 @@
+#ifndef OASIS_EXPERIMENTS_SCENARIO_RUN_H_
+#define OASIS_EXPERIMENTS_SCENARIO_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "datagen/scenario.h"
+#include "experiments/config.h"
+#include "experiments/runner.h"
+#include "experiments/summary.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Controls for one scenario experiment — the run-side half of a run config
+/// file (the scenario-side half is ScenarioSpec). Small by design: everything
+/// here maps 1:1 onto RunnerOptions / TrajectoryOptions fields.
+struct ScenarioRunOptions {
+  /// Sampler to evaluate: "passive", "stratified", "is", or "oasis".
+  std::string method = "oasis";
+  /// Label budget per repeat.
+  int64_t budget = 2000;
+  /// Checkpoint spacing of the error curve.
+  int64_t checkpoint_every = 100;
+  /// Independent repeats to aggregate.
+  int repeats = 20;
+  /// Runner base seed (repeat r runs on Rng::Fork(seed, r)).
+  uint64_t seed = 0x0a515u;
+  /// Worker threads for the repeat fan-out; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Target stratum count for the stratified/oasis methods (CSF).
+  int64_t target_strata = 30;
+
+  /// Structural validation (positive budget/repeats, known method name, ...).
+  Status Validate() const;
+
+  /// Reads the run keys (method, budget, checkpoint_every, repeats,
+  /// run_seed, threads, strata) from `config`, leaving absent keys at their
+  /// defaults. Does NOT call CheckAllKeysUsed — callers typically share the
+  /// config with a ScenarioSpec and run the typo check once at the end.
+  static Result<ScenarioRunOptions> FromConfig(const ConfigMap& config);
+};
+
+/// Builds a MethodSpec by CLI-facing name. "stratified" and "oasis" stratify
+/// `pool`'s scores with CSF at `target_strata` internally; "passive" and
+/// "is" ignore the stratum count.
+Result<MethodSpec> MakeMethodByName(const std::string& method, double alpha,
+                                    const ScoredPool& pool,
+                                    int64_t target_strata);
+
+/// Everything one scenario experiment produces: the error curve (for the
+/// curves CSV) and the self-contained run summary (for the JSON sidecar and
+/// oasis_verify).
+struct ScenarioRunResult {
+  /// The aggregated error curve of the configured method.
+  ErrorCurve curve;
+  /// The verification-ready summary, including per-repeat final estimates
+  /// and the degeneracy probe's verdict.
+  RunSummary summary;
+};
+
+/// Runs `options.method` on the scenario pool: a repeated error-curve run
+/// against the pool's constructed truth, plus one probe trajectory (repeat
+/// 0's RNG stream) whose DegeneracyMonitor verdict feeds the summary's
+/// degeneracy fields. Deterministic: a pure function of (pool, options) at
+/// any thread count.
+Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
+                                      const ScenarioRunOptions& options);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_SCENARIO_RUN_H_

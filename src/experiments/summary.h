@@ -1,0 +1,99 @@
+#ifndef OASIS_EXPERIMENTS_SUMMARY_H_
+#define OASIS_EXPERIMENTS_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Machine-readable result of one scenario run — the contract between
+/// oasis_run (which writes it next to the curves CSV) and oasis_verify
+/// (which replays the statistical checks from it without re-running the
+/// experiment). Everything a verifier needs travels here: the constructed
+/// truth, the aggregate final-budget statistics, and the raw per-repeat
+/// final estimates that empirical CI coverage is computed from.
+///
+/// Serialised as a flat JSON object (WriteRunSummaryJson); the golden-schema
+/// test locks the field set, so additions must extend — never rename or
+/// reorder — the schema.
+struct RunSummary {
+  /// Schema version stamp; bumped when the field set changes.
+  int64_t schema_version = 1;
+  /// Scenario name the run was generated from.
+  std::string scenario;
+  /// Sampler method name ("Passive", "IS", "OASIS-30", ...).
+  std::string method;
+  /// F-measure weight alpha of the run.
+  double alpha = 0.5;
+  /// Pool size of the scenario.
+  int64_t pool_size = 0;
+  /// Scenario generation seed.
+  uint64_t scenario_seed = 0;
+  /// Runner base seed (repeat r ran on Rng::Fork(run_seed, r)).
+  uint64_t run_seed = 0;
+  /// The scenario's exact constructed target value of F_alpha.
+  double true_f = 0.0;
+  /// Label budget of each repeat.
+  int64_t budget = 0;
+  /// Number of independent repeats aggregated.
+  int64_t repeats = 0;
+
+  /// Mean final-budget estimate across defined repeats.
+  double final_mean_estimate = 0.0;
+  /// Mean |F-hat - F| at the final budget across defined repeats.
+  double final_mean_abs_error = 0.0;
+  /// Cross-repeat standard deviation of the final estimates.
+  double final_stddev = 0.0;
+  /// Fraction of repeats with a defined final estimate.
+  double final_frac_defined = 0.0;
+
+  /// Whether the scenario was constructed to degenerate a static importance
+  /// sampler (ScenarioSpec::expect_sis_degeneracy, copied through).
+  bool expect_sis_degeneracy = false;
+  /// Whether the method's sampler exposes a DegeneracyMonitor at all
+  /// (false for Passive/Stratified — the degeneracy fields below are
+  /// meaningless then).
+  bool degeneracy_monitored = false;
+  /// Whether the probe run's DegeneracyMonitor reported degenerate() after
+  /// the full budget.
+  bool degeneracy_tripped = false;
+  /// The probe run's final ESS fraction (ESS / observations).
+  double final_ess_fraction = 0.0;
+  /// The probe run's final max-weight share of total mass.
+  double max_weight_share = 0.0;
+
+  /// |F-hat - F| tolerance the scenario declares for verification.
+  double verify_tolerance = 0.0;
+
+  /// Final-budget F-hat per repeat, in repeat order (length == repeats).
+  std::vector<double> final_estimates;
+  /// 1 where the matching final_estimates entry was defined, else 0.
+  std::vector<uint8_t> final_defined;
+};
+
+/// Writes `summary` to `path` as a flat JSON object. Numbers use %.17g so
+/// the write/read round trip is value-exact.
+Status WriteRunSummaryJson(const std::string& path, const RunSummary& summary);
+
+/// Reads a summary back from a file written by WriteRunSummaryJson. The
+/// parser covers exactly this schema (flat object of strings, numbers, bools
+/// and numeric arrays) — it is not a general JSON reader. Unknown fields are
+/// an error so schema drift surfaces loudly; missing fields fail too.
+Result<RunSummary> ReadRunSummaryJson(const std::string& path);
+
+/// Parses a summary from in-memory JSON text (the file-free core of
+/// ReadRunSummaryJson; exposed for tests).
+Result<RunSummary> ParseRunSummaryJson(const std::string& text);
+
+/// Serialises a summary to JSON text (the file-free core of
+/// WriteRunSummaryJson; exposed for tests and the golden-schema lock).
+std::string RunSummaryToJson(const RunSummary& summary);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_SUMMARY_H_

@@ -1,0 +1,95 @@
+#ifndef OASIS_EXPERIMENTS_VERIFY_H_
+#define OASIS_EXPERIMENTS_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "experiments/runner.h"
+#include "experiments/summary.h"
+
+namespace oasis {
+namespace experiments {
+
+/// Thresholds of the statistical self-verification harness. Defaults are
+/// banded for CI stability at ~20 repeats: tight enough to fail a broken
+/// estimator outright (tests/scenario_verify_test.cc proves it), loose
+/// enough that an honest run never flakes.
+struct VerifyOptions {
+  /// Nominal level of the per-repeat normal interval used by the coverage
+  /// check (covered_r iff |F-hat_r - F| <= z(level) * sigma-hat).
+  double ci_level = 0.95;
+  /// Empirical coverage must land in [coverage_min, coverage_max]. The lower
+  /// edge sits ~3 binomial sigmas under the nominal level at 20 repeats.
+  double coverage_min = 0.80;
+  /// Upper coverage edge (1.0 = never fail for over-coverage).
+  double coverage_max = 1.0;
+  /// Repeats needed before the coverage check is meaningful; with fewer
+  /// defined repeats it is skipped (reported as passed, flagged in detail).
+  int64_t coverage_min_repeats = 10;
+  /// Minimum fraction of repeats whose final estimate was defined.
+  double min_frac_defined = 0.9;
+  /// Error-decay band: final mean |error| must be <= decay_factor * first
+  /// checkpoint's mean |error| + decay_slack.
+  double decay_factor = 1.0;
+  /// Absolute slack of the decay band (absorbs noise when both ends are
+  /// already near zero).
+  double decay_slack = 0.01;
+  /// When > 0, overrides the summary's scenario-declared |F-hat - F|
+  /// tolerance.
+  double tolerance_override = 0.0;
+  /// Tolerance for recomputing the summary's aggregate statistics from its
+  /// per-repeat raw estimates (an internal-consistency audit of the file).
+  double aggregate_tolerance = 1e-9;
+};
+
+/// Outcome of one verification check.
+struct VerifyCheck {
+  /// Stable check identifier ("estimate-tolerance", "ci-coverage", ...).
+  std::string name;
+  /// Whether the check passed.
+  bool passed = false;
+  /// Human-readable evidence line (measured value vs band).
+  std::string detail;
+};
+
+/// The full verification verdict for one run.
+struct VerifyReport {
+  /// Scenario name from the summary.
+  std::string scenario;
+  /// Method name from the summary.
+  std::string method;
+  /// Every check that ran, in execution order.
+  std::vector<VerifyCheck> checks;
+  /// True when every check passed.
+  bool passed = false;
+
+  /// Multi-line human-readable rendering (one PASS/FAIL line per check).
+  std::string Render() const;
+};
+
+/// Runs the statistical checks against a run summary (and, when `curve` is
+/// non-null, the matching error curve for the decay check):
+///
+///  1. aggregate-consistency — the summary's final mean/stddev/frac_defined
+///     reproduce from its raw per-repeat estimates (file-integrity audit).
+///  2. estimate-defined    — enough repeats ended with a defined estimate.
+///  3. estimate-tolerance  — |final mean F-hat - true F| within the band.
+///  4. ci-coverage         — the empirical coverage of the nominal normal
+///     interval across repeats lands in the configured band.
+///  5. error-decay         — the curve's final mean |error| is no worse than
+///     the banded first checkpoint (skipped without a curve).
+///  6. degeneracy-flag     — a monitored sampler's degeneracy verdict matches
+///     the scenario's expectation: pools built to break static IS must trip
+///     the IS monitor, every other (method, pool) pairing must stay healthy.
+///
+/// Always returns a report (never fails on a mere check failure); a
+/// non-verifiable file (e.g. no repeats) is an error.
+Result<VerifyReport> VerifyRun(const RunSummary& summary,
+                               const ErrorCurve* curve,
+                               const VerifyOptions& options);
+
+}  // namespace experiments
+}  // namespace oasis
+
+#endif  // OASIS_EXPERIMENTS_VERIFY_H_

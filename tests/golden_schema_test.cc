@@ -1,0 +1,201 @@
+// Golden locks on the on-disk interchange formats: the curves-CSV header
+// (base columns plus every optional group) and the RunSummary JSON schema.
+// These files are the contract between oasis_run, oasis_verify, and any
+// external tooling — a diff here is a BREAKING format change and must bump
+// RunSummary::schema_version / extend (never rename or reorder) the columns.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments/csv.h"
+#include "experiments/runner.h"
+#include "experiments/summary.h"
+
+namespace oasis {
+namespace experiments {
+namespace {
+
+std::string FirstLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+/// A minimal two-checkpoint curve with every optional column group enabled.
+ErrorCurve FullyLoadedCurve() {
+  ErrorCurve curve;
+  curve.method = "OASIS-30";
+  curve.budgets = {100, 200};
+  curve.mean_abs_error = {0.05, 0.025};
+  curve.stddev = {0.06, 0.03};
+  curve.mean_estimate = {0.88, 0.895};
+  curve.frac_defined = {1.0, 1.0};
+  curve.repeats = 2;
+  curve.has_remote_cost = true;
+  curve.mean_round_trips = {10.0, 20.0};
+  curve.mean_simulated_seconds = {1.5, 3.0};
+  curve.mean_label_cost = {0.1, 0.2};
+  curve.has_fault_stats = true;
+  curve.mean_retries = {3.0, 6.0};
+  curve.mean_give_ups = {0.0, 1.0};
+  curve.has_degeneracy_stats = true;
+  curve.mean_ess = {80.0, 150.0};
+  curve.final_estimates = {0.87, 0.91};
+  curve.final_defined = {1, 1};
+  return curve;
+}
+
+TEST(GoldenSchemaTest, CurvesCsvBaseHeaderIsLocked) {
+  const std::string path = "/tmp/oasis_golden_schema_base.csv";
+  ErrorCurve curve;
+  curve.method = "Passive";
+  curve.budgets = {100};
+  curve.mean_abs_error = {0.1};
+  curve.stddev = {0.1};
+  curve.mean_estimate = {0.5};
+  curve.frac_defined = {1.0};
+  curve.repeats = 1;
+  ASSERT_TRUE(WriteCurvesCsv(path, {curve}).ok());
+  EXPECT_EQ(FirstLine(path),
+            "method,labels,mean_abs_error,stddev,mean_estimate,frac_defined");
+  std::remove(path.c_str());
+}
+
+TEST(GoldenSchemaTest, CurvesCsvFullHeaderIsLocked) {
+  const std::string path = "/tmp/oasis_golden_schema_full.csv";
+  ASSERT_TRUE(WriteCurvesCsv(path, {FullyLoadedCurve()}).ok());
+  EXPECT_EQ(FirstLine(path),
+            "method,labels,mean_abs_error,stddev,mean_estimate,frac_defined,"
+            "round_trips,sim_seconds,label_cost,retries,give_ups,ess");
+  std::remove(path.c_str());
+}
+
+TEST(GoldenSchemaTest, CurvesCsvRoundTripsEveryColumnGroup) {
+  const std::string path = "/tmp/oasis_golden_schema_roundtrip.csv";
+  const ErrorCurve curve = FullyLoadedCurve();
+  ASSERT_TRUE(WriteCurvesCsv(path, {curve}).ok());
+  const std::vector<ErrorCurve> curves = ReadCurvesCsv(path).ValueOrDie();
+  std::remove(path.c_str());
+  ASSERT_EQ(curves.size(), 1u);
+  const ErrorCurve& read = curves[0];
+  EXPECT_EQ(read.method, curve.method);
+  EXPECT_EQ(read.budgets, curve.budgets);
+  EXPECT_EQ(read.mean_abs_error, curve.mean_abs_error);
+  EXPECT_TRUE(read.has_remote_cost);
+  EXPECT_EQ(read.mean_label_cost, curve.mean_label_cost);
+  EXPECT_TRUE(read.has_fault_stats);
+  EXPECT_EQ(read.mean_retries, curve.mean_retries);
+  EXPECT_TRUE(read.has_degeneracy_stats);
+  EXPECT_EQ(read.mean_ess, curve.mean_ess);
+}
+
+/// A deterministic summary touching every field with distinctive values.
+RunSummary GoldenSummary() {
+  RunSummary summary;
+  summary.scenario = "stripe-f90";
+  summary.method = "OASIS-30";
+  summary.alpha = 0.5;
+  summary.pool_size = 20000;
+  summary.scenario_seed = 11;
+  summary.run_seed = 7;
+  summary.true_f = 0.875;
+  summary.budget = 1000;
+  summary.repeats = 2;
+  summary.final_mean_estimate = 0.875;
+  summary.final_mean_abs_error = 0.125;
+  summary.final_stddev = 0.125;
+  summary.final_frac_defined = 1.0;
+  summary.expect_sis_degeneracy = false;
+  summary.degeneracy_monitored = true;
+  summary.degeneracy_tripped = false;
+  summary.final_ess_fraction = 0.25;
+  summary.max_weight_share = 0.0625;
+  summary.verify_tolerance = 0.03125;
+  summary.final_estimates = {0.75, 1.0};
+  summary.final_defined = {1, 1};
+  return summary;
+}
+
+TEST(GoldenSchemaTest, RunSummaryJsonIsLockedByteForByte) {
+  // The golden text below IS the schema. All values were chosen to be exact
+  // in binary floating point (dyadic rationals), so %.17g prints them in
+  // their shortest form and the lock stays byte-stable across compilers.
+  const std::string expected =
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"scenario\": \"stripe-f90\",\n"
+      "  \"method\": \"OASIS-30\",\n"
+      "  \"alpha\": 0.5,\n"
+      "  \"pool_size\": 20000,\n"
+      "  \"scenario_seed\": 11,\n"
+      "  \"run_seed\": 7,\n"
+      "  \"true_f\": 0.875,\n"
+      "  \"budget\": 1000,\n"
+      "  \"repeats\": 2,\n"
+      "  \"final_mean_estimate\": 0.875,\n"
+      "  \"final_mean_abs_error\": 0.125,\n"
+      "  \"final_stddev\": 0.125,\n"
+      "  \"final_frac_defined\": 1,\n"
+      "  \"expect_sis_degeneracy\": false,\n"
+      "  \"degeneracy_monitored\": true,\n"
+      "  \"degeneracy_tripped\": false,\n"
+      "  \"final_ess_fraction\": 0.25,\n"
+      "  \"max_weight_share\": 0.0625,\n"
+      "  \"verify_tolerance\": 0.03125,\n"
+      "  \"final_estimates\": [0.75,1],\n"
+      "  \"final_defined\": [1,1]\n"
+      "}\n";
+  EXPECT_EQ(RunSummaryToJson(GoldenSummary()), expected);
+}
+
+TEST(GoldenSchemaTest, RunSummaryJsonRoundTripsExactly) {
+  const RunSummary golden = GoldenSummary();
+  const RunSummary parsed =
+      ParseRunSummaryJson(RunSummaryToJson(golden)).ValueOrDie();
+  // Re-serialising the parse must reproduce the bytes: proves the reader
+  // consumes exactly what the writer emits, with no value drift.
+  EXPECT_EQ(RunSummaryToJson(parsed), RunSummaryToJson(golden));
+}
+
+TEST(GoldenSchemaTest, UnknownJsonFieldsAreRejected) {
+  std::string text = RunSummaryToJson(GoldenSummary());
+  text.insert(text.find("  \"scenario\""), "  \"stray_field\": 3,\n");
+  const auto result = ParseRunSummaryJson(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("stray_field"), std::string::npos);
+}
+
+TEST(GoldenSchemaTest, MissingJsonFieldsAreRejected) {
+  std::string text = RunSummaryToJson(GoldenSummary());
+  const size_t pos = text.find("  \"true_f\": 0.875,\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, std::string("  \"true_f\": 0.875,\n").size());
+  EXPECT_FALSE(ParseRunSummaryJson(text).ok());
+}
+
+TEST(GoldenSchemaTest, UnsupportedSchemaVersionIsRejected) {
+  std::string text = RunSummaryToJson(GoldenSummary());
+  const std::string v1 = "\"schema_version\": 1";
+  text.replace(text.find(v1), v1.size(), "\"schema_version\": 2");
+  EXPECT_FALSE(ParseRunSummaryJson(text).ok());
+}
+
+TEST(GoldenSchemaTest, WriteReadFileRoundTrip) {
+  const std::string path = "/tmp/oasis_golden_schema_summary.json";
+  const RunSummary golden = GoldenSummary();
+  ASSERT_TRUE(WriteRunSummaryJson(path, golden).ok());
+  const RunSummary read = ReadRunSummaryJson(path).ValueOrDie();
+  std::remove(path.c_str());
+  EXPECT_EQ(RunSummaryToJson(read), RunSummaryToJson(golden));
+  EXPECT_FALSE(ReadRunSummaryJson(path).ok());
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace oasis

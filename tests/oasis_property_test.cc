@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "core/oasis.h"
+#include "datagen/scenario.h"
 #include "oracle/ground_truth_oracle.h"
+#include "oracle/label_cache.h"
+#include "stats/degeneracy.h"
 #include "strata/csf.h"
 #include "test_util.h"
 
@@ -159,6 +163,89 @@ TEST_P(OasisDeterminismSweep, IdenticalSeedsIdenticalRuns) {
 
 INSTANTIATE_TEST_SUITE_P(StratumCounts, OasisDeterminismSweep,
                          ::testing::Values(5, 30, 60, 120));
+
+/// Adversarial-generator sweep: OASIS must remain a consistent estimator on
+/// the known-truth scenario pools — extreme imbalance, heavy stratum skew,
+/// clustered score mass, a collapsed single stratum, the SIS-breaker score
+/// inversion, and a noisy oracle (where the target is the flip-adjusted F).
+/// Each scenario's truth is exact by construction, so the assertion needs no
+/// reference implementation. Estimates are averaged over a few seeds to damp
+/// single-run sampling noise without hiding systematic bias.
+class OasisAdversarialSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OasisAdversarialSweep, ConvergesOnAdversarialPools) {
+  const datagen::ScenarioPool pool =
+      datagen::GenerateScenario(datagen::ScenarioByName(GetParam()).ValueOrDie())
+          .ValueOrDie();
+  auto oracle = datagen::MakeScenarioOracle(pool).ValueOrDie();
+
+  double sum = 0.0;
+  const int runs = 3;
+  for (int run = 0; run < runs; ++run) {
+    LabelCache labels(oracle.get());
+    OasisOptions options;
+    options.alpha = pool.spec.alpha;
+    auto sampler = OasisSampler::CreateWithCsf(&pool.scored, &labels, 30,
+                                               options, Rng(70 + run))
+                       .ValueOrDie();
+    while (labels.labels_consumed() < 2000) {
+      ASSERT_TRUE(sampler->Step().ok());
+      ASSERT_LT(sampler->iterations(), 400000)
+          << pool.spec.name << ": failed to consume the label budget";
+    }
+    const EstimateSnapshot snap = sampler->Estimate();
+    ASSERT_TRUE(snap.f_defined) << pool.spec.name << " run " << run;
+    sum += snap.f_alpha;
+  }
+  const double mean = sum / runs;
+  // Scenario tolerances are calibrated for the app harness's larger repeat
+  // counts; three runs at this budget need roughly double the band.
+  const double tolerance = std::max(0.1, 2.0 * pool.spec.verify_tolerance);
+  EXPECT_NEAR(mean, pool.true_f, tolerance) << pool.spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, OasisAdversarialSweep,
+                         ::testing::Values("stripe-f90", "imbalance-1e3",
+                                           "skew-heavy", "clustered",
+                                           "single-stratum", "sis-inversion",
+                                           "noisy-flip05"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+/// The flip side of the SIS-breaker property in sampler_property_test.cc:
+/// on the pool that provably degenerates a static importance sampler, the
+/// ADAPTIVE sampler must keep its weights healthy — it relocates instrumental
+/// mass onto the hidden stratum as labels reveal the score lie. This is the
+/// paper's robustness claim reduced to a monitor assertion.
+TEST(OasisAdversarialDegeneracyTest, StaysHealthyOnTheSisBreakerPool) {
+  const datagen::ScenarioPool pool =
+      datagen::GenerateScenario(
+          datagen::ScenarioByName("sis-inversion").ValueOrDie())
+          .ValueOrDie();
+  GroundTruthOracle oracle(pool.truth);
+  for (const uint64_t seed : {7u, 19u, 23u}) {
+    LabelCache labels(&oracle);
+    OasisOptions options;
+    options.alpha = pool.spec.alpha;
+    auto sampler = OasisSampler::CreateWithCsf(&pool.scored, &labels, 30,
+                                               options, Rng(seed))
+                       .ValueOrDie();
+    while (labels.labels_consumed() < 2000) {
+      ASSERT_TRUE(sampler->Step().ok());
+      ASSERT_LT(sampler->iterations(), 400000);
+    }
+    const DegeneracyMonitor* monitor = sampler->degeneracy_monitor();
+    ASSERT_NE(monitor, nullptr);
+    EXPECT_FALSE(monitor->degenerate())
+        << "seed=" << seed << " ess_fraction=" << monitor->ess_fraction()
+        << " max_weight_share=" << monitor->max_weight_share();
+  }
+}
 
 }  // namespace
 }  // namespace oasis

@@ -11,11 +11,13 @@
 #include <tuple>
 
 #include "core/oasis.h"
+#include "datagen/scenario.h"
 #include "oracle/ground_truth_oracle.h"
 #include "sampling/importance.h"
 #include "sampling/oracle_sampler.h"
 #include "sampling/passive.h"
 #include "sampling/stratified.h"
+#include "stats/degeneracy.h"
 #include "strata/csf.h"
 #include "test_util.h"
 
@@ -207,6 +209,149 @@ INSTANTIATE_TEST_SUITE_P(Methods, ProbabilityPoolSweep,
                          [](const ::testing::TestParamInfo<Method>& info) {
                            return MethodName(info.param);
                          });
+
+/// MakeSampler for the known-truth adversarial generator pools
+/// (datagen/scenario.h) — alpha and truth come from the scenario spec.
+Result<std::unique_ptr<Sampler>> MakeScenarioSampler(
+    Method method, const datagen::ScenarioPool& pool, LabelCache* labels,
+    Rng rng) {
+  const double alpha = pool.spec.alpha;
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 15).ValueOrDie());
+  switch (method) {
+    case Method::kPassive: {
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler, PassiveSampler::Create(&pool.scored, labels, alpha, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kStratified: {
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler,
+          StratifiedSampler::Create(&pool.scored, labels, strata, alpha, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kImportance: {
+      ImportanceOptions options;
+      options.alpha = alpha;
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler,
+          ImportanceSampler::Create(&pool.scored, labels, options, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kOasis: {
+      OasisOptions options;
+      options.alpha = alpha;
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler, OasisSampler::Create(&pool.scored, labels, strata,
+                                             options, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+    case Method::kOracleOptimal: {
+      OASIS_ASSIGN_OR_RETURN(
+          auto sampler,
+          OracleOptimalSampler::Create(&pool.scored, labels, strata, pool.truth,
+                                       alpha, 1e-3, rng));
+      return std::unique_ptr<Sampler>(std::move(sampler));
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+/// The contracts above must also survive the adversarial generator pools:
+/// heavy stratum skew, clustered score mass, a single collapsed stratum, and
+/// the SIS-breaker score inversion. Estimation *quality* on these pools is
+/// covered by the scenario harness (tests/scenario_verify_test.cc); here
+/// every sampler must merely keep its structural promises — budget
+/// accounting and bit-exact seeded determinism — no matter how hostile the
+/// pool shape is.
+class AdversarialPoolSweep
+    : public ::testing::TestWithParam<
+          std::tuple<Method, const char* /*scenario*/>> {};
+
+TEST_P(AdversarialPoolSweep, BudgetAccountingAndDeterminism) {
+  const auto [method, scenario_name] = GetParam();
+  const datagen::ScenarioPool pool =
+      datagen::GenerateScenario(
+          datagen::ScenarioByName(scenario_name).ValueOrDie())
+          .ValueOrDie();
+  GroundTruthOracle oracle(pool.truth);
+
+  double estimates[2];
+  int64_t consumed[2];
+  for (int run = 0; run < 2; ++run) {
+    LabelCache labels(&oracle);
+    auto sampler =
+        MakeScenarioSampler(method, pool, &labels, Rng(999)).ValueOrDie();
+    for (int i = 0; i < 600; ++i) {
+      ASSERT_TRUE(sampler->Step().ok()) << MethodName(method);
+    }
+    EXPECT_LE(sampler->labels_consumed(), pool.scored.size());
+    EXPECT_LE(sampler->labels_consumed(), sampler->iterations());
+    EXPECT_EQ(sampler->iterations(), 600);
+    estimates[run] = sampler->Estimate().f_alpha;
+    consumed[run] = sampler->labels_consumed();
+  }
+  EXPECT_DOUBLE_EQ(estimates[0], estimates[1])
+      << MethodName(method) << " on " << scenario_name;
+  EXPECT_EQ(consumed[0], consumed[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsByScenario, AdversarialPoolSweep,
+    ::testing::Combine(::testing::Values(Method::kPassive, Method::kStratified,
+                                         Method::kImportance, Method::kOasis,
+                                         Method::kOracleOptimal),
+                       ::testing::Values("stripe-f50", "skew-heavy",
+                                         "clustered", "single-stratum",
+                                         "sis-inversion")),
+    [](const ::testing::TestParamInfo<AdversarialPoolSweep::ParamType>& info) {
+      const Method method = std::get<0>(info.param);
+      std::string scenario = std::get<1>(info.param);
+      for (char& c : scenario) {
+        if (c == '-') c = '_';
+      }
+      return MethodName(method) + "_" + scenario;
+    });
+
+/// The SIS-breaker contract, stated as a property of the SAMPLER rather than
+/// of the app harness: a static score-driven importance sampler labelling
+/// the score-inversion pool must trip its own DegeneracyMonitor (the pool
+/// hides ~90% of the match mass where the static instrumental distribution
+/// puts vanishing probability, so normalised weights concentrate and the
+/// effective sample size collapses). The same sampler on a well-behaved
+/// stripe pool must stay healthy — the monitor trips EXACTLY on the pools
+/// built to break it, across seeds.
+TEST(StaticImportanceDegeneracyTest, TripsExactlyOnTheSisBreakerPool) {
+  const datagen::ScenarioPool inversion =
+      datagen::GenerateScenario(
+          datagen::ScenarioByName("sis-inversion").ValueOrDie())
+          .ValueOrDie();
+  const datagen::ScenarioPool stripe =
+      datagen::GenerateScenario(
+          datagen::ScenarioByName("stripe-f90").ValueOrDie())
+          .ValueOrDie();
+  for (const uint64_t seed : {7u, 19u, 23u}) {
+    for (const datagen::ScenarioPool* pool : {&inversion, &stripe}) {
+      GroundTruthOracle oracle(pool->truth);
+      LabelCache labels(&oracle);
+      ImportanceOptions options;
+      options.alpha = pool->spec.alpha;
+      auto sampler = ImportanceSampler::Create(&pool->scored, &labels, options,
+                                               Rng(seed))
+                         .ValueOrDie();
+      while (labels.labels_consumed() < 2000) {
+        ASSERT_TRUE(sampler->Step().ok());
+        ASSERT_LT(sampler->iterations(), 200000);
+      }
+      const DegeneracyMonitor* monitor = sampler->degeneracy_monitor();
+      ASSERT_NE(monitor, nullptr);
+      EXPECT_EQ(monitor->degenerate(), pool->spec.expect_sis_degeneracy)
+          << pool->spec.name << " seed=" << seed
+          << " ess_fraction=" << monitor->ess_fraction()
+          << " max_weight_share=" << monitor->max_weight_share();
+    }
+  }
+}
 
 }  // namespace
 }  // namespace oasis

@@ -1,0 +1,266 @@
+// End-to-end statistical self-verification: RunScenario on known-truth pools
+// must produce summaries that pass every VerifyRun check, the empirical CI
+// coverage must sit near its nominal level, and — the teeth of the harness —
+// a deliberately broken estimator or a tampered summary file must FAIL.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "datagen/scenario.h"
+#include "experiments/scenario_run.h"
+#include "experiments/summary.h"
+#include "experiments/verify.h"
+#include "stats/running_stats.h"
+
+namespace oasis {
+namespace experiments {
+namespace {
+
+using datagen::GenerateScenario;
+using datagen::ScenarioByName;
+using datagen::ScenarioPool;
+
+const VerifyCheck* FindCheck(const VerifyReport& report,
+                             const std::string& name) {
+  for (const VerifyCheck& check : report.checks) {
+    if (check.name == name) return &check;
+  }
+  return nullptr;
+}
+
+ScenarioRunResult RunPreset(const std::string& scenario,
+                            const std::string& method, int64_t budget,
+                            int repeats) {
+  const ScenarioPool pool =
+      GenerateScenario(ScenarioByName(scenario).ValueOrDie()).ValueOrDie();
+  ScenarioRunOptions options;
+  options.method = method;
+  options.budget = budget;
+  options.checkpoint_every = budget >= 500 ? 100 : 50;
+  options.repeats = repeats;
+  options.seed = 7;
+  return RunScenario(pool, options).ValueOrDie();
+}
+
+/// Rebuilds the summary's aggregate fields from its per-repeat estimates with
+/// the runner's arithmetic — used after the tests tamper with the estimates
+/// so that only the *statistical* checks can object, not the file audit.
+void RecomputeAggregates(RunSummary* summary) {
+  RunningStats estimates;
+  RunningStats errors;
+  int64_t defined = 0;
+  for (size_t r = 0; r < summary->final_estimates.size(); ++r) {
+    if (summary->final_defined[r] == 0) continue;
+    estimates.Add(summary->final_estimates[r]);
+    errors.Add(std::abs(summary->final_estimates[r] - summary->true_f));
+    ++defined;
+  }
+  summary->final_mean_estimate = estimates.mean();
+  summary->final_stddev = estimates.stddev();
+  summary->final_mean_abs_error = errors.mean();
+  summary->final_frac_defined =
+      static_cast<double>(defined) / static_cast<double>(summary->repeats);
+}
+
+TEST(ScenarioVerifyTest, GoodRunPassesEveryCheck) {
+  const ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 1000, 15);
+  const VerifyReport report =
+      VerifyRun(result.summary, &result.curve, VerifyOptions{}).ValueOrDie();
+  EXPECT_TRUE(report.passed) << report.Render();
+  // All six checks ran (the curve was supplied and OASIS is monitored).
+  for (const char* name :
+       {"aggregate-consistency", "estimate-defined", "estimate-tolerance",
+        "ci-coverage", "error-decay", "degeneracy-flag"}) {
+    const VerifyCheck* check = FindCheck(report, name);
+    ASSERT_NE(check, nullptr) << name;
+    EXPECT_TRUE(check->passed) << check->name << ": " << check->detail;
+  }
+}
+
+TEST(ScenarioVerifyTest, CiCoverageNearNominalAcrossRepeats) {
+  // More repeats than the CI smoke runs use, so the empirical coverage of
+  // the nominal 95% interval is meaningfully resolved. The band [0.80, 1.0]
+  // sits ~3 binomial sigmas below nominal at this repeat count.
+  const ScenarioRunResult result = RunPreset("stripe-f50", "oasis", 800, 30);
+  ASSERT_EQ(result.summary.final_estimates.size(), 30u);
+  const VerifyReport report =
+      VerifyRun(result.summary, &result.curve, VerifyOptions{}).ValueOrDie();
+  const VerifyCheck* coverage = FindCheck(report, "ci-coverage");
+  ASSERT_NE(coverage, nullptr);
+  EXPECT_TRUE(coverage->passed) << coverage->detail;
+  // The check must have actually measured coverage, not skipped for lack of
+  // defined repeats.
+  EXPECT_EQ(coverage->detail.find("skipped"), std::string::npos)
+      << coverage->detail;
+}
+
+TEST(ScenarioVerifyTest, BiasedEstimatorFailsEstimateTolerance) {
+  // Simulate an estimator with a systematic bias of three tolerance widths:
+  // every per-repeat estimate shifts, and the aggregates are recomputed so
+  // the file is internally consistent — only the statistics can catch it.
+  ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 1000, 15);
+  RunSummary broken = result.summary;
+  const double shift = 3.0 * broken.verify_tolerance;
+  for (double& estimate : broken.final_estimates) estimate += shift;
+  RecomputeAggregates(&broken);
+
+  const VerifyReport report =
+      VerifyRun(broken, &result.curve, VerifyOptions{}).ValueOrDie();
+  EXPECT_FALSE(report.passed);
+  EXPECT_TRUE(FindCheck(report, "aggregate-consistency")->passed)
+      << "the tampering above must be invisible to the file audit";
+  EXPECT_FALSE(FindCheck(report, "estimate-tolerance")->passed)
+      << report.Render();
+}
+
+TEST(ScenarioVerifyTest, OverdispersedEstimatorFailsCoverage) {
+  // A broken estimator whose spread is far wider than its reported interval:
+  // inflate deviations from the truth 20x but keep sigma-hat... impossible
+  // to fake — sigma-hat is recomputed from the estimates themselves, so
+  // instead plant a heavy-tailed pattern: most repeats exact, a few wild.
+  // The normal-interval coverage then collapses below the band.
+  ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 1000, 15);
+  RunSummary broken = result.summary;
+  for (size_t r = 0; r < broken.final_estimates.size(); ++r) {
+    // 4 of 15 repeats land far outside; the rest sit exactly on the truth.
+    broken.final_estimates[r] =
+        (r % 4 == 0) ? broken.true_f + 0.4 : broken.true_f;
+    broken.final_defined[r] = 1;
+  }
+  RecomputeAggregates(&broken);
+  const VerifyReport report =
+      VerifyRun(broken, nullptr, VerifyOptions{}).ValueOrDie();
+  EXPECT_FALSE(report.passed);
+  EXPECT_FALSE(FindCheck(report, "ci-coverage")->passed) << report.Render();
+}
+
+TEST(ScenarioVerifyTest, TamperedAggregatesFailTheFileAudit) {
+  ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 1000, 15);
+  RunSummary tampered = result.summary;
+  // Hand-edit one raw estimate without refreshing the aggregates — the
+  // signature of a truncated or manually doctored summary file.
+  tampered.final_estimates[0] += 0.05;
+  const VerifyReport report =
+      VerifyRun(tampered, nullptr, VerifyOptions{}).ValueOrDie();
+  EXPECT_FALSE(report.passed);
+  EXPECT_FALSE(FindCheck(report, "aggregate-consistency")->passed);
+}
+
+TEST(ScenarioVerifyTest, SummaryWithoutRepeatEstimatesIsAnError) {
+  ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 500, 5);
+  RunSummary truncated = result.summary;
+  truncated.final_estimates.resize(3);
+  EXPECT_FALSE(VerifyRun(truncated, nullptr, VerifyOptions{}).ok());
+  RunSummary empty = result.summary;
+  empty.repeats = 0;
+  empty.final_estimates.clear();
+  empty.final_defined.clear();
+  EXPECT_FALSE(VerifyRun(empty, nullptr, VerifyOptions{}).ok());
+}
+
+TEST(ScenarioVerifyTest, StalledErrorCurveFailsDecay) {
+  ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 1000, 15);
+  ErrorCurve stalled = result.curve;
+  // An estimator whose error *grows* with budget: force the final
+  // checkpoint far above the banded first checkpoint.
+  stalled.mean_abs_error.back() =
+      stalled.mean_abs_error.front() * 2.0 + 0.05;
+  const VerifyReport report =
+      VerifyRun(result.summary, &stalled, VerifyOptions{}).ValueOrDie();
+  EXPECT_FALSE(report.passed);
+  EXPECT_FALSE(FindCheck(report, "error-decay")->passed);
+}
+
+TEST(ScenarioVerifyTest, StaticImportanceMustTripOnTheSisBreaker) {
+  // The adversarial score-inversion pool exists to degenerate a static
+  // score-driven proposal: the IS run's monitor must trip, and the
+  // degeneracy-flag check must treat "tripped" as the PASSING outcome.
+  const ScenarioRunResult result = RunPreset("sis-inversion", "is", 2000, 5);
+  ASSERT_TRUE(result.summary.degeneracy_monitored);
+  EXPECT_TRUE(result.summary.expect_sis_degeneracy);
+  EXPECT_TRUE(result.summary.degeneracy_tripped)
+      << "ess_fraction=" << result.summary.final_ess_fraction;
+  const VerifyReport report =
+      VerifyRun(result.summary, nullptr, VerifyOptions{}).ValueOrDie();
+  const VerifyCheck* flag = FindCheck(report, "degeneracy-flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(flag->passed) << flag->detail;
+
+  // A hypothetical IS sampler that sailed through the trap unflagged would
+  // FAIL the check — silence on this pool means the monitor is broken.
+  RunSummary silent = result.summary;
+  silent.degeneracy_tripped = false;
+  const VerifyReport silent_report =
+      VerifyRun(silent, nullptr, VerifyOptions{}).ValueOrDie();
+  EXPECT_FALSE(FindCheck(silent_report, "degeneracy-flag")->passed);
+}
+
+TEST(ScenarioVerifyTest, AdaptiveSamplerStaysHealthyOnTheSisBreaker) {
+  const ScenarioRunResult result =
+      RunPreset("sis-inversion", "oasis", 2000, 15);
+  ASSERT_TRUE(result.summary.degeneracy_monitored);
+  EXPECT_FALSE(result.summary.degeneracy_tripped)
+      << "ess_fraction=" << result.summary.final_ess_fraction;
+  const VerifyReport report =
+      VerifyRun(result.summary, &result.curve, VerifyOptions{}).ValueOrDie();
+  EXPECT_TRUE(report.passed) << report.Render();
+}
+
+TEST(ScenarioVerifyTest, BoundaryTruthPoolsExemptTheHealthDirection) {
+  // On the no-match pool (F = 0 exactly) even the adaptive sampler's weight
+  // spread legitimately explodes while its estimate pins the boundary; the
+  // degeneracy-flag check must skip rather than fail there.
+  const ScenarioRunResult result = RunPreset("no-match", "oasis", 500, 5);
+  const VerifyReport report =
+      VerifyRun(result.summary, nullptr, VerifyOptions{}).ValueOrDie();
+  const VerifyCheck* flag = FindCheck(report, "degeneracy-flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(flag->passed) << flag->detail;
+  EXPECT_NE(flag->detail.find("boundary-truth"), std::string::npos)
+      << flag->detail;
+}
+
+TEST(ScenarioVerifyTest, UnmonitoredMethodsSkipTheDegeneracyCheck) {
+  const ScenarioRunResult result =
+      RunPreset("stripe-f90", "passive", 1000, 15);
+  EXPECT_FALSE(result.summary.degeneracy_monitored);
+  const VerifyReport report =
+      VerifyRun(result.summary, &result.curve, VerifyOptions{}).ValueOrDie();
+  EXPECT_TRUE(report.passed) << report.Render();
+  EXPECT_EQ(FindCheck(report, "degeneracy-flag"), nullptr);
+}
+
+TEST(ScenarioVerifyTest, ToleranceOverrideTightensTheBand) {
+  const ScenarioRunResult result = RunPreset("stripe-f90", "oasis", 1000, 15);
+  VerifyOptions strict;
+  strict.tolerance_override = 1e-9;  // nothing stochastic passes this
+  const VerifyReport report =
+      VerifyRun(result.summary, nullptr, strict).ValueOrDie();
+  EXPECT_FALSE(FindCheck(report, "estimate-tolerance")->passed);
+}
+
+TEST(ScenarioVerifyTest, SummarySurvivesTheJsonRoundTripVerbatim) {
+  // The verifier normally reads the summary back from disk; the round trip
+  // must preserve verification verdicts bit-for-bit.
+  const ScenarioRunResult result = RunPreset("noisy-flip05", "oasis", 800, 12);
+  const RunSummary parsed =
+      ParseRunSummaryJson(RunSummaryToJson(result.summary)).ValueOrDie();
+  const VerifyReport direct =
+      VerifyRun(result.summary, nullptr, VerifyOptions{}).ValueOrDie();
+  const VerifyReport reparsed =
+      VerifyRun(parsed, nullptr, VerifyOptions{}).ValueOrDie();
+  EXPECT_EQ(direct.passed, reparsed.passed);
+  ASSERT_EQ(direct.checks.size(), reparsed.checks.size());
+  for (size_t i = 0; i < direct.checks.size(); ++i) {
+    EXPECT_EQ(direct.checks[i].passed, reparsed.checks[i].passed)
+        << direct.checks[i].name;
+    EXPECT_EQ(direct.checks[i].detail, reparsed.checks[i].detail)
+        << direct.checks[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace oasis
