@@ -1,9 +1,12 @@
 #include "apps/app_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "experiments/config.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
 namespace apps {
@@ -63,6 +66,85 @@ Result<datagen::ScenarioSpec> ResolveScenario(const std::string& reference) {
 int FailWith(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return kExitError;
+}
+
+std::vector<std::string> TelemetryFlagNames() {
+  return {"metrics-out", "trace-out", "heartbeat", "no-telemetry"};
+}
+
+Result<TelemetryCli> ParseTelemetryFlags(const ParsedArgs& args) {
+  TelemetryCli cli;
+  cli.enabled = !args.HasFlag("no-telemetry");
+  cli.metrics_out = args.FlagOr("metrics-out", "");
+  cli.trace_out = args.FlagOr("trace-out", "");
+  const std::string heartbeat = args.FlagOr("heartbeat", "");
+  if (!heartbeat.empty()) {
+    char* end = nullptr;
+    cli.heartbeat_seconds = std::strtod(heartbeat.c_str(), &end);
+    if (end == nullptr || *end != '\0' || cli.heartbeat_seconds <= 0.0) {
+      return Status::InvalidArgument("--heartbeat wants a positive number of "
+                                     "seconds, got '" + heartbeat + "'");
+    }
+  }
+  if (!cli.enabled &&
+      (!cli.metrics_out.empty() || !cli.trace_out.empty() ||
+       cli.heartbeat_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "--no-telemetry contradicts --metrics-out/--trace-out/--heartbeat");
+  }
+  return cli;
+}
+
+TelemetrySession::TelemetrySession(const TelemetryCli& cli) : cli_(cli) {
+  if (!cli_.enabled) return;
+  telemetry::SetEnabled(true);
+  if (cli_.heartbeat_seconds > 0.0) {
+    telemetry::HeartbeatOptions beat;
+    beat.interval_seconds = cli_.heartbeat_seconds;
+    heartbeat_.emplace(&telemetry::DefaultRegistry(), beat);
+  }
+}
+
+TelemetrySession::~TelemetrySession() {
+  heartbeat_.reset();
+  if (cli_.enabled) telemetry::SetEnabled(false);
+}
+
+Status TelemetrySession::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  heartbeat_.reset();
+  if (!cli_.enabled) return Status::OK();
+  if (!cli_.metrics_out.empty()) {
+    OASIS_RETURN_NOT_OK(telemetry::WriteTextFile(
+        cli_.metrics_out,
+        telemetry::MetricsJson(telemetry::DefaultRegistry())));
+  }
+  if (!cli_.trace_out.empty()) {
+    OASIS_RETURN_NOT_OK(telemetry::WriteTextFile(
+        cli_.trace_out,
+        telemetry::TraceJson(telemetry::DefaultTraceCollector())));
+  }
+  return Status::OK();
+}
+
+int64_t TelemetrySession::ChargedLabelsNow() {
+  const telemetry::Counter* labels =
+      telemetry::DefaultRegistry().FindCounter("oasis_labelcache_misses_total");
+  return labels != nullptr ? labels->value() : 0;
+}
+
+std::string FormatElapsed(double seconds, int64_t labels_delta) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "elapsed %.2fs", seconds);
+  std::string line = buffer;
+  if (labels_delta > 0 && seconds > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), " (%lld labels, %.0f labels/s)",
+                  static_cast<long long>(labels_delta),
+                  static_cast<double>(labels_delta) / seconds);
+    line += buffer;
+  }
+  return line;
 }
 
 }  // namespace apps

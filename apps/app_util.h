@@ -8,11 +8,13 @@
 #define OASIS_APPS_APP_UTIL_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "datagen/scenario.h"
+#include "telemetry/heartbeat.h"
 
 namespace oasis {
 namespace apps {
@@ -53,6 +55,51 @@ Result<datagen::ScenarioSpec> ResolveScenario(const std::string& reference);
 // Prints "error: <status>" to stderr and returns kExitError — the uniform
 // tail of every app's main() error path. Never ignores a Status.
 int FailWith(const Status& status);
+
+// Telemetry-related CLI flags shared by the run/sweep apps (see
+// docs/TELEMETRY.md):
+//   --metrics-out=<path>   write a metrics JSON snapshot on success
+//   --trace-out=<path>     write a chrome://tracing JSON on success
+//   --heartbeat=<seconds>  print a stderr progress line every N seconds
+//   --no-telemetry         turn collection off entirely
+struct TelemetryCli {
+  bool enabled = true;          // false with --no-telemetry
+  std::string metrics_out;      // empty = no snapshot file
+  std::string trace_out;        // empty = no trace file
+  double heartbeat_seconds = 0; // 0 = no heartbeat
+};
+
+// The flag names above, to splice into each app's CheckKnownFlags list.
+std::vector<std::string> TelemetryFlagNames();
+
+// Parses the telemetry flags out of `args` (validating --heartbeat).
+Result<TelemetryCli> ParseTelemetryFlags(const ParsedArgs& args);
+
+// Process-wide telemetry for the duration of one app run: construction
+// turns collection on (unless disabled) and starts the heartbeat;
+// Finish() writes the requested artifact files and stops collecting.
+// Observe-only — results are identical with or without a session.
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const TelemetryCli& cli);
+  ~TelemetrySession();
+
+  // Writes --metrics-out / --trace-out (when set) and stops the heartbeat.
+  // Idempotent; the destructor stops collection without writing.
+  Status Finish();
+
+  // Charged oracle labels so far (`oasis_labelcache_misses_total`), or 0
+  // when telemetry is off — the counter behind the labels/sec prints.
+  static int64_t ChargedLabelsNow();
+
+ private:
+  TelemetryCli cli_;
+  bool finished_ = false;
+  std::optional<telemetry::Heartbeat> heartbeat_;
+};
+
+// "elapsed 1.23s" plus " (N labels, M labels/s)" when labels_delta > 0.
+std::string FormatElapsed(double seconds, int64_t labels_delta);
 
 }  // namespace apps
 }  // namespace oasis

@@ -17,8 +17,13 @@
 // spec, so gen -> run round-trips through the .scenario.cfg file). Writes
 //   <out-prefix>.curves.csv    the 9-column error curve
 //   <out-prefix>.summary.json  the verification-ready run summary
-// and prints the final-budget statistics.
+// and prints the final-budget statistics plus elapsed time / labels per
+// second from the telemetry registry.
+//
+// Observability flags (docs/TELEMETRY.md): --metrics-out=<path>,
+// --trace-out=<path>, --heartbeat=<seconds>, --no-telemetry.
 
+#include <chrono>
 #include <cstdio>
 
 #include "apps/app_util.h"
@@ -80,14 +85,31 @@ Status RunFromConfig(const std::string& config_path,
 
 int Main(int argc, char** argv) {
   const ParsedArgs args = ParseArgs(argc, argv);
-  const Status flags_ok = CheckKnownFlags(args, {});
+  const Status flags_ok = CheckKnownFlags(args, TelemetryFlagNames());
   if (!flags_ok.ok()) return FailWith(flags_ok);
   if (args.positional.size() != 2) {
-    std::fprintf(stderr, "usage: oasis_run <run-config> <out-prefix>\n");
+    std::fprintf(stderr,
+                 "usage: oasis_run [--metrics-out=m.json] [--trace-out=t.json] "
+                 "[--heartbeat=N] [--no-telemetry] <run-config> <out-prefix>\n");
     return kExitError;
   }
+  const Result<TelemetryCli> telemetry_cli = ParseTelemetryFlags(args);
+  if (!telemetry_cli.ok()) return FailWith(telemetry_cli.status());
+  TelemetrySession telemetry(telemetry_cli.ValueOrDie());
+
+  const auto start = std::chrono::steady_clock::now();
+  const int64_t labels_before = TelemetrySession::ChargedLabelsNow();
   const Status status = RunFromConfig(args.positional[0], args.positional[1]);
   if (!status.ok()) return FailWith(status);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("%s\n",
+              FormatElapsed(elapsed, TelemetrySession::ChargedLabelsNow() -
+                                         labels_before)
+                  .c_str());
+  const Status telemetry_status = telemetry.Finish();
+  if (!telemetry_status.ok()) return FailWith(telemetry_status);
   return kExitOk;
 }
 

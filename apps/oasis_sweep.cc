@@ -12,9 +12,14 @@
 //
 // Each cell writes <out-dir>/<scenario>__<method>__<budget>.{curves.csv,
 // summary.json}; the aggregate table lands in <out-dir>/sweep_report.txt and
-// on stdout. With verify = true the process exits 2 when any cell fails its
-// checks (the CI smoke job runs exactly that mode).
+// on stdout, with a per-cell elapsed/labels-per-second line on stderr as the
+// sweep progresses. With verify = true the process exits 2 when any cell
+// fails its checks (the CI smoke job runs exactly that mode).
+//
+// Observability flags (docs/TELEMETRY.md): --metrics-out=<path>,
+// --trace-out=<path>, --heartbeat=<seconds>, --no-telemetry.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -95,10 +100,22 @@ Result<SweepOutcome> RunSweep(const std::string& config_path,
         options.method = method;
         options.budget = budget;
         if (options.checkpoint_every > budget) options.checkpoint_every = budget;
+        const auto cell_start = std::chrono::steady_clock::now();
+        const int64_t labels_before = TelemetrySession::ChargedLabelsNow();
         OASIS_ASSIGN_OR_RETURN(const experiments::ScenarioRunResult result,
                                experiments::RunScenario(pool, options));
+        const double cell_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          cell_start)
+                .count();
         const std::string prefix = out_dir + "/" + scenario_name + "__" +
                                    method + "__" + std::to_string(budget);
+        std::fprintf(stderr, "%s %s budget=%lld: %s\n", scenario_name.c_str(),
+                     method.c_str(), static_cast<long long>(budget),
+                     FormatElapsed(cell_seconds,
+                                   TelemetrySession::ChargedLabelsNow() -
+                                       labels_before)
+                         .c_str());
         OASIS_RETURN_NOT_OK(experiments::WriteCurvesCsv(prefix + ".curves.csv",
                                                         {result.curve}));
         OASIS_RETURN_NOT_OK(experiments::WriteRunSummaryJson(
@@ -140,16 +157,24 @@ Result<SweepOutcome> RunSweep(const std::string& config_path,
 
 int Main(int argc, char** argv) {
   const ParsedArgs args = ParseArgs(argc, argv);
-  const Status flags_ok = CheckKnownFlags(args, {});
+  const Status flags_ok = CheckKnownFlags(args, TelemetryFlagNames());
   if (!flags_ok.ok()) return FailWith(flags_ok);
   if (args.positional.size() != 2) {
-    std::fprintf(stderr, "usage: oasis_sweep <sweep-config> <out-dir>\n");
+    std::fprintf(stderr,
+                 "usage: oasis_sweep [--metrics-out=m.json] "
+                 "[--trace-out=t.json] [--heartbeat=N] [--no-telemetry] "
+                 "<sweep-config> <out-dir>\n");
     return kExitError;
   }
+  const Result<TelemetryCli> telemetry_cli = ParseTelemetryFlags(args);
+  if (!telemetry_cli.ok()) return FailWith(telemetry_cli.status());
+  TelemetrySession telemetry(telemetry_cli.ValueOrDie());
   Result<SweepOutcome> outcome =
       RunSweep(args.positional[0], args.positional[1]);
   if (!outcome.ok()) return FailWith(outcome.status());
   std::printf("%s", outcome.ValueOrDie().report_text.c_str());
+  const Status telemetry_status = telemetry.Finish();
+  if (!telemetry_status.ok()) return FailWith(telemetry_status);
   return outcome.ValueOrDie().any_verify_failed ? kExitVerifyFailed : kExitOk;
 }
 

@@ -31,6 +31,7 @@
 #include "sampling/importance.h"
 #include "sampling/passive.h"
 #include "strata/csf.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
 namespace {
@@ -466,6 +467,36 @@ void BM_RetryOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_RetryOverhead)->Arg(0)->Arg(1)->Arg(2);
 
+/// Telemetry cost on the hottest loop in the repo: the fused OASIS step at
+/// K=1000, with the registry runtime switch range(0) = 0: off (the production
+/// default — one relaxed atomic load per instrumented site), 1: on (counters
+/// and gauges live), 2: on + detail (adds the per-step weight histogram).
+/// The gap between rows 0 and 1/2 is the whole price of enabling telemetry;
+/// main() derives `telemetry_overhead_pct` from it, and CI gates the enabled
+/// overhead at <= 2% (compiled out entirely under -DOASIS_TELEMETRY=OFF).
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const int64_t mode = state.range(0);
+  static BenchPool* pool = new BenchPool(MakePool(100000));
+  GroundTruthOracle oracle(pool->truth);
+  LabelCache labels(&oracle);
+  auto sampler = OasisSampler::CreateWithCsf(&pool->scored, &labels, 1000,
+                                             OasisOptions{}, Rng(4))
+                     .ValueOrDie();
+  telemetry::SetEnabled(mode >= 1);
+  telemetry::SetDetailEnabled(mode >= 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step().ok());
+  }
+  telemetry::SetEnabled(false);
+  telemetry::SetDetailEnabled(false);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["telemetry_mode"] = static_cast<double>(mode);
+  state.SetLabel(mode == 0   ? "off"
+                 : mode == 1 ? "on"
+                             : "on+detail");
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Arg(2);
+
 /// Known-truth scenario-pool generation (datagen/scenario.h): the fixed cost
 /// every oasis_gen / oasis_run invocation and scenario test pays before a
 /// single label is drawn. range(0) indexes kGenScenarios, spanning the cheap
@@ -616,6 +647,29 @@ int main(int argc, char** argv) {
             r.name != "BM_RetryOverhead/0" && r.steps_per_sec > 0.0) {
           r.metrics["retry_stack_overhead_pct"] =
               100.0 * (bare_steps_per_sec / r.steps_per_sec - 1.0);
+        }
+      }
+    }
+  }
+
+  // Derived metric: what turning the registry on costs the fused step path,
+  // as a percentage over the telemetry-off row — the number docs/TELEMETRY.md
+  // quotes and tools/check_bench_regression.py --max-metric gates in CI.
+  {
+    auto& results = writer.mutable_results();
+    double off_steps_per_sec = 0.0;
+    for (const auto& r : results) {
+      if (r.name == "BM_TelemetryOverhead/0") {
+        off_steps_per_sec = r.steps_per_sec;
+        break;
+      }
+    }
+    if (off_steps_per_sec > 0.0) {
+      for (auto& r : results) {
+        if (r.name.rfind("BM_TelemetryOverhead/", 0) == 0 &&
+            r.name != "BM_TelemetryOverhead/0" && r.steps_per_sec > 0.0) {
+          r.metrics["telemetry_overhead_pct"] =
+              100.0 * (off_steps_per_sec / r.steps_per_sec - 1.0);
         }
       }
     }

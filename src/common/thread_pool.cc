@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
 
@@ -166,7 +168,7 @@ bool ThreadPool::TryRunOneTask(int self) {
       own.queue.pop_back();
       lock.unlock();
       queued_tasks_.fetch_sub(1, std::memory_order_acq_rel);
-      ExecuteTask(task);
+      ExecuteDequeued(task, /*stolen=*/false);
       return true;
     }
   }
@@ -180,10 +182,46 @@ bool ThreadPool::TryRunOneTask(int self) {
     victim.queue.pop_front();
     lock.unlock();
     queued_tasks_.fetch_sub(1, std::memory_order_acq_rel);
-    ExecuteTask(task);
+    ExecuteDequeued(task, /*stolen=*/true);
     return true;
   }
   return false;
+}
+
+void ThreadPool::ExecuteDequeued(const Task& task, bool stolen) {
+  if (!OASIS_TELEMETRY_ON) {
+    ExecuteTask(task);
+    return;
+  }
+  // Dequeue-kind counters (steal ratio = steal / (own + steal)) and the
+  // post-dequeue queue depth. Tasks are coarse (an experiment repeat, a loop
+  // chunk), so the steady-clock reads around ExecuteTask are noise.
+  static telemetry::Counter& own_tasks = telemetry::DefaultRegistry().AddCounter(
+      "oasis_threadpool_tasks_total",
+      "Tasks executed by the pool, by dequeue kind (own-queue pop vs steal).",
+      {{"kind", "own"}});
+  static telemetry::Counter& stolen_tasks =
+      telemetry::DefaultRegistry().AddCounter(
+          "oasis_threadpool_tasks_total",
+          "Tasks executed by the pool, by dequeue kind (own-queue pop vs "
+          "steal).",
+          {{"kind", "steal"}});
+  static telemetry::Gauge& depth = telemetry::DefaultRegistry().AddGauge(
+      "oasis_threadpool_queue_depth",
+      "Tasks pushed but not yet dequeued, across all worker queues.");
+  static telemetry::Histogram& latency =
+      telemetry::DefaultRegistry().AddHistogram(
+          "oasis_threadpool_task_latency_seconds",
+          "Wall-clock execution time of one dequeued task.",
+          {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+  (stolen ? stolen_tasks : own_tasks).Increment();
+  depth.Set(
+      static_cast<double>(queued_tasks_.load(std::memory_order_relaxed)));
+  const auto start = std::chrono::steady_clock::now();
+  ExecuteTask(task);
+  latency.Observe(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {

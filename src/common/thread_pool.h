@@ -178,6 +178,11 @@ class ThreadPool {
   /// empty. `self < 0` means the caller is not a pool worker.
   bool TryRunOneTask(int self);
 
+  /// ExecuteTask plus the pool's telemetry (dequeue-kind counter, queue
+  /// depth, task latency — see docs/TELEMETRY.md); `stolen` records which
+  /// dequeue path delivered the task.
+  void ExecuteDequeued(const Task& task, bool stolen);
+
   static void ExecuteTask(const Task& task);
 
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -8,8 +8,32 @@
 #include "core/initialization.h"
 #include "core/instrumental.h"
 #include "stats/transforms.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
+
+namespace {
+
+/// Per-step bookkeeping shared by all four step paths. The step counter is
+/// always cheap; the weight histogram is detail-only (an extra bucket search
+/// per step would be measurable on the fused path).
+inline void RecordOasisStepTelemetry(double weight) {
+  if (!OASIS_TELEMETRY_ON) return;
+  static telemetry::Counter& steps = telemetry::DefaultRegistry().AddCounter(
+      "oasis_sampler_steps_total",
+      "Sampler steps taken (one oracle draw each), across all paths.");
+  steps.Increment();
+  if (OASIS_TELEMETRY_DETAIL_ON) {
+    static telemetry::Histogram& weights =
+        telemetry::DefaultRegistry().AddHistogram(
+            "oasis_sampler_weight",
+            "Importance weight of each step (detail mode only).",
+            {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0});
+    weights.Observe(weight);
+  }
+}
+
+}  // namespace
 
 OasisSampler::OasisSampler(const ScoredPool* pool, LabelCache* labels,
                            std::shared_ptr<const Strata> strata,
@@ -151,7 +175,21 @@ Status OasisSampler::StepFenwick() {
   // the Update at the end of each step, so between rebuilds the tree is
   // exactly v*(pi(t), tree_f_).
   const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
-  if (std::fabs(f - tree_f_) > options_.fenwick_rebuild_tol) {
+  const double drift = std::fabs(f - tree_f_);
+  if (drift > options_.fenwick_rebuild_tol) {
+    if (OASIS_TELEMETRY_ON) {
+      static telemetry::Counter& rebuilds =
+          telemetry::DefaultRegistry().AddCounter(
+              "oasis_sampler_fenwick_rebuilds_total",
+              "Full O(K) Fenwick mass rebuilds triggered by F-hat drift.");
+      static telemetry::Histogram& drift_hist =
+          telemetry::DefaultRegistry().AddHistogram(
+              "oasis_sampler_fenwick_rebuild_drift",
+              "|F-hat - tree F| observed at each Fenwick rebuild.",
+              {1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25});
+      rebuilds.Increment();
+      drift_hist.Observe(drift);
+    }
     RebuildFenwickMasses(f);
   }
 
@@ -186,6 +224,7 @@ Status OasisSampler::StepFenwick() {
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
   monitor_.Observe(weight);
+  RecordOasisStepTelemetry(weight);
   MaybeDegrade();
   return Status::OK();
 }
@@ -258,6 +297,7 @@ Status OasisSampler::StepFused() {
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
   monitor_.Observe(weight);
+  RecordOasisStepTelemetry(weight);
   MaybeDegrade();
   return Status::OK();
 }
@@ -296,6 +336,7 @@ Status OasisSampler::StepAllocatingReference() {
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
   monitor_.Observe(weight);
+  RecordOasisStepTelemetry(weight);
   MaybeDegrade();
   return Status::OK();
 }
@@ -313,6 +354,12 @@ void OasisSampler::MaybeDegrade() {
   // the AIS estimator keeps averaging unbiased per-draw ratios (see
   // docs/FAULT_MODEL.md for the argument and its Delyon–Portier framing).
   degraded_ = true;
+  if (OASIS_TELEMETRY_ON) {
+    static telemetry::Counter& entries = telemetry::DefaultRegistry().AddCounter(
+        "oasis_sampler_degraded_entries_total",
+        "Times a sampler entered degraded (boosted-epsilon) mode.");
+    entries.Increment();
+  }
   active_epsilon_ = std::max(options_.epsilon, options_.degraded_epsilon);
   if (options_.freeze_instrumental_on_degrade) {
     CaptureFrozenInstrumental();
@@ -355,6 +402,7 @@ Status OasisSampler::StepFrozen() {
   estimator_.Add(weight, label, prediction);
   if (observer_) observer_(weight, label, prediction);
   monitor_.Observe(weight);
+  RecordOasisStepTelemetry(weight);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "stats/confidence.h"
 #include "stats/running_stats.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
 namespace experiments {
@@ -130,6 +131,7 @@ Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
                     Rng rng, size_t repeat, RepeatSlots* slots,
                     SharedLabelStore* store,
                     std::atomic<bool>* degeneracy_seen) {
+  TELEMETRY_SPAN("repeat", "runner");
   const Oracle* labelled_oracle = &oracle;
   std::optional<FaultInjectingOracle> faulty;
   if (options.fault_injection.has_value()) {
@@ -210,6 +212,22 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
     return Status::InvalidArgument("RunErrorCurve: no checkpoints in budget");
   }
 
+  // Observability (observe-only; see RunnerTelemetryOptions). The scoped
+  // enable turns the process-wide switch on for this call and restores the
+  // previous state on every exit path; the heartbeat thread, when requested,
+  // reads the default registry until destroyed at return.
+  std::optional<telemetry::ScopedEnable> telemetry_scope;
+  std::optional<telemetry::Heartbeat> heartbeat;
+  if (options.telemetry.enable) {
+    telemetry_scope.emplace(true);
+    if (options.telemetry.heartbeat_interval_seconds > 0.0) {
+      telemetry::HeartbeatOptions beat;
+      beat.interval_seconds = options.telemetry.heartbeat_interval_seconds;
+      heartbeat.emplace(&telemetry::DefaultRegistry(), beat);
+    }
+  }
+  TELEMETRY_SPAN("run_error_curve", "runner");
+
   const size_t repeats = static_cast<size_t>(options.repeats);
   const bool remote = options.remote_oracle.has_value();
   const bool fault = options.retry_policy.has_value();
@@ -242,11 +260,28 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
       abort_remaining.RequestCancel();
       return;
     }
+    telemetry::Gauge* in_flight = nullptr;
+    if (OASIS_TELEMETRY_ON) {
+      static telemetry::Gauge& in_flight_gauge =
+          telemetry::DefaultRegistry().AddGauge(
+              "oasis_runner_repeats_in_flight",
+              "Repeats currently executing on pool workers.");
+      in_flight = &in_flight_gauge;
+      in_flight->Add(1.0);
+    }
     const Status status =
         RunOneRepeat(method, pool, oracle, options,
                      Rng::Fork(options.base_seed, static_cast<uint64_t>(repeat)),
                      static_cast<size_t>(repeat), &slots, store.get(),
                      &degeneracy_seen);
+    if (in_flight != nullptr) {
+      in_flight->Add(-1.0);
+      static telemetry::Counter& repeats_done =
+          telemetry::DefaultRegistry().AddCounter(
+              "oasis_runner_repeats_completed_total",
+              "Repeats finished (successfully or not) by the fan-out.");
+      repeats_done.Increment();
+    }
     if (!status.ok()) {
       repeat_status[static_cast<size_t>(repeat)] = status;
       failed.store(true, std::memory_order_release);
@@ -273,6 +308,7 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
   // Deterministic reduction: fold raw per-repeat outcomes in repeat order.
   // This reproduces the historical sequential runner's arithmetic exactly —
   // same RunningStats::Add sequence — whatever the fan-out above did.
+  TELEMETRY_SPAN("reduce", "runner");
   std::vector<RunningStats> abs_error(num_checkpoints);
   std::vector<RunningStats> estimate(num_checkpoints);
   std::vector<int64_t> defined_count(num_checkpoints, 0);

@@ -21,6 +21,7 @@
 #include "sampling/stratified.h"
 #include "sampling/trajectory.h"
 #include "strata/strata.h"
+#include "telemetry/heartbeat.h"
 
 namespace oasis {
 
@@ -109,6 +110,19 @@ struct ErrorCurve {
   std::vector<uint8_t> final_defined;
 };
 
+/// Observability controls of one RunErrorCurve call (docs/TELEMETRY.md).
+/// Telemetry is strictly observe-only: the returned ErrorCurve is
+/// bit-identical whatever these are set to, at any thread count.
+struct RunnerTelemetryOptions {
+  /// Turn the process-wide telemetry runtime switch on for the duration of
+  /// the call (restored afterwards). Counters/spans accumulate into
+  /// telemetry::DefaultRegistry() / DefaultTraceCollector().
+  bool enable = false;
+  /// When > 0 (and `enable`), print a progress heartbeat line to stderr
+  /// every this many wall-clock seconds while the run is in flight.
+  double heartbeat_interval_seconds = 0.0;
+};
+
 /// Controls for repeated trajectory runs.
 struct RunnerOptions {
   /// Number of independent repeats to aggregate.
@@ -162,6 +176,9 @@ struct RunnerOptions {
   /// remote clock when remote_oracle is also set), and the ErrorCurve
   /// carries per-checkpoint retries/give_ups columns (has_fault_stats).
   std::optional<RetryPolicy> retry_policy;
+  /// Observability of this run (metrics, spans, heartbeat). Observe-only —
+  /// never affects the returned curve.
+  RunnerTelemetryOptions telemetry;
 };
 
 /// Runs `method` on the pool `options.repeats` times (fresh LabelCache and

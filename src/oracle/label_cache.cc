@@ -1,8 +1,37 @@
 #include "oracle/label_cache.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
+
+namespace {
+
+/// Replays answered from the cache without a charged oracle label.
+telemetry::Counter& CacheHits() {
+  static telemetry::Counter& counter = telemetry::DefaultRegistry().AddCounter(
+      "oasis_labelcache_hits_total",
+      "Label queries answered from the cache (free replays).");
+  return counter;
+}
+
+/// Charged oracle labels — the budget the paper's x axes count.
+telemetry::Counter& CacheMisses() {
+  static telemetry::Counter& counter = telemetry::DefaultRegistry().AddCounter(
+      "oasis_labelcache_misses_total",
+      "Charged oracle labels (cache misses / noisy draws).");
+  return counter;
+}
+
+/// Pending markers rolled back to "never queried" by a failed batch.
+telemetry::Counter& PendingRollbacks() {
+  static telemetry::Counter& counter = telemetry::DefaultRegistry().AddCounter(
+      "oasis_labelcache_pending_rollbacks_total",
+      "Pending cache markers rolled back by a failed fallible batch.");
+  return counter;
+}
+
+}  // namespace
 
 LabelCache::LabelCache(const Oracle* oracle) : oracle_(oracle) {
   OASIS_CHECK(oracle != nullptr);
@@ -15,12 +44,14 @@ bool LabelCache::Query(int64_t item, Rng& rng) {
   uint8_t& slot = cache_[static_cast<size_t>(item)];
   if (oracle_->deterministic()) {
     if (slot != 0) {
+      if (OASIS_TELEMETRY_ON) CacheHits().Increment();
       return slot == 2;  // Free replay of the cached label.
     }
     const bool label = oracle_->Label(item, rng);
     slot = label ? 2 : 1;
     ++labels_consumed_;
     ++distinct_items_;
+    if (OASIS_TELEMETRY_ON) CacheMisses().Increment();
     return label;
   }
   // Noisy oracle: every draw costs budget; remember first touch for
@@ -30,6 +61,7 @@ bool LabelCache::Query(int64_t item, Rng& rng) {
     ++distinct_items_;
   }
   ++labels_consumed_;
+  if (OASIS_TELEMETRY_ON) CacheMisses().Increment();
   return oracle_->Label(item, rng);
 }
 
@@ -68,6 +100,7 @@ Status LabelCache::QueryBatch(std::span<const int64_t> items, Rng& rng,
       }
     }
     labels_consumed_ += static_cast<int64_t>(items.size());
+    if (OASIS_TELEMETRY_ON) CacheMisses().Add(static_cast<int64_t>(items.size()));
     oracle_->LabelBatch(items, rng, out_labels);
     return Status::OK();
   }
@@ -95,6 +128,10 @@ Status LabelCache::QueryBatch(std::span<const int64_t> items, Rng& rng,
     }
     labels_consumed_ += static_cast<int64_t>(miss_items_.size());
     distinct_items_ += static_cast<int64_t>(miss_items_.size());
+  }
+  if (OASIS_TELEMETRY_ON) {
+    CacheMisses().Add(static_cast<int64_t>(miss_items_.size()));
+    CacheHits().Add(static_cast<int64_t>(items.size() - miss_items_.size()));
   }
   // Pass 2: answer everything from the (now fully populated) cache.
   for (size_t i = 0; i < items.size(); ++i) {
@@ -136,6 +173,7 @@ Status LabelCache::QueryBatchFallible(std::span<const int64_t> items, Rng& rng,
             ++distinct_items_;
           }
           ++labels_consumed_;
+          if (OASIS_TELEMETRY_ON) CacheMisses().Increment();
           ++newly;
         } else {
           pending_positions_[kept++] = pos;
@@ -163,6 +201,9 @@ Status LabelCache::QueryBatchFallible(std::span<const int64_t> items, Rng& rng,
       miss_items_.push_back(item);
     }
   }
+  if (OASIS_TELEMETRY_ON) {
+    CacheHits().Add(static_cast<int64_t>(items.size() - miss_items_.size()));
+  }
   while (!miss_items_.empty()) {
     miss_labels_.assign(miss_items_.size(), 0);
     miss_resolved_.assign(miss_items_.size(), 0);
@@ -181,10 +222,14 @@ Status LabelCache::QueryBatchFallible(std::span<const int64_t> items, Rng& rng,
     miss_items_.resize(kept);
     labels_consumed_ += newly;
     distinct_items_ += newly;
+    if (OASIS_TELEMETRY_ON) CacheMisses().Add(newly);
     if (!status.ok() || (newly == 0 && !miss_items_.empty())) {
       // Roll the pending markers back to "never queried" so a later call
       // re-attempts (and only then charges) them. Labels that DID resolve
       // stay cached and charged — they were delivered and paid for.
+      if (OASIS_TELEMETRY_ON) {
+        PendingRollbacks().Add(static_cast<int64_t>(miss_items_.size()));
+      }
       for (int64_t item : miss_items_) cache_[static_cast<size_t>(item)] = 0;
       if (!status.ok()) return status;
       return Status::Unavailable(

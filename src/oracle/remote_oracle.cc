@@ -6,10 +6,38 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
 
 namespace {
+
+/// Registry-side mirrors of the RemoteOracle atomics, shared by every
+/// instance (the registry aggregates where per-instance stats() separates).
+struct OracleMetrics {
+  telemetry::Counter& round_trips;
+  telemetry::Counter& labels_fetched;
+  telemetry::Counter& latency_ns;
+  telemetry::Counter& store_hits;
+};
+
+OracleMetrics& Metrics() {
+  telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
+  static OracleMetrics metrics{
+      registry.AddCounter("oasis_oracle_round_trips_total",
+                          "Simulated wire round trips issued to the remote "
+                          "oracle (batched fetch pages)."),
+      registry.AddCounter("oasis_oracle_labels_fetched_total",
+                          "Labels delivered over the wire (billed labels)."),
+      registry.AddCounter("oasis_oracle_simulated_latency_ns_total",
+                          "Simulated wire latency accumulated by the "
+                          "latency model, in nanoseconds."),
+      registry.AddCounter("oasis_oracle_store_hits_total",
+                          "Queries answered by the shared label store "
+                          "without touching the wire."),
+  };
+  return metrics;
+}
 
 /// Order-sensitive 64-bit fingerprint of a trip's items (FNV-1a over the
 /// item ids). Keys the jitter stream: the same trip content always draws the
@@ -75,6 +103,12 @@ int64_t RemoteOracle::AccountFetch(std::span<const int64_t> fetched) const {
   round_trips_.fetch_add(trips, std::memory_order_relaxed);
   labels_fetched_.fetch_add(n, std::memory_order_relaxed);
   simulated_latency_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
+  if (OASIS_TELEMETRY_ON) {
+    OracleMetrics& metrics = Metrics();
+    metrics.round_trips.Add(trips);
+    metrics.labels_fetched.Add(n);
+    metrics.latency_ns.Add(latency_ns);
+  }
   return latency_ns;
 }
 
@@ -97,6 +131,7 @@ void RemoteOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
                               std::span<uint8_t> out) const {
   OASIS_DCHECK(items.size() == out.size());
   if (items.empty()) return;
+  TELEMETRY_SPAN("label_batch", "oracle");
   queries_.fetch_add(static_cast<int64_t>(items.size()),
                      std::memory_order_relaxed);
   if (store_ == nullptr) {
@@ -118,6 +153,7 @@ void RemoteOracle::LabelBatch(std::span<const int64_t> items, Rng& rng,
         inner_->LabelBatch(novel, rng, novel_out);
       });
   store_hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (OASIS_TELEMETRY_ON) Metrics().store_hits.Add(hits);
   MaybeRealize(fetched_latency_ns);
 }
 
@@ -133,6 +169,7 @@ Status RemoteOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
   }
   for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
   if (items.empty()) return Status::OK();
+  TELEMETRY_SPAN("try_label_batch", "oracle");
   queries_.fetch_add(static_cast<int64_t>(items.size()),
                      std::memory_order_relaxed);
   // Page into round trips exactly like AccountFetch, but attempt each trip
@@ -150,6 +187,11 @@ Status RemoteOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
     const int64_t latency_ns = TripLatencyNs(trip);
     round_trips_.fetch_add(1, std::memory_order_relaxed);
     simulated_latency_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
+    if (OASIS_TELEMETRY_ON) {
+      OracleMetrics& metrics = Metrics();
+      metrics.round_trips.Increment();
+      metrics.latency_ns.Add(latency_ns);
+    }
     MaybeRealize(latency_ns);
     const Status status = inner_->TryLabelBatch(
         trip, rng, out.subspan(trip_lo, trip_len),
@@ -159,6 +201,7 @@ Status RemoteOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
       delivered += resolved[trip_lo + i] != 0 ? 1 : 0;
     }
     labels_fetched_.fetch_add(delivered, std::memory_order_relaxed);
+    if (OASIS_TELEMETRY_ON) Metrics().labels_fetched.Add(delivered);
     OASIS_RETURN_NOT_OK(status);
   }
   return Status::OK();

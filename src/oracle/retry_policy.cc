@@ -8,8 +8,47 @@
 #include "common/logging.h"
 #include "oracle/fault_injecting_oracle.h"
 #include "oracle/remote_oracle.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
+
+namespace {
+
+/// Cap on each breaker's transition log: the earliest transitions — the ones
+/// that explain how the breaker first tripped — are kept, later thrash is
+/// only counted by the registry.
+constexpr size_t kMaxBreakerTransitions = 4096;
+
+/// Registry-side mirrors of the retry counters, shared by every instance.
+struct RetryMetrics {
+  telemetry::Counter& attempts;
+  telemetry::Counter& retries;
+  telemetry::Counter& give_ups;
+  telemetry::Counter& fast_fails;
+  telemetry::Counter& backoff_ns;
+};
+
+RetryMetrics& Metrics() {
+  telemetry::MetricRegistry& registry = telemetry::DefaultRegistry();
+  static RetryMetrics metrics{
+      registry.AddCounter("oasis_oracle_attempts_total",
+                          "Inner TryLabelBatch attempts issued by the retry "
+                          "layer (first tries and retries)."),
+      registry.AddCounter("oasis_oracle_retries_total",
+                          "Attempts beyond each call's first."),
+      registry.AddCounter("oasis_oracle_give_ups_total",
+                          "Retry calls that exhausted the policy or hit the "
+                          "overall deadline."),
+      registry.AddCounter("oasis_oracle_breaker_fast_fails_total",
+                          "Calls rejected immediately by an open circuit "
+                          "breaker."),
+      registry.AddCounter("oasis_oracle_backoff_ns_total",
+                          "Simulated nanoseconds spent in backoff waits."),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 const RemoteOracle* FindRemoteOracle(const Oracle* oracle) {
   while (oracle != nullptr) {
@@ -34,7 +73,7 @@ CircuitBreaker::CircuitBreaker(int failure_threshold, int64_t cooldown_calls)
     : failure_threshold_(failure_threshold),
       cooldown_calls_(std::max<int64_t>(1, cooldown_calls)) {}
 
-bool CircuitBreaker::Admit() {
+bool CircuitBreaker::Admit(int64_t now_ns) {
   if (failure_threshold_ <= 0) return true;
   std::lock_guard<std::mutex> lock(mutex_);
   switch (state_) {
@@ -46,7 +85,7 @@ bool CircuitBreaker::Admit() {
       return false;
     case State::kOpen:
       if (rejected_since_open_ >= cooldown_calls_) {
-        state_ = State::kHalfOpen;
+        TransitionTo(State::kHalfOpen, now_ns);
         return true;
       }
       ++rejected_since_open_;
@@ -55,27 +94,75 @@ bool CircuitBreaker::Admit() {
   return true;
 }
 
-void CircuitBreaker::RecordSuccess() {
+void CircuitBreaker::RecordSuccess(int64_t now_ns) {
   if (failure_threshold_ <= 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  state_ = State::kClosed;
+  TransitionTo(State::kClosed, now_ns);
   consecutive_failures_ = 0;
   rejected_since_open_ = 0;
 }
 
-void CircuitBreaker::RecordFailure() {
+void CircuitBreaker::RecordFailure(int64_t now_ns) {
   if (failure_threshold_ <= 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   ++consecutive_failures_;
   if (state_ == State::kHalfOpen || consecutive_failures_ >= failure_threshold_) {
-    state_ = State::kOpen;
+    TransitionTo(State::kOpen, now_ns);
     rejected_since_open_ = 0;
+  }
+}
+
+void CircuitBreaker::TransitionTo(State next, int64_t now_ns) {
+  if (state_ == next) return;
+  if (transitions_.size() < kMaxBreakerTransitions) {
+    transitions_.push_back(Transition{state_, next, now_ns});
+  }
+  state_ = next;
+  if (OASIS_TELEMETRY_ON) {
+    // One labelled child per destination state: transition rates by edge.
+    static telemetry::Counter& to_closed =
+        telemetry::DefaultRegistry().AddCounter(
+            "oasis_oracle_breaker_transitions_total",
+            "Circuit breaker state transitions, by destination state.",
+            {{"to", "closed"}});
+    static telemetry::Counter& to_open = telemetry::DefaultRegistry().AddCounter(
+        "oasis_oracle_breaker_transitions_total",
+        "Circuit breaker state transitions, by destination state.",
+        {{"to", "open"}});
+    static telemetry::Counter& to_half_open =
+        telemetry::DefaultRegistry().AddCounter(
+            "oasis_oracle_breaker_transitions_total",
+            "Circuit breaker state transitions, by destination state.",
+            {{"to", "half_open"}});
+    static telemetry::Gauge& state_gauge = telemetry::DefaultRegistry().AddGauge(
+        "oasis_oracle_breaker_state",
+        "Most recent breaker state (0 closed, 1 open, 2 half-open; last "
+        "writer wins across breakers).");
+    switch (next) {
+      case State::kClosed:
+        to_closed.Increment();
+        state_gauge.Set(0.0);
+        break;
+      case State::kOpen:
+        to_open.Increment();
+        state_gauge.Set(1.0);
+        break;
+      case State::kHalfOpen:
+        to_half_open.Increment();
+        state_gauge.Set(2.0);
+        break;
+    }
   }
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_;
+}
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::transitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
 }
 
 RetryingOracle::RetryingOracle(const Oracle* inner, const RetryPolicy& policy)
@@ -128,8 +215,14 @@ Status RetryingOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
   }
   for (size_t i = 0; i < resolved.size(); ++i) resolved[i] = 0;
   if (items.empty()) return Status::OK();
-  if (!breaker_.Admit()) {
+  // Breaker events are timestamped on the stack's simulated clock so the
+  // transition log lines up with the latency model's timeline.
+  const auto now_ns = [this]() -> int64_t {
+    return clock_ != nullptr ? clock_->stats().simulated_latency_ns : 0;
+  };
+  if (!breaker_.Admit(now_ns())) {
     breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+    if (OASIS_TELEMETRY_ON) Metrics().fast_fails.Increment();
     return Status::Unavailable("RetryingOracle: circuit breaker open");
   }
 
@@ -148,6 +241,10 @@ Status RetryingOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     attempts_.fetch_add(1, std::memory_order_relaxed);
     if (attempt > 1) retries_.fetch_add(1, std::memory_order_relaxed);
+    if (OASIS_TELEMETRY_ON) {
+      Metrics().attempts.Increment();
+      if (attempt > 1) Metrics().retries.Increment();
+    }
     const int64_t clock_before =
         clock_ != nullptr ? clock_->stats().simulated_latency_ns : 0;
     Status status;
@@ -199,15 +296,15 @@ Status RetryingOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
       if (resolved[i] == 0) pending.push_back(i);
     }
     if (status.ok() && pending.empty()) {
-      breaker_.RecordSuccess();
+      breaker_.RecordSuccess(now_ns());
       return Status::OK();
     }
     // A partial-but-progressing OK response means the service is alive — it
     // resets the breaker; anything else counts as a consecutive failure.
     if (status.ok() && newly_resolved > 0) {
-      breaker_.RecordSuccess();
+      breaker_.RecordSuccess(now_ns());
     } else {
-      breaker_.RecordFailure();
+      breaker_.RecordFailure(now_ns());
     }
     last_failure = status.ok()
                        ? Status::Unavailable(
@@ -218,6 +315,7 @@ Status RetryingOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
     const int64_t wait_ns = BackoffNs(attempt);
     if (deadline_ns > 0 && spent_ns + wait_ns > deadline_ns) {
       give_ups_.fetch_add(1, std::memory_order_relaxed);
+      if (OASIS_TELEMETRY_ON) Metrics().give_ups.Increment();
       return Status::DeadlineExceeded(
           "RetryingOracle: overall deadline exceeded after " +
           std::to_string(attempt) + " attempts (" +
@@ -225,10 +323,12 @@ Status RetryingOracle::TryLabelBatch(std::span<const int64_t> items, Rng& rng,
     }
     if (clock_ != nullptr) clock_->ChargeAuxiliaryLatencyNs(wait_ns);
     backoff_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    if (OASIS_TELEMETRY_ON) Metrics().backoff_ns.Add(wait_ns);
     spent_ns += wait_ns;
   }
 
   give_ups_.fetch_add(1, std::memory_order_relaxed);
+  if (OASIS_TELEMETRY_ON) Metrics().give_ups.Increment();
   return Status(last_failure.code(),
                 last_failure.message() + " [gave up after " +
                     std::to_string(policy_.max_attempts) + " attempts]");
@@ -257,6 +357,7 @@ RetryStats RetryingOracle::stats() const {
       breaker_fast_fails_.load(std::memory_order_relaxed);
   stats.backoff_ns = backoff_ns_.load(std::memory_order_relaxed);
   stats.items_recovered = items_recovered_.load(std::memory_order_relaxed);
+  stats.breaker_transitions = breaker_.transitions();
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <vector>
 
 #include "oracle/oracle.h"
 
@@ -78,34 +79,56 @@ class CircuitBreaker {
     kHalfOpen,  ///< Probe admitted; the next outcome closes or re-opens.
   };
 
+  /// One recorded state change. `sim_ns` is the caller-supplied timestamp of
+  /// the event — RetryingOracle passes its RemoteOracle's simulated clock, so
+  /// transition times line up with the latency model's timeline (0 when no
+  /// clock is in the stack).
+  struct Transition {
+    State from = State::kClosed;  ///< State before the change.
+    State to = State::kClosed;    ///< State after the change.
+    int64_t sim_ns = 0;           ///< Simulated-clock timestamp of the change.
+  };
+
   /// A breaker that opens after `failure_threshold` consecutive failures
   /// (0 = never) and half-opens after `cooldown_calls` rejections.
   CircuitBreaker(int failure_threshold, int64_t cooldown_calls);
 
   /// Returns whether a call may proceed. While open, counts the rejection
   /// and — once the cooldown is spent — transitions to half-open, admitting
-  /// exactly one probe call.
-  bool Admit();
+  /// exactly one probe call. `now_ns` timestamps any resulting transition.
+  bool Admit(int64_t now_ns = 0);
 
   /// Reports a successful (or partially successful) attempt: closes the
-  /// breaker and zeroes the consecutive-failure count.
-  void RecordSuccess();
+  /// breaker and zeroes the consecutive-failure count. `now_ns` timestamps
+  /// any resulting transition.
+  void RecordSuccess(int64_t now_ns = 0);
 
   /// Reports a failed attempt: bumps the consecutive-failure count and opens
   /// the breaker at the threshold (a half-open probe failure re-opens
-  /// immediately).
-  void RecordFailure();
+  /// immediately). `now_ns` timestamps any resulting transition.
+  void RecordFailure(int64_t now_ns = 0);
 
   /// Current state (for tests/diagnostics).
   State state() const;
 
+  /// The state changes recorded so far, in order (capped at an internal
+  /// limit — a breaker thrashing thousands of times is a diagnosis in
+  /// itself; the earliest transitions are the ones kept).
+  std::vector<Transition> transitions() const;
+
  private:
+  /// Moves to `next` under the held mutex, recording the transition (and its
+  /// registry mirrors) when the state actually changes.
+  void TransitionTo(State next, int64_t now_ns);
+
   const int failure_threshold_;
   const int64_t cooldown_calls_;
   mutable std::mutex mutex_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   int64_t rejected_since_open_ = 0;
+  /// Transition log (guarded by mutex_; see transitions()).
+  std::vector<Transition> transitions_;
 };
 
 /// Counters of a RetryingOracle's recovery activity (see
@@ -117,6 +140,9 @@ struct RetryStats {
   int64_t breaker_fast_fails = 0; ///< Calls rejected by the open breaker.
   int64_t backoff_ns = 0;         ///< Simulated nanoseconds spent backing off.
   int64_t items_recovered = 0;    ///< Items resolved only by a retry.
+  /// Breaker state changes in order, timestamped on the stack's simulated
+  /// clock (see CircuitBreaker::Transition).
+  std::vector<CircuitBreaker::Transition> breaker_transitions;
 };
 
 /// Decorator that makes a fallible oracle stack reliable-until-give-up:

@@ -5,6 +5,7 @@
 #include "oracle/remote_oracle.h"
 #include "oracle/retry_policy.h"
 #include "stats/degeneracy.h"
+#include "telemetry/telemetry.h"
 
 namespace oasis {
 
@@ -99,6 +100,7 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
   size_t next_checkpoint = 0;
   const int64_t start_labels = sampler.labels_consumed();
   bool f_defined_seen = false;
+  TELEMETRY_SPAN("run_trajectory", "sampler");
   while (sampler.labels_consumed() - start_labels < options.budget) {
     if (sampler.iterations() >= max_iterations) {
       out.truncated = true;
@@ -126,6 +128,21 @@ Result<Trajectory> RunTrajectory(Sampler& sampler, const TrajectoryOptions& opti
       if (remote != nullptr) AppendRemoteCheckpoint(*remote, remote_start, &out);
       if (retrying != nullptr) AppendRetryCheckpoint(*retrying, retry_start, &out);
       if (monitor != nullptr) out.ess.push_back(monitor->ess());
+      if (OASIS_TELEMETRY_ON) {
+        static telemetry::Counter& checkpoints =
+            telemetry::DefaultRegistry().AddCounter(
+                "oasis_runner_checkpoints_total",
+                "Budget checkpoints reached across all trajectories.");
+        checkpoints.Increment();
+        if (monitor != nullptr) {
+          static telemetry::Gauge& live_ess =
+              telemetry::DefaultRegistry().AddGauge(
+                  "oasis_runner_live_ess",
+                  "Effective sample size at the most recent checkpoint "
+                  "(last writer wins across repeats).");
+          live_ess.Set(monitor->ess());
+        }
+      }
       ++next_checkpoint;
     }
   }

@@ -1,0 +1,12 @@
+#include "telemetry/enabled.h"
+
+namespace oasis {
+namespace telemetry {
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_detail_enabled{false};
+
+}  // namespace internal
+}  // namespace telemetry
+}  // namespace oasis

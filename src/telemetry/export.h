@@ -1,0 +1,44 @@
+#ifndef OASIS_TELEMETRY_EXPORT_H_
+#define OASIS_TELEMETRY_EXPORT_H_
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace oasis {
+namespace telemetry {
+
+/// Renders the registry in the Prometheus text exposition format: per
+/// family one `# HELP` / `# TYPE` preamble, then one sample line per child
+/// (histograms expand to cumulative `_bucket{le=...}` lines plus `_sum` and
+/// `_count`). Families and children appear in registration order; floats
+/// print as %.17g, so dyadic values render byte-stably across compilers
+/// (the golden-schema lock relies on this).
+std::string PrometheusText(const MetricRegistry& registry);
+
+/// Renders the registry as a JSON snapshot:
+/// `{"telemetry_schema_version": 1, "metrics": [...]}` with one object per
+/// child carrying name/type/help/labels and the type's value fields
+/// (histograms: non-cumulative `buckets`, `inf_count`, `sum`, `count`).
+/// Same ordering and float-format guarantees as PrometheusText.
+std::string MetricsJson(const MetricRegistry& registry);
+
+/// Renders trace events as chrome://tracing / Perfetto JSON: an object with
+/// a `traceEvents` array of complete ("ph":"X") events, one per span, with
+/// microsecond `ts`/`dur`, `pid` 1 and the collector's thread lane as `tid`.
+std::string TraceJson(std::span<const TraceEvent> events);
+
+/// TraceJson over a collector's current snapshot.
+std::string TraceJson(const TraceCollector& collector);
+
+/// Writes `content` to `path` (overwriting), for the apps' --metrics-out /
+/// --trace-out flags.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace telemetry
+}  // namespace oasis
+
+#endif  // OASIS_TELEMETRY_EXPORT_H_

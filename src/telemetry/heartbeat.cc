@@ -1,0 +1,98 @@
+#include "telemetry/heartbeat.h"
+
+#include <chrono>
+#include <cinttypes>
+
+#include "common/logging.h"
+
+namespace oasis {
+namespace telemetry {
+
+namespace {
+
+/// The unlabelled counter's value, or 0 when unregistered.
+int64_t CounterOr0(const MetricRegistry& registry, const char* name) {
+  const Counter* counter = registry.FindCounter(name);
+  return counter != nullptr ? counter->value() : 0;
+}
+
+}  // namespace
+
+std::string FormatHeartbeatLine(const MetricRegistry& registry,
+                                double uptime_seconds, int64_t steps_delta,
+                                int64_t labels_delta,
+                                double interval_seconds) {
+  const int64_t steps = CounterOr0(registry, "oasis_sampler_steps_total");
+  const int64_t labels = CounterOr0(registry, "oasis_labelcache_misses_total");
+  const int64_t repeats =
+      CounterOr0(registry, "oasis_runner_repeats_completed_total");
+  const int64_t round_trips =
+      CounterOr0(registry, "oasis_oracle_round_trips_total");
+  const Gauge* ess = registry.FindGauge("oasis_runner_live_ess");
+  const Gauge* in_flight = registry.FindGauge("oasis_runner_repeats_in_flight");
+
+  char buffer[256];
+  std::string line;
+  std::snprintf(buffer, sizeof(buffer),
+                "[telemetry] t=%.1fs steps=%" PRId64 " labels=%" PRId64,
+                uptime_seconds, steps, labels);
+  line = buffer;
+  if (interval_seconds > 0.0) {
+    std::snprintf(buffer, sizeof(buffer), " (%.0f steps/s, %.0f labels/s)",
+                  static_cast<double>(steps_delta) / interval_seconds,
+                  static_cast<double>(labels_delta) / interval_seconds);
+    line += buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                " repeats=%" PRId64 " in_flight=%.0f rt=%" PRId64 " ess=%.1f",
+                repeats, in_flight != nullptr ? in_flight->value() : 0.0,
+                round_trips, ess != nullptr ? ess->value() : 0.0);
+  line += buffer;
+  return line;
+}
+
+Heartbeat::Heartbeat(const MetricRegistry* registry,
+                     const HeartbeatOptions& options)
+    : registry_(registry), options_(options) {
+  OASIS_CHECK(registry != nullptr);
+  OASIS_CHECK(options.interval_seconds > 0.0);
+  thread_ = std::thread(&Heartbeat::Loop, this);
+}
+
+Heartbeat::~Heartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Heartbeat::Loop() {
+  std::FILE* stream = options_.stream != nullptr ? options_.stream : stderr;
+  const auto start = std::chrono::steady_clock::now();
+  const auto interval = std::chrono::duration<double>(options_.interval_seconds);
+  int64_t last_steps = CounterOr0(*registry_, "oasis_sampler_steps_total");
+  int64_t last_labels =
+      CounterOr0(*registry_, "oasis_labelcache_misses_total");
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, interval, [&] { return stop_; })) return;
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const int64_t steps = CounterOr0(*registry_, "oasis_sampler_steps_total");
+    const int64_t labels =
+        CounterOr0(*registry_, "oasis_labelcache_misses_total");
+    const std::string line =
+        FormatHeartbeatLine(*registry_, uptime, steps - last_steps,
+                            labels - last_labels, options_.interval_seconds);
+    last_steps = steps;
+    last_labels = labels;
+    std::fprintf(stream, "%s\n", line.c_str());
+    std::fflush(stream);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace oasis

@@ -1,0 +1,62 @@
+#ifndef OASIS_TELEMETRY_HEARTBEAT_H_
+#define OASIS_TELEMETRY_HEARTBEAT_H_
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace oasis {
+namespace telemetry {
+
+/// Tunables of a Heartbeat.
+struct HeartbeatOptions {
+  /// Wall-clock seconds between lines (> 0).
+  double interval_seconds = 10.0;
+  /// Destination stream; nullptr = stderr.
+  std::FILE* stream = nullptr;
+};
+
+/// One heartbeat line: uptime plus the current values of the well-known
+/// progress metrics (sampler steps, charged labels, completed repeats, live
+/// ESS, oracle round trips — whichever are registered; see docs/TELEMETRY.md
+/// for the exact format). `steps_delta`/`labels_delta` are the since-last-
+/// beat differences behind the per-second rates; pass 0 on the first beat.
+std::string FormatHeartbeatLine(const MetricRegistry& registry,
+                                double uptime_seconds, int64_t steps_delta,
+                                int64_t labels_delta,
+                                double interval_seconds);
+
+/// Background thread printing one progress line per interval to stderr (or
+/// the configured stream) while alive — the operator-facing live channel of
+/// the metric registry. Construction starts the thread, destruction joins
+/// it; purely an observer, so it can wrap any run without affecting results.
+class Heartbeat {
+ public:
+  /// Starts beating against `registry` (must outlive this object).
+  Heartbeat(const MetricRegistry* registry, const HeartbeatOptions& options);
+  /// Stops and joins the beat thread (no final line is forced).
+  ~Heartbeat();
+
+  /// Non-copyable: owns the reporter thread.
+  Heartbeat(const Heartbeat&) = delete;
+  /// Non-assignable (see the copy constructor).
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+ private:
+  void Loop();
+
+  const MetricRegistry* registry_;
+  HeartbeatOptions options_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace telemetry
+}  // namespace oasis
+
+#endif  // OASIS_TELEMETRY_HEARTBEAT_H_

@@ -1,0 +1,214 @@
+#ifndef OASIS_TELEMETRY_METRICS_H_
+#define OASIS_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/enabled.h"
+
+namespace oasis {
+namespace telemetry {
+
+/// Atomically adds `delta` into `target` (CAS loop; relaxed ordering —
+/// telemetry values are statistical, not synchronising).
+void AtomicAddDouble(std::atomic<double>& target, double delta);
+
+/// Monotonically increasing integer metric (Prometheus counter semantics).
+/// Increment/Add are single relaxed fetch_adds — the whole hot-path cost of
+/// an instrumentation site. Thread-safe; stable address once registered.
+class Counter {
+ public:
+  /// Adds 1.
+  void Increment() { Add(1); }
+  /// Adds `delta` (>= 0 by convention; not enforced on the hot path).
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Current value.
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Zeroes the counter (snapshot-delta consumers; tests).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time floating value (Prometheus gauge semantics): Set for
+/// absolute readings (queue depth, live ESS), Add for +/- deltas (repeats in
+/// flight). Thread-safe; last writer wins on Set.
+class Gauge {
+ public:
+  /// Replaces the value.
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Adds `delta` (possibly negative).
+  void Add(double delta) { AtomicAddDouble(value_, delta); }
+  /// Current value.
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  /// Zeroes the gauge.
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with atomic bins (Prometheus histogram semantics):
+/// cumulative export as `_bucket{le=...}` counts plus `_sum` / `_count`.
+/// Observe() is one binary search over the (immutable) upper bounds plus two
+/// relaxed atomic adds. Bucket bounds are fixed at registration; the
+/// overflow (+Inf) bin is implicit.
+class Histogram {
+ public:
+  /// A histogram over `upper_bounds` (strictly increasing, finite; may be
+  /// empty, leaving only the +Inf bin). Checked at registration.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Folds one observation into its bucket, the total count and the sum.
+  void Observe(double value);
+
+  /// Number of finite buckets (excluding the implicit +Inf bin).
+  size_t num_buckets() const { return upper_bounds_.size(); }
+  /// Upper bound of finite bucket `i`.
+  double upper_bound(size_t i) const { return upper_bounds_[i]; }
+  /// Non-cumulative count of finite bucket `i`.
+  int64_t bucket_count(size_t i) const {
+    return bins_[i].load(std::memory_order_relaxed);
+  }
+  /// Count of observations above the last finite bound (the +Inf bin).
+  int64_t overflow_count() const {
+    return bins_[upper_bounds_.size()].load(std::memory_order_relaxed);
+  }
+  /// Total observations.
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of all observed values.
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Zeroes every bin, the count and the sum (bounds are kept).
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  /// upper_bounds_.size() + 1 bins; the last is the +Inf overflow bin.
+  std::unique_ptr<std::atomic<int64_t>[]> bins_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One labelled child's key: `{key, value}` pairs in registration order
+/// (empty for an unlabelled metric). Kept as written — exporters emit labels
+/// in exactly this order.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Kind discriminator of a registry entry.
+enum class MetricType {
+  kCounter,    ///< Counter.
+  kGauge,      ///< Gauge.
+  kHistogram,  ///< Histogram.
+};
+
+/// Point-in-time copy of one registry child, as consumed by the exporters
+/// (src/telemetry/export.h) and the heartbeat.
+struct MetricSnapshot {
+  std::string name;       ///< Family name ("oasis_sampler_steps_total").
+  std::string help;       ///< One-line meaning (the family's help string).
+  MetricType type;        ///< Which of the value fields below is live.
+  LabelSet labels;        ///< The child's labels (empty when unlabelled).
+  int64_t counter_value = 0;  ///< kCounter value.
+  double gauge_value = 0.0;   ///< kGauge value.
+  /// kHistogram: finite bucket upper bounds...
+  std::vector<double> bucket_bounds;
+  /// ...their per-bucket (non-cumulative) counts, parallel to the bounds...
+  std::vector<int64_t> bucket_counts;
+  /// ...the +Inf overflow count...
+  int64_t overflow_count = 0;
+  /// ...the total observation count...
+  int64_t total_count = 0;
+  /// ...and the sum of all observed values.
+  double sum = 0.0;
+};
+
+/// Registry of metric families. Registration (Add*) takes a mutex and is
+/// idempotent on (name, labels) — instrumentation sites register through
+/// function-local statics, so each site pays the lock once; the returned
+/// references stay valid for the registry's lifetime and all value updates
+/// are lock-free. Families group children sharing a name; a family's type,
+/// help string and (for histograms) bucket bounds are fixed by its first
+/// registration (re-registering with a conflicting type or bounds crashes —
+/// programmer error).
+class MetricRegistry {
+ public:
+  /// An empty registry.
+  MetricRegistry();
+  /// Destroys the registry and every metric it owns (out of line — Family is
+  /// incomplete here). References returned by Add* die with it.
+  ~MetricRegistry();
+  /// Non-copyable: instrumentation sites hold references into the registry.
+  MetricRegistry(const MetricRegistry&) = delete;
+  /// Non-assignable (see the copy constructor).
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Registers (or finds) the unlabelled counter `name`.
+  Counter& AddCounter(const std::string& name, const std::string& help);
+  /// Registers (or finds) the `labels` child of counter family `name`.
+  Counter& AddCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels);
+  /// Registers (or finds) the unlabelled gauge `name`.
+  Gauge& AddGauge(const std::string& name, const std::string& help);
+  /// Registers (or finds) the `labels` child of gauge family `name`.
+  Gauge& AddGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels);
+  /// Registers (or finds) the unlabelled histogram `name` over
+  /// `upper_bounds` (see Histogram).
+  Histogram& AddHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> upper_bounds);
+  /// Registers (or finds) the `labels` child of histogram family `name`.
+  Histogram& AddHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> upper_bounds,
+                          const LabelSet& labels);
+
+  /// The registered counter child, or nullptr when `name`/`labels` is absent
+  /// or not a counter. Never registers.
+  const Counter* FindCounter(const std::string& name,
+                             const LabelSet& labels = {}) const;
+  /// The registered gauge child, or nullptr (see FindCounter).
+  const Gauge* FindGauge(const std::string& name,
+                         const LabelSet& labels = {}) const;
+  /// The registered histogram child, or nullptr (see FindCounter).
+  const Histogram* FindHistogram(const std::string& name,
+                                 const LabelSet& labels = {}) const;
+
+  /// Sum of counter family `name` across all its children (0 when absent) —
+  /// the heartbeat's view of labelled counters.
+  int64_t CounterFamilyTotal(const std::string& name) const;
+
+  /// Copies every child's current value, family by family in registration
+  /// order (children in their own registration order within each family).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Zeroes every registered value (registration is kept). For tests and
+  /// delta-based consumers; concurrent updaters may interleave.
+  void ResetValues();
+
+ private:
+  struct Child;
+  struct Family;
+
+  Family& FamilyFor(const std::string& name, const std::string& help,
+                    MetricType type);
+  static Child* ChildWithLabels(const Family& family, const LabelSet& labels);
+  const Child* FindChild(const std::string& name, MetricType type,
+                         const LabelSet& labels) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+/// The process-wide registry every instrumentation site registers into.
+/// Exporters, the heartbeat and the apps snapshot from here.
+MetricRegistry& DefaultRegistry();
+
+}  // namespace telemetry
+}  // namespace oasis
+
+#endif  // OASIS_TELEMETRY_METRICS_H_

@@ -1,0 +1,79 @@
+#include "telemetry/trace.h"
+
+namespace oasis {
+namespace telemetry {
+
+TraceCollector::TraceCollector(size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+int64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+int64_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(events_.size());
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+double TraceCollector::NowMicros() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+int TraceCollector::CurrentThreadLane() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = thread_lanes_.find(self);
+  if (it != thread_lanes_.end()) return it->second;
+  const int lane = static_cast<int>(thread_lanes_.size()) + 1;
+  thread_lanes_.emplace(self, lane);
+  return lane;
+}
+
+TraceCollector& DefaultTraceCollector() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!Enabled()) return;
+  active_ = true;
+  start_us_ = DefaultTraceCollector().NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceCollector& collector = DefaultTraceCollector();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_us = start_us_;
+  event.dur_us = collector.NowMicros() - start_us_;
+  event.tid = collector.CurrentThreadLane();
+  collector.Append(std::move(event));
+}
+
+}  // namespace telemetry
+}  // namespace oasis

@@ -1,18 +1,22 @@
 // Golden locks on the on-disk interchange formats: the curves-CSV header
-// (base columns plus every optional group) and the RunSummary JSON schema.
+// (base columns plus every optional group), the RunSummary JSON schema, and
+// the telemetry exports (Prometheus text, metrics JSON, trace JSON).
 // These files are the contract between oasis_run, oasis_verify, and any
 // external tooling — a diff here is a BREAKING format change and must bump
-// RunSummary::schema_version / extend (never rename or reorder) the columns.
+// RunSummary::schema_version / telemetry_schema_version, or extend (never
+// rename or reorder) the columns.
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "experiments/csv.h"
+#include "telemetry/export.h"
 #include "experiments/runner.h"
 #include "experiments/summary.h"
 
@@ -194,6 +198,114 @@ TEST(GoldenSchemaTest, WriteReadFileRoundTrip) {
   std::remove(path.c_str());
   EXPECT_EQ(RunSummaryToJson(read), RunSummaryToJson(golden));
   EXPECT_FALSE(ReadRunSummaryJson(path).ok());
+}
+
+// --- Telemetry export formats ----------------------------------------------
+//
+// Byte-for-byte locks on the Prometheus text exposition and the metrics/trace
+// JSON schemas. All values are dyadic rationals, which %.17g prints in their
+// exact shortest form on every compiler, so these goldens are byte-stable.
+// A diff here is a BREAKING change for any dashboard or trace viewer
+// consuming the artifacts and must bump telemetry_schema_version.
+
+/// A small registry exercising every metric type, labelled families, and
+/// histogram overflow.
+std::unique_ptr<telemetry::MetricRegistry> GoldenRegistry() {
+  auto registry = std::make_unique<telemetry::MetricRegistry>();
+  registry->AddCounter("oasis_golden_steps_total", "Steps taken.").Add(3);
+  registry
+      ->AddCounter("oasis_golden_tasks_total", "Tasks by kind.",
+                   {{"kind", "own"}})
+      .Add(2);
+  registry
+      ->AddCounter("oasis_golden_tasks_total", "Tasks by kind.",
+                   {{"kind", "steal"}})
+      .Add(1);
+  registry->AddGauge("oasis_golden_ess", "Live ESS.").Set(0.25);
+  telemetry::Histogram& weight = registry->AddHistogram(
+      "oasis_golden_weight", "Importance weight.", {0.5, 2.0});
+  weight.Observe(0.25);  // bucket le=0.5
+  weight.Observe(1.0);   // bucket le=2
+  weight.Observe(4.0);   // +Inf overflow
+  return registry;
+}
+
+TEST(GoldenSchemaTest, PrometheusTextFormatIsLocked) {
+  EXPECT_EQ(telemetry::PrometheusText(*GoldenRegistry()),
+            "# HELP oasis_golden_steps_total Steps taken.\n"
+            "# TYPE oasis_golden_steps_total counter\n"
+            "oasis_golden_steps_total 3\n"
+            "# HELP oasis_golden_tasks_total Tasks by kind.\n"
+            "# TYPE oasis_golden_tasks_total counter\n"
+            "oasis_golden_tasks_total{kind=\"own\"} 2\n"
+            "oasis_golden_tasks_total{kind=\"steal\"} 1\n"
+            "# HELP oasis_golden_ess Live ESS.\n"
+            "# TYPE oasis_golden_ess gauge\n"
+            "oasis_golden_ess 0.25\n"
+            "# HELP oasis_golden_weight Importance weight.\n"
+            "# TYPE oasis_golden_weight histogram\n"
+            "oasis_golden_weight_bucket{le=\"0.5\"} 1\n"
+            "oasis_golden_weight_bucket{le=\"2\"} 2\n"
+            "oasis_golden_weight_bucket{le=\"+Inf\"} 3\n"
+            "oasis_golden_weight_sum 5.25\n"
+            "oasis_golden_weight_count 3\n");
+}
+
+TEST(GoldenSchemaTest, MetricsJsonSchemaIsLocked) {
+  EXPECT_EQ(
+      telemetry::MetricsJson(*GoldenRegistry()),
+      "{\n"
+      "  \"telemetry_schema_version\": 1,\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"oasis_golden_steps_total\", \"type\": \"counter\", "
+      "\"help\": \"Steps taken.\", \"labels\": {}, \"value\": 3},\n"
+      "    {\"name\": \"oasis_golden_tasks_total\", \"type\": \"counter\", "
+      "\"help\": \"Tasks by kind.\", \"labels\": {\"kind\": \"own\"}, "
+      "\"value\": 2},\n"
+      "    {\"name\": \"oasis_golden_tasks_total\", \"type\": \"counter\", "
+      "\"help\": \"Tasks by kind.\", \"labels\": {\"kind\": \"steal\"}, "
+      "\"value\": 1},\n"
+      "    {\"name\": \"oasis_golden_ess\", \"type\": \"gauge\", \"help\": "
+      "\"Live ESS.\", \"labels\": {}, \"value\": 0.25},\n"
+      "    {\"name\": \"oasis_golden_weight\", \"type\": \"histogram\", "
+      "\"help\": \"Importance weight.\", \"labels\": {}, \"buckets\": "
+      "[{\"le\": 0.5, \"count\": 1}, {\"le\": 2, \"count\": 1}], "
+      "\"inf_count\": 1, \"sum\": 5.25, \"count\": 3}\n"
+      "  ]\n"
+      "}\n");
+}
+
+TEST(GoldenSchemaTest, TraceJsonSchemaIsLocked) {
+  telemetry::TraceCollector collector;
+  telemetry::TraceEvent repeat;
+  repeat.name = "repeat";
+  repeat.category = "runner";
+  repeat.ts_us = 1.5;
+  repeat.dur_us = 2.25;
+  repeat.tid = 0;
+  collector.Append(repeat);
+  telemetry::TraceEvent batch;
+  batch.name = "label_batch";
+  batch.category = "oracle";
+  batch.ts_us = 4.0;
+  batch.dur_us = 0.5;
+  batch.tid = 1;
+  collector.Append(batch);
+  EXPECT_EQ(telemetry::TraceJson(collector),
+            "{\"traceEvents\":[\n"
+            "{\"name\":\"repeat\",\"cat\":\"runner\",\"ph\":\"X\","
+            "\"ts\":1.5,\"dur\":2.25,\"pid\":1,\"tid\":0},\n"
+            "{\"name\":\"label_batch\",\"cat\":\"oracle\",\"ph\":\"X\","
+            "\"ts\":4,\"dur\":0.5,\"pid\":1,\"tid\":1}\n"
+            "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(GoldenSchemaTest, MetricsJsonEscapesStrings) {
+  telemetry::MetricRegistry registry;
+  registry.AddCounter("oasis_golden_esc_total", "say \"hi\"\tback\\slash");
+  const std::string json = telemetry::MetricsJson(registry);
+  EXPECT_NE(json.find("\"say \\\"hi\\\"\\tback\\\\slash\""),
+            std::string::npos);
 }
 
 }  // namespace

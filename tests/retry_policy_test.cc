@@ -155,6 +155,43 @@ TEST(CircuitBreakerTest, StateMachineTransitions) {
   EXPECT_TRUE(breaker.Admit());
 }
 
+TEST(CircuitBreakerTest, RecordsTransitionHistoryWithSimClockTimestamps) {
+  CircuitBreaker breaker(/*failure_threshold=*/2, /*cooldown_calls=*/2);
+  using State = CircuitBreaker::State;
+
+  breaker.RecordFailure(/*now_ns=*/10);
+  breaker.RecordFailure(/*now_ns=*/20);  // closed -> open
+  EXPECT_FALSE(breaker.Admit(/*now_ns=*/30));
+  EXPECT_FALSE(breaker.Admit(/*now_ns=*/40));
+  EXPECT_TRUE(breaker.Admit(/*now_ns=*/50));  // open -> half-open probe
+  breaker.RecordFailure(/*now_ns=*/60);       // half-open -> open
+  EXPECT_FALSE(breaker.Admit(/*now_ns=*/70));
+  EXPECT_FALSE(breaker.Admit(/*now_ns=*/80));
+  EXPECT_TRUE(breaker.Admit(/*now_ns=*/90));  // open -> half-open probe
+  breaker.RecordSuccess(/*now_ns=*/100);      // half-open -> closed
+
+  const std::vector<CircuitBreaker::Transition> transitions =
+      breaker.transitions();
+  ASSERT_EQ(transitions.size(), 5u);
+  const State expected[5][2] = {
+      {State::kClosed, State::kOpen},     {State::kOpen, State::kHalfOpen},
+      {State::kHalfOpen, State::kOpen},   {State::kOpen, State::kHalfOpen},
+      {State::kHalfOpen, State::kClosed},
+  };
+  const int64_t expected_ns[5] = {20, 50, 60, 90, 100};
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    EXPECT_EQ(transitions[i].from, expected[i][0]) << "transition " << i;
+    EXPECT_EQ(transitions[i].to, expected[i][1]) << "transition " << i;
+    EXPECT_EQ(transitions[i].sim_ns, expected_ns[i]) << "transition " << i;
+    // Each transition chains from the previous one's destination, and the
+    // sim-clock timestamps never run backwards.
+    if (i > 0) {
+      EXPECT_EQ(transitions[i].from, transitions[i - 1].to);
+      EXPECT_GE(transitions[i].sim_ns, transitions[i - 1].sim_ns);
+    }
+  }
+}
+
 TEST(CircuitBreakerTest, DisabledBreakerAdmitsEverything) {
   CircuitBreaker breaker(/*failure_threshold=*/0, /*cooldown_calls=*/1);
   for (int i = 0; i < 10; ++i) {
@@ -400,6 +437,19 @@ TEST(RetryingOracleTest, BreakerOpensFastFailsThenRecovers) {
   EXPECT_EQ(oracle.stats().breaker_fast_fails, 2);
   // Call 6: normal operation resumed.
   EXPECT_TRUE(call().ok());
+
+  // The full state history surfaces through RetryStats: open, probe, re-open,
+  // probe, close. Without a remote clock below, every timestamp is 0.
+  const std::vector<CircuitBreaker::Transition> transitions =
+      oracle.stats().breaker_transitions;
+  ASSERT_EQ(transitions.size(), 5u);
+  EXPECT_EQ(transitions.front().from, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(transitions.front().to, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(transitions.back().to, CircuitBreaker::State::kClosed);
+  for (size_t i = 1; i < transitions.size(); ++i) {
+    EXPECT_EQ(transitions[i].from, transitions[i - 1].to);
+    EXPECT_GE(transitions[i].sim_ns, transitions[i - 1].sim_ns);
+  }
 }
 
 // --- Runner-level robustness ----------------------------------------------

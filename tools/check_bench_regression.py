@@ -21,11 +21,20 @@ both files (e.g. ``BM_PassiveStep``): baseline values are multiplied by
 current(NAME)/baseline(NAME) before comparison, so the gate measures
 regressions relative to overall machine speed rather than absolute numbers.
 
+Besides the throughput ratios, --max-metric NAME:METRIC=BOUND (repeatable)
+gates a derived metric of the CURRENT run against an absolute upper bound —
+machine-independent by construction (ratios/percentages), so no baseline or
+calibration is involved. Example: --max-metric
+'BM_TelemetryOverhead/1:telemetry_overhead_pct=2.0' fails when enabling the
+metrics registry costs the fused step path more than 2%. A missing benchmark
+or metric is a hard failure (same reasoning as MISSING above).
+
 Usage:
   python3 tools/check_bench_regression.py BENCH_micro.json \
       bench/baselines/BENCH_micro_baseline.json \
       [--min-ratio 0.8] [--filter BM_OasisStep] [--calibrate BM_PassiveStep] \
-      [--allow-missing]
+      [--allow-missing] \
+      [--max-metric 'BM_TelemetryOverhead/1:telemetry_overhead_pct=2.0']
 
 Self test (also run in CI):
   python3 tools/check_bench_regression.py --self-test
@@ -48,6 +57,32 @@ def load_results(path):
     return results
 
 
+def load_metrics(path):
+    """{benchmark name: {metric: value}} for every non-core numeric field."""
+    core = {"name", "steps_per_sec", "iterations"}
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = {}
+    for entry in doc.get("results", []):
+        name = entry.get("name")
+        if not name:
+            continue
+        metrics[name] = {k: v for k, v in entry.items()
+                         if k not in core and isinstance(v, (int, float))}
+    return metrics
+
+
+def parse_max_metric(spec):
+    """Splits 'NAME:METRIC=BOUND' into its three parts (ValueError on junk)."""
+    head, sep, bound = spec.rpartition("=")
+    if not sep:
+        raise ValueError(f"--max-metric {spec!r}: expected NAME:METRIC=BOUND")
+    name, sep, metric = head.rpartition(":")
+    if not sep or not name or not metric:
+        raise ValueError(f"--max-metric {spec!r}: expected NAME:METRIC=BOUND")
+    return name, metric, float(bound)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", nargs="?",
@@ -64,6 +99,11 @@ def build_parser():
     parser.add_argument("--allow-missing", action="store_true",
                         help="tolerate gated baseline benchmarks absent from "
                              "the current run (baseline-refresh escape hatch)")
+    parser.add_argument("--max-metric", action="append", default=[],
+                        metavar="NAME:METRIC=BOUND",
+                        help="fail when the named benchmark's derived metric "
+                             "in the CURRENT run exceeds BOUND (repeatable; "
+                             "absolute, no baseline involved)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in unit tests and exit")
     return parser
@@ -124,10 +164,36 @@ def run_gate(args, out=sys.stdout, err=sys.stderr):
     if compared == 0:
         print("error: no gated benchmark present in both runs", file=err)
         return 1
-    if failures:
-        print(f"\nREGRESSION: {len(failures)} benchmark(s) dropped more than "
-              f"{(1 - args.min_ratio) * 100:.0f}% vs baseline: "
-              + ", ".join(failures), file=err)
+    metric_failures = []
+    if args.max_metric:
+        current_metrics = load_metrics(args.current)
+        for spec in args.max_metric:
+            try:
+                name, metric, bound = parse_max_metric(spec)
+            except ValueError as e:
+                print(f"error: {e}", file=err)
+                return 1
+            value = current_metrics.get(name, {}).get(metric)
+            if value is None:
+                print(f"  MISS  {name}:{metric}: not present in current run",
+                      file=out)
+                metric_failures.append(f"{name}:{metric} (missing)")
+                continue
+            verdict = "ok" if value <= bound else "FAIL"
+            print(f"  {verdict:>4}  {name}:{metric} = {value:.3f} "
+                  f"(bound {bound:.3f})", file=out)
+            if value > bound:
+                metric_failures.append(f"{name}:{metric}={value:.3f}>{bound}")
+
+    if failures or metric_failures:
+        if failures:
+            print(f"\nREGRESSION: {len(failures)} benchmark(s) dropped more "
+                  f"than {(1 - args.min_ratio) * 100:.0f}% vs baseline: "
+                  + ", ".join(failures), file=err)
+        if metric_failures:
+            print(f"\nMETRIC BAR: {len(metric_failures)} derived metric(s) "
+                  "over bound (or missing): " + ", ".join(metric_failures),
+                  file=err)
         return 1
     print(f"\nall {compared} gated benchmarks within "
           f"{(1 - args.min_ratio) * 100:.0f}% of baseline", file=out)
@@ -147,25 +213,32 @@ def _self_test():
     import tempfile
     import unittest
 
-    def write_doc(directory, filename, entries):
+    def write_doc(directory, filename, entries, metrics=None):
         path = os.path.join(directory, filename)
-        doc = {"benchmark": "self_test", "seed": 0,
-               "results": [{"name": n, "steps_per_sec": s, "iterations": 1}
-                           for n, s in entries.items()]}
+        results = []
+        for n, s in entries.items():
+            row = {"name": n, "steps_per_sec": s, "iterations": 1}
+            row.update((metrics or {}).get(n, {}))
+            results.append(row)
+        doc = {"benchmark": "self_test", "seed": 0, "results": results}
         with open(path, "w") as f:
             json.dump(doc, f)
         return path
 
     class GateTest(unittest.TestCase):
-        def run_gate_with(self, current, baseline, **overrides):
+        def run_gate_with(self, current, baseline, current_metrics=None,
+                          **overrides):
             with tempfile.TemporaryDirectory() as tmp:
-                cur = write_doc(tmp, "current.json", current)
+                cur = write_doc(tmp, "current.json", current, current_metrics)
                 base = write_doc(tmp, "baseline.json", baseline)
                 argv = [cur, base]
                 for key, value in overrides.items():
                     flag = "--" + key.replace("_", "-")
                     if value is True:
                         argv.append(flag)
+                    elif isinstance(value, list):
+                        for item in value:
+                            argv.extend([flag, str(item)])
                     else:
                         argv.extend([flag, str(value)])
                 args = build_parser().parse_args(argv)
@@ -229,6 +302,56 @@ def _self_test():
                 {"BM_OasisStep/10": 100.0, "BM_Unrelated": 1.0},
                 {"BM_OasisStep/10": 100.0, "BM_Unrelated": 100.0})
             self.assertEqual(code, 0)
+
+        def test_max_metric_within_bound_passes(self):
+            code, out, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0, "BM_TelemetryOverhead/1": 90.0},
+                {"BM_OasisStep/10": 100.0},
+                current_metrics={
+                    "BM_TelemetryOverhead/1": {"telemetry_overhead_pct": 1.4}},
+                max_metric=[
+                    "BM_TelemetryOverhead/1:telemetry_overhead_pct=2.0"])
+            self.assertEqual(code, 0)
+            self.assertIn("telemetry_overhead_pct = 1.400", out)
+
+        def test_max_metric_over_bound_fails(self):
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0, "BM_TelemetryOverhead/1": 90.0},
+                {"BM_OasisStep/10": 100.0},
+                current_metrics={
+                    "BM_TelemetryOverhead/1": {"telemetry_overhead_pct": 5.7}},
+                max_metric=[
+                    "BM_TelemetryOverhead/1:telemetry_overhead_pct=2.0"])
+            self.assertEqual(code, 1)
+            self.assertIn("METRIC BAR", err)
+
+        def test_max_metric_missing_fails(self):
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0}, {"BM_OasisStep/10": 100.0},
+                max_metric=[
+                    "BM_TelemetryOverhead/1:telemetry_overhead_pct=2.0"])
+            self.assertEqual(code, 1)
+            self.assertIn("missing", err)
+
+        def test_max_metric_negative_value_passes(self):
+            # Sub-noise measurements can come out negative; that is under any
+            # positive bound, not an error.
+            code, _, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0, "BM_TelemetryOverhead/1": 101.0},
+                {"BM_OasisStep/10": 100.0},
+                current_metrics={
+                    "BM_TelemetryOverhead/1": {"telemetry_overhead_pct": -0.3}},
+                max_metric=[
+                    "BM_TelemetryOverhead/1:telemetry_overhead_pct=2.0"])
+            self.assertEqual(code, 0)
+
+        def test_max_metric_bad_spec_fails_cleanly(self):
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0}, {"BM_OasisStep/10": 100.0},
+                max_metric=["no-equals-sign"])
+            self.assertEqual(code, 1)
+            self.assertIn("NAME:METRIC=BOUND", err)
+            self.assertNotIn("Traceback", err)
 
         def test_empty_filter_match_fails(self):
             code, _, err = self.run_gate_with(

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Code <-> docs parity gate for the telemetry metric catalogue.
+
+Every metric the code registers (an ``AddCounter``/``AddGauge``/
+``AddHistogram`` call with an ``oasis_*`` name literal anywhere under the
+source roots) must appear in the docs/TELEMETRY.md catalogue table, and every
+backticked ``oasis_*`` name in that table must still exist in the code.
+Either direction failing exits 1 with the offending names, so a metric can
+neither ship undocumented nor linger in the docs after its call site died.
+
+Names are extracted syntactically: the registration regex tolerates the
+string literal landing on the line after the call (clang-format splits long
+registrations), and the docs side only reads backticked names from table rows
+(lines starting with ``|``), so prose may mention metrics freely.
+
+Usage:
+  python3 tools/check_metrics_catalog.py [--src src bench apps] \
+      [--doc docs/TELEMETRY.md]
+
+Self test (also run in CI):
+  python3 tools/check_metrics_catalog.py --self-test
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Registration call with its name literal, possibly on the following line.
+REGISTRATION_RE = re.compile(
+    r'Add(?:Counter|Gauge|Histogram)\s*\(\s*\n?\s*"(oasis_[a-z0-9_]+)"',
+    re.MULTILINE)
+
+# Backticked metric name inside a catalogue table row.
+DOC_NAME_RE = re.compile(r'`(oasis_[a-z0-9_]+)`')
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+
+def collect_code_metrics(roots):
+    """Set of metric names registered anywhere under the given roots."""
+    names = set()
+    for root in roots:
+        for dirpath, _, filenames in os.walk(root):
+            for filename in filenames:
+                if not filename.endswith(SOURCE_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path, encoding="utf-8") as f:
+                    names.update(REGISTRATION_RE.findall(f.read()))
+    return names
+
+
+def collect_doc_metrics(doc_path):
+    """Set of backticked oasis_* names in the catalogue's table rows."""
+    names = set()
+    with open(doc_path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("|"):
+                names.update(DOC_NAME_RE.findall(line))
+    return names
+
+
+def run_check(src_roots, doc_path, out=sys.stdout, err=sys.stderr):
+    """The parity check proper; returns the process exit code."""
+    code_names = collect_code_metrics(src_roots)
+    if not code_names:
+        print(f"error: no metric registrations found under {src_roots} — "
+              "wrong --src roots?", file=err)
+        return 1
+    try:
+        doc_names = collect_doc_metrics(doc_path)
+    except OSError as e:
+        print(f"error: cannot read {doc_path}: {e}", file=err)
+        return 1
+
+    undocumented = sorted(code_names - doc_names)
+    stale = sorted(doc_names - code_names)
+    for name in sorted(code_names & doc_names):
+        print(f"    ok  {name}", file=out)
+    code = 0
+    if undocumented:
+        print(f"\nUNDOCUMENTED: {len(undocumented)} metric(s) registered in "
+              f"code but missing from {doc_path}: " + ", ".join(undocumented),
+              file=err)
+        code = 1
+    if stale:
+        print(f"\nSTALE: {len(stale)} metric(s) documented in {doc_path} but "
+              "registered nowhere in the code: " + ", ".join(stale), file=err)
+        code = 1
+    if code == 0:
+        print(f"\ncatalogue in sync: {len(code_names)} metrics", file=out)
+    return code
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", nargs="+", default=["src"],
+                        help="source roots to scan for registrations")
+    parser.add_argument("--doc", default="docs/TELEMETRY.md",
+                        help="catalogue document to check against")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit tests and exit")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# --self-test: unit tests over synthetic trees, runnable anywhere (CI invokes
+# this before the real check so a broken checker cannot silently pass).
+# ---------------------------------------------------------------------------
+
+
+def _self_test():
+    import io
+    import tempfile
+    import unittest
+
+    def write_tree(tmp, code_names, doc_names):
+        src = os.path.join(tmp, "src")
+        os.makedirs(src, exist_ok=True)
+        with open(os.path.join(src, "a.cc"), "w") as f:
+            # The literal lands on its own line, clang-format style, so the
+            # multiline tolerance of the registration regex is always on test.
+            for name in code_names:
+                f.write('void f(){ registry.AddCounter(\n    "%s", "h"); }\n'
+                        % name)
+        doc = os.path.join(tmp, "TELEMETRY.md")
+        with open(doc, "w") as f:
+            f.write("# Catalogue\n\nProse may say `oasis_ignored_in_prose`.\n")
+            f.write("| metric | type |\n|---|---|\n")
+            for name in doc_names:
+                f.write("| `%s` | counter |\n" % name)
+        return [src], doc
+
+    class CatalogTest(unittest.TestCase):
+        def run_check_with(self, code_names, doc_names):
+            with tempfile.TemporaryDirectory() as tmp:
+                roots, doc = write_tree(tmp, code_names, doc_names)
+                out, err = io.StringIO(), io.StringIO()
+                code = run_check(roots, doc, out=out, err=err)
+                return code, out.getvalue(), err.getvalue()
+
+        def test_in_sync_passes(self):
+            code, out, _ = self.run_check_with(
+                ["oasis_a_total", "oasis_b"], ["oasis_a_total", "oasis_b"])
+            self.assertEqual(code, 0)
+            self.assertIn("in sync: 2 metrics", out)
+
+        def test_undocumented_metric_fails(self):
+            code, _, err = self.run_check_with(
+                ["oasis_a_total", "oasis_new_total"], ["oasis_a_total"])
+            self.assertEqual(code, 1)
+            self.assertIn("UNDOCUMENTED", err)
+            self.assertIn("oasis_new_total", err)
+
+        def test_stale_doc_entry_fails(self):
+            code, _, err = self.run_check_with(
+                ["oasis_a_total"], ["oasis_a_total", "oasis_gone_total"])
+            self.assertEqual(code, 1)
+            self.assertIn("STALE", err)
+            self.assertIn("oasis_gone_total", err)
+
+        def test_prose_mentions_are_not_catalogue_entries(self):
+            # `oasis_ignored_in_prose` appears outside a table row in every
+            # synthetic doc; it must not register as stale.
+            code, _, err = self.run_check_with(["oasis_a"], ["oasis_a"])
+            self.assertEqual(code, 0)
+            self.assertNotIn("oasis_ignored_in_prose", err)
+
+        def test_multiline_registration_is_found(self):
+            # write_tree always splits the literal onto its own line, so any
+            # passing test above already proves this; assert it directly too.
+            code, out, _ = self.run_check_with(["oasis_split"], ["oasis_split"])
+            self.assertEqual(code, 0)
+            self.assertIn("oasis_split", out)
+
+        def test_empty_code_side_is_an_error(self):
+            code, _, err = self.run_check_with([], ["oasis_a"])
+            self.assertEqual(code, 1)
+            self.assertIn("no metric registrations", err)
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(CatalogTest)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main():
+    args = build_parser().parse_args()
+    if args.self_test:
+        return _self_test()
+    return run_check(args.src, args.doc)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
