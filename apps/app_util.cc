@@ -1,50 +1,13 @@
 #include "apps/app_util.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 
-#include "experiments/config.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 
 namespace oasis {
 namespace apps {
-
-ParsedArgs ParseArgs(int argc, char** argv) {
-  ParsedArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        args.flags[arg.substr(2)] = "";
-      } else {
-        args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
-    } else {
-      args.positional.push_back(arg);
-    }
-  }
-  return args;
-}
-
-Status CheckKnownFlags(const ParsedArgs& args,
-                       const std::vector<std::string>& known) {
-  for (const auto& [name, value] : args.flags) {
-    bool found = false;
-    for (const std::string& candidate : known) {
-      if (name == candidate) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      return Status::InvalidArgument("unknown option '--" + name + "'");
-    }
-  }
-  return Status::OK();
-}
 
 Result<datagen::ScenarioSpec> ResolveScenario(const std::string& reference) {
   const bool looks_like_path =
@@ -68,61 +31,37 @@ int FailWith(const Status& status) {
   return kExitError;
 }
 
-std::vector<std::string> TelemetryFlagNames() {
-  return {"metrics-out", "trace-out", "heartbeat", "no-telemetry"};
-}
-
-Result<TelemetryCli> ParseTelemetryFlags(const ParsedArgs& args) {
-  TelemetryCli cli;
-  cli.enabled = !args.HasFlag("no-telemetry");
-  cli.metrics_out = args.FlagOr("metrics-out", "");
-  cli.trace_out = args.FlagOr("trace-out", "");
-  const std::string heartbeat = args.FlagOr("heartbeat", "");
-  if (!heartbeat.empty()) {
-    char* end = nullptr;
-    cli.heartbeat_seconds = std::strtod(heartbeat.c_str(), &end);
-    if (end == nullptr || *end != '\0' || cli.heartbeat_seconds <= 0.0) {
-      return Status::InvalidArgument("--heartbeat wants a positive number of "
-                                     "seconds, got '" + heartbeat + "'");
-    }
-  }
-  if (!cli.enabled &&
-      (!cli.metrics_out.empty() || !cli.trace_out.empty() ||
-       cli.heartbeat_seconds > 0.0)) {
-    return Status::InvalidArgument(
-        "--no-telemetry contradicts --metrics-out/--trace-out/--heartbeat");
-  }
-  return cli;
-}
-
-TelemetrySession::TelemetrySession(const TelemetryCli& cli) : cli_(cli) {
-  if (!cli_.enabled) return;
+TelemetrySession::TelemetrySession(const experiments::CommonFlags& flags)
+    : flags_(flags), previous_enabled_(telemetry::Enabled()) {
+  if (!flags_.telemetry_enabled) return;
   telemetry::SetEnabled(true);
-  if (cli_.heartbeat_seconds > 0.0) {
+  if (flags_.heartbeat_seconds > 0.0) {
     telemetry::HeartbeatOptions beat;
-    beat.interval_seconds = cli_.heartbeat_seconds;
+    beat.interval_seconds = flags_.heartbeat_seconds;
     heartbeat_.emplace(&telemetry::DefaultRegistry(), beat);
   }
 }
 
 TelemetrySession::~TelemetrySession() {
   heartbeat_.reset();
-  if (cli_.enabled) telemetry::SetEnabled(false);
+  // Restore, not force-off: an enclosing session (or a test that enabled
+  // collection itself) keeps observing after this one ends.
+  telemetry::SetEnabled(previous_enabled_);
 }
 
 Status TelemetrySession::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
   heartbeat_.reset();
-  if (!cli_.enabled) return Status::OK();
-  if (!cli_.metrics_out.empty()) {
+  if (!flags_.telemetry_enabled) return Status::OK();
+  if (!flags_.metrics_out.empty()) {
     OASIS_RETURN_NOT_OK(telemetry::WriteTextFile(
-        cli_.metrics_out,
+        flags_.metrics_out,
         telemetry::MetricsJson(telemetry::DefaultRegistry())));
   }
-  if (!cli_.trace_out.empty()) {
+  if (!flags_.trace_out.empty()) {
     OASIS_RETURN_NOT_OK(telemetry::WriteTextFile(
-        cli_.trace_out,
+        flags_.trace_out,
         telemetry::TraceJson(telemetry::DefaultTraceCollector())));
   }
   return Status::OK();

@@ -1,19 +1,21 @@
-// Shared plumbing of the oasis_* command-line apps: minimal argument
-// parsing, scenario-reference resolution (catalogue name vs spec file), and
-// uniform Status-to-exit-code handling. Exit code contract across the suite:
+// Shared plumbing of the oasis_* command-line apps: scenario-reference
+// resolution (catalogue name vs spec file), uniform Status-to-exit-code
+// handling, and the per-run telemetry session. Argument parsing itself lives
+// in experiments::CommandLine / experiments::ParseCommonFlags (one parser
+// and one flag vocabulary across gen/run/sweep/verify/serve).
+// Exit code contract across the suite:
 //   0  success (for oasis_verify: every check passed)
 //   1  operational error (bad usage, unreadable file, failed run)
 //   2  verification failure (checks ran and at least one failed)
 #ifndef OASIS_APPS_APP_UTIL_H_
 #define OASIS_APPS_APP_UTIL_H_
 
-#include <map>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "common/status.h"
 #include "datagen/scenario.h"
+#include "experiments/config.h"
 #include "telemetry/heartbeat.h"
 
 namespace oasis {
@@ -22,29 +24,6 @@ namespace apps {
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitError = 1;
 inline constexpr int kExitVerifyFailed = 2;
-
-// Parsed command line: positional operands plus --key=value / --flag options.
-struct ParsedArgs {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;  // --flag (no value) maps to "".
-
-  bool HasFlag(const std::string& name) const {
-    return flags.count(name) != 0;
-  }
-  std::string FlagOr(const std::string& name, const std::string& fallback) const {
-    auto it = flags.find(name);
-    return it == flags.end() ? fallback : it->second;
-  }
-};
-
-// Splits argv into positionals and --options. Unknown options are the
-// caller's problem (each app validates against its own set).
-ParsedArgs ParseArgs(int argc, char** argv);
-
-// Fails when `args` carries an option outside `known` — the CLI-level twin
-// of ConfigMap::CheckAllKeysUsed.
-Status CheckKnownFlags(const ParsedArgs& args,
-                       const std::vector<std::string>& known);
 
 // Resolves a scenario reference: a catalogue name ("stripe-f90", ...) or a
 // path to a serialised ScenarioSpec config file. Anything containing a '/'
@@ -56,36 +35,26 @@ Result<datagen::ScenarioSpec> ResolveScenario(const std::string& reference);
 // tail of every app's main() error path. Never ignores a Status.
 int FailWith(const Status& status);
 
-// Telemetry-related CLI flags shared by the run/sweep apps (see
-// docs/TELEMETRY.md):
-//   --metrics-out=<path>   write a metrics JSON snapshot on success
-//   --trace-out=<path>     write a chrome://tracing JSON on success
-//   --heartbeat=<seconds>  print a stderr progress line every N seconds
-//   --no-telemetry         turn collection off entirely
-struct TelemetryCli {
-  bool enabled = true;          // false with --no-telemetry
-  std::string metrics_out;      // empty = no snapshot file
-  std::string trace_out;        // empty = no trace file
-  double heartbeat_seconds = 0; // 0 = no heartbeat
-};
-
-// The flag names above, to splice into each app's CheckKnownFlags list.
-std::vector<std::string> TelemetryFlagNames();
-
-// Parses the telemetry flags out of `args` (validating --heartbeat).
-Result<TelemetryCli> ParseTelemetryFlags(const ParsedArgs& args);
-
 // Process-wide telemetry for the duration of one app run: construction
-// turns collection on (unless disabled) and starts the heartbeat;
-// Finish() writes the requested artifact files and stops collecting.
+// turns collection on (unless --no-telemetry) and starts the heartbeat;
+// Finish() writes the requested artifact files and stops the heartbeat.
 // Observe-only — results are identical with or without a session.
+//
+// Scoped like ScopedEnable: the previous process-wide enabled state is
+// captured at construction and restored by the destructor, so sessions
+// compose — nesting one inside another (or inside a test that enabled
+// telemetry itself) leaves the outer state exactly as found instead of
+// force-disabling on the way out.
 class TelemetrySession {
  public:
-  explicit TelemetrySession(const TelemetryCli& cli);
+  explicit TelemetrySession(const experiments::CommonFlags& flags);
   ~TelemetrySession();
 
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
   // Writes --metrics-out / --trace-out (when set) and stops the heartbeat.
-  // Idempotent; the destructor stops collection without writing.
+  // Idempotent; the destructor restores the enabled state without writing.
   Status Finish();
 
   // Charged oracle labels so far (`oasis_labelcache_misses_total`), or 0
@@ -93,7 +62,8 @@ class TelemetrySession {
   static int64_t ChargedLabelsNow();
 
  private:
-  TelemetryCli cli_;
+  experiments::CommonFlags flags_;
+  bool previous_enabled_ = false;
   bool finished_ = false;
   std::optional<telemetry::Heartbeat> heartbeat_;
 };

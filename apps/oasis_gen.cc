@@ -41,35 +41,44 @@ int ListScenarios() {
 }
 
 int Main(int argc, char** argv) {
-  const ParsedArgs args = ParseArgs(argc, argv);
-  const Status flags_ok =
-      CheckKnownFlags(args, {"list", "seed", "pool-size"});
+  const Result<experiments::CommandLine> args_or =
+      experiments::CommandLine::Parse(argc, argv);
+  if (!args_or.ok()) return FailWith(args_or.status());
+  const experiments::CommandLine& args = args_or.ValueOrDie();
+  const bool list = args.HasFlag("list");
+  const Result<experiments::CommonFlags> flags_or =
+      experiments::ParseCommonFlags(args);
+  if (!flags_or.ok()) return FailWith(flags_or.status());
+  const Result<int64_t> pool_size_or = args.FlagInt64Or("pool-size", 0);
+  if (!pool_size_or.ok()) return FailWith(pool_size_or.status());
+  const Status flags_ok = args.CheckAllFlagsUsed();
   if (!flags_ok.ok()) return FailWith(flags_ok);
-  if (args.HasFlag("list")) return ListScenarios();
-  if (args.positional.size() != 2) {
+  if (list) return ListScenarios();
+  if (args.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: oasis_gen <scenario> <out-prefix> [--seed=N] "
                  "[--pool-size=N]\n       oasis_gen --list\n");
     return kExitError;
   }
 
-  Result<datagen::ScenarioSpec> spec_or = ResolveScenario(args.positional[0]);
+  Result<datagen::ScenarioSpec> spec_or =
+      ResolveScenario(args.positional()[0]);
   if (!spec_or.ok()) return FailWith(spec_or.status());
   datagen::ScenarioSpec spec = std::move(spec_or).ValueOrDie();
-  if (args.HasFlag("seed")) {
-    spec.seed = static_cast<uint64_t>(
-        std::strtoull(args.FlagOr("seed", "1").c_str(), nullptr, 10));
+  // --seed here retargets the scenario generator (the shared seed semantics:
+  // the seed that controls the artifact this app produces).
+  if (flags_or.ValueOrDie().seed.has_value()) {
+    spec.seed = *flags_or.ValueOrDie().seed;
   }
-  if (args.HasFlag("pool-size")) {
-    spec.pool_size = static_cast<int64_t>(
-        std::strtoll(args.FlagOr("pool-size", "0").c_str(), nullptr, 10));
+  if (pool_size_or.ValueOrDie() > 0) {
+    spec.pool_size = pool_size_or.ValueOrDie();
   }
 
   Result<datagen::ScenarioPool> pool_or = datagen::GenerateScenario(spec);
   if (!pool_or.ok()) return FailWith(pool_or.status());
   const datagen::ScenarioPool& pool = pool_or.ValueOrDie();
 
-  const std::string prefix = args.positional[1];
+  const std::string prefix = args.positional()[1];
   const Status pool_status =
       experiments::WritePoolCsv(prefix + ".pool.csv", pool.scored, &pool.truth);
   if (!pool_status.ok()) return FailWith(pool_status);

@@ -37,8 +37,8 @@ namespace oasis {
 namespace apps {
 namespace {
 
-Status RunFromConfig(const std::string& config_path,
-                     const std::string& prefix) {
+Status RunFromConfig(const std::string& config_path, const std::string& prefix,
+                     const experiments::CommonFlags& flags) {
   OASIS_ASSIGN_OR_RETURN(const experiments::ConfigMap config,
                          experiments::ConfigMap::ParseFile(config_path));
   datagen::ScenarioSpec spec;
@@ -52,9 +52,14 @@ Status RunFromConfig(const std::string& config_path,
     OASIS_ASSIGN_OR_RETURN(const std::string name, config.GetString("scenario"));
     OASIS_ASSIGN_OR_RETURN(spec, datagen::ScenarioByName(name));
   }
-  OASIS_ASSIGN_OR_RETURN(const experiments::ScenarioRunOptions run_options,
+  OASIS_ASSIGN_OR_RETURN(experiments::ScenarioRunOptions run_options,
                          experiments::ScenarioRunOptions::FromConfig(config));
   OASIS_RETURN_NOT_OK(config.CheckAllKeysUsed());
+  // CLI overrides beat the config file (shared --threads/--seed semantics).
+  if (flags.threads.has_value()) {
+    run_options.num_threads = static_cast<int>(*flags.threads);
+  }
+  if (flags.seed.has_value()) run_options.seed = *flags.seed;
 
   OASIS_ASSIGN_OR_RETURN(const datagen::ScenarioPool pool,
                          datagen::GenerateScenario(spec));
@@ -84,22 +89,29 @@ Status RunFromConfig(const std::string& config_path,
 }
 
 int Main(int argc, char** argv) {
-  const ParsedArgs args = ParseArgs(argc, argv);
-  const Status flags_ok = CheckKnownFlags(args, TelemetryFlagNames());
+  const Result<experiments::CommandLine> args_or =
+      experiments::CommandLine::Parse(argc, argv);
+  if (!args_or.ok()) return FailWith(args_or.status());
+  const experiments::CommandLine& args = args_or.ValueOrDie();
+  const Result<experiments::CommonFlags> flags_or =
+      experiments::ParseCommonFlags(args);
+  if (!flags_or.ok()) return FailWith(flags_or.status());
+  const Status flags_ok = args.CheckAllFlagsUsed();
   if (!flags_ok.ok()) return FailWith(flags_ok);
-  if (args.positional.size() != 2) {
+  if (args.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: oasis_run [--metrics-out=m.json] [--trace-out=t.json] "
-                 "[--heartbeat=N] [--no-telemetry] <run-config> <out-prefix>\n");
+                 "[--heartbeat=N] [--no-telemetry] [--threads=N] [--seed=N] "
+                 "<run-config> <out-prefix>\n");
     return kExitError;
   }
-  const Result<TelemetryCli> telemetry_cli = ParseTelemetryFlags(args);
-  if (!telemetry_cli.ok()) return FailWith(telemetry_cli.status());
-  TelemetrySession telemetry(telemetry_cli.ValueOrDie());
+  TelemetrySession telemetry(flags_or.ValueOrDie());
 
   const auto start = std::chrono::steady_clock::now();
   const int64_t labels_before = TelemetrySession::ChargedLabelsNow();
-  const Status status = RunFromConfig(args.positional[0], args.positional[1]);
+  const Status status = RunFromConfig(args.positional()[0],
+                                      args.positional()[1],
+                                      flags_or.ValueOrDie());
   if (!status.ok()) return FailWith(status);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

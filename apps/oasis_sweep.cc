@@ -46,7 +46,8 @@ struct SweepOutcome {
 };
 
 Result<SweepOutcome> RunSweep(const std::string& config_path,
-                              const std::string& out_dir) {
+                              const std::string& out_dir,
+                              const experiments::CommonFlags& flags) {
   OASIS_ASSIGN_OR_RETURN(const experiments::ConfigMap config,
                          experiments::ConfigMap::ParseFile(config_path));
 
@@ -75,6 +76,11 @@ Result<SweepOutcome> RunSweep(const std::string& config_path,
   if (budgets.empty()) budgets = {base_options.budget};
   OASIS_ASSIGN_OR_RETURN(const bool verify, config.GetBoolOr("verify", false));
   OASIS_RETURN_NOT_OK(config.CheckAllKeysUsed());
+  // CLI overrides beat the config file (shared --threads/--seed semantics).
+  if (flags.threads.has_value()) {
+    base_options.num_threads = static_cast<int>(*flags.threads);
+  }
+  if (flags.seed.has_value()) base_options.seed = *flags.seed;
 
   // The sweep owns the whole directory (unlike the single-run apps, whose
   // out-prefix may deliberately target an existing tree), so create it.
@@ -156,21 +162,26 @@ Result<SweepOutcome> RunSweep(const std::string& config_path,
 }
 
 int Main(int argc, char** argv) {
-  const ParsedArgs args = ParseArgs(argc, argv);
-  const Status flags_ok = CheckKnownFlags(args, TelemetryFlagNames());
+  const Result<experiments::CommandLine> args_or =
+      experiments::CommandLine::Parse(argc, argv);
+  if (!args_or.ok()) return FailWith(args_or.status());
+  const experiments::CommandLine& args = args_or.ValueOrDie();
+  const Result<experiments::CommonFlags> flags_or =
+      experiments::ParseCommonFlags(args);
+  if (!flags_or.ok()) return FailWith(flags_or.status());
+  const Status flags_ok = args.CheckAllFlagsUsed();
   if (!flags_ok.ok()) return FailWith(flags_ok);
-  if (args.positional.size() != 2) {
+  if (args.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: oasis_sweep [--metrics-out=m.json] "
                  "[--trace-out=t.json] [--heartbeat=N] [--no-telemetry] "
-                 "<sweep-config> <out-dir>\n");
+                 "[--threads=N] [--seed=N] <sweep-config> <out-dir>\n");
     return kExitError;
   }
-  const Result<TelemetryCli> telemetry_cli = ParseTelemetryFlags(args);
-  if (!telemetry_cli.ok()) return FailWith(telemetry_cli.status());
-  TelemetrySession telemetry(telemetry_cli.ValueOrDie());
+  TelemetrySession telemetry(flags_or.ValueOrDie());
   Result<SweepOutcome> outcome =
-      RunSweep(args.positional[0], args.positional[1]);
+      RunSweep(args.positional()[0], args.positional()[1],
+               flags_or.ValueOrDie());
   if (!outcome.ok()) return FailWith(outcome.status());
   std::printf("%s", outcome.ValueOrDie().report_text.c_str());
   const Status telemetry_status = telemetry.Finish();

@@ -25,30 +25,34 @@ namespace apps {
 namespace {
 
 int Main(int argc, char** argv) {
-  const ParsedArgs args = ParseArgs(argc, argv);
-  const Status flags_ok =
-      CheckKnownFlags(args, {"tolerance", "coverage-min", "no-decay"});
+  const Result<experiments::CommandLine> args_or =
+      experiments::CommandLine::Parse(argc, argv);
+  if (!args_or.ok()) return FailWith(args_or.status());
+  const experiments::CommandLine& args = args_or.ValueOrDie();
+
+  experiments::VerifyOptions options;
+  if (args.HasFlag("tolerance")) {
+    const Result<double> tolerance = args.FlagDoubleOr("tolerance", 0.0);
+    if (!tolerance.ok()) return FailWith(tolerance.status());
+    options.tolerance_override = tolerance.ValueOrDie();
+  }
+  if (args.HasFlag("coverage-min")) {
+    const Result<double> coverage = args.FlagDoubleOr("coverage-min", 0.8);
+    if (!coverage.ok()) return FailWith(coverage.status());
+    options.coverage_min = coverage.ValueOrDie();
+  }
+  const bool check_decay = !args.HasFlag("no-decay");
+  const Status flags_ok = args.CheckAllFlagsUsed();
   if (!flags_ok.ok()) return FailWith(flags_ok);
-  if (args.positional.empty()) {
+  if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: oasis_verify <out-prefix>... [--tolerance=X] "
                  "[--coverage-min=X] [--no-decay]\n");
     return kExitError;
   }
 
-  experiments::VerifyOptions options;
-  if (args.HasFlag("tolerance")) {
-    options.tolerance_override =
-        std::strtod(args.FlagOr("tolerance", "0").c_str(), nullptr);
-  }
-  if (args.HasFlag("coverage-min")) {
-    options.coverage_min =
-        std::strtod(args.FlagOr("coverage-min", "0.8").c_str(), nullptr);
-  }
-  const bool check_decay = !args.HasFlag("no-decay");
-
   bool all_passed = true;
-  for (const std::string& prefix : args.positional) {
+  for (const std::string& prefix : args.positional()) {
     Result<experiments::RunSummary> summary_or =
         experiments::ReadRunSummaryJson(prefix + ".summary.json");
     if (!summary_or.ok()) return FailWith(summary_or.status());

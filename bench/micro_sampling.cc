@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "common/alias_table.h"
+#include "common/logging.h"
 #include "common/fenwick_tree.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -26,10 +27,13 @@
 #include "experiments/runner.h"
 #include "oracle/fault_injecting_oracle.h"
 #include "oracle/ground_truth_oracle.h"
+#include "oracle/oracle_stack.h"
 #include "oracle/remote_oracle.h"
 #include "oracle/retry_policy.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
+#include "service/client.h"
+#include "service/session_manager.h"
 #include "strata/csf.h"
 #include "telemetry/telemetry.h"
 
@@ -437,12 +441,11 @@ void BM_RetryOverhead(benchmark::State& state) {
 
   int64_t attempts = 0;
   for (auto _ : state) {
-    FaultInjectingOracle chaos(inner, calm);
-    RetryingOracle retrying(&chaos, policy);
-    const Oracle* oracle = inner;
-    if (depth == 1) oracle = &chaos;
-    if (depth >= 2) oracle = &retrying;
-    LabelCache cache(oracle);
+    OracleStackBuilder builder;
+    if (depth >= 1) builder.FaultInjection(calm);
+    if (depth >= 2) builder.Retry(policy);
+    const OracleStack stack = builder.Build(inner).ValueOrDie();
+    LabelCache cache(&stack.top());
     auto sampler = ImportanceSampler::Create(&pool->scored, &cache,
                                              ImportanceOptions{}, Rng(12))
                        .ValueOrDie();
@@ -450,7 +453,7 @@ void BM_RetryOverhead(benchmark::State& state) {
       benchmark::DoNotOptimize(
           sampler->StepBatch(std::min(kBatch, kRetryLabels - done)).ok());
     }
-    if (depth >= 2) attempts += retrying.stats().attempts;
+    if (depth >= 2) attempts += stack.retrying()->stats().attempts;
   }
   state.SetItemsProcessed(state.iterations() * kRetryLabels);
   state.counters["stack_depth"] = static_cast<double>(depth);
@@ -528,6 +531,52 @@ void BM_CsfStratify(benchmark::State& state) {
   state.counters["N"] = static_cast<double>(n);
 }
 BENCHMARK(BM_CsfStratify)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// End-to-end session-server throughput: range(0) concurrent passive
+/// sessions (stream s = Rng::Fork stream s) served to completion through the
+/// FULL wire protocol — start, one asynchronous full-budget advance each,
+/// checkpoint settle, close. One iteration = one complete serve of all
+/// sessions on a fresh manager (backend generation included, as in
+/// oasis_serve); items/sec therefore counts sessions served per second. The
+/// 1000-session row is the scale contract of the service subsystem
+/// (tests/session_server_test.cc ThousandSessionsStress).
+void BM_SessionServer(benchmark::State& state) {
+  const int64_t sessions = state.range(0);
+  int64_t requests = 0;
+  for (auto _ : state) {
+    service::SessionManager manager;
+    service::InProcessTransport transport(&manager);
+    service::ServiceClient client(&transport);
+    std::vector<int64_t> ids;
+    ids.reserve(static_cast<size_t>(sessions));
+    for (int64_t s = 0; s < sessions; ++s) {
+      service::SessionSpec spec;
+      spec.scenario = "stripe-f90";
+      spec.method = "passive";
+      spec.budget = 60;
+      spec.checkpoint_every = 30;
+      spec.stream = static_cast<uint64_t>(s);
+      ids.push_back(client.Start(spec).ValueOrDie());
+      ++requests;
+    }
+    for (const int64_t id : ids) {
+      OASIS_CHECK(client.EnqueueLabels(id, 0).ok());
+      ++requests;
+    }
+    for (const int64_t id : ids) {
+      benchmark::DoNotOptimize(client.Close(id).ValueOrDie().labels_consumed);
+      ++requests;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.counters["requests_per_iter"] =
+      state.iterations() > 0
+          ? static_cast<double>(requests) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_SessionServer)->Arg(64)->Arg(1000);
 
 /// Console reporter that additionally captures every finished run into the
 /// bench_util JSON writer, keyed by benchmark name with items/sec as the

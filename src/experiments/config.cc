@@ -184,5 +184,133 @@ std::vector<std::string> ConfigMap::Keys() const {
   return keys;
 }
 
+Result<CommandLine> CommandLine::Parse(int argc, char** argv) {
+  CommandLine args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args.positional_.push_back(arg);
+      continue;
+    }
+    Flag flag;
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flag.name = arg.substr(2);
+    } else {
+      flag.name = arg.substr(2, eq - 2);
+      flag.value = arg.substr(eq + 1);
+    }
+    if (flag.name.empty()) {
+      return Status::InvalidArgument("bad option '" + arg + "'");
+    }
+    if (args.Find(flag.name) != nullptr) {
+      return Status::InvalidArgument("option '--" + flag.name +
+                                     "' given twice");
+    }
+    args.flags_.push_back(std::move(flag));
+  }
+  return args;
+}
+
+const CommandLine::Flag* CommandLine::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool CommandLine::HasFlag(const std::string& name) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr) return false;
+  flag->used = true;
+  return true;
+}
+
+std::string CommandLine::FlagOr(const std::string& name,
+                                const std::string& fallback) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr) return fallback;
+  flag->used = true;
+  return flag->value;
+}
+
+Result<int64_t> CommandLine::FlagInt64Or(const std::string& name,
+                                         int64_t fallback) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr) return fallback;
+  flag->used = true;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(flag->value.c_str(), &end, 10);
+  if (end == flag->value.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("option '--" + name +
+                                   "' is not an integer: '" + flag->value +
+                                   "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> CommandLine::FlagDoubleOr(const std::string& name,
+                                         double fallback) const {
+  const Flag* flag = Find(name);
+  if (flag == nullptr) return fallback;
+  flag->used = true;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(flag->value.c_str(), &end);
+  if (end == flag->value.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("option '--" + name +
+                                   "' is not a number: '" + flag->value + "'");
+  }
+  return value;
+}
+
+Status CommandLine::CheckAllFlagsUsed() const {
+  std::string unused;
+  for (const Flag& flag : flags_) {
+    if (!flag.used) {
+      if (!unused.empty()) unused += ", ";
+      unused += "'--" + flag.name + "'";
+    }
+  }
+  if (!unused.empty()) {
+    return Status::InvalidArgument("unknown option(s): " + unused);
+  }
+  return Status::OK();
+}
+
+Result<CommonFlags> ParseCommonFlags(const CommandLine& args) {
+  CommonFlags flags;
+  flags.telemetry_enabled = !args.HasFlag("no-telemetry");
+  flags.metrics_out = args.FlagOr("metrics-out", "");
+  flags.trace_out = args.FlagOr("trace-out", "");
+  OASIS_ASSIGN_OR_RETURN(flags.heartbeat_seconds,
+                         args.FlagDoubleOr("heartbeat", 0.0));
+  if (args.HasFlag("heartbeat") && flags.heartbeat_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "--heartbeat wants a positive number of seconds");
+  }
+  if (args.HasFlag("threads")) {
+    OASIS_ASSIGN_OR_RETURN(const int64_t threads,
+                           args.FlagInt64Or("threads", 0));
+    if (threads < 0) {
+      return Status::InvalidArgument("--threads must be >= 0 (0 = hardware "
+                                     "concurrency)");
+    }
+    flags.threads = threads;
+  }
+  if (args.HasFlag("seed")) {
+    OASIS_ASSIGN_OR_RETURN(const int64_t seed, args.FlagInt64Or("seed", 0));
+    flags.seed = static_cast<uint64_t>(seed);
+  }
+  if (!flags.telemetry_enabled &&
+      (!flags.metrics_out.empty() || !flags.trace_out.empty() ||
+       flags.heartbeat_seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "--no-telemetry contradicts --metrics-out/--trace-out/--heartbeat");
+  }
+  return flags;
+}
+
 }  // namespace experiments
 }  // namespace oasis

@@ -2,6 +2,7 @@
 #define OASIS_EXPERIMENTS_CONFIG_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,80 @@ class ConfigMap {
 
 /// Strips leading and trailing whitespace (shared with the CSV/JSON readers).
 std::string TrimWhitespace(const std::string& text);
+
+/// Parsed command line of an oasis_* app: positional operands plus
+/// --key=value / --flag options, with the same used-key discipline as
+/// ConfigMap — every accessor marks its flag as read, and
+/// CheckAllFlagsUsed() rejects whatever no code path consumed, so a
+/// misspelled option fails loudly instead of being ignored. This is the one
+/// argv parser in the repo; the apps (gen/run/sweep/verify/serve) all build
+/// on it via ParseCommonFlags below.
+class CommandLine {
+ public:
+  /// Splits argv into positionals and --options. `--flag` (no '=') maps to
+  /// the empty string. A repeated flag is a parse error, mirroring
+  /// ConfigMap's duplicate-key rule.
+  static Result<CommandLine> Parse(int argc, char** argv);
+
+  /// Whether `--name` was given (marks it used).
+  bool HasFlag(const std::string& name) const;
+
+  /// The value of `--name=value`, or `fallback` when absent (marks it used).
+  std::string FlagOr(const std::string& name, const std::string& fallback) const;
+
+  /// `--name`'s value parsed as int64; `fallback` when absent, error on
+  /// trailing garbage.
+  Result<int64_t> FlagInt64Or(const std::string& name, int64_t fallback) const;
+
+  /// `--name`'s value parsed as double; `fallback` when absent.
+  Result<double> FlagDoubleOr(const std::string& name, double fallback) const;
+
+  /// Fails with InvalidArgument naming every option no accessor read — the
+  /// CLI-level twin of ConfigMap::CheckAllKeysUsed. Run it after all flag
+  /// consumption (including ParseCommonFlags).
+  Status CheckAllFlagsUsed() const;
+
+  /// Positional operands in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Flag {
+    std::string name;         ///< Without the leading dashes.
+    std::string value;        ///< Empty for bare `--flag`.
+    mutable bool used = false;  ///< Marked by the accessors (typo guard).
+  };
+
+  const Flag* Find(const std::string& name) const;
+
+  std::vector<std::string> positional_;
+  std::vector<Flag> flags_;
+};
+
+/// The flags every oasis_* app understands, with one shared semantics
+/// (docs/TELEMETRY.md):
+///   --metrics-out=<path>   write a metrics JSON snapshot on success
+///   --trace-out=<path>     write a chrome://tracing JSON on success
+///   --heartbeat=<seconds>  print a stderr progress line every N seconds
+///   --no-telemetry         turn collection off entirely
+///   --threads=<n>          worker threads (0 = hardware concurrency);
+///                          overrides the config file's `threads` key
+///   --seed=<n>             base RNG seed; overrides the config's seed key
+struct CommonFlags {
+  bool telemetry_enabled = true;  ///< False with --no-telemetry.
+  std::string metrics_out;        ///< Empty = no metrics snapshot file.
+  std::string trace_out;          ///< Empty = no trace file.
+  double heartbeat_seconds = 0;   ///< 0 = no heartbeat.
+  /// Set when --threads was given; apps fold it over their config value.
+  std::optional<int64_t> threads;
+  /// Set when --seed was given; apps fold it over their config value.
+  std::optional<uint64_t> seed;
+};
+
+/// Parses the common flags out of `args`, validating each (--heartbeat > 0,
+/// --threads >= 0, and --no-telemetry contradicting the output flags). Apps
+/// consume their own extra flags before or after, then run
+/// args.CheckAllFlagsUsed() so the typo guard covers both sets.
+Result<CommonFlags> ParseCommonFlags(const CommandLine& args);
 
 }  // namespace experiments
 }  // namespace oasis

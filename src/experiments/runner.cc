@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -114,54 +115,26 @@ struct RepeatSlots {
 /// shared-immutable state (pool, oracle, method) plus this repeat's slot
 /// range — the hot path takes no locks.
 ///
-/// With options.remote_oracle set, the shared oracle is wrapped in a
-/// per-repeat RemoteOracle (jitter stream forked per repeat), so the cost
-/// accounting — like the LabelCache — is owned by the repeat and therefore
-/// deterministic whatever the fan-out does. `store` (nullable) is the
-/// run-wide SharedLabelStore of remote_share_labels.
-///
-/// Fault tolerance composes around that, still per repeat: fault_injection
-/// splices a FaultInjectingOracle UNDER the remote layer (its schedule
-/// forked per repeat, so repeats see decorrelated but fully deterministic
-/// chaos) and retry_policy tops the stack with a RetryingOracle — the layer
-/// the LabelCache actually talks to. `degeneracy_seen` is flipped when the
-/// sampler exposed a weight monitor (only known once the sampler is built).
+/// The repeat's oracle decorator stack (base <- faults <- remote <- retries,
+/// whichever layers `spec` configures) is built per repeat through
+/// OracleStackBuilder with ForkSeeds(repeat), so chaos/jitter streams are
+/// decorrelated across repeats while the cost accounting — like the
+/// LabelCache — is owned by the repeat and therefore deterministic whatever
+/// the fan-out does. `store` (nullable) is the run-wide SharedLabelStore of
+/// spec.share_labels. `degeneracy_seen` is flipped when the sampler exposed
+/// a weight monitor (only known once the sampler is built).
 Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
-                    const Oracle& oracle, const RunnerOptions& options,
-                    Rng rng, size_t repeat, RepeatSlots* slots,
-                    SharedLabelStore* store,
+                    const Oracle& oracle, const StackSpec& spec,
+                    const RunnerOptions& options, Rng rng, size_t repeat,
+                    RepeatSlots* slots, SharedLabelStore* store,
                     std::atomic<bool>* degeneracy_seen) {
   TELEMETRY_SPAN("repeat", "runner");
-  const Oracle* labelled_oracle = &oracle;
-  std::optional<FaultInjectingOracle> faulty;
-  if (options.fault_injection.has_value()) {
-    FaultInjectionOptions fault_options = *options.fault_injection;
-    // Decorrelate fault schedules across repeats while keeping each one a
-    // pure function of (options, repeat index).
-    fault_options.seed =
-        Rng::Fork(fault_options.seed, static_cast<uint64_t>(repeat))
-            .NextUint64();
-    faulty.emplace(&oracle, fault_options);
-    labelled_oracle = &*faulty;
-  }
-  std::optional<RemoteOracle> remote;
-  if (options.remote_oracle.has_value()) {
-    RemoteOracleOptions remote_options = *options.remote_oracle;
-    // Decorrelate jitter across repeats while keeping each repeat's clock a
-    // pure function of (options, repeat): identical trip contents in two
-    // repeats should not draw identical service times.
-    remote_options.jitter_seed =
-        Rng::Fork(remote_options.jitter_seed, static_cast<uint64_t>(repeat))
-            .NextUint64();
-    remote.emplace(labelled_oracle, remote_options, store);
-    labelled_oracle = &*remote;
-  }
-  std::optional<RetryingOracle> retrying;
-  if (options.retry_policy.has_value()) {
-    retrying.emplace(labelled_oracle, *options.retry_policy);
-    labelled_oracle = &*retrying;
-  }
-  LabelCache labels(labelled_oracle);
+  OASIS_ASSIGN_OR_RETURN(const OracleStack stack,
+                         OracleStackBuilder(spec)
+                             .ShareLabels(spec.share_labels ? store : nullptr)
+                             .ForkSeeds(static_cast<uint64_t>(repeat))
+                             .Build(&oracle));
+  LabelCache labels(&stack.top());
   OASIS_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
                          method.factory(&pool, &labels, rng));
   OASIS_ASSIGN_OR_RETURN(Trajectory trajectory,
@@ -193,6 +166,208 @@ Status RunOneRepeat(const MethodSpec& method, const ScoredPool& pool,
 }
 
 }  // namespace
+
+StackSpec EffectiveStackSpec(const RunnerOptions& options) {
+  StackSpec spec = options.stack;
+  if (!spec.fault_injection.has_value()) {
+    spec.fault_injection = options.fault_injection;
+  }
+  if (!spec.remote.has_value()) spec.remote = options.remote_oracle;
+  if (!spec.retry.has_value()) spec.retry = options.retry_policy;
+  // Sharing is meaningful only with a wire to share; normalising here keeps
+  // the historical tolerance for remote_share_labels without remote_oracle.
+  spec.share_labels = spec.remote.has_value() &&
+                      (spec.share_labels || options.remote_share_labels);
+  return spec;
+}
+
+Result<StackSpec> StackSpecFromConfig(const ConfigMap& config,
+                                      const std::string& prefix) {
+  StackSpec spec;
+  OASIS_ASSIGN_OR_RETURN(const bool fault,
+                         config.GetBoolOr(prefix + "fault", false));
+  if (fault) {
+    FaultInjectionOptions fi;
+    OASIS_ASSIGN_OR_RETURN(
+        fi.transient_failure_rate,
+        config.GetDoubleOr(prefix + "fault_transient_rate",
+                           fi.transient_failure_rate));
+    OASIS_ASSIGN_OR_RETURN(
+        fi.timeout_rate,
+        config.GetDoubleOr(prefix + "fault_timeout_rate", fi.timeout_rate));
+    OASIS_ASSIGN_OR_RETURN(
+        fi.item_drop_rate,
+        config.GetDoubleOr(prefix + "fault_item_drop_rate", fi.item_drop_rate));
+    OASIS_ASSIGN_OR_RETURN(
+        fi.outage_after_attempts,
+        config.GetInt64Or(prefix + "fault_outage_after",
+                          fi.outage_after_attempts));
+    OASIS_ASSIGN_OR_RETURN(
+        const int64_t fault_seed,
+        config.GetInt64Or(prefix + "fault_seed",
+                          static_cast<int64_t>(fi.seed)));
+    fi.seed = static_cast<uint64_t>(fault_seed);
+    spec.fault_injection = fi;
+  }
+  OASIS_ASSIGN_OR_RETURN(const bool remote,
+                         config.GetBoolOr(prefix + "remote", false));
+  if (remote) {
+    RemoteOracleOptions ro;
+    OASIS_ASSIGN_OR_RETURN(
+        ro.round_trip_seconds,
+        config.GetDoubleOr(prefix + "remote_round_trip_seconds",
+                           ro.round_trip_seconds));
+    OASIS_ASSIGN_OR_RETURN(
+        ro.per_item_seconds,
+        config.GetDoubleOr(prefix + "remote_per_item_seconds",
+                           ro.per_item_seconds));
+    OASIS_ASSIGN_OR_RETURN(
+        ro.cost_per_label,
+        config.GetDoubleOr(prefix + "remote_cost_per_label", ro.cost_per_label));
+    OASIS_ASSIGN_OR_RETURN(
+        ro.jitter_fraction,
+        config.GetDoubleOr(prefix + "remote_jitter_fraction",
+                           ro.jitter_fraction));
+    OASIS_ASSIGN_OR_RETURN(
+        const int64_t jitter_seed,
+        config.GetInt64Or(prefix + "remote_jitter_seed",
+                          static_cast<int64_t>(ro.jitter_seed)));
+    ro.jitter_seed = static_cast<uint64_t>(jitter_seed);
+    OASIS_ASSIGN_OR_RETURN(
+        ro.max_items_per_round_trip,
+        config.GetInt64Or(prefix + "remote_max_items_per_trip",
+                          ro.max_items_per_round_trip));
+    spec.remote = ro;
+  }
+  OASIS_ASSIGN_OR_RETURN(const bool retry,
+                         config.GetBoolOr(prefix + "retry", false));
+  if (retry) {
+    RetryPolicy rp;
+    OASIS_ASSIGN_OR_RETURN(
+        const int64_t max_attempts,
+        config.GetInt64Or(prefix + "retry_max_attempts", rp.max_attempts));
+    rp.max_attempts = static_cast<int>(max_attempts);
+    OASIS_ASSIGN_OR_RETURN(
+        rp.initial_backoff_seconds,
+        config.GetDoubleOr(prefix + "retry_initial_backoff_seconds",
+                           rp.initial_backoff_seconds));
+    OASIS_ASSIGN_OR_RETURN(
+        rp.backoff_multiplier,
+        config.GetDoubleOr(prefix + "retry_backoff_multiplier",
+                           rp.backoff_multiplier));
+    OASIS_ASSIGN_OR_RETURN(
+        rp.max_backoff_seconds,
+        config.GetDoubleOr(prefix + "retry_max_backoff_seconds",
+                           rp.max_backoff_seconds));
+    OASIS_ASSIGN_OR_RETURN(
+        rp.jitter_fraction,
+        config.GetDoubleOr(prefix + "retry_jitter_fraction",
+                           rp.jitter_fraction));
+    OASIS_ASSIGN_OR_RETURN(
+        const int64_t retry_jitter_seed,
+        config.GetInt64Or(prefix + "retry_jitter_seed",
+                          static_cast<int64_t>(rp.jitter_seed)));
+    rp.jitter_seed = static_cast<uint64_t>(retry_jitter_seed);
+    OASIS_ASSIGN_OR_RETURN(
+        rp.per_attempt_timeout_seconds,
+        config.GetDoubleOr(prefix + "retry_per_attempt_timeout_seconds",
+                           rp.per_attempt_timeout_seconds));
+    OASIS_ASSIGN_OR_RETURN(
+        rp.overall_deadline_seconds,
+        config.GetDoubleOr(prefix + "retry_overall_deadline_seconds",
+                           rp.overall_deadline_seconds));
+    OASIS_ASSIGN_OR_RETURN(
+        const int64_t breaker_threshold,
+        config.GetInt64Or(prefix + "retry_breaker_threshold",
+                          rp.breaker_failure_threshold));
+    rp.breaker_failure_threshold = static_cast<int>(breaker_threshold);
+    OASIS_ASSIGN_OR_RETURN(
+        rp.breaker_cooldown_calls,
+        config.GetInt64Or(prefix + "retry_breaker_cooldown_calls",
+                          rp.breaker_cooldown_calls));
+    spec.retry = rp;
+  }
+  OASIS_ASSIGN_OR_RETURN(spec.share_labels,
+                         config.GetBoolOr(prefix + "share_labels", false));
+  if (spec.share_labels && !spec.remote.has_value()) {
+    return Status::InvalidArgument(
+        "StackSpecFromConfig: " + prefix + "share_labels requires " + prefix +
+        "remote = true");
+  }
+  return spec;
+}
+
+namespace {
+
+/// One `key = value` config line with a %.17g number (value-exact through
+/// ConfigMap's strtod/strtoll round trip).
+void AppendConfigLine(const std::string& key, double value, std::string* out) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  *out += key + " = " + buffer + "\n";
+}
+
+void AppendConfigLine(const std::string& key, int64_t value, std::string* out) {
+  *out += key + " = " + std::to_string(value) + "\n";
+}
+
+}  // namespace
+
+void AppendStackSpecConfig(const StackSpec& spec, const std::string& prefix,
+                           std::string* out) {
+  if (spec.fault_injection.has_value()) {
+    const FaultInjectionOptions& fi = *spec.fault_injection;
+    *out += prefix + "fault = true\n";
+    AppendConfigLine(prefix + "fault_transient_rate", fi.transient_failure_rate,
+                     out);
+    AppendConfigLine(prefix + "fault_timeout_rate", fi.timeout_rate, out);
+    AppendConfigLine(prefix + "fault_item_drop_rate", fi.item_drop_rate, out);
+    AppendConfigLine(prefix + "fault_outage_after", fi.outage_after_attempts,
+                     out);
+    AppendConfigLine(prefix + "fault_seed", static_cast<int64_t>(fi.seed), out);
+  }
+  if (spec.remote.has_value()) {
+    const RemoteOracleOptions& ro = *spec.remote;
+    *out += prefix + "remote = true\n";
+    AppendConfigLine(prefix + "remote_round_trip_seconds",
+                     ro.round_trip_seconds, out);
+    AppendConfigLine(prefix + "remote_per_item_seconds", ro.per_item_seconds,
+                     out);
+    AppendConfigLine(prefix + "remote_cost_per_label", ro.cost_per_label, out);
+    AppendConfigLine(prefix + "remote_jitter_fraction", ro.jitter_fraction,
+                     out);
+    AppendConfigLine(prefix + "remote_jitter_seed",
+                     static_cast<int64_t>(ro.jitter_seed), out);
+    AppendConfigLine(prefix + "remote_max_items_per_trip",
+                     ro.max_items_per_round_trip, out);
+  }
+  if (spec.retry.has_value()) {
+    const RetryPolicy& rp = *spec.retry;
+    *out += prefix + "retry = true\n";
+    AppendConfigLine(prefix + "retry_max_attempts",
+                     static_cast<int64_t>(rp.max_attempts), out);
+    AppendConfigLine(prefix + "retry_initial_backoff_seconds",
+                     rp.initial_backoff_seconds, out);
+    AppendConfigLine(prefix + "retry_backoff_multiplier", rp.backoff_multiplier,
+                     out);
+    AppendConfigLine(prefix + "retry_max_backoff_seconds",
+                     rp.max_backoff_seconds, out);
+    AppendConfigLine(prefix + "retry_jitter_fraction", rp.jitter_fraction, out);
+    AppendConfigLine(prefix + "retry_jitter_seed",
+                     static_cast<int64_t>(rp.jitter_seed), out);
+    AppendConfigLine(prefix + "retry_per_attempt_timeout_seconds",
+                     rp.per_attempt_timeout_seconds, out);
+    AppendConfigLine(prefix + "retry_overall_deadline_seconds",
+                     rp.overall_deadline_seconds, out);
+    AppendConfigLine(prefix + "retry_breaker_threshold",
+                     static_cast<int64_t>(rp.breaker_failure_threshold), out);
+    AppendConfigLine(prefix + "retry_breaker_cooldown_calls",
+                     rp.breaker_cooldown_calls, out);
+  }
+  if (spec.share_labels) {
+    *out += prefix + "share_labels = true\n";
+  }
+}
 
 Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& pool,
                                  const Oracle& oracle, double true_f,
@@ -229,15 +404,16 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
   TELEMETRY_SPAN("run_error_curve", "runner");
 
   const size_t repeats = static_cast<size_t>(options.repeats);
-  const bool remote = options.remote_oracle.has_value();
-  const bool fault = options.retry_policy.has_value();
+  const StackSpec stack_spec = EffectiveStackSpec(options);
+  const bool remote = stack_spec.remote.has_value();
+  const bool fault = stack_spec.retry.has_value();
   RepeatSlots slots(repeats, num_checkpoints, remote, fault);
   std::atomic<bool> degeneracy_seen{false};
   // Run-wide shared label store: any repeat's fetched label answers every
   // later request for that item, from any repeat (sound only for
   // deterministic RNG-free oracles; RemoteOracle enforces the gate).
   std::unique_ptr<SharedLabelStore> store;
-  if (remote && options.remote_share_labels) {
+  if (stack_spec.share_labels) {
     store = std::make_unique<SharedLabelStore>(oracle.num_items());
   }
   std::vector<Status> repeat_status(repeats);
@@ -270,7 +446,7 @@ Result<ErrorCurve> RunErrorCurve(const MethodSpec& method, const ScoredPool& poo
       in_flight->Add(1.0);
     }
     const Status status =
-        RunOneRepeat(method, pool, oracle, options,
+        RunOneRepeat(method, pool, oracle, stack_spec, options,
                      Rng::Fork(options.base_seed, static_cast<uint64_t>(repeat)),
                      static_cast<size_t>(repeat), &slots, store.get(),
                      &degeneracy_seen);

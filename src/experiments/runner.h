@@ -11,8 +11,10 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/oasis.h"
+#include "experiments/config.h"
 #include "oracle/fault_injecting_oracle.h"
 #include "oracle/oracle.h"
+#include "oracle/oracle_stack.h"
 #include "oracle/remote_oracle.h"
 #include "oracle/retry_policy.h"
 #include "sampling/importance.h"
@@ -144,42 +146,74 @@ struct RunnerOptions {
   /// runner stops scheduling repeats and returns Status::Cancelled (partial
   /// results are discarded). The token must outlive the call.
   const CancellationToken* cancel = nullptr;
-  /// When set, every repeat's labels are priced through a per-repeat
-  /// RemoteOracle wrapping the caller's oracle under this latency/cost
-  /// model, and the resulting ErrorCurve carries per-checkpoint cost columns
-  /// (has_remote_cost). Labels themselves are unchanged — the error
-  /// statistics are bit-identical to an unwrapped run at any num_threads.
-  /// Jitter streams are forked per repeat off `jitter_seed`, keeping each
-  /// repeat's simulated clock a pure function of (options, repeat index).
+  /// Declarative per-repeat oracle decorator stack. Each repeat r builds an
+  /// independent stack over the caller's oracle via
+  /// OracleStackBuilder(stack).ForkSeeds(r), so chaos/jitter streams are
+  /// decorrelated across repeats while each stays a pure function of
+  /// (options, repeat index). Layer semantics (see StackSpec and
+  /// docs/ORACLES.md / docs/FAULT_MODEL.md):
+  ///  * stack.remote — every repeat's labels are priced through a per-repeat
+  ///    RemoteOracle; the ErrorCurve carries cost columns (has_remote_cost).
+  ///    Labels are unchanged, so the error statistics are bit-identical to
+  ///    an unwrapped run at any num_threads.
+  ///  * stack.share_labels — with stack.remote and a deterministic RNG-free
+  ///    oracle, all repeats fetch through one run-wide SharedLabelStore: an
+  ///    item labelled in ANY repeat is never re-fetched over the simulated
+  ///    wire. Error statistics are unaffected; the cost columns drop but
+  ///    become scheduling-dependent at num_threads > 1 (SharedLabelStore).
+  ///  * stack.fault_injection — a per-repeat FaultInjectingOracle spliced
+  ///    UNDER the remote layer. Pair with stack.retry so the run recovers:
+  ///    with transient-only faults and retries on, the error statistics are
+  ///    bit-identical to a fault-free run. Without retries, injected
+  ///    failures propagate out as the lowest failing repeat's status.
+  ///  * stack.retry — a per-repeat RetryingOracle topping the stack (backoff
+  ///    charged into the repeat's remote clock when present); the ErrorCurve
+  ///    carries retries/give_ups columns (has_fault_stats).
+  StackSpec stack;
+  /// DEPRECATED alias of stack.remote — merged by EffectiveStackSpec (the
+  /// alias applies only when stack.remote is unset). Prefer `stack`.
   std::optional<RemoteOracleOptions> remote_oracle;
-  /// With remote_oracle set and a deterministic RNG-free oracle: route all
-  /// repeats' fetches through one SharedLabelStore, so an item labelled in
-  /// ANY repeat is never re-fetched over the simulated wire — the runner's
-  /// cross-repeat answer to within-repeat LabelCache dedup. Error statistics
-  /// are unaffected; the cost columns drop (later repeats ride earlier
-  /// repeats' round trips), but their exact values become scheduling-
-  /// dependent at num_threads > 1 (see SharedLabelStore). Default off so the
-  /// default cost curves are bit-identical at any thread count.
+  /// DEPRECATED alias of stack.share_labels (ORed in). Prefer `stack`.
   bool remote_share_labels = false;
-  /// When set, a per-repeat FaultInjectingOracle is spliced UNDER the
-  /// remote-oracle layer (base <- faults <- remote <- retries), injecting
-  /// transient failures / timeouts / partial batches from a deterministic
-  /// schedule forked per repeat off its seed. Pair with retry_policy so the
-  /// run recovers: with transient-only faults and retries on, the error
-  /// statistics are bit-identical to a fault-free run at any num_threads
-  /// (cost columns differ — retried trips are real trips). Without
-  /// retry_policy, injected failures propagate out of RunErrorCurve as the
-  /// lowest failing repeat's status.
+  /// DEPRECATED alias of stack.fault_injection — merged by
+  /// EffectiveStackSpec when stack.fault_injection is unset. Prefer `stack`.
   std::optional<FaultInjectionOptions> fault_injection;
-  /// When set, every repeat's oracle stack is topped with a per-repeat
-  /// RetryingOracle under this policy (backoff charged into the repeat's
-  /// remote clock when remote_oracle is also set), and the ErrorCurve
-  /// carries per-checkpoint retries/give_ups columns (has_fault_stats).
+  /// DEPRECATED alias of stack.retry — merged by EffectiveStackSpec when
+  /// stack.retry is unset. Prefer `stack`.
   std::optional<RetryPolicy> retry_policy;
   /// Observability of this run (metrics, spans, heartbeat). Observe-only —
   /// never affects the returned curve.
   RunnerTelemetryOptions telemetry;
 };
+
+/// The stack the runner actually builds per repeat: `options.stack` with the
+/// deprecated alias fields (remote_oracle / remote_share_labels /
+/// fault_injection / retry_policy) folded in. A layer set in both places
+/// resolves to the `stack` value.
+StackSpec EffectiveStackSpec(const RunnerOptions& options);
+
+/// Reads a StackSpec from `prefix`-prefixed config keys, leaving absent
+/// layers unset (see AppendStackSpecConfig for the key list). Like
+/// ScenarioRunOptions::FromConfig, does NOT run the unused-key check.
+Result<StackSpec> StackSpecFromConfig(const ConfigMap& config,
+                                      const std::string& prefix = "stack_");
+
+/// Serialises `spec` as `key = value` config lines (only the layers that are
+/// set), appended to `out`. Keys, with the default prefix: stack_fault,
+/// stack_fault_transient_rate, stack_fault_timeout_rate,
+/// stack_fault_item_drop_rate, stack_fault_outage_after, stack_fault_seed;
+/// stack_remote, stack_remote_round_trip_seconds,
+/// stack_remote_per_item_seconds, stack_remote_cost_per_label,
+/// stack_remote_jitter_fraction, stack_remote_jitter_seed,
+/// stack_remote_max_items_per_trip; stack_retry, stack_retry_max_attempts,
+/// stack_retry_initial_backoff_seconds, stack_retry_backoff_multiplier,
+/// stack_retry_max_backoff_seconds, stack_retry_jitter_fraction,
+/// stack_retry_jitter_seed, stack_retry_per_attempt_timeout_seconds,
+/// stack_retry_overall_deadline_seconds, stack_retry_breaker_threshold,
+/// stack_retry_breaker_cooldown_calls; stack_share_labels. Round-trips
+/// value-exactly through StackSpecFromConfig.
+void AppendStackSpecConfig(const StackSpec& spec, const std::string& prefix,
+                           std::string* out);
 
 /// Runs `method` on the pool `options.repeats` times (fresh LabelCache and
 /// counter-derived RNG stream per repeat, sharded across a work-stealing

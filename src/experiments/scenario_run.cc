@@ -63,6 +63,7 @@ Result<ScenarioRunOptions> ScenarioRunOptions::FromConfig(
   options.num_threads = static_cast<int>(threads);
   OASIS_ASSIGN_OR_RETURN(options.target_strata,
                          config.GetInt64Or("strata", options.target_strata));
+  OASIS_ASSIGN_OR_RETURN(options.stack, StackSpecFromConfig(config, "stack_"));
   OASIS_RETURN_NOT_OK(options.Validate());
   return options;
 }
@@ -95,8 +96,9 @@ Result<MethodSpec> MakeMethodByName(const std::string& method, double alpha,
                                  "'");
 }
 
-Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
-                                      const ScenarioRunOptions& options) {
+Result<ScenarioRunResult> SummarizeScenarioCurve(
+    const datagen::ScenarioPool& pool, const ScenarioRunOptions& options,
+    ErrorCurve curve) {
   OASIS_RETURN_NOT_OK(options.Validate());
   OASIS_ASSIGN_OR_RETURN(const std::unique_ptr<Oracle> oracle,
                          datagen::MakeScenarioOracle(pool));
@@ -104,16 +106,6 @@ Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
       const MethodSpec method,
       MakeMethodByName(options.method, pool.spec.alpha, pool.scored,
                        options.target_strata));
-
-  RunnerOptions runner;
-  runner.repeats = options.repeats;
-  runner.base_seed = options.seed;
-  runner.num_threads = options.num_threads;
-  runner.trajectory.budget = options.budget;
-  runner.trajectory.checkpoint_every = options.checkpoint_every;
-  OASIS_ASSIGN_OR_RETURN(
-      ErrorCurve curve,
-      RunErrorCurve(method, pool.scored, *oracle, pool.true_f, runner));
 
   ScenarioRunResult result;
   RunSummary& summary = result.summary;
@@ -138,13 +130,16 @@ Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
 
   // Degeneracy probe: replay repeat 0's trajectory with direct access to the
   // sampler so the ACTUAL monitor verdict (not a mean-ESS reconstruction)
-  // lands in the summary. Cheap relative to the repeated run above.
+  // lands in the summary. Cheap relative to the repeated run behind `curve`.
   {
+    TrajectoryOptions trajectory;
+    trajectory.budget = options.budget;
+    trajectory.checkpoint_every = options.checkpoint_every;
     LabelCache labels(oracle.get());
     OASIS_ASSIGN_OR_RETURN(
         const std::unique_ptr<Sampler> sampler,
         method.factory(&pool.scored, &labels, Rng::Fork(options.seed, 0)));
-    OASIS_RETURN_NOT_OK(RunTrajectory(*sampler, runner.trajectory).status());
+    OASIS_RETURN_NOT_OK(RunTrajectory(*sampler, trajectory).status());
     const DegeneracyMonitor* monitor = sampler->degeneracy_monitor();
     if (monitor != nullptr) {
       summary.degeneracy_monitored = true;
@@ -156,6 +151,29 @@ Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
 
   result.curve = std::move(curve);
   return result;
+}
+
+Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
+                                      const ScenarioRunOptions& options) {
+  OASIS_RETURN_NOT_OK(options.Validate());
+  OASIS_ASSIGN_OR_RETURN(const std::unique_ptr<Oracle> oracle,
+                         datagen::MakeScenarioOracle(pool));
+  OASIS_ASSIGN_OR_RETURN(
+      const MethodSpec method,
+      MakeMethodByName(options.method, pool.spec.alpha, pool.scored,
+                       options.target_strata));
+
+  RunnerOptions runner;
+  runner.repeats = options.repeats;
+  runner.base_seed = options.seed;
+  runner.num_threads = options.num_threads;
+  runner.trajectory.budget = options.budget;
+  runner.trajectory.checkpoint_every = options.checkpoint_every;
+  runner.stack = options.stack;
+  OASIS_ASSIGN_OR_RETURN(
+      ErrorCurve curve,
+      RunErrorCurve(method, pool.scored, *oracle, pool.true_f, runner));
+  return SummarizeScenarioCurve(pool, options, std::move(curve));
 }
 
 }  // namespace experiments

@@ -31,14 +31,19 @@ struct ScenarioRunOptions {
   int num_threads = 0;
   /// Target stratum count for the stratified/oasis methods (CSF).
   int64_t target_strata = 30;
+  /// Oracle decorator stack built per repeat over the scenario oracle (see
+  /// RunnerOptions::stack); empty = label straight against the base oracle.
+  StackSpec stack;
 
   /// Structural validation (positive budget/repeats, known method name, ...).
   Status Validate() const;
 
   /// Reads the run keys (method, budget, checkpoint_every, repeats,
-  /// run_seed, threads, strata) from `config`, leaving absent keys at their
-  /// defaults. Does NOT call CheckAllKeysUsed — callers typically share the
-  /// config with a ScenarioSpec and run the typo check once at the end.
+  /// run_seed, threads, strata, and the stack_* layer keys — see
+  /// AppendStackSpecConfig for the full list) from `config`, leaving absent
+  /// keys at their defaults. Does NOT call CheckAllKeysUsed — callers
+  /// typically share the config with a ScenarioSpec and run the typo check
+  /// once at the end.
   static Result<ScenarioRunOptions> FromConfig(const ConfigMap& config);
 };
 
@@ -67,6 +72,16 @@ struct ScenarioRunResult {
 /// any thread count.
 Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
                                       const ScenarioRunOptions& options);
+
+/// Wraps an already-computed `curve` for (pool, options) into the
+/// verification-ready ScenarioRunResult: fills every summary field from the
+/// curve and runs the repeat-0 degeneracy probe. This is RunScenario minus
+/// the error-curve run itself — the path for callers that produced the curve
+/// elsewhere (the session server's per-session trajectories, aggregated by
+/// oasis_serve) but want artifacts oasis_verify accepts.
+Result<ScenarioRunResult> SummarizeScenarioCurve(
+    const datagen::ScenarioPool& pool, const ScenarioRunOptions& options,
+    ErrorCurve curve);
 
 }  // namespace experiments
 }  // namespace oasis

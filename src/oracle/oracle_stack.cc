@@ -1,0 +1,81 @@
+#include "oracle/oracle_stack.h"
+
+#include "common/random.h"
+
+namespace oasis {
+
+OracleStackBuilder& OracleStackBuilder::FaultInjection(
+    const FaultInjectionOptions& options) {
+  spec_.fault_injection = options;
+  return *this;
+}
+
+OracleStackBuilder& OracleStackBuilder::Remote(
+    const RemoteOracleOptions& options) {
+  spec_.remote = options;
+  return *this;
+}
+
+OracleStackBuilder& OracleStackBuilder::Retry(const RetryPolicy& policy) {
+  spec_.retry = policy;
+  return *this;
+}
+
+OracleStackBuilder& OracleStackBuilder::ShareLabels(SharedLabelStore* store) {
+  store_ = store;
+  spec_.share_labels = store != nullptr;
+  return *this;
+}
+
+OracleStackBuilder& OracleStackBuilder::ForkSeeds(uint64_t stream) {
+  fork_stream_ = stream;
+  return *this;
+}
+
+Result<OracleStack> OracleStackBuilder::Build(const Oracle* base) const {
+  if (base == nullptr) {
+    return Status::InvalidArgument("OracleStackBuilder: base oracle is null");
+  }
+  if (spec_.share_labels && !spec_.remote.has_value()) {
+    return Status::InvalidArgument(
+        "OracleStackBuilder: ShareLabels without a Remote layer (there is no "
+        "wire to share)");
+  }
+  OracleStack stack;
+  stack.spec_ = spec_;
+  stack.top_ = base;
+  if (stack.spec_.fault_injection.has_value()) {
+    if (fork_stream_.has_value()) {
+      // Decorrelate fault schedules across sibling stacks while keeping each
+      // one a pure function of (options, stream index) — the experiment
+      // runner's historical per-repeat arrangement, preserved bit for bit.
+      stack.spec_.fault_injection->seed =
+          Rng::Fork(stack.spec_.fault_injection->seed, *fork_stream_)
+              .NextUint64();
+    }
+    stack.faulty_ = std::make_unique<FaultInjectingOracle>(
+        stack.top_, *stack.spec_.fault_injection);
+    stack.top_ = stack.faulty_.get();
+  }
+  if (stack.spec_.remote.has_value()) {
+    if (fork_stream_.has_value()) {
+      // Same decorrelation for the latency jitter: identical trip contents in
+      // two sibling stacks should not draw identical service times.
+      stack.spec_.remote->jitter_seed =
+          Rng::Fork(stack.spec_.remote->jitter_seed, *fork_stream_)
+              .NextUint64();
+    }
+    stack.remote_ = std::make_unique<RemoteOracle>(
+        stack.top_, *stack.spec_.remote,
+        stack.spec_.share_labels ? store_ : nullptr);
+    stack.top_ = stack.remote_.get();
+  }
+  if (stack.spec_.retry.has_value()) {
+    stack.retrying_ =
+        std::make_unique<RetryingOracle>(stack.top_, *stack.spec_.retry);
+    stack.top_ = stack.retrying_.get();
+  }
+  return stack;
+}
+
+}  // namespace oasis

@@ -1,0 +1,88 @@
+#include "service/client.h"
+
+#include <utility>
+#include <variant>
+
+namespace oasis {
+namespace service {
+
+Result<std::string> InProcessTransport::RoundTrip(
+    const std::string& request_bytes) {
+  // Malformed bytes are a SERVER-side concern: answer with an error_reply,
+  // exactly as a socket server would, instead of failing the channel.
+  Result<Request> request = ParseRequest(request_bytes);
+  if (!request.ok()) {
+    return SerializeResponse(MakeErrorReply(request.status()));
+  }
+  return SerializeResponse(manager_->Handle(request.ValueOrDie()));
+}
+
+Result<Response> ServiceClient::Call(const Request& request) {
+  OASIS_ASSIGN_OR_RETURN(const std::string response_bytes,
+                         transport_->RoundTrip(SerializeRequest(request)));
+  OASIS_ASSIGN_OR_RETURN(Response response, ParseResponse(response_bytes));
+  if (const auto* error = std::get_if<ErrorReply>(&response)) {
+    return ErrorReplyToStatus(*error);
+  }
+  return response;
+}
+
+template <typename T>
+Result<T> ServiceClient::Expect(const Request& request) {
+  OASIS_ASSIGN_OR_RETURN(Response response, Call(request));
+  if (!std::holds_alternative<T>(response)) {
+    return Status::Internal(
+        "service client: server sent an unexpected response type");
+  }
+  return std::get<T>(std::move(response));
+}
+
+Result<int64_t> ServiceClient::Start(const SessionSpec& spec) {
+  StartSession request;
+  request.spec = spec;
+  OASIS_ASSIGN_OR_RETURN(const SessionStarted started,
+                         Expect<SessionStarted>(request));
+  return started.session;
+}
+
+Result<LabelArrived> ServiceClient::RequestLabels(int64_t session,
+                                                  int64_t labels) {
+  struct RequestLabels request;
+  request.session = session;
+  request.labels = labels;
+  request.wait = true;
+  return Expect<LabelArrived>(request);
+}
+
+Status ServiceClient::EnqueueLabels(int64_t session, int64_t labels) {
+  struct RequestLabels request;
+  request.session = session;
+  request.labels = labels;
+  request.wait = false;
+  return Expect<LabelsEnqueued>(request).status();
+}
+
+Result<EstimateReport> ServiceClient::GetEstimate(int64_t session) {
+  struct GetEstimate request;
+  request.session = session;
+  OASIS_ASSIGN_OR_RETURN(const EstimateReply reply,
+                         Expect<EstimateReply>(request));
+  return reply.report;
+}
+
+Result<CheckpointAck> ServiceClient::GetCheckpoint(int64_t session) {
+  Checkpoint request;
+  request.session = session;
+  return Expect<CheckpointAck>(request);
+}
+
+Result<EstimateReport> ServiceClient::Close(int64_t session) {
+  CloseSession request;
+  request.session = session;
+  OASIS_ASSIGN_OR_RETURN(const SessionClosed closed,
+                         Expect<SessionClosed>(request));
+  return closed.report;
+}
+
+}  // namespace service
+}  // namespace oasis

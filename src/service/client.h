@@ -1,0 +1,84 @@
+#ifndef OASIS_SERVICE_CLIENT_H_
+#define OASIS_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "service/protocol.h"
+#include "service/session_manager.h"
+
+namespace oasis {
+namespace service {
+
+/// One request/response exchange over some byte channel. The protocol layer
+/// is already socket-ready (pure line-framed bytes, no in-process pointers);
+/// a transport only moves those bytes. InProcessTransport below serves them
+/// to a SessionManager in the same process; a socket transport would write
+/// the request bytes to a connection and read the reply.
+class Transport {
+ public:
+  virtual ~Transport() = default;  ///< Subclassed by every byte channel.
+
+  /// Sends one serialised request, returns the serialised response. Fails
+  /// only on channel-level problems — a server-side error still succeeds
+  /// here, carrying an error_reply message in the returned bytes.
+  virtual Result<std::string> RoundTrip(const std::string& request_bytes) = 0;
+};
+
+/// Serves requests to a SessionManager in the same process — through the
+/// FULL wire encoding on both legs, so every in-process exchange exercises
+/// exactly the bytes a socket peer would see (the round trip is what the CI
+/// serve-smoke and the session-server tests drive end to end).
+class InProcessTransport : public Transport {
+ public:
+  /// `manager` must outlive the transport.
+  explicit InProcessTransport(SessionManager* manager) : manager_(manager) {}
+
+  /// Parses, dispatches to the manager, and re-serialises the response —
+  /// the full wire encoding on both legs.
+  Result<std::string> RoundTrip(const std::string& request_bytes) override;
+
+ private:
+  SessionManager* manager_;
+};
+
+/// Typed client over a Transport: builds protocol messages, round-trips
+/// them, and maps error_reply responses back into Status (via
+/// ErrorReplyToStatus), so callers program against Result<T> like any other
+/// library API. Not thread-safe per instance; clients are cheap — use one
+/// per thread.
+class ServiceClient {
+ public:
+  /// `transport` must outlive the client.
+  explicit ServiceClient(Transport* transport) : transport_(transport) {}
+
+  /// Starts a session, returning its id.
+  Result<int64_t> Start(const SessionSpec& spec);
+  /// Advances a session by at least `labels` charged labels (<= 0: run to
+  /// the session's full budget), waiting for the result.
+  Result<LabelArrived> RequestLabels(int64_t session, int64_t labels);
+  /// Queues an advance on the server and returns immediately; a later
+  /// GetEstimate / GetCheckpoint / Close settles it.
+  Status EnqueueLabels(int64_t session, int64_t labels);
+  /// Current estimate state of a session.
+  Result<EstimateReport> GetEstimate(int64_t session);
+  /// Checkpointed trajectory of a session so far.
+  Result<CheckpointAck> GetCheckpoint(int64_t session);
+  /// Closes a session, returning its final state.
+  Result<EstimateReport> Close(int64_t session);
+
+ private:
+  /// Serialise -> round trip -> parse; error_reply becomes an error Status.
+  Result<Response> Call(const Request& request);
+  /// Call() plus the expected-response-type check.
+  template <typename T>
+  Result<T> Expect(const Request& request);
+
+  Transport* transport_;
+};
+
+}  // namespace service
+}  // namespace oasis
+
+#endif  // OASIS_SERVICE_CLIENT_H_

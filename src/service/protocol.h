@@ -1,0 +1,226 @@
+#ifndef OASIS_SERVICE_PROTOCOL_H_
+#define OASIS_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "oracle/oracle_stack.h"
+
+namespace oasis {
+
+/// \namespace oasis::service
+/// Evaluation-as-a-service layer: a SessionManager hosting many concurrent
+/// evaluation sessions in one process, a versioned request/response message
+/// protocol, and an in-process transport/client pair (docs/SERVICE.md).
+namespace service {
+
+/// Protocol version stamp carried by every message. A parser only accepts
+/// its own version — bump on any wire-visible change, like
+/// RunSummary::schema_version.
+inline constexpr int64_t kProtocolVersion = 1;
+
+/// Everything that defines one evaluation session — the payload of
+/// StartSession. A session is the service twin of one experiment-runner
+/// repeat: `stream` plays the repeat index, so a session started with
+/// (seed, stream) = (base_seed, r) reproduces batch repeat r bit for bit
+/// (see docs/SERVICE.md, "Determinism contract").
+struct SessionSpec {
+  /// Scenario catalogue name ("stripe-f90", ...) naming the pool and oracle
+  /// backend; sessions over the same scenario share one backend.
+  std::string scenario;
+  /// Sampler method: "passive", "stratified", "is", or "oasis".
+  std::string method = "oasis";
+  /// Label budget of the session.
+  int64_t budget = 1000;
+  /// Estimate-snapshot spacing (the session's checkpoint grid).
+  int64_t checkpoint_every = 100;
+  /// Target stratum count for the stratified/oasis methods.
+  int64_t strata = 30;
+  /// Base seed; the session's sampler runs on Rng::Fork(seed, stream).
+  uint64_t seed = 0x0a515u;
+  /// Stream index decorrelating sibling sessions (the repeat index of the
+  /// batch runner's determinism discipline). Also forks the stack's chaos /
+  /// jitter seeds via OracleStackBuilder::ForkSeeds.
+  uint64_t stream = 0;
+  /// Per-session oracle decorator stack (built via OracleStackBuilder).
+  StackSpec stack;
+};
+
+/// Request: create a session. Response: SessionStarted (or ErrorReply).
+struct StartSession {
+  /// The session to create.
+  SessionSpec spec;
+};
+
+/// Request: advance a session by (at least) `labels` charged labels.
+/// Stepping follows the batch runner's trajectory loop exactly, which never
+/// splits a checkpoint batch — so the label count may overshoot the request
+/// by up to checkpoint_every, and the session's estimate sequence is
+/// independent of how callers slice their requests. Response: LabelArrived
+/// when `wait`, LabelsEnqueued otherwise (the advance then runs
+/// asynchronously on the server's thread pool; a later GetEstimate /
+/// Checkpoint / CloseSession settles it first).
+struct RequestLabels {
+  /// Target session id.
+  int64_t session = 0;
+  /// Labels to charge; <= 0 means run to the session's full budget.
+  int64_t labels = 0;
+  /// Synchronous (LabelArrived now) vs enqueued (LabelsEnqueued now,
+  /// labelling happens on the pool).
+  bool wait = true;
+};
+
+/// Request: the session's current estimate. Response: EstimateReply.
+struct GetEstimate {
+  /// Target session id.
+  int64_t session = 0;
+};
+
+/// Request: the session's checkpointed trajectory so far. Response:
+/// CheckpointAck.
+struct Checkpoint {
+  /// Target session id.
+  int64_t session = 0;
+};
+
+/// Request: close (and free) a session. Response: SessionClosed with the
+/// final state; closing an unfinished session reports whatever it reached.
+struct CloseSession {
+  /// Target session id.
+  int64_t session = 0;
+};
+
+/// Any client-to-server message.
+using Request =
+    std::variant<StartSession, RequestLabels, GetEstimate, Checkpoint,
+                 CloseSession>;
+
+/// Response to StartSession.
+struct SessionStarted {
+  /// The new session's id (unique within the server's lifetime).
+  int64_t session = 0;
+};
+
+/// Response to RequestLabels with wait = false: the advance is queued.
+struct LabelsEnqueued {
+  /// The session the work was queued for.
+  int64_t session = 0;
+};
+
+/// A session's observable estimate state — the shared body of LabelArrived /
+/// EstimateReply / SessionClosed.
+struct EstimateReport {
+  /// The reporting session.
+  int64_t session = 0;
+  /// Labels charged to the session's budget so far.
+  int64_t labels_consumed = 0;
+  /// Sampling iterations performed so far.
+  int64_t iterations = 0;
+  /// Current F_alpha estimate (meaningless while !f_defined).
+  double f_alpha = 0.0;
+  /// Whether F_alpha is defined yet.
+  bool f_defined = false;
+  /// Current precision estimate (meaningless while !precision_defined).
+  double precision = 0.0;
+  /// Whether the precision estimate is defined.
+  bool precision_defined = false;
+  /// Current recall estimate (meaningless while !recall_defined).
+  double recall = 0.0;
+  /// Whether the recall estimate is defined.
+  bool recall_defined = false;
+  /// Whether the session finished (budget exhausted or truncated).
+  bool done = false;
+  /// Whether the iteration cap fired before the budget was exhausted.
+  bool truncated = false;
+};
+
+/// Response to a waited RequestLabels: the requested labels arrived.
+struct LabelArrived {
+  /// State after the advance.
+  EstimateReport report;
+  /// Labels charged by THIS advance (report.labels_consumed is cumulative).
+  int64_t labels_charged = 0;
+};
+
+/// Response to GetEstimate.
+struct EstimateReply {
+  /// Current state.
+  EstimateReport report;
+};
+
+/// Response to Checkpoint: the per-checkpoint estimate trajectory so far —
+/// the session-mode equivalent of one repeat's row block in the batch
+/// runner's ErrorCurve (identical values, by the determinism contract).
+struct CheckpointAck {
+  /// The reporting session.
+  int64_t session = 0;
+  /// Labels charged so far.
+  int64_t labels_consumed = 0;
+  /// Whether the session finished.
+  bool done = false;
+  /// Whether the iteration cap fired.
+  bool truncated = false;
+  /// Checkpoint budgets reached so far (prefix of the session's grid; the
+  /// full grid once done — trailing checkpoints then repeat the final
+  /// estimate, exactly like RunTrajectory's early-stop fill).
+  std::vector<int64_t> budgets;
+  /// F_alpha at each reached checkpoint (parallel to budgets).
+  std::vector<double> f_alpha;
+  /// 1 where the matching f_alpha was defined, else 0.
+  std::vector<uint8_t> f_defined;
+};
+
+/// Response to CloseSession.
+struct SessionClosed {
+  /// Final state at close.
+  EstimateReport report;
+};
+
+/// Error response to any request (parse failures, unknown sessions, failed
+/// advances, ...).
+struct ErrorReply {
+  /// StatusCodeName of the failure ("InvalidArgument", "NotFound", ...).
+  std::string code;
+  /// Human-readable detail.
+  std::string message;
+};
+
+/// Any server-to-client message.
+using Response =
+    std::variant<SessionStarted, LabelsEnqueued, LabelArrived, EstimateReply,
+                 CheckpointAck, SessionClosed, ErrorReply>;
+
+/// Serialises a request to its wire form: line-framed `key = value` text,
+/// one `oasis_service_protocol` version line, a `type` line, then the
+/// message's fields in a fixed order (numbers via %.17g, so round trips are
+/// value-exact; the exact bytes are golden-locked in
+/// tests/service_protocol_test.cc). Socket-ready: pure bytes, no in-process
+/// pointers.
+std::string SerializeRequest(const Request& request);
+
+/// Serialises a response (same wire form as SerializeRequest).
+std::string SerializeResponse(const Response& response);
+
+/// Parses a request, strictly: the version line must match
+/// kProtocolVersion, the type must be known, every field must parse, and
+/// unknown keys are an error (ConfigMap::CheckAllKeysUsed — wire-format
+/// drift surfaces loudly, like the summary JSON schema).
+Result<Request> ParseRequest(const std::string& text);
+
+/// Parses a response (same strictness as ParseRequest).
+Result<Response> ParseResponse(const std::string& text);
+
+/// Builds the ErrorReply for `status` (code name + message).
+ErrorReply MakeErrorReply(const Status& status);
+
+/// Reconstructs the Status an ErrorReply was built from (unknown code names
+/// map to kInternal). MakeErrorReply round-trips through this.
+Status ErrorReplyToStatus(const ErrorReply& error);
+
+}  // namespace service
+}  // namespace oasis
+
+#endif  // OASIS_SERVICE_PROTOCOL_H_

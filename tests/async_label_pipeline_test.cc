@@ -12,6 +12,7 @@
 #include "oracle/label_cache.h"
 #include "oracle/noisy_oracle.h"
 #include "oracle/remote_oracle.h"
+#include "oracle/oracle_stack.h"
 #include "oracle/retry_policy.h"
 #include "sampling/importance.h"
 #include "sampling/passive.h"
@@ -137,9 +138,12 @@ TEST(AsyncLabelPipelineTest, FailingPrefetchPropagatesOracleStatus) {
   RetryPolicy policy;
   policy.max_attempts = 3;
   FaultInjectionOptions calm;  // Zero rates: retries unnecessary but armed.
-  FaultInjectingOracle calm_oracle(&inner, calm);
-  RetryingOracle retrying(&calm_oracle, policy);
-  LabelCache retry_cache(&retrying);
+  const OracleStack stack = OracleStackBuilder()
+                                .FaultInjection(calm)
+                                .Retry(policy)
+                                .Build(&inner)
+                                .ValueOrDie();
+  LabelCache retry_cache(&stack.top());
   AsyncLabelPipeline retry_pipeline(&retry_cache, &pool);
   ASSERT_TRUE(retry_pipeline.Prefetch(items, &rng, out).ok());
   ASSERT_TRUE(retry_pipeline.Collect().ok());

@@ -17,6 +17,7 @@
 #include "oracle/ground_truth_oracle.h"
 #include "oracle/label_cache.h"
 #include "oracle/noisy_oracle.h"
+#include "oracle/oracle_stack.h"
 #include "oracle/retry_policy.h"
 #include "sampling/passive.h"
 
@@ -305,14 +306,18 @@ TEST(QueryBatchTest, RetriedPartialBatchesChargeEachMissOnce) {
   FaultInjectionOptions faults;
   faults.transient_failure_rate = 0.2;
   faults.item_drop_rate = 0.5;
-  FaultInjectingOracle chaotic(&inner, faults);
   RetryPolicy policy;
   policy.max_attempts = 30;
   policy.initial_backoff_seconds = 0.0;
-  RetryingOracle retrying(&chaotic, policy);
+  const OracleStack stack = OracleStackBuilder()
+                                .FaultInjection(faults)
+                                .Retry(policy)
+                                .Build(&inner)
+                                .ValueOrDie();
+  const RetryingOracle& retrying = *stack.retrying();
 
   GroundTruthOracle seq_oracle(truth);
-  LabelCache chaos_cache(&retrying);
+  LabelCache chaos_cache(&stack.top());
   LabelCache seq_cache(&seq_oracle);
 
   Rng items_rng(94);

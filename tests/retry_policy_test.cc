@@ -31,6 +31,7 @@
 #include "experiments/runner.h"
 #include "oracle/fault_injecting_oracle.h"
 #include "oracle/ground_truth_oracle.h"
+#include "oracle/oracle_stack.h"
 #include "oracle/remote_oracle.h"
 #include "oracle/retry_policy.h"
 #include "strata/csf.h"
@@ -337,21 +338,24 @@ TEST(RetryingOracleTest, BackoffIsChargedIntoTheRemoteClock) {
   remote_options.round_trip_seconds = 30.0;
   remote_options.per_item_seconds = 0.0;
   remote_options.cost_per_label = 0.0;
-  RemoteOracle remote(&base, remote_options);
   RetryPolicy policy;
   policy.max_attempts = 4;
   policy.initial_backoff_seconds = 1.0;
   policy.backoff_multiplier = 2.0;
-  RetryingOracle oracle(&remote, policy);
+  const OracleStack stack = OracleStackBuilder()
+                                .Remote(remote_options)
+                                .Retry(policy)
+                                .Build(&base)
+                                .ValueOrDie();
 
   const std::vector<int64_t> items{0, 1, 2};
   std::vector<uint8_t> out(items.size()), resolved(items.size());
   Rng rng(6);
-  ASSERT_TRUE(oracle.TryLabelBatch(items, rng, out, resolved).ok());
+  ASSERT_TRUE(stack.top().TryLabelBatch(items, rng, out, resolved).ok());
   // Two backoff waits (1 s, then 2 s) on top of three attempted trips of
   // 30 s each: the simulated clock sees all of it.
-  EXPECT_EQ(oracle.stats().backoff_ns, 3'000'000'000);
-  EXPECT_EQ(remote.stats().simulated_latency_ns, 93'000'000'000);
+  EXPECT_EQ(stack.retrying()->stats().backoff_ns, 3'000'000'000);
+  EXPECT_EQ(stack.remote()->stats().simulated_latency_ns, 93'000'000'000);
 }
 
 TEST(RetryingOracleTest, PerAttemptTimeoutDiscardsLateLabels) {
@@ -360,24 +364,27 @@ TEST(RetryingOracleTest, PerAttemptTimeoutDiscardsLateLabels) {
   RemoteOracleOptions remote_options;
   remote_options.round_trip_seconds = 30.0;
   remote_options.per_item_seconds = 0.0;
-  RemoteOracle remote(&base, remote_options);
   RetryPolicy policy;
   policy.max_attempts = 2;
   policy.initial_backoff_seconds = 0.0;
   policy.per_attempt_timeout_seconds = 10.0;  // Every 30 s trip is too slow.
-  RetryingOracle oracle(&remote, policy);
+  const OracleStack stack = OracleStackBuilder()
+                                .Remote(remote_options)
+                                .Retry(policy)
+                                .Build(&base)
+                                .ValueOrDie();
 
   const std::vector<int64_t> items{0, 1};
   std::vector<uint8_t> out(items.size()), resolved(items.size());
   Rng rng(7);
-  const Status status = oracle.TryLabelBatch(items, rng, out, resolved);
+  const Status status = stack.top().TryLabelBatch(items, rng, out, resolved);
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   // The labels arrived after the caller stopped waiting: none are usable,
   // but the wire time stays charged.
   EXPECT_EQ(resolved[0], 0);
   EXPECT_EQ(resolved[1], 0);
-  EXPECT_EQ(remote.stats().simulated_latency_ns, 60'000'000'000);
-  EXPECT_EQ(oracle.stats().give_ups, 1);
+  EXPECT_EQ(stack.remote()->stats().simulated_latency_ns, 60'000'000'000);
+  EXPECT_EQ(stack.retrying()->stats().give_ups, 1);
 }
 
 TEST(RetryingOracleTest, OverallDeadlineStopsBackingOff) {

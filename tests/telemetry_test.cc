@@ -63,6 +63,39 @@ TEST(MetricRegistryTest, RegistrationIsIdempotentPerNameAndLabels) {
   EXPECT_EQ(registry.CounterFamilyTotal("oasis_absent_total"), 0);
 }
 
+TEST(MetricRegistryTest, RepeatedSessionCyclesRegisterNothingNew) {
+  // The app-harness pattern: every TelemetrySession (one per oasis_sweep
+  // invocation, one per serve run, ...) re-touches the same instrument names
+  // on its way through the instrumented layers. N cycles must behave exactly
+  // like one — same child addresses, same family count, values accumulating
+  // rather than resetting — or a sweep's later cells would shear off the
+  // earlier cells' counts.
+  MetricRegistry registry;
+  Counter* counter = nullptr;
+  Gauge* gauge = nullptr;
+  Histogram* histogram = nullptr;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    Counter& c = registry.AddCounter("oasis_test_labels_total", "help");
+    Gauge& g = registry.AddGauge("oasis_test_active", "help");
+    Histogram& h = registry.AddHistogram("oasis_test_lat", "help", {1.0, 2.0});
+    if (cycle == 0) {
+      counter = &c;
+      gauge = &g;
+      histogram = &h;
+    }
+    EXPECT_EQ(&c, counter);
+    EXPECT_EQ(&g, gauge);
+    EXPECT_EQ(&h, histogram);
+    c.Increment();
+    g.Set(static_cast<double>(cycle));
+    h.Observe(0.5);
+  }
+  EXPECT_EQ(counter->value(), 3);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.0);
+  EXPECT_EQ(histogram->count(), 3);
+  EXPECT_EQ(registry.Snapshot().size(), 3u);
+}
+
 TEST(MetricRegistryTest, FindReturnsNullptrWhenAbsentOrWrongType) {
   MetricRegistry registry;
   registry.AddCounter("oasis_test_total", "help").Add(7);

@@ -2,7 +2,8 @@
 """Documentation-coverage gate for public headers.
 
 Enforces the repo's API-docs contract on the fully documented subdirectories
-(src/oracle, src/experiments, src/datagen): every public declaration in a
+(src/oracle, src/experiments, src/datagen, src/telemetry, src/service):
+every public declaration in a
 header — class, struct, enum, alias, function, or public data member — must
 carry a Doxygen comment: a `///` block directly above it, or a trailing
 `///<` on the same line.
@@ -19,7 +20,8 @@ Deliberately out of scope (mirrors the Doxygen configuration):
   * everything in .cc files.
 
 Usage:
-    python3 tools/check_doc_coverage.py src/oracle src/experiments src/datagen
+    python3 tools/check_doc_coverage.py src/oracle src/experiments \
+        src/datagen src/telemetry src/service
     python3 tools/check_doc_coverage.py --self-test
 
 Exit status 0 when every public declaration is documented, 1 otherwise (one

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Single-composition-point gate for oracle decorator stacks.
+
+OracleStackBuilder (src/oracle/oracle_stack.h) is the one place in the repo
+allowed to compose the decorator chain Retrying(Remote(FaultInjecting(base))):
+the layer order is fixed by the fault model, and hand-assembled chains are
+exactly how order bugs (chaos above the latency model, retries below it)
+slipped in historically. This gate keeps it that way.
+
+A file FAILS when it directly constructs two DISTINCT decorator types —
+`FaultInjectingOracle`, `RemoteOracle`, `RetryingOracle` — within a few
+lines of each other (a chain wires the outer layer to the inner one's
+address, so its constructions are always adjacent), via a stack
+declaration, `new`, or `make_unique`. Constructing a single decorator stays
+legal everywhere: the unit tests of one layer need the bare type, and one
+layer is not a chain.
+
+Whitelisted (the composition point itself and its focused tests):
+  * src/oracle/oracle_stack.cc
+  * tests/oracle_stack_test.cc
+
+Usage:
+    python3 tools/check_stack_builder.py src tests bench apps examples
+    python3 tools/check_stack_builder.py --self-test
+
+Exit status 0 when no file outside the whitelist composes a multi-layer
+chain by hand, 1 otherwise (one `file: constructs ...` diagnostic per
+finding).
+"""
+
+import os
+import re
+import sys
+
+DECORATORS = ("FaultInjectingOracle", "RemoteOracle", "RetryingOracle")
+
+WHITELIST = (
+    os.path.join("src", "oracle", "oracle_stack.cc"),
+    os.path.join("tests", "oracle_stack_test.cc"),
+)
+
+# Direct-construction shapes, one alternation per decorator:
+#   RetryingOracle retrying(&inner, policy);    stack declaration
+#   new RetryingOracle(...)                     heap
+#   std::make_unique<RetryingOracle>(...)       heap, owned
+# Mentions in comments, declarations of pointers/references, and typed
+# accessors (`stack.retrying()`) deliberately do not match.
+_CONSTRUCT = {
+    name: re.compile(
+        r"(?:\bnew\s+{0}\s*\(|\bmake_unique<\s*{0}\s*>|\b{0}\s+\w+\s*[({{])".format(name)
+    )
+    for name in DECORATORS
+}
+
+_LINE_COMMENT = re.compile(r"//.*$")
+
+# Two distinct decorator constructions at most this many lines apart are one
+# chain. Chains are in practice 1-6 lines apart (the outer construction
+# takes the inner object's address); unrelated single-layer tests in the
+# same file sit whole test bodies apart.
+CHAIN_WINDOW_LINES = 15
+
+
+def constructed_decorators(text):
+    """Returns [(line_number, type_name)] for direct decorator constructions."""
+    found = []
+    in_block = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block = False
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block = True
+        line = _LINE_COMMENT.sub("", line)
+        for name, pattern in _CONSTRUCT.items():
+            if pattern.search(line):
+                found.append((line_number, name))
+    return found
+
+
+def find_chains(text):
+    """Returns diagnostics for distinct-decorator pairs within the window."""
+    constructions = constructed_decorators(text)
+    chains = []
+    for i, (line_a, name_a) in enumerate(constructions):
+        for line_b, name_b in constructions[i + 1:]:
+            if name_b == name_a:
+                continue
+            if line_b - line_a <= CHAIN_WINDOW_LINES:
+                chains.append((line_a, line_b, name_a, name_b))
+    return chains
+
+
+def check_tree(roots):
+    """Scans .cc/.h files under `roots`; returns a list of diagnostics."""
+    failures = []
+    for root in roots:
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith((".cc", ".h")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                normalized = os.path.normpath(path)
+                if any(normalized.endswith(entry) for entry in WHITELIST):
+                    continue
+                with open(path, encoding="utf-8") as handle:
+                    chains = find_chains(handle.read())
+                for line_a, line_b, name_a, name_b in chains:
+                    failures.append(
+                        "%s:%d-%d: constructs %s + %s directly — compose "
+                        "decorator chains through OracleStackBuilder "
+                        "(src/oracle/oracle_stack.h)"
+                        % (path, line_a, line_b, name_a, name_b)
+                    )
+    return failures
+
+
+def self_test():
+    chain = """
+        FaultInjectingOracle chaos(&inner, faults);
+        RetryingOracle retrying(&chaos, policy);
+    """
+    assert find_chains(chain), "adjacent chain must be detected"
+
+    single = "RemoteOracle remote(&base, options);"
+    assert not find_chains(single), "one layer is not a chain"
+
+    heap = """
+        auto a = std::make_unique<RemoteOracle>(&base, options);
+        Oracle* b = new RetryingOracle(&*a, policy);
+    """
+    assert find_chains(heap), "heap-constructed chain must be detected"
+
+    far_apart = (
+        "FaultInjectingOracle oracle(&inner, faults);\n"
+        + "\n" * (CHAIN_WINDOW_LINES + 1)
+        + "RemoteOracle remote(&inner, options);\n"
+    )
+    assert not find_chains(far_apart), (
+        "single-layer constructions in separate tests must not match"
+    )
+
+    innocent = """
+        // RetryingOracle retrying(&chaos, policy); -- the OLD way
+        /* RemoteOracle remote(&base, options); */
+        const RetryingOracle* retrying = stack.retrying();
+        const RemoteOracle& remote = *stack.remote();
+        EXPECT_EQ(stack.retrying()->stats().give_ups, 0);
+    """
+    assert not find_chains(innocent), (
+        "comments, pointers and accessors must not match"
+    )
+
+    builder = """
+        const OracleStack stack = OracleStackBuilder()
+                                      .FaultInjection(faults)
+                                      .Retry(policy)
+                                      .Build(&inner)
+                                      .ValueOrDie();
+    """
+    assert not find_chains(builder)
+    print("self-test passed")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    roots = argv[1:] or ["src", "tests", "bench", "apps", "examples"]
+    roots = [root for root in roots if os.path.isdir(root)]
+    failures = check_tree(roots)
+    for failure in failures:
+        print(failure)
+    if failures:
+        print("%d file(s) hand-assemble decorator chains" % len(failures))
+        return 1
+    print("stack-builder gate: no hand-assembled decorator chains")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
