@@ -1,0 +1,131 @@
+#include "common/block_fenwick_forest.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oasis {
+
+Result<BlockFenwickForest> BlockFenwickForest::Build(
+    std::span<const double> masses, size_t block_size) {
+  if (masses.empty()) {
+    return Status::InvalidArgument("BlockFenwickForest: empty mass vector");
+  }
+  if (block_size == 0 || (block_size & (block_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "BlockFenwickForest: block_size must be a power of two");
+  }
+  BlockFenwickForest forest;
+  forest.size_ = masses.size();
+  forest.block_size_ = block_size;
+  forest.block_shift_ = 0;
+  while ((size_t{1} << forest.block_shift_) < block_size) ++forest.block_shift_;
+
+  const size_t num_blocks = (forest.size_ + block_size - 1) / block_size;
+  forest.blocks_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_size;
+    const size_t len = std::min(block_size, forest.size_ - begin);
+    OASIS_ASSIGN_OR_RETURN(FenwickTree tree,
+                           FenwickTree::Build(masses.subspan(begin, len)));
+    forest.blocks_.push_back(std::move(tree));
+  }
+  forest.totals_scratch_.resize(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    forest.totals_scratch_[b] = forest.blocks_[b].Total();
+  }
+  OASIS_ASSIGN_OR_RETURN(forest.top_,
+                         FenwickTree::Build(forest.totals_scratch_));
+  forest.fill_scratch_.resize(forest.size_);
+  return forest;
+}
+
+Status BlockFenwickForest::ShardedRebuild(
+    const std::function<Status(size_t)>& rebuild_block, ThreadPool* pool,
+    size_t num_shards) {
+  const size_t num_blocks = blocks_.size();
+  const size_t shards =
+      std::min(std::max<size_t>(1, num_shards), num_blocks);
+  shard_status_.assign(shards, Status::OK());
+
+  // Each shard rebuilds a contiguous block range. The work partition depends
+  // on `shards`, but every per-block computation is independent and every
+  // float lands in that block's own tree, so the partition cannot change any
+  // result — only which worker produced it.
+  const auto shard_body = [&](int64_t s) {
+    const size_t begin =
+        num_blocks * static_cast<size_t>(s) / shards;
+    const size_t end =
+        num_blocks * (static_cast<size_t>(s) + 1) / shards;
+    for (size_t b = begin; b < end; ++b) {
+      Status status = rebuild_block(b);
+      if (!status.ok()) {
+        shard_status_[static_cast<size_t>(s)] = std::move(status);
+        return;
+      }
+      totals_scratch_[b] = blocks_[b].Total();
+    }
+  };
+  if (pool != nullptr && shards > 1) {
+    pool->ParallelFor(0, static_cast<int64_t>(shards), shard_body);
+  } else {
+    for (size_t s = 0; s < shards; ++s) {
+      shard_body(static_cast<int64_t>(s));
+    }
+  }
+  // Deterministic merge discipline: failures surface lowest-shard-first, and
+  // the block totals fold into the top tree in block order via a full
+  // Rebuild (which also resets any Update()-accumulated drift).
+  for (const Status& status : shard_status_) {
+    OASIS_RETURN_NOT_OK(status);
+  }
+  return top_.Rebuild(totals_scratch_);
+}
+
+Status BlockFenwickForest::ParallelRebuild(std::span<const double> masses,
+                                           ThreadPool* pool,
+                                           size_t num_shards) {
+  if (masses.size() != size_) {
+    return Status::InvalidArgument("BlockFenwickForest: rebuild size mismatch");
+  }
+  return ShardedRebuild(
+      [&](size_t b) {
+        const size_t begin = b << block_shift_;
+        const size_t len = std::min(block_size_, size_ - begin);
+        return blocks_[b].Rebuild(masses.subspan(begin, len));
+      },
+      pool, num_shards);
+}
+
+Status BlockFenwickForest::ParallelRebuildWith(const BlockFill& fill,
+                                               ThreadPool* pool,
+                                               size_t num_shards) {
+  if (!fill) {
+    return Status::InvalidArgument("BlockFenwickForest: null fill callback");
+  }
+  return ShardedRebuild(
+      [&](size_t b) {
+        const size_t begin = b << block_shift_;
+        const size_t len = std::min(block_size_, size_ - begin);
+        const std::span<double> out(fill_scratch_.data() + begin, len);
+        fill(begin, out);
+        return blocks_[b].Rebuild(out);
+      },
+      pool, num_shards);
+}
+
+void BlockFenwickForest::Update(size_t i, double mass) {
+  OASIS_DCHECK(i < size_);
+  const size_t b = i >> block_shift_;
+  blocks_[b].Update(i & (block_size_ - 1), mass);
+  top_.Update(b, blocks_[b].Total());
+}
+
+size_t BlockFenwickForest::FindQuantile(double target) const {
+  const size_t b = top_.FindQuantile(target);
+  double remaining = target - top_.PrefixSum(b);
+  if (remaining < 0.0) remaining = 0.0;
+  return (b << block_shift_) + blocks_[b].FindQuantile(remaining);
+}
+
+}  // namespace oasis

@@ -1,0 +1,128 @@
+#ifndef OASIS_COMMON_BLOCK_FENWICK_FOREST_H_
+#define OASIS_COMMON_BLOCK_FENWICK_FOREST_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/fenwick_tree.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace oasis {
+
+/// A forest of fixed-size Fenwick trees — the pool-scale sibling of
+/// FenwickTree for mass vectors too large to rebuild serially.
+///
+/// The masses are split into contiguous numeric blocks of `block_size`
+/// entries (a power of two, fixed at Build). Each block carries its own
+/// Fenwick tree; a top-level Fenwick tree over the per-block totals routes
+/// draws and prefix queries to the owning block. The key property is that
+/// the NUMERIC layout (block boundaries, within-block summation, the order
+/// the block totals fold into the top tree) is a function of `block_size`
+/// alone: the shard/thread count passed to ParallelRebuild controls only
+/// which worker recomputes which whole blocks, never how any floating-point
+/// sum associates. Every result — values, totals, draws — is therefore
+/// bit-identical at any shard/thread count, including fully serial
+/// execution; tests/sharded_pool_test.cc pins this with golden hexfloat
+/// values.
+///
+/// Complexity: Update is O(log block_size + log num_blocks); FindQuantile is
+/// O(log num_blocks + log block_size); ParallelRebuild is O(n) work spread
+/// over min(num_shards, pool threads) workers plus an O(num_blocks) serial
+/// top-tree fold.
+///
+/// Note the forest is equivalent in *distribution*, not bit-for-bit, to one
+/// monolithic FenwickTree over the same masses: a single tree's bottom-up
+/// build interleaves partial sums across block boundaries, so nodes spanning
+/// blocks round differently. The forest's own results are what the
+/// determinism contract covers.
+class BlockFenwickForest {
+ public:
+  BlockFenwickForest() = default;
+
+  /// Default numeric block size: 4096 masses per block. Small enough that a
+  /// single block rebuild is cache-resident, large enough that the top tree
+  /// stays tiny (245 blocks at K = 1e6).
+  static constexpr size_t kDefaultBlockSize = 4096;
+
+  /// Fills one block's masses: write `out[j]` for the global indices
+  /// `begin + j`, j in [0, out.size()). Invoked concurrently for distinct
+  /// blocks during ParallelRebuildWith; must not touch state shared across
+  /// blocks.
+  using BlockFill =
+      std::function<void(size_t begin, std::span<double> out)>;
+
+  /// Builds the forest over `masses` in O(n). `block_size` must be a power
+  /// of two; masses obey the FenwickTree validity rules (non-empty, finite,
+  /// non-negative).
+  static Result<BlockFenwickForest> Build(std::span<const double> masses,
+                                          size_t block_size = kDefaultBlockSize);
+
+  /// Replaces every mass in O(n) without allocating (steady state). Blocks
+  /// are rebuilt as `num_shards` contiguous shard tasks fanned over `pool`
+  /// (`pool == nullptr` or `num_shards <= 1` runs serially), then the block
+  /// totals fold into the top tree serially in block order. Bit-identical
+  /// output for every (pool, num_shards) combination. `masses` must have
+  /// exactly size() entries and be valid per FenwickTree::Rebuild; on an
+  /// invalid entry the error of the lowest-indexed failing shard is returned
+  /// and the forest must be rebuilt before further use.
+  Status ParallelRebuild(std::span<const double> masses, ThreadPool* pool,
+                         size_t num_shards);
+
+  /// Like ParallelRebuild, but each shard *computes* its blocks' masses via
+  /// `fill` (into an internal scratch buffer) instead of reading a caller
+  /// vector — so the O(n) mass recomputation itself is sharded, not just the
+  /// tree refresh. `fill` must be elementwise-deterministic (output a
+  /// function of the global index only) for the bit-identity guarantee to
+  /// extend to it.
+  Status ParallelRebuildWith(const BlockFill& fill, ThreadPool* pool,
+                             size_t num_shards);
+
+  /// Point-assigns mass `i` in O(log block_size + log num_blocks).
+  void Update(size_t i, double mass);
+
+  /// Current mass of index `i` (O(1)).
+  double value(size_t i) const {
+    return blocks_[i >> block_shift_].value(i & (block_size_ - 1));
+  }
+
+  /// Sum of all masses, from the top tree (O(log num_blocks)).
+  double Total() const { return top_.Total(); }
+
+  /// Inverse CDF at `target` in [0, Total()): picks the owning block via the
+  /// top tree, then descends that block's tree. Same semantics as
+  /// FenwickTree::FindQuantile (zero-mass indices never returned; targets at
+  /// or above Total() clamp).
+  size_t FindQuantile(double target) const;
+
+  /// Number of masses n.
+  size_t size() const { return size_; }
+
+  /// Number of blocks (ceil(n / block_size)).
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// The fixed numeric block size.
+  size_t block_size() const { return block_size_; }
+
+ private:
+  /// Shared skeleton of the two rebuild flavours: runs `rebuild_block(b)`
+  /// for every block, sharded, then folds block totals in block order.
+  Status ShardedRebuild(const std::function<Status(size_t)>& rebuild_block,
+                        ThreadPool* pool, size_t num_shards);
+
+  size_t size_ = 0;
+  size_t block_size_ = 0;
+  size_t block_shift_ = 0;  // log2(block_size_)
+  std::vector<FenwickTree> blocks_;
+  FenwickTree top_;                    // Over per-block totals.
+  std::vector<double> totals_scratch_; // Block totals, folded in block order.
+  std::vector<double> fill_scratch_;   // ParallelRebuildWith mass staging.
+  std::vector<Status> shard_status_;   // Per-shard rebuild outcomes.
+};
+
+}  // namespace oasis
+
+#endif  // OASIS_COMMON_BLOCK_FENWICK_FOREST_H_

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "core/initialization.h"
 #include "core/instrumental.h"
+#include "core/mass_kernel.h"
 #include "stats/transforms.h"
 #include "telemetry/telemetry.h"
 
@@ -115,8 +116,22 @@ Result<std::unique_ptr<OasisSampler>> OasisSampler::Create(
   std::unique_ptr<OasisSampler> sampler(
       new OasisSampler(pool, labels, std::move(strata), resolved, rng,
                        std::move(model), std::move(init.lambda), init.f_alpha));
-  if (resolved.step_path == OasisStepPath::kFenwick) {
-    OASIS_RETURN_NOT_OK(sampler->InitFenwick());
+  switch (resolved.step_path) {
+    case OasisStepPath::kFenwick:
+      OASIS_RETURN_NOT_OK(sampler->InitFenwick());
+      break;
+    case OasisStepPath::kAlias:
+      OASIS_RETURN_NOT_OK(sampler->InitAlias());
+      break;
+    case OasisStepPath::kShardedFenwick:
+      if (resolved.num_shards == 0) {
+        return Status::InvalidArgument("OasisSampler: num_shards must be >= 1");
+      }
+      OASIS_RETURN_NOT_OK(sampler->InitShardedFenwick());
+      break;
+    case OasisStepPath::kFused:
+    case OasisStepPath::kAllocatingReference:
+      break;
   }
   return sampler;
 }
@@ -153,9 +168,11 @@ double OasisSampler::StratumMass(size_t k, double f) const {
 
 void OasisSampler::RebuildFenwickMasses(double f) {
   const size_t num_strata = strata_->num_strata();
-  for (size_t k = 0; k < num_strata; ++k) {
-    v_scratch_[k] = StratumMass(k, f);
-  }
+  const double a2f2 = alpha_sq_ * f * f;
+  const double omf2 = (1.0 - f) * (1.0 - f);
+  StratumMassKernel(strata_->weights().data(), lambda_.data(), pi_cache_.data(),
+                    sqrt_pi_cache_.data(), c_not_pred_.data(), f, a2f2, omf2,
+                    v_scratch_.data(), num_strata);
   OASIS_CHECK_OK(v_star_tree_.Rebuild(v_scratch_));
   tree_f_ = f;
 }
@@ -229,6 +246,207 @@ Status OasisSampler::StepFenwick() {
   return Status::OK();
 }
 
+double OasisSampler::AliasMixtureProbability(size_t k) const {
+  const double omega_k = strata_->weight(k);
+  return alias_degenerate_
+             ? omega_k
+             : active_epsilon_ * omega_k +
+                   (1.0 - active_epsilon_) * v_alias_.probability(k);
+}
+
+void OasisSampler::RebuildAliasMasses(double f) {
+  const size_t num_strata = strata_->num_strata();
+  const double a2f2 = alpha_sq_ * f * f;
+  const double omf2 = (1.0 - f) * (1.0 - f);
+  StratumMassKernel(strata_->weights().data(), lambda_.data(), pi_cache_.data(),
+                    sqrt_pi_cache_.data(), c_not_pred_.data(), f, a2f2, omf2,
+                    alias_snapshot_mass_.data(), num_strata);
+  double total = 0.0;
+  for (size_t k = 0; k < num_strata; ++k) {
+    total += alias_snapshot_mass_[k];
+  }
+  alias_total_ = total;
+  alias_degenerate_ = !(total > 0.0);
+  if (!alias_degenerate_) {
+    // In-place Vose refresh over the retained buffers — no allocation.
+    OASIS_CHECK_OK(v_alias_.Rebuild(alias_snapshot_mass_));
+  }
+  std::copy(alias_snapshot_mass_.begin(), alias_snapshot_mass_.end(),
+            alias_live_mass_.begin());
+  alias_drift_ = 0.0;
+  alias_f_ = f;
+}
+
+Status OasisSampler::InitAlias() {
+  OASIS_ASSIGN_OR_RETURN(weights_alias_, AliasTable::Build(strata_->weights()));
+  // Build once over the (always valid) stratum weights purely to size the
+  // table's internal buffers; RebuildAliasMasses installs the real masses in
+  // place immediately after.
+  OASIS_ASSIGN_OR_RETURN(v_alias_, AliasTable::Build(strata_->weights()));
+  const size_t num_strata = strata_->num_strata();
+  alias_snapshot_mass_.resize(num_strata);
+  alias_live_mass_.resize(num_strata);
+  RebuildAliasMasses(Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0));
+  return Status::OK();
+}
+
+Status OasisSampler::StepAlias() {
+  // Line 3 analogue: the alias table is a frozen snapshot of v*, so two
+  // things drift — F-hat away from the build point, and the posterior masses
+  // away from the snapshot (the table cannot absorb kFenwick's per-stratum
+  // point updates). Rebuild in place (O(K), no allocation) when EITHER drift
+  // crosses fenwick_rebuild_tol; in the degenerate all-zero state, rebuild as
+  // soon as any mass becomes positive.
+  const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
+  const double f_drift = std::fabs(f - alias_f_);
+  const bool mass_drifted =
+      alias_degenerate_
+          ? alias_drift_ > 0.0
+          : alias_drift_ > options_.fenwick_rebuild_tol * alias_total_;
+  if (f_drift > options_.fenwick_rebuild_tol || mass_drifted) {
+    if (OASIS_TELEMETRY_ON) {
+      static telemetry::Counter& rebuilds =
+          telemetry::DefaultRegistry().AddCounter(
+              "oasis_sampler_alias_rebuilds_total",
+              "Full O(K) alias-table rebuilds triggered by F-hat or "
+              "posterior-mass drift.");
+      static telemetry::Histogram& drift_hist =
+          telemetry::DefaultRegistry().AddHistogram(
+              "oasis_sampler_alias_rebuild_drift",
+              "|F-hat - alias F| observed at each alias rebuild.",
+              {1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25});
+      rebuilds.Increment();
+      drift_hist.Observe(f_drift);
+    }
+    RebuildAliasMasses(f);
+  }
+
+  // Lines 4-5: the epsilon-greedy mix as a two-component mixture, both
+  // components O(1) alias draws — with probability epsilon a stratum ~ omega,
+  // otherwise ~ the v* snapshot — then an item uniform within the stratum.
+  size_t k;
+  if (alias_degenerate_ || rng().NextDouble() < active_epsilon_) {
+    k = weights_alias_.Sample(rng());
+  } else {
+    k = v_alias_.Sample(rng());
+  }
+  const int64_t item = strata_->SampleItem(k, rng());
+
+  // Line 6: w_t = omega_k / v_k with v_k of the distribution the draw above
+  // actually used — consistency holds at any staleness because the epsilon
+  // component keeps full support.
+  const double weight = strata_->weight(k) / AliasMixtureProbability(k);
+
+  // Lines 7-8: query oracle, read prediction.
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+
+  // Lines 9-11: posterior update and AIS sums, plus O(1) maintenance of the
+  // L1 drift between the live masses and the frozen snapshot — only stratum
+  // k's posterior mean (and hence its mass under the build-point F) moved.
+  ObserveLabel(k, label);
+  const double new_live = StratumMass(k, alias_f_);
+  alias_drift_ += std::fabs(new_live - alias_snapshot_mass_[k]) -
+                  std::fabs(alias_live_mass_[k] - alias_snapshot_mass_[k]);
+  if (alias_drift_ < 0.0) alias_drift_ = 0.0;  // FP cancellation guard.
+  alias_live_mass_[k] = new_live;
+  estimator_.Add(weight, label, prediction);
+  if (observer_) observer_(weight, label, prediction);
+  monitor_.Observe(weight);
+  RecordOasisStepTelemetry(weight);
+  MaybeDegrade();
+  return Status::OK();
+}
+
+double OasisSampler::ShardedMixtureProbability(size_t k, double total) const {
+  const double omega_k = strata_->weight(k);
+  return total > 0.0 ? active_epsilon_ * omega_k +
+                           (1.0 - active_epsilon_) *
+                               (v_star_forest_.value(k) / total)
+                     : omega_k;
+}
+
+void OasisSampler::RebuildShardedMasses(double f) {
+  const double a2f2 = alpha_sq_ * f * f;
+  const double omf2 = (1.0 - f) * (1.0 - f);
+  const double* weights = strata_->weights().data();
+  const double* lambda = lambda_.data();
+  const double* pi = pi_cache_.data();
+  const double* sqrt_pi = sqrt_pi_cache_.data();
+  const double* c_not_pred = c_not_pred_.data();
+  // The fill is strictly elementwise — out[j] depends on the global index
+  // begin + j alone — so ParallelRebuildWith's bit-identity guarantee
+  // extends to the mass computation: any shard/thread count produces the
+  // same forest, bit for bit.
+  OASIS_CHECK_OK(v_star_forest_.ParallelRebuildWith(
+      [&](size_t begin, std::span<double> out) {
+        StratumMassKernel(weights + begin, lambda + begin, pi + begin,
+                          sqrt_pi + begin, c_not_pred + begin, f, a2f2, omf2,
+                          out.data(), out.size());
+      },
+      options_.shard_pool, options_.num_shards));
+  forest_f_ = f;
+}
+
+Status OasisSampler::InitShardedFenwick() {
+  OASIS_ASSIGN_OR_RETURN(weights_alias_, AliasTable::Build(strata_->weights()));
+  OASIS_ASSIGN_OR_RETURN(
+      v_star_forest_,
+      BlockFenwickForest::Build(strata_->weights(),
+                                options_.shard_block_size));  // Sized; masses set below.
+  RebuildShardedMasses(Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0));
+  return Status::OK();
+}
+
+Status OasisSampler::StepShardedFenwick() {
+  // Identical to StepFenwick except the masses live in the blocked forest:
+  // the O(K) drift rebuild shards across options_.shard_pool, draws and the
+  // per-step point update stay O(log K).
+  const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
+  const double drift = std::fabs(f - forest_f_);
+  if (drift > options_.fenwick_rebuild_tol) {
+    if (OASIS_TELEMETRY_ON) {
+      static telemetry::Counter& rebuilds =
+          telemetry::DefaultRegistry().AddCounter(
+              "oasis_sampler_sharded_rebuilds_total",
+              "Full O(K) sharded forest mass rebuilds triggered by F-hat "
+              "drift.");
+      static telemetry::Histogram& drift_hist =
+          telemetry::DefaultRegistry().AddHistogram(
+              "oasis_sampler_sharded_rebuild_drift",
+              "|F-hat - forest F| observed at each sharded rebuild.",
+              {1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25});
+      rebuilds.Increment();
+      drift_hist.Observe(drift);
+    }
+    RebuildShardedMasses(f);
+  }
+
+  const double total = v_star_forest_.Total();
+  size_t k;
+  if (total <= 0.0 || rng().NextDouble() < active_epsilon_) {
+    k = weights_alias_.Sample(rng());
+  } else {
+    k = v_star_forest_.FindQuantile(rng().NextDouble() * total);
+  }
+  const int64_t item = strata_->SampleItem(k, rng());
+
+  const double weight =
+      strata_->weight(k) / ShardedMixtureProbability(k, total);
+
+  OASIS_ASSIGN_OR_RETURN(const bool label, QueryLabel(item));
+  const bool prediction = pool().predictions[static_cast<size_t>(item)] != 0;
+
+  ObserveLabel(k, label);
+  v_star_forest_.Update(k, StratumMass(k, forest_f_));
+  estimator_.Add(weight, label, prediction);
+  if (observer_) observer_(weight, label, prediction);
+  monitor_.Observe(weight);
+  RecordOasisStepTelemetry(weight);
+  MaybeDegrade();
+  return Status::OK();
+}
+
 void OasisSampler::ObserveLabel(size_t stratum, bool label) {
   model_.Observe(stratum, label);
   // Only the observed stratum's posterior changed (Eqn. 10 is per-stratum),
@@ -254,12 +472,14 @@ Status OasisSampler::StepFused() {
   const double f = Clamp(estimator_.FAlphaOr(initial_f_), 0.0, 1.0);
   const double a2f2 = alpha_sq_ * f * f;          // alpha^2 F^2
   const double omf2 = (1.0 - f) * (1.0 - f);      // (1 - F)^2
+  // The mass kernel is strictly elementwise (vectorised lanes round exactly
+  // like the scalar expression, no FMA contraction), so splitting the scan
+  // from the in-order total reduction below preserves bit-identity with the
+  // reference path.
+  StratumMassKernel(weights, lambda, pi, sqrt_pi, c_not_pred, f, a2f2, omf2, v,
+                    num_strata);
   double total = 0.0;
   for (size_t i = 0; i < num_strata; ++i) {
-    const double not_pred = c_not_pred[i] * f * sqrt_pi[i];
-    const double pred =
-        lambda[i] * std::sqrt(a2f2 * (1.0 - pi[i]) + omf2 * pi[i]);
-    v[i] = weights[i] * (not_pred + pred);
     total += v[i];
   }
   const double epsilon = active_epsilon_;
@@ -413,6 +633,10 @@ Status OasisSampler::Step() {
       return StepAllocatingReference();
     case OasisStepPath::kFenwick:
       return StepFenwick();
+    case OasisStepPath::kAlias:
+      return StepAlias();
+    case OasisStepPath::kShardedFenwick:
+      return StepShardedFenwick();
     case OasisStepPath::kFused:
       break;
   }
@@ -450,6 +674,16 @@ Status OasisSampler::StepBatch(int64_t n) {
         OASIS_RETURN_NOT_OK(StepFenwick());
       }
       return Status::OK();
+    case OasisStepPath::kAlias:
+      for (int64_t i = 0; i < n; ++i) {
+        OASIS_RETURN_NOT_OK(StepAlias());
+      }
+      return Status::OK();
+    case OasisStepPath::kShardedFenwick:
+      for (int64_t i = 0; i < n; ++i) {
+        OASIS_RETURN_NOT_OK(StepShardedFenwick());
+      }
+      return Status::OK();
     case OasisStepPath::kFused:
       break;
   }
@@ -475,6 +709,19 @@ Result<std::vector<double>> OasisSampler::FenwickInstrumental() const {
   std::vector<double> v(num_strata);
   for (size_t k = 0; k < num_strata; ++k) {
     v[k] = FenwickMixtureProbability(k, total);
+  }
+  return v;
+}
+
+Result<std::vector<double>> OasisSampler::AliasInstrumental() const {
+  if (options_.step_path != OasisStepPath::kAlias) {
+    return Status::FailedPrecondition(
+        "AliasInstrumental: sampler does not run the kAlias step path");
+  }
+  const size_t num_strata = strata_->num_strata();
+  std::vector<double> v(num_strata);
+  for (size_t k = 0; k < num_strata; ++k) {
+    v[k] = AliasMixtureProbability(k);
   }
   return v;
 }

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/alias_table.h"
+#include "common/block_fenwick_forest.h"
 #include "common/fenwick_tree.h"
+#include "common/thread_pool.h"
 #include "core/ais_estimator.h"
 #include "core/bayesian_model.h"
 #include "sampling/sampler.h"
@@ -44,6 +46,32 @@ enum class OasisStepPath {
   /// the amortised per-step cost is O(log K) — the path to prefer when K is
   /// large (roughly K >= 1000; see docs/ARCHITECTURE.md).
   kFenwick,
+  /// O(1) draws: a Walker/Vose alias table over the unnormalised v* masses,
+  /// rebuilt in place (O(K), zero allocation) only when the instrumental has
+  /// drifted — either F-hat moved more than fenwick_rebuild_tol since the
+  /// table was built, or the accumulated L1 posterior-mass drift across
+  /// observed strata exceeds that same fraction of the table's total mass.
+  /// Between rebuilds the table is a frozen snapshot, so unlike kFenwick the
+  /// observed stratum's own mass also goes stale — the dual drift gate bounds
+  /// both sources. Estimates stay consistent at ANY tolerance (importance
+  /// weights use the mixture actually sampled, full support via the epsilon
+  /// mix); the tolerance only prices staleness of the instrumental
+  /// (variance). Distribution-equivalent to kFused/kFenwick, not bit-equal
+  /// (tests/alias_step_path_test.cc). Prefer at very large K (roughly
+  /// K >= 100k) where even O(log K) per draw shows up; see
+  /// docs/BENCHMARKING.md for the Fenwick-vs-alias race.
+  kAlias,
+  /// kFenwick with the tree sharded into fixed 2^n-sized blocks
+  /// (BlockFenwickForest): the O(K) drift rebuilds recompute block masses in
+  /// parallel on OasisOptions::shard_pool while draws and single-stratum
+  /// updates stay O(log K). The numeric summation layout is a function of
+  /// shard_block_size alone — num_shards and the pool's thread count only
+  /// schedule work — so results are bit-identical at any shard/thread count
+  /// (tests/sharded_pool_test.cc pins this with golden hexfloat curves).
+  /// NOT bit-equal to kFenwick (the blocked tree rounds its partial sums
+  /// differently), but equivalent in distribution. Prefer at K >= 100k when
+  /// a ThreadPool is available to absorb rebuild latency.
+  kShardedFenwick,
 };
 
 /// Tunables of Algorithm 3. Defaults follow the paper's experiments
@@ -61,16 +89,35 @@ struct OasisOptions {
   bool decay_prior = true;
   /// Hot-path selection; see OasisStepPath.
   OasisStepPath step_path = OasisStepPath::kFused;
-  /// kFenwick only: how far |F-hat| may drift from the value the Fenwick
-  /// masses were computed with before a full O(K) rebuild is forced. 0 means
-  /// rebuild whenever F-hat changed at all (the exact v(t) at O(K) whenever F
-  /// moves, which it does on almost every step early on); larger values trade
-  /// a bounded staleness of the instrumental for O(log K) steps. Estimates
-  /// stay consistent for ANY tolerance because importance weights always use
-  /// the distribution actually sampled from, which keeps full support via the
-  /// epsilon mix — the tolerance only affects how close the instrumental is
-  /// to the optimum (variance), never correctness. Must be finite and >= 0.
+  /// Drift gate of every rebuild-on-drift path (kFenwick, kShardedFenwick,
+  /// kAlias): how far |F-hat| may drift from the value the maintained masses
+  /// were computed with before a full O(K) rebuild is forced. For kAlias the
+  /// same tolerance additionally gates the accumulated L1 posterior-mass
+  /// drift (as a fraction of the table's total mass), since the alias
+  /// snapshot cannot absorb single-stratum updates. 0 means rebuild whenever
+  /// anything changed at all (the exact v(t) at O(K) on almost every early
+  /// step); larger values trade a bounded staleness of the instrumental for
+  /// cheap steps. Estimates stay consistent for ANY tolerance because
+  /// importance weights always use the distribution actually sampled from,
+  /// which keeps full support via the epsilon mix — the tolerance only
+  /// affects how close the instrumental is to the optimum (variance), never
+  /// correctness. Must be finite and >= 0.
   double fenwick_rebuild_tol = 1e-2;
+  /// kShardedFenwick only: scheduling shard count for the parallel O(K)
+  /// rebuilds. Purely a work-partitioning knob — results are bit-identical
+  /// for any value (>= 1). Ignored (serial rebuilds) when shard_pool is
+  /// null.
+  size_t num_shards = 1;
+  /// kShardedFenwick only: pool the drift rebuilds are sharded onto. The
+  /// pool must outlive the sampler. Null runs rebuilds serially on the
+  /// calling thread (still over the blocked layout, so results match the
+  /// pooled run bit-for-bit).
+  ThreadPool* shard_pool = nullptr;
+  /// kShardedFenwick only: numeric block size of the BlockFenwickForest.
+  /// This — and only this — fixes the floating-point summation layout, so
+  /// changing it changes results (bitwise); changing num_shards or the
+  /// pool's thread count never does. Must be a power of two.
+  size_t shard_block_size = 4096;
   /// Thresholds of the always-on importance-weight health monitor (see
   /// DegeneracyMonitor; diagnostics are collected regardless of
   /// degrade_on_degeneracy).
@@ -158,6 +205,14 @@ class OasisSampler : public Sampler {
   /// CurrentInstrumental().
   Result<std::vector<double>> FenwickInstrumental() const;
 
+  /// kAlias only: the distribution the next alias draw would actually use,
+  /// i.e. epsilon * omega + (1 - epsilon) * alias-table probabilities — the
+  /// frozen snapshot from the last rebuild, before any rebuild the next step
+  /// might trigger. Fails when the sampler does not run the kAlias path.
+  /// Used by the equivalence tests to bound the staleness gap against
+  /// CurrentInstrumental().
+  Result<std::vector<double>> AliasInstrumental() const;
+
   /// Read access to the stratified beta posterior (diagnostics/tests: e.g.
   /// per-stratum visit counts via labels_observed()).
   const StratifiedBetaModel& model() const { return model_; }
@@ -200,6 +255,11 @@ class OasisSampler : public Sampler {
   Status StepAllocatingReference();
   /// The O(log K) Fenwick-tree iteration (OasisStepPath::kFenwick).
   Status StepFenwick();
+  /// The O(1) alias-table iteration (OasisStepPath::kAlias).
+  Status StepAlias();
+  /// The sharded-rebuild Fenwick-forest iteration
+  /// (OasisStepPath::kShardedFenwick).
+  Status StepShardedFenwick();
   /// The degraded-mode iteration: draw from the frozen instrumental
   /// distribution, weight against it (full support — consistency holds),
   /// keep posterior and diagnostics updating.
@@ -213,6 +273,12 @@ class OasisSampler : public Sampler {
   /// One-time kFenwick setup: the weights alias table and the initial mass
   /// build. Called from Create() so construction can still fail cleanly.
   Status InitFenwick();
+  /// One-time kAlias setup: the weights alias table, the mass scratch and
+  /// the initial v* alias table. Called from Create().
+  Status InitAlias();
+  /// One-time kShardedFenwick setup: the weights alias table and the initial
+  /// blocked mass build. Called from Create().
+  Status InitShardedFenwick();
   /// Unnormalised v* mass of stratum k under F estimate `f`, with exactly the
   /// factor grouping of the fused scan.
   double StratumMass(size_t k, double f) const;
@@ -224,6 +290,23 @@ class OasisSampler : public Sampler {
   /// Recomputes every Fenwick mass under `f` in O(K) (no allocation) and
   /// records `f` as the build point for the drift check.
   void RebuildFenwickMasses(double f);
+  /// Probability of stratum k under the epsilon-greedy mixture the alias
+  /// draw actually samples from (alias_degenerate_ selects the omega
+  /// fallback). Single source of truth shared by StepAlias's importance
+  /// weight and AliasInstrumental.
+  double AliasMixtureProbability(size_t k) const;
+  /// Recomputes every alias mass under `f` in O(K) (no allocation once
+  /// built), refreshes the v* alias table in place and resets the drift
+  /// accumulators.
+  void RebuildAliasMasses(double f);
+  /// Probability of stratum k under the epsilon-greedy mixture the sharded
+  /// Fenwick draw actually samples from (`total` = v_star_forest_.Total(),
+  /// <= 0 selects the degenerate omega fallback).
+  double ShardedMixtureProbability(size_t k, double total) const;
+  /// Recomputes every blocked Fenwick mass under `f`, sharding the O(K) work
+  /// across options_.shard_pool (serially when null). Bit-identical at any
+  /// shard/thread count. Records `f` as the build point.
+  void RebuildShardedMasses(double f);
   /// Records the label in the beta posterior and refreshes the incremental
   /// caches for the observed stratum (the only one whose mean can change).
   void ObserveLabel(size_t stratum, bool label);
@@ -272,6 +355,32 @@ class OasisSampler : public Sampler {
   AliasTable weights_alias_;
   // F-hat the Fenwick masses were last (re)built with; < 0 until InitFenwick.
   double tree_f_ = -1.0;
+  // --- Alias-path state --------------------------------------------------
+  // Frozen O(1) sampler over the unnormalised v* masses; rebuilt in place on
+  // drift. Empty unless step_path == kAlias.
+  AliasTable v_alias_;
+  // The masses the table was built from (the snapshot the drift accumulator
+  // measures against) and the live masses as they evolve with the posterior.
+  // alias_live_mass_ is maintained incrementally: ObserveLabel-adjacent code
+  // refreshes only the observed stratum.
+  std::vector<double> alias_snapshot_mass_;
+  std::vector<double> alias_live_mass_;
+  // F-hat the alias masses were last (re)built with; < 0 until InitAlias.
+  double alias_f_ = -1.0;
+  // Total snapshot mass and accumulated L1 drift |live - snapshot| across
+  // strata, maintained in O(1) per step:
+  //   drift += |new_live_k - snap_k| - |old_live_k - snap_k|.
+  double alias_total_ = 0.0;
+  double alias_drift_ = 0.0;
+  // True when the last rebuild found all-zero masses (the omega fallback).
+  bool alias_degenerate_ = false;
+  // --- Sharded-Fenwick-path state ----------------------------------------
+  // Blocked v* masses for parallel rebuilds. Empty unless step_path ==
+  // kShardedFenwick.
+  BlockFenwickForest v_star_forest_;
+  // F-hat the forest masses were last (re)built with; < 0 until
+  // InitShardedFenwick.
+  double forest_f_ = -1.0;
 };
 
 }  // namespace oasis

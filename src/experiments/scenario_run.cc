@@ -39,6 +39,13 @@ Status ScenarioRunOptions::Validate() const {
     return Status::InvalidArgument(
         "ScenarioRunOptions: strata must be positive");
   }
+  if (step_path != "fused" && step_path != "reference" &&
+      step_path != "fenwick" && step_path != "alias" &&
+      step_path != "sharded-fenwick") {
+    return Status::InvalidArgument(
+        "ScenarioRunOptions: unknown step_path '" + step_path +
+        "' (expected fused, reference, fenwick, alias, or sharded-fenwick)");
+  }
   return Status::OK();
 }
 
@@ -63,14 +70,29 @@ Result<ScenarioRunOptions> ScenarioRunOptions::FromConfig(
   options.num_threads = static_cast<int>(threads);
   OASIS_ASSIGN_OR_RETURN(options.target_strata,
                          config.GetInt64Or("strata", options.target_strata));
+  options.step_path = config.GetStringOr("step_path", options.step_path);
   OASIS_ASSIGN_OR_RETURN(options.stack, StackSpecFromConfig(config, "stack_"));
   OASIS_RETURN_NOT_OK(options.Validate());
   return options;
 }
 
+namespace {
+
+Result<OasisStepPath> StepPathFromName(const std::string& name) {
+  if (name == "fused") return OasisStepPath::kFused;
+  if (name == "reference") return OasisStepPath::kAllocatingReference;
+  if (name == "fenwick") return OasisStepPath::kFenwick;
+  if (name == "alias") return OasisStepPath::kAlias;
+  if (name == "sharded-fenwick") return OasisStepPath::kShardedFenwick;
+  return Status::InvalidArgument("unknown step_path '" + name + "'");
+}
+
+}  // namespace
+
 Result<MethodSpec> MakeMethodByName(const std::string& method, double alpha,
                                     const ScoredPool& pool,
-                                    int64_t target_strata) {
+                                    int64_t target_strata,
+                                    const std::string& step_path) {
   if (method == "passive") {
     return MakePassiveSpec(alpha);
   }
@@ -90,6 +112,7 @@ Result<MethodSpec> MakeMethodByName(const std::string& method, double alpha,
     }
     OasisOptions options;
     options.alpha = alpha;
+    OASIS_ASSIGN_OR_RETURN(options.step_path, StepPathFromName(step_path));
     return MakeOasisSpec(options, std::move(shared));
   }
   return Status::InvalidArgument("MakeMethodByName: unknown method '" + method +
@@ -105,7 +128,7 @@ Result<ScenarioRunResult> SummarizeScenarioCurve(
   OASIS_ASSIGN_OR_RETURN(
       const MethodSpec method,
       MakeMethodByName(options.method, pool.spec.alpha, pool.scored,
-                       options.target_strata));
+                       options.target_strata, options.step_path));
 
   ScenarioRunResult result;
   RunSummary& summary = result.summary;
@@ -161,7 +184,7 @@ Result<ScenarioRunResult> RunScenario(const datagen::ScenarioPool& pool,
   OASIS_ASSIGN_OR_RETURN(
       const MethodSpec method,
       MakeMethodByName(options.method, pool.spec.alpha, pool.scored,
-                       options.target_strata));
+                       options.target_strata, options.step_path));
 
   RunnerOptions runner;
   runner.repeats = options.repeats;

@@ -31,6 +31,12 @@ struct ScenarioRunOptions {
   int num_threads = 0;
   /// Target stratum count for the stratified/oasis methods (CSF).
   int64_t target_strata = 30;
+  /// OASIS step path ("oasis" method only): "fused" (default), "reference",
+  /// "fenwick", "alias", or "sharded-fenwick". The sub-linear paths
+  /// ("fenwick", "alias", "sharded-fenwick") are the practical choice for
+  /// pool-scale runs (target_strata >= 100k); all paths estimate the same
+  /// quantities (see OasisStepPath).
+  std::string step_path = "fused";
   /// Oracle decorator stack built per repeat over the scenario oracle (see
   /// RunnerOptions::stack); empty = label straight against the base oracle.
   StackSpec stack;
@@ -49,10 +55,13 @@ struct ScenarioRunOptions {
 
 /// Builds a MethodSpec by CLI-facing name. "stratified" and "oasis" stratify
 /// `pool`'s scores with CSF at `target_strata` internally; "passive" and
-/// "is" ignore the stratum count.
+/// "is" ignore the stratum count. `step_path` selects the OASIS step path by
+/// the ScenarioRunOptions::step_path names and is ignored by every other
+/// method.
 Result<MethodSpec> MakeMethodByName(const std::string& method, double alpha,
                                     const ScoredPool& pool,
-                                    int64_t target_strata);
+                                    int64_t target_strata,
+                                    const std::string& step_path = "fused");
 
 /// Everything one scenario experiment produces: the error curve (for the
 /// curves CSV) and the self-contained run summary (for the JSON sidecar and

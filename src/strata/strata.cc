@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -10,6 +11,14 @@ namespace oasis {
 Result<Strata> Strata::FromAssignment(std::span<const int32_t> assignment) {
   if (assignment.empty()) {
     return Status::InvalidArgument("Strata: empty assignment");
+  }
+  if (assignment.size() >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    // Item ids are stored as int32_t; a larger pool would silently wrap the
+    // static_cast below into negative indices. Reject explicitly (pools past
+    // 2^31 items need a wider id type, not truncation).
+    return Status::InvalidArgument(
+        "Strata: pool too large for int32_t item ids");
   }
   int32_t max_index = -1;
   for (int32_t a : assignment) {

@@ -173,6 +173,82 @@ TEST(ScenarioVerifyTest, StalledErrorCurveFailsDecay) {
   EXPECT_FALSE(FindCheck(report, "error-decay")->passed);
 }
 
+/// Runs a scenario at pool scale through the real config surface: a 400k-item
+/// pool stratified to K = 100k by CSF, stepped by one of the sub-linear
+/// backends. This is the end-to-end route of the large-K tier — the same
+/// RunScenario call the apps make, not a hand-built sampler.
+ScenarioRunResult RunPoolScale(const std::string& scenario,
+                               const std::string& step_path, int64_t budget,
+                               int repeats) {
+  datagen::ScenarioSpec spec = ScenarioByName(scenario).ValueOrDie();
+  spec.pool_size = 400000;
+  const ScenarioPool pool = GenerateScenario(spec).ValueOrDie();
+  ScenarioRunOptions options;
+  options.method = "oasis";
+  options.budget = budget;
+  options.checkpoint_every = 500;
+  options.repeats = repeats;
+  options.seed = 7;
+  options.target_strata = 100000;
+  options.step_path = step_path;
+  return RunScenario(pool, options).ValueOrDie();
+}
+
+TEST(ScenarioVerifyTest, PoolScaleSweepPassesEveryCheckOnBothSubLinearPaths) {
+  // K = 100k catalogue sweep: with four items per stratum and budget << K
+  // the epsilon mix carries consistency, and the full verification battery
+  // (including CI coverage and error decay) must still come out green for
+  // both sub-linear step paths.
+  for (const char* scenario : {"stripe-f90", "imbalance-1e3"}) {
+    for (const char* step_path : {"fenwick", "alias"}) {
+      const ScenarioRunResult result =
+          RunPoolScale(scenario, step_path, 6000, 20);
+      const VerifyReport report =
+          VerifyRun(result.summary, &result.curve, VerifyOptions{})
+              .ValueOrDie();
+      EXPECT_TRUE(report.passed)
+          << scenario << "/" << step_path << "\n" << report.Render();
+      for (const char* name :
+           {"aggregate-consistency", "estimate-defined", "estimate-tolerance",
+            "ci-coverage", "error-decay", "degeneracy-flag"}) {
+        const VerifyCheck* check = FindCheck(report, name);
+        ASSERT_NE(check, nullptr) << scenario << "/" << step_path << " " << name;
+        EXPECT_TRUE(check->passed) << scenario << "/" << step_path << " "
+                                   << check->name << ": " << check->detail;
+      }
+    }
+  }
+}
+
+TEST(ScenarioVerifyTest, PoolScaleAdaptiveRunOnTheBreakerIsRejected) {
+  // The sis-inversion breaker at K = 100k: with budget << K the posterior
+  // never accumulates enough labels per stratum to adapt away from the score
+  // lie, so even the ADAPTIVE sampler's monitor trips — and the verification
+  // harness must refuse to bless the run (degeneracy-flag expects adaptive
+  // runs to stay healthy). This is the harness catching a real
+  // misconfiguration: pool-scale K needs a budget to match, or a coarser
+  // stratification (the K = 30 runs on this same preset pass).
+  const ScenarioRunResult result =
+      RunPoolScale("sis-inversion", "alias", 2500, 5);
+  ASSERT_TRUE(result.summary.degeneracy_monitored);
+  EXPECT_TRUE(result.summary.degeneracy_tripped)
+      << "ess_fraction=" << result.summary.final_ess_fraction;
+  const VerifyReport report =
+      VerifyRun(result.summary, nullptr, VerifyOptions{}).ValueOrDie();
+  EXPECT_FALSE(report.passed);
+  const VerifyCheck* flag = FindCheck(report, "degeneracy-flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_FALSE(flag->passed) << flag->detail;
+}
+
+TEST(ScenarioVerifyTest, UnknownStepPathIsRejectedByValidation) {
+  ScenarioRunOptions options;
+  options.step_path = "treap";
+  EXPECT_FALSE(options.Validate().ok());
+  options.step_path = "sharded-fenwick";
+  EXPECT_TRUE(options.Validate().ok());
+}
+
 TEST(ScenarioVerifyTest, StaticImportanceMustTripOnTheSisBreaker) {
   // The adversarial score-inversion pool exists to degenerate a static
   // score-driven proposal: the IS run's monitor must trip, and the

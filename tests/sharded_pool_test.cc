@@ -1,0 +1,387 @@
+// Determinism contract of the pool-scale sharded sampling layer:
+//  * BlockFenwickForest produces bit-identical values, totals and draws for
+//    EVERY shard/thread count — the numeric layout is a function of the
+//    block size alone, the shard count only schedules work;
+//  * the OasisStepPath::kShardedFenwick runner curve is bit-identical across
+//    shard counts {1, 2, 8} x runner thread counts {1, 2, 8} AND to the
+//    unsharded (null shard_pool, serial rebuild) runner, pinned by golden
+//    hexfloat values;
+//  * cancellation mid-run still returns kCancelled with sharded samplers;
+//  * concurrent sharded rebuilds on one shared ThreadPool are race-free
+//    (exercised under TSan in CI's sanitize-thread leg).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/block_fenwick_forest.h"
+#include "common/fenwick_tree.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "experiments/runner.h"
+#include "oracle/ground_truth_oracle.h"
+#include "strata/csf.h"
+#include "test_util.h"
+
+namespace oasis {
+namespace {
+
+using experiments::ErrorCurve;
+using experiments::MakeOasisSpec;
+using experiments::RunErrorCurve;
+using experiments::RunnerOptions;
+using testutil::MakeSyntheticPool;
+using testutil::SyntheticPool;
+using testutil::SyntheticPoolOptions;
+
+std::vector<double> RandomMasses(size_t n, uint64_t seed,
+                                 double zero_fraction = 0.0) {
+  Rng rng(seed);
+  std::vector<double> masses(n);
+  for (size_t i = 0; i < n; ++i) {
+    masses[i] =
+        rng.NextDouble() < zero_fraction ? 0.0 : 0.1 + 0.9 * rng.NextDouble();
+  }
+  return masses;
+}
+
+// ---------------------------------------------------------------------------
+// BlockFenwickForest unit contract
+// ---------------------------------------------------------------------------
+
+TEST(BlockFenwickForestTest, RejectsInvalidBuildArguments) {
+  EXPECT_FALSE(BlockFenwickForest::Build({}, 16).ok());
+  const std::vector<double> masses = RandomMasses(10, 1);
+  EXPECT_FALSE(BlockFenwickForest::Build(masses, 0).ok());
+  EXPECT_FALSE(BlockFenwickForest::Build(masses, 12).ok());  // Not a power of 2.
+  EXPECT_TRUE(BlockFenwickForest::Build(masses, 16).ok());
+}
+
+TEST(BlockFenwickForestTest, ValuesAndTotalMatchSource) {
+  const std::vector<double> masses = RandomMasses(100, 7, 0.2);
+  auto forest = BlockFenwickForest::Build(masses, 16).ValueOrDie();
+  EXPECT_EQ(forest.size(), 100u);
+  EXPECT_EQ(forest.num_blocks(), 7u);  // ceil(100 / 16)
+  EXPECT_EQ(forest.block_size(), 16u);
+  for (size_t i = 0; i < masses.size(); ++i) {
+    EXPECT_EQ(forest.value(i), masses[i]) << i;
+  }
+  double expected = 0.0;
+  for (double m : masses) expected += m;
+  EXPECT_NEAR(forest.Total(), expected, 1e-12);
+}
+
+TEST(BlockFenwickForestTest, FindQuantileSelectsMidBinOwner) {
+  const std::vector<double> masses = RandomMasses(100, 11, 0.25);
+  auto forest = BlockFenwickForest::Build(masses, 16).ValueOrDie();
+  // Mid-bin targets are robust to the forest's internal rounding; every
+  // positive-mass index must own its own mid-bin target, and zero-mass
+  // indices must never be returned.
+  double prefix = 0.0;
+  for (size_t i = 0; i < masses.size(); ++i) {
+    if (masses[i] > 0.0) {
+      EXPECT_EQ(forest.FindQuantile(prefix + masses[i] / 2.0), i) << i;
+    }
+    prefix += masses[i];
+  }
+  Rng rng(5);
+  for (int t = 0; t < 1000; ++t) {
+    const size_t k = forest.FindQuantile(rng.NextDouble() * forest.Total());
+    EXPECT_GT(masses[k], 0.0) << "zero-mass index " << k << " drawn";
+  }
+}
+
+TEST(BlockFenwickForestTest, UpdateAdjustsValuesAndRouting) {
+  std::vector<double> masses = RandomMasses(64, 13);
+  auto forest = BlockFenwickForest::Build(masses, 8).ValueOrDie();
+  Rng rng(17);
+  for (int t = 0; t < 200; ++t) {
+    const size_t i = static_cast<size_t>(rng.NextBounded(masses.size()));
+    masses[i] = rng.NextDouble();
+    forest.Update(i, masses[i]);
+  }
+  double expected = 0.0;
+  for (double m : masses) expected += m;
+  EXPECT_NEAR(forest.Total(), expected, 1e-12);
+  double prefix = 0.0;
+  for (size_t i = 0; i < masses.size(); ++i) {
+    EXPECT_EQ(forest.value(i), masses[i]) << i;
+    if (masses[i] > 0.0) {
+      EXPECT_EQ(forest.FindQuantile(prefix + masses[i] / 2.0), i) << i;
+    }
+    prefix += masses[i];
+  }
+}
+
+TEST(BlockFenwickForestTest, ParallelRebuildBitIdenticalAcrossShardCounts) {
+  const std::vector<double> initial = RandomMasses(1000, 19);
+  const std::vector<double> next = RandomMasses(1000, 23, 0.1);
+  ThreadPool pool(4);
+
+  // Reference: fully serial rebuild (null pool).
+  auto reference = BlockFenwickForest::Build(initial, 64).ValueOrDie();
+  ASSERT_TRUE(reference.ParallelRebuild(next, nullptr, 1).ok());
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{8}, size_t{64}}) {
+    auto forest = BlockFenwickForest::Build(initial, 64).ValueOrDie();
+    ASSERT_TRUE(forest.ParallelRebuild(next, &pool, shards).ok());
+    // EXPECT_EQ (not NEAR): bit-identical is the contract.
+    EXPECT_EQ(forest.Total(), reference.Total()) << "shards=" << shards;
+    for (size_t i = 0; i < next.size(); ++i) {
+      ASSERT_EQ(forest.value(i), reference.value(i))
+          << "shards=" << shards << " index " << i;
+    }
+    // Draw routing identical too.
+    Rng rng(29);
+    for (int t = 0; t < 500; ++t) {
+      const double target = rng.NextDouble() * reference.Total();
+      ASSERT_EQ(forest.FindQuantile(target), reference.FindQuantile(target))
+          << "shards=" << shards;
+    }
+  }
+}
+
+TEST(BlockFenwickForestTest, ParallelRebuildWithMatchesParallelRebuild) {
+  const std::vector<double> initial = RandomMasses(500, 31);
+  const std::vector<double> next = RandomMasses(500, 37);
+  ThreadPool pool(4);
+
+  auto direct = BlockFenwickForest::Build(initial, 32).ValueOrDie();
+  ASSERT_TRUE(direct.ParallelRebuild(next, &pool, 8).ok());
+
+  auto filled = BlockFenwickForest::Build(initial, 32).ValueOrDie();
+  ASSERT_TRUE(filled
+                  .ParallelRebuildWith(
+                      [&](size_t begin, std::span<double> out) {
+                        for (size_t j = 0; j < out.size(); ++j) {
+                          out[j] = next[begin + j];
+                        }
+                      },
+                      &pool, 8)
+                  .ok());
+
+  EXPECT_EQ(filled.Total(), direct.Total());
+  for (size_t i = 0; i < next.size(); ++i) {
+    ASSERT_EQ(filled.value(i), direct.value(i)) << i;
+  }
+}
+
+TEST(BlockFenwickForestTest, RebuildErrorsSurfaceDeterministically) {
+  const std::vector<double> initial = RandomMasses(100, 41);
+  auto forest = BlockFenwickForest::Build(initial, 16).ValueOrDie();
+  ThreadPool pool(4);
+  EXPECT_FALSE(forest.ParallelRebuild(RandomMasses(99, 43), &pool, 4).ok());
+  std::vector<double> bad = RandomMasses(100, 47);
+  bad[57] = -1.0;
+  EXPECT_FALSE(forest.ParallelRebuild(bad, &pool, 4).ok());
+  EXPECT_FALSE(
+      forest.ParallelRebuildWith(BlockFenwickForest::BlockFill{}, &pool, 4)
+          .ok());
+}
+
+// Two forests rebuilt concurrently on ONE shared ThreadPool — the usage
+// pattern of sharded samplers running inside parallel runner workers. CI's
+// sanitize-thread leg runs this under TSan.
+TEST(BlockFenwickForestTest, ConcurrentShardedRebuildsOnSharedPool) {
+  ThreadPool pool(4);
+  const std::vector<double> initial = RandomMasses(2000, 53);
+  auto run = [&](uint64_t seed) {
+    auto forest = BlockFenwickForest::Build(initial, 128).ValueOrDie();
+    auto serial = BlockFenwickForest::Build(initial, 128).ValueOrDie();
+    for (int round = 0; round < 20; ++round) {
+      const std::vector<double> next =
+          RandomMasses(initial.size(), seed + static_cast<uint64_t>(round));
+      ASSERT_TRUE(forest.ParallelRebuild(next, &pool, 8).ok());
+      ASSERT_TRUE(serial.ParallelRebuild(next, nullptr, 1).ok());
+      ASSERT_EQ(forest.Total(), serial.Total());
+    }
+  };
+  std::thread a(run, 61);
+  std::thread b(run, 67);
+  a.join();
+  b.join();
+}
+
+// ---------------------------------------------------------------------------
+// kShardedFenwick runner curves: golden hexfloat bit-identity
+// ---------------------------------------------------------------------------
+
+SyntheticPool GoldenPool() {
+  SyntheticPoolOptions options;
+  options.size = 2000;
+  options.match_fraction = 0.05;
+  options.seed = 101;
+  return MakeSyntheticPool(options);
+}
+
+RunnerOptions GoldenOptions() {
+  RunnerOptions options;
+  options.repeats = 6;
+  options.trajectory.budget = 200;
+  options.trajectory.checkpoint_every = 50;
+  options.base_seed = 20170626;
+  return options;
+}
+
+OasisOptions ShardedOptions(ThreadPool* shard_pool, size_t num_shards) {
+  OasisOptions options;
+  options.step_path = OasisStepPath::kShardedFenwick;
+  // Small numeric blocks so a 10-stratum pool still spans several blocks —
+  // the block size is part of the numeric contract and must stay FIXED
+  // across every compared configuration.
+  options.shard_block_size = 4;
+  options.shard_pool = shard_pool;
+  options.num_shards = num_shards;
+  return options;
+}
+
+/// Golden sharded-curve values captured at shard_pool=nullptr, num_shards=1,
+/// num_threads=1 (hexfloat, so the comparison is bit-exact). One row per
+/// checkpoint: {mean_abs_error, stddev, mean_estimate, frac_defined}.
+constexpr double kGoldenTrueF = 0x1.59cf516a98c2cp-1;
+constexpr double kGoldenSharded10[4][4] = {
+    {0x1.1159849aed41fp-3, 0x1.68e42b38fa8afp-3, 0x1.64a25f33f609p-1, 0x1p+0},
+    {0x1.bad32d35210ap-5, 0x1.505fdbad04886p-4, 0x1.4fa8cb08e9094p-1, 0x1p+0},
+    {0x1.223ac14862ad2p-5, 0x1.95717e57c5a87p-5, 0x1.5e2d917849b2ep-1, 0x1p+0},
+    {0x1.4ff97b50536d8p-5, 0x1.bda6ee0d8027bp-5, 0x1.5f2e8eda7abe7p-1, 0x1p+0},
+};
+
+void ExpectCurveMatchesGolden(const ErrorCurve& curve,
+                              const double golden[4][4]) {
+  ASSERT_EQ(curve.budgets.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(curve.mean_abs_error[i], golden[i][0]) << "checkpoint " << i;
+    EXPECT_EQ(curve.stddev[i], golden[i][1]) << "checkpoint " << i;
+    EXPECT_EQ(curve.mean_estimate[i], golden[i][2]) << "checkpoint " << i;
+    EXPECT_EQ(curve.frac_defined[i], golden[i][3]) << "checkpoint " << i;
+  }
+}
+
+TEST(ShardedPoolTest, CurveBitIdenticalAcrossShardAndThreadCounts) {
+  SyntheticPool pool = GoldenPool();
+  // Guards the golden values against synthetic-pool generation drift.
+  ASSERT_EQ(pool.true_measures.f_alpha, kGoldenTrueF);
+  GroundTruthOracle oracle(pool.truth);
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+  ThreadPool shard_pool(4);
+
+  // The unsharded reference: serial rebuilds (null pool), serial runner.
+  {
+    RunnerOptions options = GoldenOptions();
+    options.num_threads = 1;
+    ErrorCurve unsharded =
+        RunErrorCurve(MakeOasisSpec(ShardedOptions(nullptr, 1), strata),
+                      pool.scored, oracle, pool.true_measures.f_alpha, options)
+            .ValueOrDie();
+    EXPECT_EQ(unsharded.method, "OASIS-10");
+    ExpectCurveMatchesGolden(unsharded, kGoldenSharded10);
+  }
+
+  // Every (num_shards, runner threads) combination lands on the same curve:
+  // the shard count schedules the rebuild work, the thread count schedules
+  // the repeats, and neither touches the numeric layout.
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (const int threads : {1, 2, 8}) {
+      RunnerOptions options = GoldenOptions();
+      options.num_threads = threads;
+      ErrorCurve curve =
+          RunErrorCurve(MakeOasisSpec(ShardedOptions(&shard_pool, shards),
+                                      strata),
+                        pool.scored, oracle, pool.true_measures.f_alpha,
+                        options)
+              .ValueOrDie();
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ExpectCurveMatchesGolden(curve, kGoldenSharded10);
+    }
+  }
+}
+
+TEST(ShardedPoolTest, VisitDistributionMatchesFenwickPath) {
+  // The blocked forest is distribution-equivalent (not bit-equal) to the
+  // monolithic kFenwick tree: long-run stratum-visit histograms must agree.
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+  ThreadPool shard_pool(4);
+
+  OasisOptions fenwick_options;
+  fenwick_options.step_path = OasisStepPath::kFenwick;
+  LabelCache fenwick_labels(&oracle);
+  auto fenwick = OasisSampler::Create(&pool.scored, &fenwick_labels, strata,
+                                      fenwick_options, Rng(311))
+                     .ValueOrDie();
+  LabelCache sharded_labels(&oracle);
+  auto sharded = OasisSampler::Create(&pool.scored, &sharded_labels, strata,
+                                      ShardedOptions(&shard_pool, 2), Rng(313))
+                     .ValueOrDie();
+  const int kSteps = 20000;
+  ASSERT_TRUE(fenwick->StepBatch(kSteps).ok());
+  ASSERT_TRUE(sharded->StepBatch(kSteps).ok());
+
+  double tv = 0.0;
+  for (size_t s = 0; s < strata->num_strata(); ++s) {
+    const double a =
+        static_cast<double>(fenwick->model().labels_observed(s)) / kSteps;
+    const double b =
+        static_cast<double>(sharded->model().labels_observed(s)) / kSteps;
+    tv += std::fabs(a - b);
+  }
+  tv *= 0.5;
+  EXPECT_LT(tv, 0.05) << "total variation sharded vs fenwick: " << tv;
+
+  const EstimateSnapshot a = fenwick->Estimate();
+  const EstimateSnapshot b = sharded->Estimate();
+  ASSERT_TRUE(a.f_defined);
+  ASSERT_TRUE(b.f_defined);
+  EXPECT_NEAR(a.f_alpha, b.f_alpha, 0.04);
+}
+
+TEST(ShardedPoolTest, CancellationMidRunReturnsCancelled) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+  ThreadPool shard_pool(2);
+  CancellationToken token;
+  RunnerOptions options;
+  options.repeats = 64;
+  options.num_threads = 2;
+  options.trajectory.budget = 200;
+  options.trajectory.checkpoint_every = 100;
+  options.cancel = &token;
+  std::atomic<int> seen{0};
+  options.progress = [&](int completed, int) {
+    seen.fetch_add(1);
+    if (completed >= 2) token.RequestCancel();
+  };
+  auto result =
+      RunErrorCurve(MakeOasisSpec(ShardedOptions(&shard_pool, 4), strata),
+                    pool.scored, oracle, 0.5, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_LT(seen.load(), 64);
+}
+
+TEST(ShardedPoolTest, RejectsZeroShards) {
+  SyntheticPool pool = GoldenPool();
+  GroundTruthOracle oracle(pool.truth);
+  LabelCache labels(&oracle);
+  auto strata = std::make_shared<const Strata>(
+      StratifyCsf(pool.scored.scores, 10).ValueOrDie());
+  OasisOptions options = ShardedOptions(nullptr, 0);
+  EXPECT_FALSE(
+      OasisSampler::Create(&pool.scored, &labels, strata, options, Rng(1)).ok());
+  options = ShardedOptions(nullptr, 1);
+  options.shard_block_size = 12;  // Not a power of two.
+  EXPECT_FALSE(
+      OasisSampler::Create(&pool.scored, &labels, strata, options, Rng(1)).ok());
+}
+
+}  // namespace
+}  // namespace oasis

@@ -5,9 +5,11 @@ Compares the steps/sec of the current run against a committed baseline
 snapshot and fails (exit 1) when any gated benchmark drops below
 --min-ratio times its baseline throughput (default 0.8, i.e. a >20% drop).
 
-Only benchmarks whose name matches --filter (default: the OASIS step paths,
-``BM_OasisStep``) are gated; other entries in either file are ignored, so the
-baseline can be regenerated from a filtered run.
+Only benchmarks whose name starts with one of the comma-separated --filter
+prefixes (default: the OASIS step paths, ``BM_OasisStep``) are gated; other
+entries in either file are ignored, so the baseline can be regenerated from a
+filtered run. Example: --filter BM_OasisStep,BM_BlockForestRebuild gates the
+step paths and the sharded-rebuild kernel together.
 
 A gated benchmark that exists in the baseline but is MISSING from the current
 run is a hard failure: a silently skipped benchmark reads as "no regression"
@@ -92,7 +94,8 @@ def build_parser():
     parser.add_argument("--min-ratio", type=float, default=0.8,
                         help="fail when current/baseline < this (default 0.8)")
     parser.add_argument("--filter", default="BM_OasisStep",
-                        help="gate only benchmarks whose name starts with this")
+                        help="gate only benchmarks whose name starts with one "
+                             "of these comma-separated prefixes")
     parser.add_argument("--calibrate", default=None,
                         help="benchmark name used to rescale the baseline for "
                              "machine-speed differences")
@@ -127,7 +130,9 @@ def run_gate(args, out=sys.stdout, err=sys.stderr):
                   "from current or baseline; comparing absolute steps/sec",
                   file=err)
 
-    gated = sorted(name for name in baseline if name.startswith(args.filter))
+    prefixes = [p for p in args.filter.split(",") if p]
+    gated = sorted(name for name in baseline
+                   if any(name.startswith(p) for p in prefixes))
     if not gated:
         print(f"error: no baseline entries match filter {args.filter!r}",
               file=err)
@@ -352,6 +357,23 @@ def _self_test():
             self.assertEqual(code, 1)
             self.assertIn("NAME:METRIC=BOUND", err)
             self.assertNotIn("Traceback", err)
+
+        def test_comma_separated_filter_gates_every_prefix(self):
+            # Both families gated: the forest regression must fail the run
+            # even though the step-path family is clean.
+            code, _, err = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0, "BM_BlockForestRebuild/8": 50.0},
+                {"BM_OasisStep/10": 100.0, "BM_BlockForestRebuild/8": 100.0},
+                filter="BM_OasisStep,BM_BlockForestRebuild")
+            self.assertEqual(code, 1)
+            self.assertIn("BM_BlockForestRebuild/8", err)
+
+        def test_comma_separated_filter_ignores_unlisted_prefixes(self):
+            code, _, _ = self.run_gate_with(
+                {"BM_OasisStep/10": 100.0, "BM_Unrelated": 1.0},
+                {"BM_OasisStep/10": 100.0, "BM_Unrelated": 100.0},
+                filter="BM_OasisStep,BM_BlockForestRebuild")
+            self.assertEqual(code, 0)
 
         def test_empty_filter_match_fails(self):
             code, _, err = self.run_gate_with(
